@@ -1,0 +1,142 @@
+// Ablations of dcSR's design choices (DESIGN.md §6) that are not already
+// covered inside the figure benches:
+//
+//   1. Intra-refresh period vs quality drift: the client enhances I frames
+//      only, so enhancement decays along P-chains; refresh I frames re-apply
+//      it ("multiple I frames in a segment ... to avoid the quality drift").
+//   2. The Appendix A.1 minimum-working-model search, printing every probed
+//      configuration and the Eq. 3 bound it implies.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "image/metrics.hpp"
+#include "util/table.hpp"
+
+using namespace dcsr;
+using namespace dcsr::bench;
+
+int main() {
+  const auto video =
+      make_genre_video(Genre::kNews, 201, kWidth, kHeight, 35.0, kFps);
+
+  // ---- Ablation 1: intra-refresh period ----------------------------------
+  std::printf("ablation 1: quality drift vs intra-refresh period (video: %s)\n\n",
+              video->name().c_str());
+  Table drift({"intra period", "I frames", "LOW PSNR", "dcSR PSNR", "gain (dB)",
+               "video KB"});
+  for (const int period : {0, 20, 10, 5}) {
+    core::ServerConfig cfg = quality_server_config();
+    cfg.codec.intra_period = period;
+    cfg.k_max = 4;
+    cfg.training.iterations = 300;
+    const core::ServerResult server = core::run_server_pipeline(*video, cfg);
+
+    int i_frames = 0;
+    for (const auto& seg : server.encoded.segments)
+      for (const auto& f : seg.frames)
+        if (f.type == codec::FrameType::kI) ++i_frames;
+
+    core::PlaybackOptions opts;
+    opts.ssim_stride = 1000;  // PSNR-only pass
+    const auto low = core::play_low(server.encoded, *video, opts);
+    const auto dcsr = core::play_dcsr(server.encoded, server.labels,
+                                      server.micro_models, *video, opts);
+    drift.add_row({period == 0 ? "none" : std::to_string(period),
+                   std::to_string(i_frames), fmt(low.mean_psnr, 2),
+                   fmt(dcsr.mean_psnr, 2),
+                   fmt(dcsr.mean_psnr - low.mean_psnr, 2),
+                   fmt(server.encoded.size_bytes() / 1e3, 1)});
+  }
+  std::printf("%s\n", drift.to_string().c_str());
+  std::printf("(shorter refresh -> more inferences and more I-frame bits, but\n"
+              " the enhancement is re-applied before it drifts away)\n\n");
+
+  // ---- Ablation 2: minimum working model (Appendix A.1) -------------------
+  std::printf("ablation 2: minimum-working-model search (Appendix A.1)\n\n");
+  codec::CodecConfig ccfg;
+  ccfg.crf = 51;
+  const auto segments = split::variable_segments(*video);
+  const auto encoded = codec::Encoder(ccfg).encode(*video, segments);
+  const auto iframes = core::collect_iframe_pairs(*video, encoded, segments);
+  std::vector<sr::TrainSample> pairs;
+  for (const auto& seg : iframes)
+    for (const auto& p : seg.pairs) pairs.push_back(p);
+
+  const sr::EdsrConfig big{.n_filters = 16, .n_resblocks = 4, .scale = 1};
+  sr::TrainOptions opts;
+  opts.iterations = 250;
+  opts.patch_size = 24;
+  opts.batch_size = 4;
+  opts.lr = 3e-3;
+
+  // Train the big reference on the same I frames to get its quality bar
+  // (with a 4x larger budget — big models need it; the probes then ask how
+  // small a model can match the bar on a micro budget).
+  Rng rng(5);
+  sr::Edsr big_model(big, rng);
+  sr::TrainOptions big_opts = opts;
+  big_opts.iterations = 1000;
+  sr::train_sr_model(big_model, pairs, big_opts, rng);
+  const double big_psnr = sr::evaluate_psnr(big_model, pairs);
+  std::printf("big model %s: %.2f dB on the video's I frames\n\n",
+              sr::config_name(big).c_str(), big_psnr);
+
+  const sr::MinModelResult res = sr::find_minimum_working_model(
+      pairs, big, big_psnr, /*tolerance_db=*/0.5, opts, rng);
+  Table probes({"config", "size (MB)", "PSNR (dB)", "within tolerance"});
+  for (const auto& p : res.probes)
+    probes.add_row({sr::config_name(p.config), fmt(p.size_mb, 3),
+                    fmt(p.psnr_db, 2),
+                    p.psnr_db >= big_psnr - 0.5 ? "yes" : "no"});
+  std::printf("%s\n", probes.to_string().c_str());
+  std::printf("minimum working model: %s -> Eq. 3 allows K up to %d\n\n",
+              sr::config_name(res.config).c_str(),
+              sr::max_micro_models(big, res.config));
+
+  // ---- Ablation 3: classical deblocking vs neural enhancement -------------
+  // The in-loop deblocking filter is the traditional answer to CRF-51
+  // blockiness; how much of dcSR's gain could a loop filter get for free?
+  std::printf("ablation 3: classical loop filter vs dcSR (CRF 51)\n\n");
+  codec::CodecConfig dbcfg = ccfg;
+  dbcfg.intra_period = 10;
+  const auto plain = codec::Encoder(dbcfg).encode(*video, segments);
+  dbcfg.deblock = true;
+  const auto filtered = codec::Encoder(dbcfg).encode(*video, segments);
+
+  core::PlaybackOptions popts;
+  popts.ssim_stride = 1000;
+  const double low_psnr = core::play_low(plain, *video, popts).mean_psnr;
+  const double deblocked_psnr = core::play_low(filtered, *video, popts).mean_psnr;
+  Table db({"pipeline", "PSNR (dB)"});
+  db.add_row({"LOW (no filter)", fmt(low_psnr, 2)});
+  db.add_row({"LOW + in-loop deblocking", fmt(deblocked_psnr, 2)});
+  std::printf("%s", db.to_string().c_str());
+  std::printf("(compare with the dcSR rows of ablation 1: the neural micro\n"
+              " models sit on top of whatever the classical filter recovers)\n\n");
+
+  // ---- Ablation 4: NEMO-style anchors vs intra refresh ---------------------
+  // Both fight enhancement drift; refresh I frames cost *bits*, anchor
+  // inferences cost *compute*. Same video, no intra refresh, anchors at
+  // decreasing periods.
+  std::printf("ablation 4: anchor frames — drift control with compute, not bits\n\n");
+  core::ServerConfig acfg = quality_server_config();
+  acfg.codec.intra_period = 0;
+  acfg.k_max = 4;
+  acfg.training.iterations = 300;
+  const core::ServerResult aserver = core::run_server_pipeline(*video, acfg);
+  const double alow = core::play_low(aserver.encoded, *video, popts).mean_psnr;
+  Table at({"anchor period", "inferences", "dcSR PSNR", "gain vs LOW"});
+  for (const int period : {0, 15, 8, 4}) {
+    const auto r = core::play_dcsr_anchors(aserver.encoded, aserver.labels,
+                                           aserver.micro_models, *video, period,
+                                           popts);
+    at.add_row({period == 0 ? "I only" : std::to_string(period),
+                std::to_string(r.inferences), fmt(r.playback.mean_psnr, 2),
+                fmt(r.playback.mean_psnr - alow, 2)});
+  }
+  std::printf("%s", at.to_string().c_str());
+  std::printf("(video bytes identical in every row: %.1f KB)\n",
+              aserver.encoded.size_bytes() / 1e3);
+  return 0;
+}

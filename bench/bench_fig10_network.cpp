@@ -1,0 +1,137 @@
+// Figure 10: network usage, normalised against NAS, per evaluation video.
+// dcSR streams the same CRF-51 video but replaces the one big model download
+// with a handful of micro models fetched on demand (and cached per
+// Algorithm 1); the paper reports ~25% average savings.
+//
+// Two views are printed:
+//   1. Simulation scale — real byte counts from this repo's encoder and
+//      model serialiser. Our videos are 45 s at 96x64, so model bytes weigh
+//      more against video bytes than in the paper's 12-minute streams and
+//      the relative saving comes out larger.
+//   2. Sensitivity — dcSR's saving as a function of the video:big-model
+//      byte ratio, holding the measured model-download behaviour fixed.
+//      The paper's ~25% saving corresponds to the ratio of its testbed.
+//
+// Also prints the cache and split ablations (cache on/off, variable vs
+// fixed segmentation).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "cluster/global_kmeans.hpp"
+#include "cluster/silhouette.hpp"
+#include "features/extractor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace dcsr;
+using namespace dcsr::bench;
+
+namespace {
+
+// Clusters a video's segments exactly like the server pipeline but without
+// training any SR models (Fig. 10 needs labels and byte counts only).
+std::vector<int> cluster_labels(const VideoSource& video,
+                                const std::vector<codec::SegmentPlan>& segments,
+                                int k_max, Rng& rng) {
+  std::vector<FrameRGB> reps;
+  for (const auto& plan : segments) reps.push_back(video.frame(plan.first_frame));
+  features::Vae::Config vcfg{.input_size = 16, .latent_dim = 6,
+                             .base_channels = 4, .hidden = 48};
+  const auto vae = features::train_vae(
+      features::make_thumbnails(reps, vcfg.input_size), vcfg, 12, rng);
+  const auto feats = features::extract_features(*vae, reps);
+  const int k_cap = std::min<int>(k_max, static_cast<int>(feats.size()) - 1);
+  if (k_cap < 2) return std::vector<int>(segments.size(), 0);
+  const auto curve = cluster::silhouette_sweep(feats, k_cap);
+  const int k = 2 + static_cast<int>(argmax(curve));
+  return cluster::global_kmeans(feats, k).assignment;
+}
+
+}  // namespace
+
+int main() {
+  const auto videos = evaluation_videos();
+  codec::CodecConfig ccfg;
+  ccfg.crf = 51;
+  ccfg.intra_period = 10;
+
+  // Model sizes from the quality benches' configurations.
+  const core::ServerConfig scfg = quality_server_config();
+  const std::uint64_t big_bytes = sr::edsr_model_bytes(scfg.big);
+  const std::uint64_t micro_bytes = sr::edsr_model_bytes(scfg.micro);
+
+  Table t({"video", "genre", "video KB", "k", "NAS/NEMO", "dcSR",
+           "dcSR no-cache", "LOW"});
+  std::vector<double> dcsr_model_fractions;  // model bytes / big-model bytes
+  std::vector<double> savings_sim;
+
+  for (std::size_t v = 0; v < videos.size(); ++v) {
+    const auto& video = *videos[v];
+    const auto segments = split::variable_segments(video);
+    const auto encoded = codec::Encoder(ccfg).encode(video, segments);
+    Rng rng(40 + v);
+    const auto labels = cluster_labels(video, segments, 8, rng);
+    int k = 0;
+    for (const int l : labels) k = std::max(k, l + 1);
+
+    const auto dcsr_manifest = stream::make_manifest(
+        encoded, labels,
+        std::vector<std::uint64_t>(static_cast<std::size_t>(k), micro_bytes));
+    const auto nas_manifest = stream::make_single_model_manifest(encoded, big_bytes);
+
+    const auto r_dcsr = stream::simulate_session(dcsr_manifest);
+    stream::SessionConfig no_cache;
+    no_cache.enable_model_cache = false;
+    const auto r_dcsr_nc = stream::simulate_session(dcsr_manifest, no_cache);
+    const auto r_nas = stream::simulate_session(nas_manifest);
+
+    const double nas_total = static_cast<double>(r_nas.total_bytes());
+    savings_sim.push_back(1.0 - r_dcsr.total_bytes() / nas_total);
+    dcsr_model_fractions.push_back(static_cast<double>(r_dcsr.model_bytes) /
+                                   static_cast<double>(big_bytes));
+    t.add_row({std::to_string(v + 1), video.name(),
+               fmt(r_dcsr.video_bytes / 1e3, 1), std::to_string(k), "1.00",
+               fmt(r_dcsr.total_bytes() / nas_total, 2),
+               fmt(r_dcsr_nc.total_bytes() / nas_total, 2),
+               fmt(static_cast<double>(r_nas.video_bytes) / nas_total, 2)});
+  }
+
+  std::printf("Fig. 10 (simulation scale): network usage normalised to NAS\n\n%s\n",
+              t.to_string().c_str());
+  std::printf("mean dcSR saving vs NAS/NEMO at simulation scale: %.0f%%\n",
+              100.0 * mean(savings_sim));
+  std::printf("(our 45 s / 96x64 streams carry far fewer video bytes than the\n"
+              " paper's 12-minute videos, so the fixed model bytes weigh more)\n\n");
+
+  // ---- Sensitivity: saving vs video:model byte ratio ----------------------
+  // saving = (B - M) / (V + B) with B = big model, M = mean dcSR model
+  // download (measured above), V = video bytes expressed as a multiple of B.
+  const double m_frac = mean(dcsr_model_fractions);  // M / B, measured
+  std::printf("dcSR saving vs the video:big-model byte ratio (measured mean\n"
+              "model download = %.2f x big model):\n\n", m_frac);
+  Table sens({"video bytes / big model", "dcSR saving"});
+  for (const double ratio : {0.5, 1.0, 2.0, 3.0, 4.0, 8.0}) {
+    const double saving = (1.0 - m_frac) / (ratio + 1.0);
+    sens.add_row({fmt(ratio, 1) + "x", fmt(100.0 * saving, 0) + "%"});
+  }
+  std::printf("%s", sens.to_string().c_str());
+  std::printf("\n(the paper's ~25%% saving corresponds to video bytes ~2x the\n"
+              " big model — about right for a 12-min CRF-51 stream vs a 10+ MB\n"
+              " TensorFlow model)\n\n");
+
+  // ---- Split ablation: variable vs fixed segmentation ---------------------
+  std::printf("ablation: variable (shot-based) vs fixed 2s segmentation, video 1\n");
+  const auto& video = *videos[0];
+  const auto var_segments = split::variable_segments(video);
+  const auto fixed = split::fixed_segments(video.frame_count(),
+                                           static_cast<int>(2 * kFps));
+  const auto var_encoded = codec::Encoder(ccfg).encode(video, var_segments);
+  const auto fixed_encoded = codec::Encoder(ccfg).encode(video, fixed);
+  std::printf("  variable: %3zu segments, %8.1f KB video payload\n",
+              var_segments.size(), var_encoded.size_bytes() / 1e3);
+  std::printf("  fixed-2s: %3zu segments, %8.1f KB video payload\n",
+              fixed.size(), fixed_encoded.size_bytes() / 1e3);
+  std::printf("(more segments = more I frames = more bits for the same quality)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 12: inference rate on the laptop (GTX 1060) and desktop (RTX 2070)
+// at 4K, vs the number of inferences per segment. dcSR meets the 30 FPS bar
+// regardless of device and inference count; NEMO only under few inferences;
+// NAS never.
+
+#include <cstdio>
+
+#include "device/latency.hpp"
+#include "sr/model_zoo.hpp"
+#include "util/table.hpp"
+
+using namespace dcsr;
+using namespace dcsr::device;
+
+int main() {
+  constexpr int kSegFrames = 120;  // 4 s at 30 fps
+  const Resolution res = res_4k();
+
+  struct Method {
+    const char* name;
+    sr::EdsrConfig cfg;
+    bool every_frame;
+  };
+  const std::vector<Method> methods{
+      {"NAS", sr::big_model_config(), true},
+      {"NEMO", sr::big_model_config(), false},
+      {"dcSR-1", sr::dcsr1_config(), false},
+      {"dcSR-2", sr::dcsr2_config(), false},
+      {"dcSR-3", sr::dcsr3_config(), false},
+  };
+
+  for (const DeviceProfile& dev : {laptop_gtx1060(), desktop_rtx2070()}) {
+    std::printf("Fig. 12 (%s): 4K FPS vs inferences per segment "
+                "(* = >= 30 FPS)\n\n", dev.name.c_str());
+    Table t({"method", "n=2", "n=4", "n=6", "n=8", "n=10"});
+    for (const auto& m : methods) {
+      std::vector<std::string> row{m.name};
+      for (int n = 2; n <= 10; n += 2) {
+        const int inferences = m.every_frame ? kSegFrames : n;
+        const auto r = segment_fps(dev, m.cfg, res, kSegFrames, inferences);
+        row.push_back(r.oom ? "OOM" : fmt(r.fps, 1) + (r.fps >= 30.0 ? "*" : ""));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  std::printf("(paper: dcSR >= 30 FPS on both devices at every inference count;\n"
+              " NEMO only under few inferences; NAS far below the requirement)\n");
+  return 0;
+}

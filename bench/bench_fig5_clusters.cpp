@@ -1,0 +1,109 @@
+// Figure 5: "Optimal Number of Clusters" — silhouette coefficient over the
+// number of clusters K for one video's segment features, the curve dcSR
+// maximises (Eq. 2) to pick how many micro models to build. The paper's
+// 12-minute video peaks around K = 16.
+//
+// Also runs the two clustering ablations DESIGN.md calls out:
+//   - VAE latent features vs raw downsampled pixels
+//   - global K-means vs randomly-seeded Lloyd K-means
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "cluster/global_kmeans.hpp"
+#include "cluster/pca.hpp"
+#include "cluster/silhouette.hpp"
+#include "features/extractor.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace dcsr;
+using namespace dcsr::bench;
+
+int main() {
+  // A video scripted with 16 distinct recurring scenes across 64 shots —
+  // the structure (a long video whose scenes repeat) that makes the paper's
+  // silhouette curve peak at an interior K. Shots revisit scenes at varied
+  // time offsets, so recurrences are similar but not identical frames.
+  Rng scene_rng(4);
+  std::vector<SceneSpec> scenes;
+  for (int i = 0; i < 16; ++i) {
+    SceneSpec s = random_scene(scene_rng, 0.15f, 0.5f);
+    s.flicker = 0.0f;
+    scenes.push_back(s);
+  }
+  std::vector<Shot> shots;
+  for (int s = 0; s < 64; ++s) {
+    Shot shot;
+    shot.scene_id = s < 16 ? s : static_cast<int>(scene_rng.uniform_int(0, 15));
+    shot.frame_count = static_cast<int>(scene_rng.uniform_int(20, 40));
+    shot.scene_time_offset = scene_rng.uniform(0.0, 4.0);
+    shots.push_back(shot);
+  }
+  const SyntheticVideo video("fig5-16scenes", scenes, shots, kWidth, kHeight, kFps);
+
+  const auto segments = split::variable_segments(video);
+  std::printf("video: %.0f s, 16 scripted scenes, %zu segments from the shot "
+              "detector\n\n", video.duration_seconds(), segments.size());
+
+  // Segment representatives: the original frame at each segment start (the
+  // future I frame).
+  std::vector<FrameRGB> reps;
+  for (const auto& plan : segments) reps.push_back(video.frame(plan.first_frame));
+
+  // VAE features.
+  Rng rng(9);
+  features::Vae::Config vcfg{.input_size = 16, .latent_dim = 8,
+                             .base_channels = 4, .hidden = 48};
+  const auto vae =
+      features::train_vae(features::make_thumbnails(reps, vcfg.input_size), vcfg,
+                          30, rng);
+  const cluster::Dataset vae_feats = features::extract_features(*vae, reps);
+
+  const int k_max = std::min<int>(30, static_cast<int>(reps.size()) - 1);
+  const auto curve = cluster::silhouette_sweep(vae_feats, k_max);
+
+  std::printf("Fig. 5: silhouette coefficient vs number of clusters (VAE features)\n\n");
+  Table t({"k", "silhouette"});
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    t.add_row({std::to_string(i + 2), fmt(curve[i], 4)});
+  std::printf("%s", t.to_string().c_str());
+  const int best_k = 2 + static_cast<int>(argmax(curve));
+  std::printf("\noptimal K* = %d (silhouette %.4f)\n", best_k, max_of(curve));
+  std::printf("(paper: curve peaks around K = 16 on a 12-minute video)\n\n");
+
+  // ---- Ablation 1: VAE latents vs raw pixels vs PCA ------------------------
+  const cluster::Dataset raw_feats = features::raw_pixel_features(reps, 16);
+  const auto raw_curve = cluster::silhouette_sweep(raw_feats, k_max);
+  const cluster::Pca pca =
+      cluster::fit_pca(raw_feats, vcfg.latent_dim);  // same dim as the VAE
+  const cluster::Dataset pca_feats = cluster::pca_transform(pca, raw_feats);
+  const auto pca_curve = cluster::silhouette_sweep(pca_feats, k_max);
+  std::printf("ablation: feature space (silhouette at the VAE optimum K*=%d)\n", best_k);
+  std::printf("  VAE latents (%dd)  : %.4f\n", vcfg.latent_dim,
+              curve[static_cast<std::size_t>(best_k - 2)]);
+  std::printf("  PCA latents (%dd)  : %.4f\n", vcfg.latent_dim,
+              pca_curve[static_cast<std::size_t>(best_k - 2)]);
+  std::printf("  raw pixels (768d)  : %.4f\n\n",
+              raw_curve[static_cast<std::size_t>(best_k - 2)]);
+
+  // ---- Ablation 2: global K-means vs Lloyd --------------------------------
+  const auto global_result = cluster::global_kmeans(vae_feats, best_k);
+  Rng lloyd_rng(11);
+  double lloyd_best = 0.0, lloyd_worst = 0.0, lloyd_mean = 0.0;
+  constexpr int kRuns = 5;
+  for (int r = 0; r < kRuns; ++r) {
+    const auto c = cluster::kmeans(vae_feats, best_k, lloyd_rng, 100, /*n_init=*/1);
+    const double inertia = c.inertia;
+    lloyd_mean += inertia / kRuns;
+    if (r == 0 || inertia < lloyd_best) lloyd_best = inertia;
+    if (r == 0 || inertia > lloyd_worst) lloyd_worst = inertia;
+  }
+  std::printf("ablation: clustering algorithm (inertia at K*=%d, lower is better)\n",
+              best_k);
+  std::printf("  global K-means          : %.4f\n", global_result.inertia);
+  std::printf("  Lloyd (5 random seeds)  : best %.4f / mean %.4f / worst %.4f\n",
+              lloyd_best, lloyd_mean, lloyd_worst);
+  std::printf("(the paper adopts global K-means to avoid Lloyd's local optima)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 8(d): power consumption during 1080p playback on the Jetson Xavier
+// NX. dcSR shows short periodic spikes (one burst of micro-model inference
+// per segment); NEMO spikes longer (big model); NAS saturates the GPU and
+// draws a sustained high power. The paper reports dcSR saving 1.4x / 2.9x
+// energy vs NEMO / NAS on its testbed.
+
+#include <cstdio>
+
+#include "device/power.hpp"
+#include "sr/model_zoo.hpp"
+#include "util/table.hpp"
+
+using namespace dcsr;
+using namespace dcsr::device;
+
+int main() {
+  const DeviceProfile jetson = jetson_xavier_nx();
+  const Resolution res = res_1080p();
+  constexpr double kDuration = 800.0;  // the paper's Fig. 8(d) timeline
+
+  PowerConfig dcsr{.model = sr::dcsr1_config(), .resolution = res,
+                   .schedule = InferenceSchedule::kPerSegment,
+                   .segment_seconds = 4.0, .inferences_per_segment = 1};
+  PowerConfig nemo = dcsr;
+  nemo.model = sr::big_model_config();
+  PowerConfig nas{.model = sr::big_model_config(), .resolution = res,
+                  .schedule = InferenceSchedule::kEveryFrame};
+
+  const PowerTrace t_dcsr = simulate_power(jetson, dcsr, kDuration);
+  const PowerTrace t_nemo = simulate_power(jetson, nemo, kDuration);
+  const PowerTrace t_nas = simulate_power(jetson, nas, kDuration);
+
+  std::printf("Fig. 8(d): power during 1080p playback on %s "
+              "(1 Hz samples, shown every 20 s)\n\n", jetson.name.c_str());
+  Table timeline({"t (s)", "dcSR (W)", "NEMO (W)", "NAS (W)"});
+  for (std::size_t s = 0; s < t_dcsr.watts.size(); s += 20)
+    timeline.add_row({std::to_string(s), fmt(t_dcsr.watts[s], 2),
+                      fmt(t_nemo.watts[s], 2), fmt(t_nas.watts[s], 2)});
+  std::printf("%s\n", timeline.to_string().c_str());
+
+  Table summary({"method", "mean W", "peak W", "total J", "energy vs dcSR"});
+  auto add = [&](const char* name, const PowerTrace& t) {
+    summary.add_row({name, fmt(t.mean_watts, 2), fmt(t.peak_watts, 2),
+                     fmt(t.total_joules, 0),
+                     fmt(t.total_joules / t_dcsr.total_joules, 2) + "x"});
+  };
+  add("dcSR-1", t_dcsr);
+  add("NEMO", t_nemo);
+  add("NAS", t_nas);
+  std::printf("%s\n", summary.to_string().c_str());
+  std::printf("(paper: dcSR spikes stay under ~2 W; NAS sustains ~2.8 W; energy\n"
+              " ratios 1.4x NEMO / 2.9x NAS — at 1080p our modeled NEMO matches\n"
+              " NAS because the big model saturates the simulated Jetson GPU)\n\n");
+
+  // At 720p the big model's burst fits inside a segment, so NEMO sits
+  // between dcSR and NAS — the paper's energy ordering.
+  PowerConfig dcsr720 = dcsr, nemo720 = nemo, nas720 = nas;
+  dcsr720.resolution = nemo720.resolution = nas720.resolution = res_720p();
+  const PowerTrace t7_dcsr = simulate_power(jetson, dcsr720, kDuration);
+  const PowerTrace t7_nemo = simulate_power(jetson, nemo720, kDuration);
+  const PowerTrace t7_nas = simulate_power(jetson, nas720, kDuration);
+  Table summary720({"method (720p)", "mean W", "peak W", "total J", "energy vs dcSR"});
+  auto add720 = [&](const char* name, const PowerTrace& t) {
+    summary720.add_row({name, fmt(t.mean_watts, 2), fmt(t.peak_watts, 2),
+                        fmt(t.total_joules, 0),
+                        fmt(t.total_joules / t7_dcsr.total_joules, 2) + "x"});
+  };
+  add720("dcSR-1", t7_dcsr);
+  add720("NEMO", t7_nemo);
+  add720("NAS", t7_nas);
+  std::printf("%s", summary720.to_string().c_str());
+  return 0;
+}

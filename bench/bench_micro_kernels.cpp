@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark) of the hot kernels under everything
+// else: the 8x8 transform, the quantiser, GEMM, convolution, motion search,
+// whole-frame intra coding, and the quality metrics. Useful when tuning the
+// substrate — every figure bench's runtime is dominated by these.
+
+#include <benchmark/benchmark.h>
+
+#include "codec/bits.hpp"
+#include "codec/block_coder.hpp"
+#include "codec/dct.hpp"
+#include "codec/frame_coding.hpp"
+#include "codec/motion.hpp"
+#include "codec/quant.hpp"
+#include "image/convert.hpp"
+#include "image/metrics.hpp"
+#include "image/resize.hpp"
+#include "nn/conv.hpp"
+#include "sr/edsr.hpp"
+#include "tensor/ops.hpp"
+#include "video/genres.hpp"
+
+namespace dcsr {
+namespace {
+
+using codec::Block8;
+
+Block8 random_block(Rng& rng) {
+  Block8 b{};
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  return b;
+}
+
+void BM_Dct8x8(benchmark::State& state) {
+  Rng rng(1);
+  const Block8 b = random_block(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::dct8x8(b));
+}
+BENCHMARK(BM_Dct8x8);
+
+void BM_Idct8x8(benchmark::State& state) {
+  Rng rng(2);
+  const Block8 b = random_block(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(codec::idct8x8(b));
+}
+BENCHMARK(BM_Idct8x8);
+
+void BM_QuantizeBlock(benchmark::State& state) {
+  Rng rng(3);
+  const Block8 b = random_block(rng);
+  const codec::Quantizer q(28);
+  for (auto _ : state) benchmark::DoNotOptimize(q.quantize(b, true));
+}
+BENCHMARK(BM_QuantizeBlock);
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  Rng rng(5);
+  nn::Conv2d conv(c, c, 3, rng);
+  const Tensor x = Tensor::randn({1, c, 48, 48}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EdsrInference(benchmark::State& state) {
+  Rng rng(6);
+  sr::Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 1}, rng);
+  const Tensor x = Tensor::randn({1, 3, 64, 48}, rng, 0.2f);
+  for (auto _ : state) benchmark::DoNotOptimize(model.forward(x));
+}
+BENCHMARK(BM_EdsrInference);
+
+void BM_MotionSearch(benchmark::State& state) {
+  const auto video = make_genre_video(Genre::kSports, 7, 128, 80, 1.0, 30.0);
+  const FrameYUV a = rgb_to_yuv420(video->frame(0));
+  const FrameYUV b = rgb_to_yuv420(video->frame(5));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(codec::motion_search(b.y, a.y, 48, 32, 16, 8));
+}
+BENCHMARK(BM_MotionSearch);
+
+void BM_IntraFrameEncode(benchmark::State& state) {
+  const auto video = make_genre_video(Genre::kNews, 8, 96, 64, 1.0, 30.0);
+  const FrameYUV f = rgb_to_yuv420(video->frame(0));
+  const codec::Quantizer q(28);
+  for (auto _ : state) {
+    codec::BitWriter bw;
+    benchmark::DoNotOptimize(codec::encode_intra_frame(f, q, bw));
+  }
+}
+BENCHMARK(BM_IntraFrameEncode);
+
+void BM_Psnr(benchmark::State& state) {
+  const auto video = make_genre_video(Genre::kGaming, 9, 96, 64, 1.0, 30.0);
+  const FrameRGB a = video->frame(0);
+  const FrameRGB b = video->frame(3);
+  for (auto _ : state) benchmark::DoNotOptimize(psnr(a, b));
+}
+BENCHMARK(BM_Psnr);
+
+void BM_Ssim(benchmark::State& state) {
+  const auto video = make_genre_video(Genre::kGaming, 10, 96, 64, 1.0, 30.0);
+  const FrameRGB a = video->frame(0);
+  const FrameRGB b = video->frame(3);
+  for (auto _ : state) benchmark::DoNotOptimize(ssim(a, b));
+}
+BENCHMARK(BM_Ssim);
+
+void BM_ResizeBicubic(benchmark::State& state) {
+  Plane p(96, 64);
+  for (auto _ : state) benchmark::DoNotOptimize(resize_bicubic(p, 192, 128));
+}
+BENCHMARK(BM_ResizeBicubic);
+
+void BM_YuvRoundTrip(benchmark::State& state) {
+  const auto video = make_genre_video(Genre::kAnimation, 11, 96, 64, 1.0, 30.0);
+  const FrameRGB f = video->frame(0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(yuv420_to_rgb(rgb_to_yuv420(f)));
+}
+BENCHMARK(BM_YuvRoundTrip);
+
+}  // namespace
+}  // namespace dcsr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table 1: "Model Size (MB) Over Different Model Configurations"
+// (n_f: # of filters, n_RB: # of ResBlocks).
+//
+// The paper's absolute sizes include TensorFlow graph overhead; ours are the
+// raw serialised-weight sizes, so values are smaller but grow the same way:
+// linearly in n_RB, quadratically in n_f for the body. The paper marks the
+// per-video minimum working configs green and the big model (64f cell) red;
+// here the dcSR-1/2/3 cells and the big-model cell are flagged in the notes.
+
+#include <cstdio>
+
+#include "sr/model_zoo.hpp"
+#include "util/table.hpp"
+
+using namespace dcsr;
+
+int main() {
+  std::printf("Table 1: model size (MB) over (n_f x n_RB); scale x1 models\n\n");
+
+  std::vector<std::string> header{"n_f \\ n_RB"};
+  for (const int rb : sr::table1_resblock_axis())
+    header.push_back(std::to_string(rb));
+  Table table(header);
+
+  for (const int f : sr::table1_filter_axis()) {
+    std::vector<std::string> row{std::to_string(f)};
+    for (const int rb : sr::table1_resblock_axis())
+      row.push_back(fmt(sr::model_size_mb({.n_filters = f, .n_resblocks = rb}), 3));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("notes:\n");
+  std::printf("  dcSR-1 = 16f x 4rb  -> %.3f MB\n", sr::model_size_mb(sr::dcsr1_config()));
+  std::printf("  dcSR-2 = 16f x 12rb -> %.3f MB\n", sr::model_size_mb(sr::dcsr2_config()));
+  std::printf("  dcSR-3 = 16f x 16rb -> %.3f MB\n", sr::model_size_mb(sr::dcsr3_config()));
+  std::printf("  big    = 64f x 16rb -> %.3f MB (the paper's red cell)\n",
+              sr::model_size_mb(sr::big_model_config()));
+  std::printf("  size ratio big/dcSR-1 = %.1fx -> Eq. 3 allows up to %d micro models\n",
+              sr::model_size_mb(sr::big_model_config()) /
+                  sr::model_size_mb(sr::dcsr1_config()),
+              static_cast<int>(sr::edsr_model_bytes(sr::big_model_config()) /
+                               sr::edsr_model_bytes(sr::dcsr1_config())));
+  return 0;
+}

@@ -1,0 +1,64 @@
+#pragma once
+
+// Shared setup for the experiment-reproduction benches: the six-genre video
+// suite standing in for the paper's "6 representative videos from different
+// genres from YouTube" (§4), and the standard model/training configurations
+// used across figures. Sizes are scaled down from the paper's testbed (12-min
+// 720p-4K videos, GPU training) to what a CPU-only reproduction can run in
+// minutes; EXPERIMENTS.md documents the scaling.
+
+#include <memory>
+#include <vector>
+
+#include "core/dcsr.hpp"
+
+namespace dcsr::bench {
+
+/// Simulation scale for quality experiments.
+inline constexpr int kWidth = 96;
+inline constexpr int kHeight = 64;
+inline constexpr double kFps = 10.0;
+inline constexpr double kDurationSeconds = 45.0;
+
+/// The six evaluation videos (index 1..6 in the paper's Figs. 9-10).
+inline std::vector<std::unique_ptr<SyntheticVideo>> evaluation_videos(
+    double duration_seconds = kDurationSeconds) {
+  std::vector<std::unique_ptr<SyntheticVideo>> out;
+  int seed = 100;
+  for (const Genre g : all_genres())
+    out.push_back(make_genre_video(g, static_cast<std::uint64_t>(seed++), kWidth,
+                                   kHeight, duration_seconds, kFps));
+  return out;
+}
+
+/// Server configuration for the quality benches: micro models sized like the
+/// paper's dcSR configurations (16 filters) but shallower, training budgets
+/// chosen for CPU minutes.
+inline core::ServerConfig quality_server_config() {
+  core::ServerConfig cfg;
+  cfg.codec.crf = 51;
+  cfg.codec.intra_period = 10;
+  cfg.vae = {.input_size = 16, .latent_dim = 6, .base_channels = 4, .hidden = 48};
+  cfg.vae_epochs = 12;
+  cfg.micro = {.n_filters = 8, .n_resblocks = 2, .scale = 1};
+  cfg.big = {.n_filters = 16, .n_resblocks = 4, .scale = 1};
+  cfg.k_max = 8;
+  cfg.training = {.iterations = 500, .patch_size = 24, .batch_size = 4, .lr = 3e-3};
+  cfg.seed = 1;
+  return cfg;
+}
+
+/// Matching big-model (NAS/NEMO) training configuration. The big model gets
+/// ~3.6x the optimisation steps of a micro model AND a ~6x larger network,
+/// yet must serve the whole video — the generalisation burden of §2.2.
+inline core::BaselineConfig quality_baseline_config() {
+  core::BaselineConfig cfg;
+  cfg.big = quality_server_config().big;
+  cfg.training_frames = 24;
+  cfg.training = {.iterations = 1800, .patch_size = 24, .batch_size = 4, .lr = 3e-3};
+  cfg.seed = 7;
+  return cfg;
+}
+
+
+}  // namespace dcsr::bench

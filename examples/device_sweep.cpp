@@ -1,0 +1,75 @@
+// Device sweep: where does each SR method run in real time, and what does it
+// cost in power? Walks the analytic device models (Jetson / laptop /
+// desktop) across resolutions and model configurations — the planning view
+// a deployment engineer would want before shipping dcSR to a device class.
+
+#include <cstdio>
+
+#include "core/dcsr.hpp"
+#include "util/table.hpp"
+
+using namespace dcsr;
+using namespace dcsr::device;
+
+int main() {
+  const std::vector<DeviceProfile> devices{jetson_xavier_nx(), laptop_gtx1060(),
+                                           desktop_rtx2070()};
+  const std::vector<Resolution> resolutions{res_720p(), res_1080p(), res_4k()};
+
+  struct Method {
+    const char* name;
+    sr::EdsrConfig cfg;
+    int inferences;  // per 120-frame segment; -1 = every frame (NAS)
+  };
+  const std::vector<Method> methods{
+      {"dcSR-1", sr::dcsr1_config(), 1},
+      {"dcSR-3", sr::dcsr3_config(), 1},
+      {"NEMO (big, I only)", sr::big_model_config(), 1},
+      {"NAS (big, all)", sr::big_model_config(), -1},
+  };
+  constexpr int kSegFrames = 120;  // 4 s at 30 fps
+
+  std::printf("== playback throughput (FPS over a 4 s segment; * = meets 30 FPS) ==\n\n");
+  for (const auto& dev : devices) {
+    std::printf("-- %s --\n", dev.name.c_str());
+    Table t({"method", "720p", "1080p", "4K"});
+    for (const auto& m : methods) {
+      std::vector<std::string> row{m.name};
+      for (const auto& res : resolutions) {
+        const int n = m.inferences < 0 ? kSegFrames : m.inferences;
+        const auto fps = segment_fps(dev, m.cfg, res, kSegFrames, n);
+        row.push_back(fps.oom ? "OOM"
+                              : fmt(fps.fps, 1) + (fps.fps >= 30.0 ? "*" : ""));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  std::printf("== model memory at 4K (activation + weights vs device budget) ==\n\n");
+  Table mem({"model", "fits jetson", "fits laptop", "fits desktop"});
+  for (const auto& m : methods) {
+    mem.add_row({sr::config_name(m.cfg),
+                 fits_memory(devices[0], m.cfg, res_4k()) ? "yes" : "no",
+                 fits_memory(devices[1], m.cfg, res_4k()) ? "yes" : "no",
+                 fits_memory(devices[2], m.cfg, res_4k()) ? "yes" : "no"});
+  }
+  std::printf("%s\n", mem.to_string().c_str());
+
+  std::printf("== energy for 5 minutes of 1080p playback on the Jetson ==\n\n");
+  const DeviceProfile jetson = jetson_xavier_nx();
+  Table energy({"method", "mean W", "peak W", "total J"});
+  for (const auto& m : methods) {
+    PowerConfig pc;
+    pc.model = m.cfg;
+    pc.resolution = res_1080p();
+    pc.schedule = m.inferences < 0 ? InferenceSchedule::kEveryFrame
+                                   : InferenceSchedule::kPerSegment;
+    pc.inferences_per_segment = std::max(1, m.inferences);
+    const PowerTrace trace = simulate_power(jetson, pc, 300.0);
+    energy.add_row({m.name, fmt(trace.mean_watts, 2), fmt(trace.peak_watts, 2),
+                    fmt(trace.total_joules, 0)});
+  }
+  std::printf("%s", energy.to_string().c_str());
+  return 0;
+}

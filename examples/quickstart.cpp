@@ -1,0 +1,67 @@
+// Quickstart: the whole dcSR story on one synthetic video, end to end.
+//
+//   1. Server side: split the video at scene changes, encode it at CRF 51,
+//      embed each segment's I frame with a VAE, cluster segments with global
+//      K-means, train one micro EDSR model per cluster.
+//   2. Client side: stream the segments, fetch micro models through the
+//      Algorithm-1 cache, and decode with in-loop I-frame enhancement.
+//   3. Compare quality and bandwidth against the degraded LOW stream.
+//
+// Runs in about a minute on a laptop-class CPU.
+
+#include <cstdio>
+
+#include "core/dcsr.hpp"
+#include "util/table.hpp"
+
+using namespace dcsr;
+
+int main() {
+  // A ~40-second "news" video: near-static studio scenes that recur, the
+  // content profile dcSR benefits from most.
+  const auto video = make_genre_video(Genre::kNews, /*seed=*/5,
+                                      /*width=*/96, /*height=*/64,
+                                      /*duration_seconds=*/60.0, /*fps=*/10.0);
+  std::printf("video: %s, %dx%d, %d frames @ %.0f fps\n\n",
+              video->name().c_str(), video->width(), video->height(),
+              video->frame_count(), video->fps());
+
+  // ---- Server side -----------------------------------------------------
+  core::ServerConfig cfg;
+  cfg.vae = {.input_size = 16, .latent_dim = 6, .base_channels = 4, .hidden = 48};
+  cfg.vae_epochs = 15;
+  cfg.micro = {.n_filters = 8, .n_resblocks = 2, .scale = 1};
+  cfg.k_max = 6;
+  cfg.training = {.iterations = 400, .patch_size = 24, .batch_size = 4, .lr = 3e-3};
+
+  std::printf("running server pipeline (split / encode / cluster / train)...\n");
+  const core::ServerResult server = core::run_server_pipeline(*video, cfg);
+  std::printf("  segments: %zu   clusters (micro models): %d\n",
+              server.segments.size(), server.k);
+  std::printf("  encoded video: %.1f KB   each micro model: %.1f KB\n\n",
+              server.encoded.size_bytes() / 1e3, server.micro_model_bytes / 1e3);
+
+  // ---- Client side: streaming with the model cache ----------------------
+  const stream::Manifest manifest = server.manifest();
+  const stream::SessionResult session = stream::simulate_session(manifest);
+  std::printf("streaming session: %d model downloads, %d cache hits\n",
+              session.model_downloads, session.cache_hits);
+  std::printf("  bytes on the wire: video %.1f KB + models %.1f KB\n\n",
+              session.video_bytes / 1e3, session.model_bytes / 1e3);
+
+  // ---- Client side: decode + enhance, and compare to LOW ----------------
+  std::printf("decoding with in-loop micro-model enhancement...\n");
+  const core::PlaybackResult low = core::play_low(server.encoded, *video);
+  const core::PlaybackResult dcsr =
+      core::play_dcsr(server.encoded, server.labels, server.micro_models, *video);
+
+  Table table({"method", "PSNR (dB)", "SSIM", "bytes (KB)"});
+  table.add_row({"LOW (no SR)", fmt(low.mean_psnr, 2), fmt(low.mean_ssim, 4),
+                 fmt(server.encoded.size_bytes() / 1e3, 1)});
+  table.add_row({"dcSR", fmt(dcsr.mean_psnr, 2), fmt(dcsr.mean_ssim, 4),
+                 fmt(session.total_bytes() / 1e3, 1)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("dcSR gain over LOW: %+.2f dB PSNR\n",
+              dcsr.mean_psnr - low.mean_psnr);
+  return 0;
+}

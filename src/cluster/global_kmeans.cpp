@@ -1,0 +1,93 @@
+#include "cluster/global_kmeans.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dcsr::cluster {
+
+namespace {
+
+Point dataset_mean(const Dataset& data) {
+  Point mean(data[0].size(), 0.0f);
+  for (const auto& p : data)
+    for (std::size_t d = 0; d < p.size(); ++d) mean[d] += p[d];
+  for (auto& v : mean) v /= static_cast<float>(data.size());
+  return mean;
+}
+
+// Distances from every point to its nearest centroid in `clustering`.
+std::vector<double> nearest_sq_dist(const Dataset& data, const Clustering& c) {
+  std::vector<double> d(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    d[i] = sq_distance(data[i], c.centroids[static_cast<std::size_t>(c.assignment[i])]);
+  return d;
+}
+
+// Extends a (k-1)-solution by one centroid placed at data[candidate] and
+// refines with Lloyd.
+Clustering extend(const Dataset& data, const Clustering& prev,
+                  std::size_t candidate, int max_iter) {
+  Dataset centroids = prev.centroids;
+  centroids.push_back(data[candidate]);
+  return lloyd(data, std::move(centroids), max_iter);
+}
+
+Clustering step_fast(const Dataset& data, const Clustering& prev, int max_iter) {
+  const std::vector<double> d2 = nearest_sq_dist(data, prev);
+  // Fast variant: pick the candidate with the largest guaranteed reduction.
+  double best_b = -1.0;
+  std::size_t best_n = 0;
+  for (std::size_t n = 0; n < data.size(); ++n) {
+    double b = 0.0;
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      const double gain = d2[j] - sq_distance(data[n], data[j]);
+      if (gain > 0.0) b += gain;
+    }
+    if (b > best_b) {
+      best_b = b;
+      best_n = n;
+    }
+  }
+  return extend(data, prev, best_n, max_iter);
+}
+
+Clustering step_exhaustive(const Dataset& data, const Clustering& prev,
+                           int max_iter) {
+  Clustering best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (std::size_t n = 0; n < data.size(); ++n) {
+    Clustering c = extend(data, prev, n, max_iter);
+    if (c.inertia < best.inertia) best = std::move(c);
+  }
+  return best;
+}
+
+Clustering one_cluster(const Dataset& data) {
+  return lloyd(data, {dataset_mean(data)}, 1);
+}
+
+}  // namespace
+
+Clustering global_kmeans(const Dataset& data, int k, int max_iter, bool exhaustive) {
+  if (data.empty() || k <= 0 || static_cast<std::size_t>(k) > data.size())
+    throw std::invalid_argument("global_kmeans: need 1 <= k <= n points");
+  Clustering current = one_cluster(data);
+  for (int kk = 2; kk <= k; ++kk)
+    current = exhaustive ? step_exhaustive(data, current, max_iter)
+                         : step_fast(data, current, max_iter);
+  return current;
+}
+
+std::vector<Clustering> global_kmeans_sweep(const Dataset& data, int k_max,
+                                            int max_iter) {
+  if (data.empty() || k_max <= 0 || static_cast<std::size_t>(k_max) > data.size())
+    throw std::invalid_argument("global_kmeans_sweep: need 1 <= k_max <= n");
+  std::vector<Clustering> out;
+  out.reserve(static_cast<std::size_t>(k_max));
+  out.push_back(one_cluster(data));
+  for (int kk = 2; kk <= k_max; ++kk)
+    out.push_back(step_fast(data, out.back(), max_iter));
+  return out;
+}
+
+}  // namespace dcsr::cluster

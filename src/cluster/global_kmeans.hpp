@@ -1,0 +1,27 @@
+#pragma once
+
+#include "cluster/kmeans.hpp"
+
+namespace dcsr::cluster {
+
+/// Global K-means (Likas, Vlassis & Verbeek, Pattern Recognition 2003) — the
+/// deterministic, incremental algorithm the paper uses "to land on the
+/// global optimum" of the segment-clustering problem (§3.1.2).
+///
+/// The solution for k clusters is built from the solution for k-1: the new
+/// centroid is tried at candidate data points, Lloyd refinement runs from
+/// each start, and the best final inertia wins. `exhaustive` tries every
+/// data point (the original algorithm); the default is the authors' "fast"
+/// variant, which ranks candidates by the guaranteed inertia reduction bound
+///   b_n = sum_j max(d^{k-1}(x_j)^2 - ||x_n - x_j||^2, 0)
+/// and runs Lloyd only from the best-ranked candidate.
+Clustering global_kmeans(const Dataset& data, int k, int max_iter = 100,
+                         bool exhaustive = false);
+
+/// Runs global K-means for every k in [1, k_max], reusing the incremental
+/// structure; returns one Clustering per k (index 0 -> k=1). Used by the
+/// silhouette sweep that picks the optimal number of micro models.
+std::vector<Clustering> global_kmeans_sweep(const Dataset& data, int k_max,
+                                            int max_iter = 100);
+
+}  // namespace dcsr::cluster

@@ -1,0 +1,122 @@
+#include "cluster/kmeans.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dcsr::cluster {
+
+double sq_distance(const Point& a, const Point& b) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+Clustering lloyd(const Dataset& data, Dataset centroids, int max_iter) {
+  const auto n = data.size();
+  const auto k = centroids.size();
+  if (n == 0 || k == 0 || k > n)
+    throw std::invalid_argument("lloyd: need 1 <= k <= n points");
+  const auto dim = data[0].size();
+
+  Clustering result;
+  result.assignment.assign(n, -1);
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance(data[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step. Empty clusters keep their previous centroid (they can be
+    // re-captured on the next assignment pass).
+    Dataset sums(k, Point(dim, 0.0f));
+    std::vector<int> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += data[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t d = 0; d < dim; ++d)
+        centroids[c][d] = sums[c][d] / static_cast<float>(counts[c]);
+    }
+  }
+
+  result.centroids = std::move(centroids);
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    result.inertia +=
+        sq_distance(data[i], result.centroids[static_cast<std::size_t>(result.assignment[i])]);
+  return result;
+}
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, subsequent proportional to the
+// squared distance from the nearest chosen centroid.
+Dataset seed_pp(const Dataset& data, int k, Rng& rng) {
+  Dataset centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  centroids.push_back(
+      data[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1))]);
+  std::vector<double> d2(data.size());
+  while (centroids.size() < static_cast<std::size_t>(k)) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centroids) best = std::min(best, sq_distance(data[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; any point works.
+      centroids.push_back(data[centroids.size() % data.size()]);
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t pick = data.size() - 1;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(data[pick]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Clustering kmeans(const Dataset& data, int k, Rng& rng, int max_iter, int n_init) {
+  if (data.empty() || k <= 0 || static_cast<std::size_t>(k) > data.size())
+    throw std::invalid_argument("kmeans: need 1 <= k <= n points");
+  Clustering best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int init = 0; init < n_init; ++init) {
+    Clustering c = lloyd(data, seed_pp(data, k, rng), max_iter);
+    if (c.inertia < best.inertia) best = std::move(c);
+  }
+  return best;
+}
+
+}  // namespace dcsr::cluster

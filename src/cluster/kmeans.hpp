@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dcsr::cluster {
+
+/// A dataset is N points of equal dimension.
+using Point = std::vector<float>;
+using Dataset = std::vector<Point>;
+
+/// Result of a clustering run.
+struct Clustering {
+  std::vector<int> assignment;  // N entries, cluster id in [0, k)
+  Dataset centroids;            // k centroids
+  double inertia = 0.0;         // sum of squared distances to assigned centroid
+
+  int k() const noexcept { return static_cast<int>(centroids.size()); }
+};
+
+/// Squared Euclidean distance.
+double sq_distance(const Point& a, const Point& b) noexcept;
+
+/// Lloyd's K-means with k-means++ seeding, best of `n_init` restarts.
+/// This is the "original K-means" the paper contrasts against — it can land
+/// in local optima, which the GlobalKMeans ablation quantifies.
+Clustering kmeans(const Dataset& data, int k, Rng& rng, int max_iter = 100,
+                  int n_init = 4);
+
+/// One Lloyd refinement from explicit initial centroids (used by both
+/// kmeans() and global_kmeans()).
+Clustering lloyd(const Dataset& data, Dataset centroids, int max_iter);
+
+}  // namespace dcsr::cluster

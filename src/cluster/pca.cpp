@@ -1,0 +1,105 @@
+#include "cluster/pca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dcsr::cluster {
+
+namespace {
+
+double dot(const Point& a, const Point& b) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  return acc;
+}
+
+void normalize(Point& v) noexcept {
+  const double n = std::sqrt(dot(v, v));
+  if (n > 1e-12)
+    for (auto& x : v) x = static_cast<float>(x / n);
+}
+
+}  // namespace
+
+Pca fit_pca(const Dataset& data, int k, int power_iters) {
+  if (data.size() < 2) throw std::invalid_argument("fit_pca: need >= 2 samples");
+  const auto dim = data[0].size();
+  if (k <= 0 || static_cast<std::size_t>(k) > dim)
+    throw std::invalid_argument("fit_pca: need 1 <= k <= dim");
+
+  Pca pca;
+  pca.mean.assign(dim, 0.0f);
+  for (const auto& p : data)
+    for (std::size_t d = 0; d < dim; ++d) pca.mean[d] += p[d];
+  for (auto& m : pca.mean) m /= static_cast<float>(data.size());
+
+  // Centred copy.
+  Dataset centred = data;
+  for (auto& p : centred)
+    for (std::size_t d = 0; d < dim; ++d) p[d] -= pca.mean[d];
+
+  Rng rng(0x9c0ffee);
+  for (int c = 0; c < k; ++c) {
+    // Power iteration on the (implicit) covariance: v <- X^T (X v) / n.
+    Point v(dim);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    normalize(v);
+    double lambda = 0.0;
+    for (int it = 0; it < power_iters; ++it) {
+      Point next(dim, 0.0f);
+      for (const auto& p : centred) {
+        const double proj = dot(p, v);
+        for (std::size_t d = 0; d < dim; ++d)
+          next[d] += static_cast<float>(proj * p[d]);
+      }
+      for (auto& x : next) x /= static_cast<float>(centred.size());
+      lambda = std::sqrt(dot(next, next));
+      normalize(next);
+      v = std::move(next);
+    }
+    pca.eigenvalues.push_back(lambda);
+    pca.components.push_back(v);
+
+    // Deflate: remove this component from every sample.
+    for (auto& p : centred) {
+      const double proj = dot(p, v);
+      for (std::size_t d = 0; d < dim; ++d)
+        p[d] -= static_cast<float>(proj * v[d]);
+    }
+  }
+  return pca;
+}
+
+Dataset pca_transform(const Pca& pca, const Dataset& data) {
+  Dataset out;
+  out.reserve(data.size());
+  for (const auto& p : data) {
+    Point centred = p;
+    for (std::size_t d = 0; d < centred.size(); ++d) centred[d] -= pca.mean[d];
+    Point proj(static_cast<std::size_t>(pca.k()));
+    for (int c = 0; c < pca.k(); ++c)
+      proj[static_cast<std::size_t>(c)] =
+          static_cast<float>(dot(centred, pca.components[static_cast<std::size_t>(c)]));
+    out.push_back(std::move(proj));
+  }
+  return out;
+}
+
+Dataset pca_inverse(const Pca& pca, const Dataset& projected) {
+  Dataset out;
+  out.reserve(projected.size());
+  for (const auto& z : projected) {
+    Point p = pca.mean;
+    for (int c = 0; c < pca.k(); ++c)
+      for (std::size_t d = 0; d < p.size(); ++d)
+        p[d] += z[static_cast<std::size_t>(c)] *
+                pca.components[static_cast<std::size_t>(c)][d];
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace dcsr::cluster

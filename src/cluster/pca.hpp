@@ -1,0 +1,31 @@
+#pragma once
+
+#include "cluster/kmeans.hpp"
+
+namespace dcsr::cluster {
+
+/// Principal component analysis fitted by power iteration with deflation —
+/// the classical linear baseline for the VAE feature extractor (§3.1.1's
+/// design choice). Exact eigensolvers are unnecessary at feature dims of a
+/// few hundred; power iteration converges in tens of products.
+struct Pca {
+  Point mean;                        // feature-wise mean of the fit data
+  Dataset components;                // k orthonormal rows, descending variance
+  std::vector<double> eigenvalues;   // variance captured per component
+
+  int dim() const noexcept { return mean.empty() ? 0 : static_cast<int>(mean.size()); }
+  int k() const noexcept { return static_cast<int>(components.size()); }
+};
+
+/// Fits k principal components of the dataset. Requires k <= dim and at
+/// least 2 samples.
+Pca fit_pca(const Dataset& data, int k, int power_iters = 100);
+
+/// Projects points onto the fitted components (centred): output has k dims.
+Dataset pca_transform(const Pca& pca, const Dataset& data);
+
+/// Reconstruction from the projection back to the original space (for
+/// measuring captured variance).
+Dataset pca_inverse(const Pca& pca, const Dataset& projected);
+
+}  // namespace dcsr::cluster

@@ -1,0 +1,57 @@
+#include "cluster/silhouette.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "cluster/global_kmeans.hpp"
+
+namespace dcsr::cluster {
+
+double silhouette(const Dataset& data, const std::vector<int>& assignment) {
+  const auto n = data.size();
+  if (n == 0 || assignment.size() != n)
+    throw std::invalid_argument("silhouette: bad inputs");
+  int k = 0;
+  for (const int a : assignment) k = std::max(k, a + 1);
+  if (k < 2) return 0.0;  // silhouette undefined for a single cluster
+
+  std::vector<int> counts(static_cast<std::size_t>(k), 0);
+  for (const int a : assignment) ++counts[static_cast<std::size_t>(a)];
+
+  double total = 0.0;
+  std::vector<double> mean_dist(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mean distance from point i to every cluster.
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      mean_dist[static_cast<std::size_t>(assignment[j])] +=
+          std::sqrt(sq_distance(data[i], data[j]));
+    }
+    const auto own = static_cast<std::size_t>(assignment[i]);
+    if (counts[own] <= 1) continue;  // singleton contributes 0
+
+    double a = mean_dist[own] / static_cast<double>(counts[own] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+      if (c == own || counts[c] == 0) continue;
+      b = std::min(b, mean_dist[c] / static_cast<double>(counts[c]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+std::vector<double> silhouette_sweep(const Dataset& data, int k_max, int max_iter) {
+  const auto sweep = global_kmeans_sweep(data, k_max, max_iter);
+  std::vector<double> out;
+  out.reserve(sweep.size() - 1);
+  for (std::size_t i = 1; i < sweep.size(); ++i)  // skip k=1
+    out.push_back(silhouette(data, sweep[i].assignment));
+  return out;
+}
+
+}  // namespace dcsr::cluster

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "cluster/kmeans.hpp"
+
+namespace dcsr::cluster {
+
+/// Mean silhouette coefficient (Rousseeuw 1987) of a clustering: for each
+/// point, s = (b - a) / max(a, b) with a = mean intra-cluster distance and
+/// b = smallest mean distance to another cluster. Points in singleton
+/// clusters contribute 0. Result lies in [-1, 1]; the paper picks the K that
+/// maximises this (Eq. 2), subject to the model-size bound (Eq. 3).
+double silhouette(const Dataset& data, const std::vector<int>& assignment);
+
+/// Sweeps k in [2, k_max] with global K-means and returns the silhouette at
+/// each k (index 0 -> k=2). Reproduces the curve of the paper's Fig. 5.
+std::vector<double> silhouette_sweep(const Dataset& data, int k_max,
+                                     int max_iter = 100);
+
+}  // namespace dcsr::cluster

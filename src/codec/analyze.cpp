@@ -1,0 +1,57 @@
+#include "codec/analyze.hpp"
+
+namespace dcsr::codec {
+
+namespace {
+double safe_div(double a, double b) noexcept { return b == 0.0 ? 0.0 : a / b; }
+}  // namespace
+
+double StreamStats::i_byte_share() const noexcept {
+  return safe_div(static_cast<double>(i_bytes), static_cast<double>(total_bytes()));
+}
+double StreamStats::mean_i_bytes() const noexcept {
+  return safe_div(static_cast<double>(i_bytes), i_frames);
+}
+double StreamStats::mean_p_bytes() const noexcept {
+  return safe_div(static_cast<double>(p_bytes), p_frames);
+}
+double StreamStats::mean_b_bytes() const noexcept {
+  return safe_div(static_cast<double>(b_bytes), b_frames);
+}
+
+StreamStats analyze(const EncodedSegment& segment) noexcept {
+  StreamStats s;
+  for (const auto& f : segment.frames) {
+    switch (f.type) {
+      case FrameType::kI:
+        ++s.i_frames;
+        s.i_bytes += f.size_bytes();
+        break;
+      case FrameType::kP:
+        ++s.p_frames;
+        s.p_bytes += f.size_bytes();
+        break;
+      case FrameType::kB:
+        ++s.b_frames;
+        s.b_bytes += f.size_bytes();
+        break;
+    }
+  }
+  return s;
+}
+
+StreamStats analyze(const EncodedVideo& video) noexcept {
+  StreamStats total;
+  for (const auto& seg : video.segments) {
+    const StreamStats s = analyze(seg);
+    total.i_frames += s.i_frames;
+    total.p_frames += s.p_frames;
+    total.b_frames += s.b_frames;
+    total.i_bytes += s.i_bytes;
+    total.p_bytes += s.p_bytes;
+    total.b_bytes += s.b_bytes;
+  }
+  return total;
+}
+
+}  // namespace dcsr::codec

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "codec/types.hpp"
+
+namespace dcsr::codec {
+
+/// Aggregate statistics of an encoded stream — the quantitative form of the
+/// paper's premise that "P and B frames ... consume much lower bitrate,
+/// while I frames have a higher bitrate" (§3.1.1).
+struct StreamStats {
+  int i_frames = 0, p_frames = 0, b_frames = 0;
+  std::uint64_t i_bytes = 0, p_bytes = 0, b_bytes = 0;
+
+  int frame_count() const noexcept { return i_frames + p_frames + b_frames; }
+  std::uint64_t total_bytes() const noexcept { return i_bytes + p_bytes + b_bytes; }
+
+  /// Fraction of the stream's bytes spent on I frames.
+  double i_byte_share() const noexcept;
+
+  /// Mean encoded size per frame of each type (bytes).
+  double mean_i_bytes() const noexcept;
+  double mean_p_bytes() const noexcept;
+  double mean_b_bytes() const noexcept;
+};
+
+StreamStats analyze(const EncodedVideo& video) noexcept;
+StreamStats analyze(const EncodedSegment& segment) noexcept;
+
+}  // namespace dcsr::codec

@@ -1,0 +1,76 @@
+#include "codec/bits.hpp"
+
+namespace dcsr::codec {
+
+void BitWriter::put_bit(bool b) {
+  cur_ = static_cast<std::uint8_t>((cur_ << 1) | (b ? 1 : 0));
+  if (++cur_bits_ == 8) {
+    buf_.push_back(cur_);
+    cur_ = 0;
+    cur_bits_ = 0;
+  }
+  ++bits_;
+}
+
+void BitWriter::put_bits(std::uint32_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) put_bit((value >> i) & 1u);
+}
+
+void BitWriter::put_ue(std::uint32_t v) {
+  // code number v -> (leading zeros) 1 (info bits); codeword length 2k+1
+  // where k = floor(log2(v+1)).
+  const std::uint32_t code = v + 1;
+  int len = 0;
+  for (std::uint32_t c = code; c > 1; c >>= 1) ++len;
+  for (int i = 0; i < len; ++i) put_bit(false);
+  put_bits(code, len + 1);
+}
+
+void BitWriter::put_se(std::int32_t v) {
+  const std::uint32_t mapped =
+      v > 0 ? static_cast<std::uint32_t>(2 * v - 1)
+            : static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(v));
+  put_ue(mapped);
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (cur_bits_ > 0) {
+    cur_ = static_cast<std::uint8_t>(cur_ << (8 - cur_bits_));
+    buf_.push_back(cur_);
+    cur_ = 0;
+    cur_bits_ = 0;
+  }
+  return std::move(buf_);
+}
+
+bool BitReader::get_bit() {
+  const std::size_t byte = pos_ >> 3;
+  if (byte >= buf_.size()) throw std::out_of_range("BitReader: over-read");
+  const int shift = 7 - static_cast<int>(pos_ & 7);
+  ++pos_;
+  return (buf_[byte] >> shift) & 1;
+}
+
+std::uint32_t BitReader::get_bits(int count) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < count; ++i) v = (v << 1) | (get_bit() ? 1u : 0u);
+  return v;
+}
+
+std::uint32_t BitReader::get_ue() {
+  int zeros = 0;
+  while (!get_bit()) {
+    if (++zeros > 32) throw std::out_of_range("BitReader: bad ue code");
+  }
+  std::uint32_t info = 0;
+  for (int i = 0; i < zeros; ++i) info = (info << 1) | (get_bit() ? 1u : 0u);
+  return (1u << zeros) - 1 + info;
+}
+
+std::int32_t BitReader::get_se() {
+  const std::uint32_t v = get_ue();
+  const auto half = static_cast<std::int32_t>((v + 1) / 2);
+  return (v & 1) ? half : -half;
+}
+
+}  // namespace dcsr::codec

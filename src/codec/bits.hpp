@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace dcsr::codec {
+
+/// MSB-first bit writer backing the entropy coder.
+class BitWriter {
+ public:
+  void put_bit(bool b);
+  void put_bits(std::uint32_t value, int count);  // MSB of `count` bits first
+
+  /// Unsigned exp-Golomb code (H.264 ue(v)).
+  void put_ue(std::uint32_t v);
+
+  /// Signed exp-Golomb (H.264 se(v)): 1 -> 1, -1 -> 2, 2 -> 3, ...
+  void put_se(std::int32_t v);
+
+  /// Pads the final partial byte with zero bits and returns the buffer.
+  std::vector<std::uint8_t> finish();
+
+  std::size_t bit_count() const noexcept { return bits_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint8_t cur_ = 0;
+  int cur_bits_ = 0;
+  std::size_t bits_ = 0;
+};
+
+/// Matching MSB-first bit reader; throws on over-read so a truncated or
+/// corrupt payload fails decode loudly.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : buf_(bytes) {}
+
+  bool get_bit();
+  std::uint32_t get_bits(int count);
+  std::uint32_t get_ue();
+  std::int32_t get_se();
+
+  std::size_t bits_consumed() const noexcept { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;  // bit position
+};
+
+}  // namespace dcsr::codec

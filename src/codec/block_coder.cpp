@@ -1,0 +1,83 @@
+#include "codec/block_coder.hpp"
+
+namespace dcsr::codec {
+
+namespace {
+// EOB marker: a run value no real (run, level) pair can produce.
+constexpr std::uint32_t kEob = 64;
+}  // namespace
+
+Block8 extract_block(const Plane& p, int bx, int by) noexcept {
+  Block8 b{};
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      b[static_cast<std::size_t>(y * 8 + x)] = p.at_clamped(bx + x, by + y);
+  return b;
+}
+
+void store_block(Plane& p, int bx, int by, const Block8& b) noexcept {
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      const int px = bx + x, py = by + y;
+      if (px < p.width() && py < p.height())
+        p.at(px, py) = b[static_cast<std::size_t>(y * 8 + x)];
+    }
+}
+
+Levels8 forward_block(const Block8& spatial, const Quantizer& q, bool intra) noexcept {
+  return q.quantize(dct8x8(spatial), intra);
+}
+
+Block8 reconstruct_block(const Levels8& levels, const Quantizer& q, bool intra) noexcept {
+  return idct8x8(q.dequantize(levels, intra));
+}
+
+bool all_zero(const Levels8& levels) noexcept {
+  for (const auto v : levels)
+    if (v != 0) return false;
+  return true;
+}
+
+void write_levels(BitWriter& bw, const Levels8& levels, std::int32_t* dc_pred) {
+  int start = 0;
+  if (dc_pred != nullptr) {
+    const std::int32_t dc = levels[0];
+    bw.put_se(dc - *dc_pred);
+    *dc_pred = dc;
+    start = 1;
+  }
+  std::uint32_t run = 0;
+  for (int i = start; i < 64; ++i) {
+    const std::int32_t level = levels[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(i)])];
+    if (level == 0) {
+      ++run;
+      continue;
+    }
+    bw.put_ue(run);
+    bw.put_se(level);
+    run = 0;
+  }
+  bw.put_ue(kEob);
+}
+
+Levels8 read_levels(BitReader& br, std::int32_t* dc_pred) {
+  Levels8 levels{};
+  int pos = 0;
+  if (dc_pred != nullptr) {
+    const std::int32_t dc = *dc_pred + br.get_se();
+    levels[0] = dc;
+    *dc_pred = dc;
+    pos = 1;
+  }
+  while (true) {
+    const std::uint32_t run = br.get_ue();
+    if (run >= kEob) break;
+    pos += static_cast<int>(run);
+    if (pos >= 64) throw std::out_of_range("read_levels: run past block end");
+    levels[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(pos)])] = br.get_se();
+    ++pos;
+  }
+  return levels;
+}
+
+}  // namespace dcsr::codec

@@ -1,0 +1,127 @@
+#include "codec/container.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace dcsr::codec {
+
+namespace {
+
+// Bumped whenever the layout changes (v2 added per-segment CRF and the
+// loop-filter flag); old-version files fail at the magic check with a clear
+// error instead of a confusing CRC mismatch downstream.
+constexpr std::uint32_t kMagic = 0x64635632;  // "dcV2"
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept {
+  static const std::array<std::uint32_t, 256> kTable = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = kTable[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+void write_container(const EncodedVideo& video, ByteWriter& out) {
+  ByteWriter body;
+  body.write_u32(kMagic);
+  body.write_u32(static_cast<std::uint32_t>(video.width));
+  body.write_u32(static_cast<std::uint32_t>(video.height));
+  body.write_f64(video.fps);
+  body.write_u32(static_cast<std::uint32_t>(video.crf));
+  body.write_u8(video.deblock ? 1 : 0);
+  body.write_u32(static_cast<std::uint32_t>(video.segments.size()));
+  for (const auto& seg : video.segments) {
+    body.write_u32(static_cast<std::uint32_t>(seg.first_frame));
+    body.write_i32(seg.crf);
+    body.write_u32(static_cast<std::uint32_t>(seg.frames.size()));
+    for (const auto& f : seg.frames) {
+      body.write_u8(static_cast<std::uint8_t>(f.type));
+      body.write_u32(static_cast<std::uint32_t>(f.display_index));
+      body.write_u32(static_cast<std::uint32_t>(f.payload.size()));
+      for (const auto b : f.payload) body.write_u8(b);
+    }
+  }
+  const auto& bytes = body.bytes();
+  const std::uint32_t crc = crc32(bytes.data(), bytes.size());
+  for (const auto b : bytes) out.write_u8(b);
+  out.write_u32(crc);
+}
+
+EncodedVideo read_container(ByteReader& in) {
+  // The CRC covers everything except itself; recompute while consuming.
+  // ByteReader has no random access, so re-serialise the parsed body and
+  // verify — simpler than two-phase reads and still O(n).
+  const std::uint32_t magic = in.read_u32();
+  if (magic == 0x64635631)
+    throw std::invalid_argument(
+        "read_container: v1 container (this build reads v2; re-encode)");
+  if (magic != kMagic)
+    throw std::invalid_argument("read_container: bad magic");
+
+  EncodedVideo video;
+  video.width = static_cast<int>(in.read_u32());
+  video.height = static_cast<int>(in.read_u32());
+  video.fps = in.read_f64();
+  video.crf = static_cast<int>(in.read_u32());
+  video.deblock = in.read_u8() != 0;
+  if (video.width <= 0 || video.height <= 0 || video.width > 16384 ||
+      video.height > 16384)
+    throw std::invalid_argument("read_container: implausible dimensions");
+
+  const std::uint32_t n_segments = in.read_u32();
+  if (n_segments > 1u << 20)
+    throw std::invalid_argument("read_container: implausible segment count");
+  video.segments.reserve(n_segments);
+  for (std::uint32_t s = 0; s < n_segments; ++s) {
+    EncodedSegment seg;
+    seg.first_frame = static_cast<int>(in.read_u32());
+    seg.crf = in.read_i32();
+    if (seg.crf < -1 || seg.crf > 51)
+      throw std::invalid_argument("read_container: bad segment crf");
+    const std::uint32_t n_frames = in.read_u32();
+    if (n_frames > 1u << 20)
+      throw std::invalid_argument("read_container: implausible frame count");
+    seg.frames.reserve(n_frames);
+    for (std::uint32_t f = 0; f < n_frames; ++f) {
+      EncodedFrame frame;
+      const std::uint8_t type = in.read_u8();
+      if (type > 2) throw std::invalid_argument("read_container: bad frame type");
+      frame.type = static_cast<FrameType>(type);
+      frame.display_index = static_cast<int>(in.read_u32());
+      const std::uint32_t size = in.read_u32();
+      if (size > in.remaining())
+        throw std::invalid_argument("read_container: truncated payload");
+      frame.payload.resize(size);
+      for (auto& b : frame.payload) b = in.read_u8();
+      seg.frames.push_back(std::move(frame));
+    }
+    video.segments.push_back(std::move(seg));
+  }
+
+  const std::uint32_t stored_crc = in.read_u32();
+  // write_container appends its own CRC; re-serialise the parsed stream and
+  // compare the recomputed CRC at its tail against the stored one.
+  ByteWriter check;
+  write_container(video, check);
+  const std::vector<std::uint8_t>& re = check.bytes();
+  std::uint32_t recomputed = 0;
+  for (int i = 0; i < 4; ++i)
+    recomputed |= static_cast<std::uint32_t>(re[re.size() - 4 + static_cast<std::size_t>(i)])
+                  << (8 * i);
+  if (recomputed != stored_crc)
+    throw std::invalid_argument("read_container: CRC mismatch");
+  return video;
+}
+
+}  // namespace dcsr::codec

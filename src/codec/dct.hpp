@@ -1,0 +1,21 @@
+#pragma once
+
+#include <array>
+
+namespace dcsr::codec {
+
+/// 8x8 block of transform coefficients / samples, row-major.
+using Block8 = std::array<float, 64>;
+
+/// Orthonormal 8x8 DCT-II (forward). Input samples, output coefficients with
+/// DC at index 0.
+Block8 dct8x8(const Block8& samples) noexcept;
+
+/// Inverse of dct8x8.
+Block8 idct8x8(const Block8& coeffs) noexcept;
+
+/// Zig-zag scan order for an 8x8 block (JPEG/H.264 order): index i of the
+/// scan maps to raster position kZigzag[i].
+extern const std::array<int, 64> kZigzag;
+
+}  // namespace dcsr::codec

@@ -1,0 +1,66 @@
+#include "codec/deblock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcsr::codec {
+
+namespace {
+
+// Filters one edge pair (p1 p0 | q0 q1). Returns true if filtered.
+inline void filter_edge(float& p1, float& p0, float& q0, float& q1,
+                        float beta, float clip) noexcept {
+  const float step = q0 - p0;
+  if (std::abs(step) >= beta) return;          // real edge: leave it
+  if (std::abs(p1 - p0) >= beta || std::abs(q1 - q0) >= beta) return;
+  // Quarter-step correction toward each other, clipped.
+  const float delta = std::clamp(step * 0.25f, -clip, clip);
+  p0 = std::clamp(p0 + delta, 0.0f, 1.0f);
+  q0 = std::clamp(q0 - delta, 0.0f, 1.0f);
+  // Gentler touch on the second-row samples.
+  const float delta2 = delta * 0.5f;
+  p1 = std::clamp(p1 + delta2, 0.0f, 1.0f);
+  q1 = std::clamp(q1 - delta2, 0.0f, 1.0f);
+}
+
+}  // namespace
+
+void deblock_plane(Plane& p, int block, float qstep) noexcept {
+  // Thresholds scale with the quantiser: stronger quantisation leaves bigger
+  // legitimate discontinuities at block edges.
+  const float beta = 4.0f * qstep;
+  const float clip = 2.0f * qstep;
+
+  // Vertical edges (filter across x = block, 2*block, ...).
+  for (int x = block; x < p.width(); x += block) {
+    for (int y = 0; y < p.height(); ++y) {
+      float p1 = p.at_clamped(x - 2, y), p0 = p.at(x - 1, y);
+      float q0 = p.at(x, y), q1 = p.at_clamped(x + 1, y);
+      filter_edge(p1, p0, q0, q1, beta, clip);
+      if (x - 2 >= 0) p.at(x - 2, y) = p1;
+      p.at(x - 1, y) = p0;
+      p.at(x, y) = q0;
+      if (x + 1 < p.width()) p.at(x + 1, y) = q1;
+    }
+  }
+  // Horizontal edges.
+  for (int y = block; y < p.height(); y += block) {
+    for (int x = 0; x < p.width(); ++x) {
+      float p1 = p.at_clamped(x, y - 2), p0 = p.at(x, y - 1);
+      float q0 = p.at(x, y), q1 = p.at_clamped(x, y + 1);
+      filter_edge(p1, p0, q0, q1, beta, clip);
+      if (y - 2 >= 0) p.at(x, y - 2) = p1;
+      p.at(x, y - 1) = p0;
+      p.at(x, y) = q0;
+      if (y + 1 < p.height()) p.at(x, y + 1) = q1;
+    }
+  }
+}
+
+void deblock_frame(FrameYUV& f, float qstep) noexcept {
+  deblock_plane(f.y, 8, qstep);
+  deblock_plane(f.u, 8, qstep);
+  deblock_plane(f.v, 8, qstep);
+}
+
+}  // namespace dcsr::codec

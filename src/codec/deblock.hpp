@@ -1,0 +1,21 @@
+#pragma once
+
+#include "image/frame.hpp"
+
+namespace dcsr::codec {
+
+/// Simple in-loop deblocking filter in the spirit of H.264's: smooths 8x8
+/// transform-block edges whose discontinuity is small enough to be a coding
+/// artifact (|p0 - q0| < beta ~ quantiser step) while leaving real content
+/// edges alone. Applied identically by the encoder's closed loop and the
+/// decoder when CodecConfig::deblock is set, so prediction stays drift-free.
+///
+/// This is the *classical* remedy for the CRF-51 blockiness that dcSR's
+/// micro models attack neurally — which makes "LOW + deblocking" the obvious
+/// traditional baseline for the ablation bench.
+void deblock_plane(Plane& p, int block, float qstep) noexcept;
+
+/// Filters luma on the 8-grid and chroma on its own 8-grid.
+void deblock_frame(FrameYUV& f, float qstep) noexcept;
+
+}  // namespace dcsr::codec

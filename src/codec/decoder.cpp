@@ -1,0 +1,73 @@
+#include "codec/decoder.hpp"
+
+#include <stdexcept>
+
+#include "codec/bits.hpp"
+#include "codec/deblock.hpp"
+#include "codec/frame_coding.hpp"
+#include "codec/quant.hpp"
+
+namespace dcsr::codec {
+
+Decoder::Decoder(int width, int height, int crf)
+    : width_(width), height_(height), crf_(crf) {}
+
+std::vector<FrameYUV> Decoder::decode_segment(const EncodedSegment& seg) {
+  const Quantizer q(seg.crf >= 0 ? seg.crf : crf_);
+  std::vector<FrameYUV> display(seg.frames.size());
+  FrameYUV past_ref, last_ref;
+  bool has_ref = false;
+
+  for (const auto& ef : seg.frames) {
+    BitReader br(ef.payload);
+    FrameYUV frame;
+    switch (ef.type) {
+      case FrameType::kI:
+        frame = decode_intra_frame(width_, height_, q, br);
+        if (deblock_) deblock_frame(frame, q.base_step());
+        // The dcSR integration point: enhance the I frame in the DPB before
+        // any dependent frame is decoded.
+        if (hook_) hook_(frame, FrameType::kI, seg.first_frame + ef.display_index);
+        past_ref = std::move(last_ref);
+        last_ref = frame;
+        has_ref = true;
+        break;
+      case FrameType::kP:
+        if (!has_ref) throw std::invalid_argument("decode: P frame before any reference");
+        frame = decode_p_frame(last_ref, q, br);
+        if (deblock_) deblock_frame(frame, q.base_step());
+        // Optional anchor-frame enhancement: the P reconstruction becomes a
+        // reference too, so enhancing it here propagates exactly like an
+        // enhanced I frame.
+        if (hook_ && hook_p_frames_)
+          hook_(frame, FrameType::kP, seg.first_frame + ef.display_index);
+        past_ref = std::move(last_ref);
+        last_ref = frame;
+        break;
+      case FrameType::kB:
+        if (past_ref.empty())
+          throw std::invalid_argument("decode: B frame without two references");
+        frame = decode_b_frame(past_ref, last_ref, q, br);
+        if (deblock_) deblock_frame(frame, q.base_step());
+        break;
+    }
+    if (ef.display_index < 0 ||
+        static_cast<std::size_t>(ef.display_index) >= display.size())
+      throw std::invalid_argument("decode: bad display index");
+    display[static_cast<std::size_t>(ef.display_index)] = std::move(frame);
+  }
+  return display;
+}
+
+std::vector<FrameYUV> Decoder::decode_video(const EncodedVideo& video) {
+  deblock_ = video.deblock;
+  std::vector<FrameYUV> out;
+  out.reserve(static_cast<std::size_t>(video.frame_count()));
+  for (const auto& seg : video.segments) {
+    auto frames = decode_segment(seg);
+    for (auto& f : frames) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace dcsr::codec

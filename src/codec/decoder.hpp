@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "codec/types.hpp"
+#include "image/frame.hpp"
+
+namespace dcsr::codec {
+
+/// Called on every I frame right after reconstruction, while it sits in the
+/// decoded picture buffer and *before* any P/B frame references it — the
+/// exact integration point of client-side dcSR (Fig. 6 of the paper). The
+/// callee may modify the frame in place (e.g. convert YUV->RGB, run the
+/// micro SR model, convert back); subsequent P/B frames then inherit the
+/// enhancement through motion-compensated prediction.
+using ReferenceHook =
+    std::function<void(FrameYUV& frame, FrameType type, int display_index)>;
+
+/// Standalone decoder with a two-slot reference buffer (past + most recent),
+/// enough for the I/P/B structures this codec emits.
+class Decoder {
+ public:
+  Decoder(int width, int height, int crf);
+
+  /// Installs the in-loop enhancement hook (may be empty). With
+  /// `include_p_frames`, the hook also fires on P-frame reconstructions
+  /// before they become references — NEMO-style anchor frames: the callee
+  /// decides per frame (by type/index) whether to spend an inference.
+  void set_reference_hook(ReferenceHook hook, bool include_p_frames = false) {
+    hook_ = std::move(hook);
+    hook_p_frames_ = include_p_frames;
+  }
+
+  /// Enables the in-loop deblocking filter; must match the encoder's
+  /// setting (decode_video() picks it up from the stream automatically).
+  void set_deblock(bool on) noexcept { deblock_ = on; }
+
+  /// Decodes one segment; returns frames in display order.
+  std::vector<FrameYUV> decode_segment(const EncodedSegment& seg);
+
+  /// Decodes a whole video; returns frames in display order.
+  std::vector<FrameYUV> decode_video(const EncodedVideo& video);
+
+ private:
+  int width_, height_, crf_;
+  bool deblock_ = false;
+  bool hook_p_frames_ = false;
+  ReferenceHook hook_;
+};
+
+}  // namespace dcsr::codec

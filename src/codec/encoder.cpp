@@ -1,0 +1,110 @@
+#include "codec/encoder.hpp"
+
+#include <stdexcept>
+
+#include "codec/deblock.hpp"
+#include "codec/frame_coding.hpp"
+#include "codec/quant.hpp"
+#include "image/convert.hpp"
+
+namespace dcsr::codec {
+
+EncodedSegment Encoder::encode_segment(const std::vector<FrameYUV>& frames,
+                                       int first_frame) const {
+  if (frames.empty())
+    throw std::invalid_argument("encode_segment: empty segment");
+  const int L = static_cast<int>(frames.size());
+  const Quantizer q(cfg_.crf);
+
+  // Display-order frame types. Segment always opens with I; extra I frames
+  // at intra_period; optionally alternate B between references. A segment
+  // never ends on a B (it would dangle without a future reference).
+  std::vector<FrameType> types(static_cast<std::size_t>(L), FrameType::kP);
+  types[0] = FrameType::kI;
+  for (int d = 1; d < L; ++d) {
+    if (cfg_.intra_period > 0 && d % cfg_.intra_period == 0) {
+      types[static_cast<std::size_t>(d)] = FrameType::kI;
+    } else if (cfg_.use_b_frames && (d & 1) && d != L - 1 &&
+               !(cfg_.intra_period > 0 && (d + 1) % cfg_.intra_period == 0)) {
+      types[static_cast<std::size_t>(d)] = FrameType::kB;
+    }
+  }
+
+  EncodedSegment seg;
+  seg.first_frame = first_frame;
+  seg.crf = cfg_.crf;
+
+  FrameYUV prev_ref;  // reconstruction of the previous reference, display order
+  std::vector<int> pending_b;
+
+  auto emit = [&](int d, FrameType type, const FrameYUV* past,
+                  const FrameYUV* future) -> FrameYUV {
+    BitWriter bw;
+    FrameYUV recon;
+    switch (type) {
+      case FrameType::kI:
+        recon = encode_intra_frame(frames[static_cast<std::size_t>(d)], q, bw);
+        break;
+      case FrameType::kP:
+        recon = encode_p_frame(frames[static_cast<std::size_t>(d)], *past, q,
+                               cfg_.search_range, bw);
+        break;
+      case FrameType::kB:
+        recon = encode_b_frame(frames[static_cast<std::size_t>(d)], *past,
+                               *future, q, cfg_.search_range, bw);
+        break;
+    }
+    EncodedFrame ef;
+    ef.type = type;
+    ef.display_index = d;
+    ef.payload = bw.finish();
+    seg.frames.push_back(std::move(ef));
+    // Closed loop: references are the *filtered* reconstruction, exactly
+    // what the decoder will hold.
+    if (cfg_.deblock) deblock_frame(recon, q.base_step());
+    return recon;
+  };
+
+  for (int d = 0; d < L; ++d) {
+    const FrameType type = types[static_cast<std::size_t>(d)];
+    if (type == FrameType::kB) {
+      pending_b.push_back(d);
+      continue;
+    }
+    // Reference frame: encode it, then any B frames waiting between the
+    // previous reference and this one.
+    FrameYUV recon = emit(d, type, &prev_ref, nullptr);
+    for (const int b : pending_b) emit(b, FrameType::kB, &prev_ref, &recon);
+    pending_b.clear();
+    prev_ref = std::move(recon);
+  }
+  return seg;
+}
+
+EncodedVideo Encoder::encode(const VideoSource& video,
+                             const std::vector<SegmentPlan>& segments) const {
+  EncodedVideo out;
+  out.width = video.width();
+  out.height = video.height();
+  out.fps = video.fps();
+  out.crf = cfg_.crf;
+  out.deblock = cfg_.deblock;
+
+  int expected = 0;
+  for (const auto& plan : segments) {
+    if (plan.first_frame != expected || plan.frame_count <= 0)
+      throw std::invalid_argument("encode: segments must be contiguous");
+    expected = plan.first_frame + plan.frame_count;
+
+    std::vector<FrameYUV> frames;
+    frames.reserve(static_cast<std::size_t>(plan.frame_count));
+    for (int i = 0; i < plan.frame_count; ++i)
+      frames.push_back(rgb_to_yuv420(video.frame(plan.first_frame + i)));
+    out.segments.push_back(encode_segment(frames, plan.first_frame));
+  }
+  if (expected != video.frame_count())
+    throw std::invalid_argument("encode: segments must cover the whole video");
+  return out;
+}
+
+}  // namespace dcsr::codec

@@ -1,0 +1,453 @@
+#include "codec/frame_coding.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "codec/block_coder.hpp"
+#include "codec/motion.hpp"
+
+namespace dcsr::codec {
+
+namespace {
+
+void require_mb_aligned(const FrameYUV& f) {
+  if (f.width() % 16 != 0 || f.height() % 16 != 0)
+    throw std::invalid_argument("codec: frame dimensions must be multiples of 16");
+}
+
+// Chroma motion vector: the luma half-pel MV halved (chroma planes are half
+// resolution, so this keeps half-pel units in the chroma domain). Arithmetic
+// shift gives consistent floor semantics between encoder and decoder.
+MotionVector chroma_mv(MotionVector mv) noexcept {
+  return {mv.x >> 1, mv.y >> 1};
+}
+
+// ---- Intra ----------------------------------------------------------------
+//
+// Spatial intra prediction per 8x8 block, H.264-style: DC (mean of the
+// reconstructed neighbours), vertical (copy the row above), or horizontal
+// (copy the column to the left). The encoder picks the SAD-minimising
+// available mode and signals it in 2 bits; the residual goes through the
+// usual transform path.
+
+enum class IntraMode : std::uint8_t { kDc = 0, kVertical = 1, kHorizontal = 2 };
+
+Block8 predict_intra(const Plane& recon, int bx, int by, IntraMode mode) {
+  Block8 pred{};
+  const bool top = by > 0;
+  const bool left = bx > 0;
+  switch (mode) {
+    case IntraMode::kDc: {
+      float acc = 0.0f;
+      int n = 0;
+      if (top)
+        for (int x = 0; x < 8; ++x) {
+          acc += recon.at(bx + x, by - 1);
+          ++n;
+        }
+      if (left)
+        for (int y = 0; y < 8; ++y) {
+          acc += recon.at(bx - 1, by + y);
+          ++n;
+        }
+      const float dc = n > 0 ? acc / static_cast<float>(n) : 0.5f;
+      for (auto& v : pred) v = dc;
+      break;
+    }
+    case IntraMode::kVertical:
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          pred[static_cast<std::size_t>(y * 8 + x)] = recon.at(bx + x, by - 1);
+      break;
+    case IntraMode::kHorizontal:
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          pred[static_cast<std::size_t>(y * 8 + x)] = recon.at(bx - 1, by + y);
+      break;
+  }
+  return pred;
+}
+
+void encode_plane_intra(const Plane& src, Plane& recon, const Quantizer& q,
+                        BitWriter& bw) {
+  for (int by = 0; by < src.height(); by += 8) {
+    for (int bx = 0; bx < src.width(); bx += 8) {
+      const Block8 block = extract_block(src, bx, by);
+
+      // Pick the best available prediction mode by SAD.
+      IntraMode best_mode = IntraMode::kDc;
+      Block8 best_pred = predict_intra(recon, bx, by, IntraMode::kDc);
+      float best_sad = 0.0f;
+      for (int i = 0; i < 64; ++i)
+        best_sad += std::abs(block[static_cast<std::size_t>(i)] - best_pred[static_cast<std::size_t>(i)]);
+      auto consider = [&](IntraMode mode) {
+        const Block8 pred = predict_intra(recon, bx, by, mode);
+        float sad = 0.0f;
+        for (int i = 0; i < 64; ++i)
+          sad += std::abs(block[static_cast<std::size_t>(i)] - pred[static_cast<std::size_t>(i)]);
+        if (sad < best_sad) {
+          best_sad = sad;
+          best_mode = mode;
+          best_pred = pred;
+        }
+      };
+      if (by > 0) consider(IntraMode::kVertical);
+      if (bx > 0) consider(IntraMode::kHorizontal);
+
+      Block8 residual = block;
+      for (int i = 0; i < 64; ++i) residual[static_cast<std::size_t>(i)] -= best_pred[static_cast<std::size_t>(i)];
+      const Levels8 levels = forward_block(residual, q, /*intra=*/true);
+
+      bw.put_bits(static_cast<std::uint32_t>(best_mode), 2);
+      write_levels(bw, levels, nullptr);
+
+      Block8 rec = reconstruct_block(levels, q, /*intra=*/true);
+      for (int i = 0; i < 64; ++i) {
+        rec[static_cast<std::size_t>(i)] += best_pred[static_cast<std::size_t>(i)];
+        rec[static_cast<std::size_t>(i)] = std::clamp(rec[static_cast<std::size_t>(i)], 0.0f, 1.0f);
+      }
+      store_block(recon, bx, by, rec);
+    }
+  }
+}
+
+void decode_plane_intra(Plane& out, const Quantizer& q, BitReader& br) {
+  for (int by = 0; by < out.height(); by += 8) {
+    for (int bx = 0; bx < out.width(); bx += 8) {
+      const auto mode = static_cast<IntraMode>(br.get_bits(2));
+      const Block8 pred = predict_intra(out, bx, by, mode);
+      const Levels8 levels = read_levels(br, nullptr);
+      Block8 rec = reconstruct_block(levels, q, /*intra=*/true);
+      for (int i = 0; i < 64; ++i) {
+        rec[static_cast<std::size_t>(i)] += pred[static_cast<std::size_t>(i)];
+        rec[static_cast<std::size_t>(i)] = std::clamp(rec[static_cast<std::size_t>(i)], 0.0f, 1.0f);
+      }
+      store_block(out, bx, by, rec);
+    }
+  }
+}
+
+// ---- Inter macroblock helpers ----------------------------------------------
+
+// The six 8x8 blocks of one macroblock: 4 luma + U + V.
+struct MbLevels {
+  std::array<Levels8, 6> blocks;
+
+  bool all_zero() const noexcept {
+    for (const auto& b : blocks)
+      if (!codec::all_zero(b)) return false;
+    return true;
+  }
+};
+
+struct MbPred {
+  Block8 luma[4];  // (0,0) (8,0) (0,8) (8,8) offsets within the MB
+  Block8 u, v;
+};
+
+constexpr int kLumaOff[4][2] = {{0, 0}, {8, 0}, {0, 8}, {8, 8}};
+
+// Builds the motion-compensated prediction of one MB from a single
+// reference. `mv` is in half-pel units.
+MbPred predict_mb(const FrameYUV& ref, int mbx, int mby, MotionVector mv) {
+  MbPred p;
+  for (int i = 0; i < 4; ++i) {
+    const int bx = mbx + kLumaOff[i][0], by = mby + kLumaOff[i][1];
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x)
+        p.luma[i][static_cast<std::size_t>(y * 8 + x)] =
+            sample_halfpel(ref.y, 2 * (bx + x) + mv.x, 2 * (by + y) + mv.y);
+  }
+  const MotionVector cmv = chroma_mv(mv);
+  const int cx = mbx / 2, cy = mby / 2;
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      p.u[static_cast<std::size_t>(y * 8 + x)] =
+          sample_halfpel(ref.u, 2 * (cx + x) + cmv.x, 2 * (cy + y) + cmv.y);
+      p.v[static_cast<std::size_t>(y * 8 + x)] =
+          sample_halfpel(ref.v, 2 * (cx + x) + cmv.x, 2 * (cy + y) + cmv.y);
+    }
+  return p;
+}
+
+// Averages two single-reference predictions (bidirectional mode).
+MbPred average_pred(const MbPred& a, const MbPred& b) {
+  MbPred p;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 64; ++j)
+      p.luma[i][static_cast<std::size_t>(j)] =
+          0.5f * (a.luma[i][static_cast<std::size_t>(j)] + b.luma[i][static_cast<std::size_t>(j)]);
+  for (int j = 0; j < 64; ++j) {
+    p.u[static_cast<std::size_t>(j)] = 0.5f * (a.u[static_cast<std::size_t>(j)] + b.u[static_cast<std::size_t>(j)]);
+    p.v[static_cast<std::size_t>(j)] = 0.5f * (a.v[static_cast<std::size_t>(j)] + b.v[static_cast<std::size_t>(j)]);
+  }
+  return p;
+}
+
+// Quantises the residual (src - pred) of a whole MB.
+MbLevels quantize_mb(const FrameYUV& src, const MbPred& pred, int mbx, int mby,
+                     const Quantizer& q) {
+  MbLevels out;
+  for (int i = 0; i < 4; ++i) {
+    const int bx = mbx + kLumaOff[i][0], by = mby + kLumaOff[i][1];
+    Block8 res = extract_block(src.y, bx, by);
+    for (int j = 0; j < 64; ++j) res[static_cast<std::size_t>(j)] -= pred.luma[i][static_cast<std::size_t>(j)];
+    out.blocks[static_cast<std::size_t>(i)] = forward_block(res, q, /*intra=*/false);
+  }
+  const int cx = mbx / 2, cy = mby / 2;
+  Block8 res_u = extract_block(src.u, cx, cy);
+  Block8 res_v = extract_block(src.v, cx, cy);
+  for (int j = 0; j < 64; ++j) {
+    res_u[static_cast<std::size_t>(j)] -= pred.u[static_cast<std::size_t>(j)];
+    res_v[static_cast<std::size_t>(j)] -= pred.v[static_cast<std::size_t>(j)];
+  }
+  out.blocks[4] = forward_block(res_u, q, false);
+  out.blocks[5] = forward_block(res_v, q, false);
+  return out;
+}
+
+void write_mb_levels(BitWriter& bw, const MbLevels& lv) {
+  for (const auto& b : lv.blocks) write_levels(bw, b, nullptr);
+}
+
+MbLevels read_mb_levels(BitReader& br) {
+  MbLevels lv;
+  for (auto& b : lv.blocks) b = read_levels(br, nullptr);
+  return lv;
+}
+
+// Writes pred + dequantised residual into the reconstruction frame.
+void reconstruct_mb(FrameYUV& recon, const MbPred& pred, const MbLevels& lv,
+                    int mbx, int mby, const Quantizer& q) {
+  for (int i = 0; i < 4; ++i) {
+    Block8 res = reconstruct_block(lv.blocks[static_cast<std::size_t>(i)], q, false);
+    for (int j = 0; j < 64; ++j) res[static_cast<std::size_t>(j)] += pred.luma[i][static_cast<std::size_t>(j)];
+    store_block(recon.y, mbx + kLumaOff[i][0], mby + kLumaOff[i][1], res);
+  }
+  Block8 ru = reconstruct_block(lv.blocks[4], q, false);
+  Block8 rv = reconstruct_block(lv.blocks[5], q, false);
+  for (int j = 0; j < 64; ++j) {
+    ru[static_cast<std::size_t>(j)] += pred.u[static_cast<std::size_t>(j)];
+    rv[static_cast<std::size_t>(j)] += pred.v[static_cast<std::size_t>(j)];
+  }
+  store_block(recon.u, mbx / 2, mby / 2, ru);
+  store_block(recon.v, mbx / 2, mby / 2, rv);
+}
+
+// Copies the prediction as-is (skip mode reconstruction).
+void reconstruct_mb_skip(FrameYUV& recon, const MbPred& pred, int mbx, int mby) {
+  for (int i = 0; i < 4; ++i)
+    store_block(recon.y, mbx + kLumaOff[i][0], mby + kLumaOff[i][1], pred.luma[i]);
+  store_block(recon.u, mbx / 2, mby / 2, pred.u);
+  store_block(recon.v, mbx / 2, mby / 2, pred.v);
+}
+
+float pred_sad(const FrameYUV& src, const MbPred& pred, int mbx, int mby) {
+  float acc = 0.0f;
+  for (int i = 0; i < 4; ++i) {
+    const int bx = mbx + kLumaOff[i][0], by = mby + kLumaOff[i][1];
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x)
+        acc += std::abs(src.y.at_clamped(bx + x, by + y) -
+                        pred.luma[i][static_cast<std::size_t>(y * 8 + x)]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+// ---- Intra frame -----------------------------------------------------------
+
+FrameYUV encode_intra_frame(const FrameYUV& src, const Quantizer& q, BitWriter& bw) {
+  require_mb_aligned(src);
+  FrameYUV recon(src.width(), src.height());
+  encode_plane_intra(src.y, recon.y, q, bw);
+  encode_plane_intra(src.u, recon.u, q, bw);
+  encode_plane_intra(src.v, recon.v, q, bw);
+  return recon;
+}
+
+FrameYUV decode_intra_frame(int width, int height, const Quantizer& q, BitReader& br) {
+  FrameYUV out(width, height);
+  decode_plane_intra(out.y, q, br);
+  decode_plane_intra(out.u, q, br);
+  decode_plane_intra(out.v, q, br);
+  return out;
+}
+
+// ---- P frame ---------------------------------------------------------------
+
+FrameYUV encode_p_frame(const FrameYUV& src, const FrameYUV& ref,
+                        const Quantizer& q, int search_range, BitWriter& bw) {
+  require_mb_aligned(src);
+  FrameYUV recon(src.width(), src.height());
+  for (int mby = 0; mby < src.height(); mby += 16) {
+    MotionVector pred_mv{0, 0};  // reset at each MB row; decoder mirrors this
+    for (int mbx = 0; mbx < src.width(); mbx += 16) {
+      const MotionVector full =
+          motion_search(src.y, ref.y, mbx, mby, 16, search_range);
+      const MotionVector mv = refine_halfpel(src.y, ref.y, mbx, mby, 16,
+                                             {2 * full.x, 2 * full.y});
+      const MbPred pred = predict_mb(ref, mbx, mby, mv);
+      const MbLevels levels = quantize_mb(src, pred, mbx, mby, q);
+
+      const bool skip =
+          mv.x == pred_mv.x && mv.y == pred_mv.y && levels.all_zero();
+      bw.put_bit(skip);
+      if (skip) {
+        reconstruct_mb_skip(recon, pred, mbx, mby);
+      } else {
+        bw.put_se(mv.x - pred_mv.x);
+        bw.put_se(mv.y - pred_mv.y);
+        write_mb_levels(bw, levels);
+        reconstruct_mb(recon, pred, levels, mbx, mby, q);
+      }
+      pred_mv = mv;
+    }
+  }
+  recon.y.clamp01();
+  recon.u.clamp01();
+  recon.v.clamp01();
+  return recon;
+}
+
+FrameYUV decode_p_frame(const FrameYUV& ref, const Quantizer& q, BitReader& br) {
+  FrameYUV out(ref.width(), ref.height());
+  for (int mby = 0; mby < out.height(); mby += 16) {
+    MotionVector pred_mv{0, 0};
+    for (int mbx = 0; mbx < out.width(); mbx += 16) {
+      const bool skip = br.get_bit();
+      MotionVector mv = pred_mv;
+      if (skip) {
+        const MbPred pred = predict_mb(ref, mbx, mby, mv);
+        reconstruct_mb_skip(out, pred, mbx, mby);
+      } else {
+        mv.x = pred_mv.x + br.get_se();
+        mv.y = pred_mv.y + br.get_se();
+        const MbPred pred = predict_mb(ref, mbx, mby, mv);
+        const MbLevels levels = read_mb_levels(br);
+        reconstruct_mb(out, pred, levels, mbx, mby, q);
+      }
+      pred_mv = mv;
+    }
+  }
+  out.y.clamp01();
+  out.u.clamp01();
+  out.v.clamp01();
+  return out;
+}
+
+// ---- B frame ---------------------------------------------------------------
+
+namespace {
+enum class BMode : std::uint8_t { kForward = 0, kBackward = 1, kBi = 2 };
+}
+
+FrameYUV encode_b_frame(const FrameYUV& src, const FrameYUV& ref_past,
+                        const FrameYUV& ref_future, const Quantizer& q,
+                        int search_range, BitWriter& bw) {
+  require_mb_aligned(src);
+  FrameYUV recon(src.width(), src.height());
+  for (int mby = 0; mby < src.height(); mby += 16) {
+    for (int mbx = 0; mbx < src.width(); mbx += 16) {
+      const MotionVector full0 =
+          motion_search(src.y, ref_past.y, mbx, mby, 16, search_range);
+      const MotionVector mv0 = refine_halfpel(src.y, ref_past.y, mbx, mby, 16,
+                                              {2 * full0.x, 2 * full0.y});
+      const MotionVector full1 =
+          motion_search(src.y, ref_future.y, mbx, mby, 16, search_range);
+      const MotionVector mv1 = refine_halfpel(src.y, ref_future.y, mbx, mby, 16,
+                                              {2 * full1.x, 2 * full1.y});
+      const MbPred p0 = predict_mb(ref_past, mbx, mby, mv0);
+      const MbPred p1 = predict_mb(ref_future, mbx, mby, mv1);
+      const MbPred pbi = average_pred(p0, p1);
+
+      // Zero-MV bidirectional skip test first: the dominant mode on the
+      // static content B frames thrive on.
+      const MbPred pskip = average_pred(predict_mb(ref_past, mbx, mby, {0, 0}),
+                                        predict_mb(ref_future, mbx, mby, {0, 0}));
+      const MbLevels skip_levels = quantize_mb(src, pskip, mbx, mby, q);
+      if (skip_levels.all_zero()) {
+        bw.put_bit(true);
+        reconstruct_mb_skip(recon, pskip, mbx, mby);
+        continue;
+      }
+      bw.put_bit(false);
+
+      const float sad0 = pred_sad(src, p0, mbx, mby);
+      const float sad1 = pred_sad(src, p1, mbx, mby);
+      const float sadbi = pred_sad(src, pbi, mbx, mby) + 0.5f;  // 2nd MV cost
+      BMode mode = BMode::kBi;
+      const MbPred* pred = &pbi;
+      if (sad0 <= sad1 && sad0 <= sadbi) {
+        mode = BMode::kForward;
+        pred = &p0;
+      } else if (sad1 <= sadbi) {
+        mode = BMode::kBackward;
+        pred = &p1;
+      }
+      bw.put_bits(static_cast<std::uint32_t>(mode), 2);
+      if (mode != BMode::kBackward) {
+        bw.put_se(mv0.x);
+        bw.put_se(mv0.y);
+      }
+      if (mode != BMode::kForward) {
+        bw.put_se(mv1.x);
+        bw.put_se(mv1.y);
+      }
+      const MbLevels levels = quantize_mb(src, *pred, mbx, mby, q);
+      write_mb_levels(bw, levels);
+      reconstruct_mb(recon, *pred, levels, mbx, mby, q);
+    }
+  }
+  recon.y.clamp01();
+  recon.u.clamp01();
+  recon.v.clamp01();
+  return recon;
+}
+
+FrameYUV decode_b_frame(const FrameYUV& ref_past, const FrameYUV& ref_future,
+                        const Quantizer& q, BitReader& br) {
+  FrameYUV out(ref_past.width(), ref_past.height());
+  for (int mby = 0; mby < out.height(); mby += 16) {
+    for (int mbx = 0; mbx < out.width(); mbx += 16) {
+      const bool skip = br.get_bit();
+      if (skip) {
+        const MbPred pred =
+            average_pred(predict_mb(ref_past, mbx, mby, {0, 0}),
+                         predict_mb(ref_future, mbx, mby, {0, 0}));
+        reconstruct_mb_skip(out, pred, mbx, mby);
+        continue;
+      }
+      const auto mode = static_cast<BMode>(br.get_bits(2));
+      MotionVector mv0{0, 0}, mv1{0, 0};
+      if (mode != BMode::kBackward) {
+        mv0.x = br.get_se();
+        mv0.y = br.get_se();
+      }
+      if (mode != BMode::kForward) {
+        mv1.x = br.get_se();
+        mv1.y = br.get_se();
+      }
+      MbPred pred;
+      switch (mode) {
+        case BMode::kForward: pred = predict_mb(ref_past, mbx, mby, mv0); break;
+        case BMode::kBackward: pred = predict_mb(ref_future, mbx, mby, mv1); break;
+        case BMode::kBi:
+          pred = average_pred(predict_mb(ref_past, mbx, mby, mv0),
+                              predict_mb(ref_future, mbx, mby, mv1));
+          break;
+      }
+      const MbLevels levels = read_mb_levels(br);
+      reconstruct_mb(out, pred, levels, mbx, mby, q);
+    }
+  }
+  out.y.clamp01();
+  out.u.clamp01();
+  out.v.clamp01();
+  return out;
+}
+
+}  // namespace dcsr::codec

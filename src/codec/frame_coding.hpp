@@ -1,0 +1,37 @@
+#pragma once
+
+#include "codec/bits.hpp"
+#include "codec/quant.hpp"
+#include "image/frame.hpp"
+
+namespace dcsr::codec {
+
+/// Frame-level coding primitives shared by the encoder (which also plays the
+/// role of its own reference decoder — a closed coding loop, as in any real
+/// codec) and the standalone decoder. Encode functions return the
+/// *reconstruction* (what the decoder will see), never the pristine source.
+///
+/// Luma dimensions must be multiples of 16 (one macroblock); chroma is 4:2:0.
+
+/// Codes a frame in intra mode: all planes in raster 8x8 blocks with
+/// DC-delta prediction. Samples are biased by -0.5 before the transform so
+/// levels are signed around zero.
+FrameYUV encode_intra_frame(const FrameYUV& src, const Quantizer& q, BitWriter& bw);
+FrameYUV decode_intra_frame(int width, int height, const Quantizer& q, BitReader& br);
+
+/// Codes a P frame against one reference: per-16x16-macroblock motion search
+/// (three-step), MV-delta coding against the left neighbour, per-MB skip
+/// flag, and 8x8 residual transform coding.
+FrameYUV encode_p_frame(const FrameYUV& src, const FrameYUV& ref,
+                        const Quantizer& q, int search_range, BitWriter& bw);
+FrameYUV decode_p_frame(const FrameYUV& ref, const Quantizer& q, BitReader& br);
+
+/// Codes a B frame against past/future references; per MB the encoder picks
+/// forward, backward, or bidirectional prediction.
+FrameYUV encode_b_frame(const FrameYUV& src, const FrameYUV& ref_past,
+                        const FrameYUV& ref_future, const Quantizer& q,
+                        int search_range, BitWriter& bw);
+FrameYUV decode_b_frame(const FrameYUV& ref_past, const FrameYUV& ref_future,
+                        const Quantizer& q, BitReader& br);
+
+}  // namespace dcsr::codec

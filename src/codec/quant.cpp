@@ -1,0 +1,51 @@
+#include "codec/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcsr::codec {
+
+namespace {
+// Frequency weight: grows linearly with the diagonal index of (u, v).
+float freq_weight(int idx) noexcept {
+  const int u = idx % 8, v = idx / 8;
+  return 1.0f + 0.35f * static_cast<float>(u + v);
+}
+}  // namespace
+
+Quantizer::Quantizer(int crf)
+    : crf_(std::clamp(crf, 0, 51)),
+      // Calibrated so CRF ~18 is visually transparent on the synthetic
+      // content and CRF 51 is severely degraded (~20 dB luma PSNR), matching
+      // the paper's "worst quality" setting.
+      base_step_(0.012f * std::exp2(static_cast<float>(crf_ - 18) / 6.0f)) {}
+
+float Quantizer::step_at(int idx, bool intra) const noexcept {
+  // Inter residuals tolerate slightly coarser quantisation than intra
+  // samples (they are already small); H.264 behaves similarly via lambda
+  // scaling. Factor kept mild.
+  const float mode = intra ? 1.0f : 1.15f;
+  return base_step_ * freq_weight(idx) * mode;
+}
+
+std::array<std::int32_t, 64> Quantizer::quantize(const Block8& coeffs,
+                                                 bool intra) const noexcept {
+  std::array<std::int32_t, 64> levels{};
+  for (int i = 0; i < 64; ++i) {
+    const float step = step_at(i, intra);
+    levels[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(std::lround(coeffs[static_cast<std::size_t>(i)] / step));
+  }
+  return levels;
+}
+
+Block8 Quantizer::dequantize(const std::array<std::int32_t, 64>& levels,
+                             bool intra) const noexcept {
+  Block8 coeffs{};
+  for (int i = 0; i < 64; ++i)
+    coeffs[static_cast<std::size_t>(i)] =
+        static_cast<float>(levels[static_cast<std::size_t>(i)]) * step_at(i, intra);
+  return coeffs;
+}
+
+}  // namespace dcsr::codec

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "codec/dct.hpp"
+
+namespace dcsr::codec {
+
+/// CRF-driven quantiser for orthonormal-DCT coefficients of [0,1]-domain
+/// pixels. The step doubles every 6 CRF points, mirroring H.264's QP scale;
+/// higher-frequency coefficients get proportionally larger steps (perceptual
+/// weighting), which is what produces the blocky, detail-stripped look of
+/// CRF-51 video that the SR models are trained to undo.
+class Quantizer {
+ public:
+  explicit Quantizer(int crf);
+
+  int crf() const noexcept { return crf_; }
+
+  /// Quantises a coefficient block to integer levels (raster order).
+  std::array<std::int32_t, 64> quantize(const Block8& coeffs,
+                                        bool intra) const noexcept;
+
+  /// Reconstructs coefficients from levels.
+  Block8 dequantize(const std::array<std::int32_t, 64>& levels,
+                    bool intra) const noexcept;
+
+  /// Base step size at this CRF (luma DC, intra).
+  float base_step() const noexcept { return base_step_; }
+
+ private:
+  float step_at(int idx, bool intra) const noexcept;
+
+  int crf_;
+  float base_step_;
+};
+
+}  // namespace dcsr::codec

@@ -1,0 +1,76 @@
+#include "codec/rate_control.hpp"
+
+#include <stdexcept>
+
+#include "image/convert.hpp"
+
+namespace dcsr::codec {
+
+double segment_bps(const EncodedSegment& segment, double fps) noexcept {
+  if (segment.frames.empty() || fps <= 0.0) return 0.0;
+  const double seconds = static_cast<double>(segment.frame_count()) / fps;
+  return static_cast<double>(segment.size_bytes()) * 8.0 / seconds;
+}
+
+RateControlledVideo encode_with_target_bitrate(
+    const VideoSource& video, const std::vector<SegmentPlan>& segments,
+    const CodecConfig& base, double target_bps) {
+  if (target_bps <= 0.0)
+    throw std::invalid_argument("encode_with_target_bitrate: bad target");
+  int expected = 0;
+  for (const auto& plan : segments) {
+    if (plan.first_frame != expected || plan.frame_count <= 0)
+      throw std::invalid_argument("encode_with_target_bitrate: bad segments");
+    expected = plan.first_frame + plan.frame_count;
+  }
+  if (expected != video.frame_count())
+    throw std::invalid_argument(
+        "encode_with_target_bitrate: segments must cover video");
+
+  RateControlledVideo out;
+  out.video.width = video.width();
+  out.video.height = video.height();
+  out.video.fps = video.fps();
+  out.video.crf = base.crf;  // stream default; segments carry their own
+  out.video.deblock = base.deblock;
+
+  for (const auto& plan : segments) {
+    // Frames converted once, re-encoded at trial CRFs during bisection.
+    std::vector<FrameYUV> frames;
+    frames.reserve(static_cast<std::size_t>(plan.frame_count));
+    for (int i = 0; i < plan.frame_count; ++i)
+      frames.push_back(rgb_to_yuv420(video.frame(plan.first_frame + i)));
+
+    auto encode_at = [&](int crf) {
+      CodecConfig cfg = base;
+      cfg.crf = crf;
+      return Encoder(cfg).encode_segment(frames, plan.first_frame);
+    };
+
+    // Bytes decrease monotonically with CRF; find the smallest CRF (highest
+    // quality) whose bitrate fits the target.
+    int lo = 0, hi = 51;
+    EncodedSegment best = encode_at(51);
+    int best_crf = 51;
+    if (segment_bps(best, video.fps()) <= target_bps) {
+      while (lo < hi) {
+        const int mid = (lo + hi) / 2;
+        EncodedSegment trial = encode_at(mid);
+        if (segment_bps(trial, video.fps()) <= target_bps) {
+          hi = mid;
+          best = std::move(trial);
+          best_crf = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+    }
+    // else: even CRF 51 exceeds the target; ship it anyway (the encoder has
+    // nothing coarser).
+    out.segment_crf.push_back(best_crf);
+    out.video.segments.push_back(std::move(best));
+  }
+  return out;
+}
+
+}  // namespace dcsr::codec

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "codec/encoder.hpp"
+
+namespace dcsr::codec {
+
+/// Result of a rate-controlled encode: the stream plus the CRF the search
+/// settled on for each segment.
+struct RateControlledVideo {
+  EncodedVideo video;
+  std::vector<int> segment_crf;
+};
+
+/// Multi-pass rate control: picks a CRF *per segment* so each segment's
+/// bitrate lands at or under `target_bps` (bits per second of video), using
+/// the lowest CRF (= highest quality) that fits. Real encoders do this with
+/// a rate model; at this repo's scale a bisection over trial encodes is
+/// exact and still fast, and per-segment adaptation mirrors how shot-based
+/// ladders are actually built (complex shots get more quantisation).
+///
+/// `base` supplies everything except the CRF. Throws if segments are
+/// invalid; if even CRF 51 exceeds the target for a segment, that segment
+/// stays at CRF 51 (the encoder cannot go lower).
+RateControlledVideo encode_with_target_bitrate(const VideoSource& video,
+                                               const std::vector<SegmentPlan>& segments,
+                                               const CodecConfig& base,
+                                               double target_bps);
+
+/// Bits per second of one encoded segment at the video's frame rate.
+double segment_bps(const EncodedSegment& segment, double fps) noexcept;
+
+}  // namespace dcsr::codec

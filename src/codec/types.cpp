@@ -1,0 +1,14 @@
+#include "codec/types.hpp"
+
+namespace dcsr::codec {
+
+std::string to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kI: return "I";
+    case FrameType::kP: return "P";
+    case FrameType::kB: return "B";
+  }
+  return "?";
+}
+
+}  // namespace dcsr::codec

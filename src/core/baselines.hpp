@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+
+#include "codec/encoder.hpp"
+#include "sr/model_zoo.hpp"
+#include "sr/trainer.hpp"
+#include "video/source.hpp"
+
+namespace dcsr::core {
+
+/// Configuration of the NAS/NEMO-style single-big-model baseline: "one large
+/// SR model is trained with all the video frames in each video, and is
+/// downloaded in the beginning of the video streaming" (§4).
+struct BaselineConfig {
+  sr::EdsrConfig big = sr::big_model_config();
+
+  /// Training frames are sampled uniformly across the whole video (all
+  /// frame types, not just I frames — the generalisation burden that causes
+  /// the paper's Fig. 1(c) quality variance).
+  int training_frames = 32;
+
+  sr::TrainOptions training{.iterations = 300, .patch_size = 24,
+                            .batch_size = 4, .lr = 2e-3};
+  std::uint64_t seed = 7;
+};
+
+struct BaselineResult {
+  std::unique_ptr<sr::Edsr> model;
+  std::uint64_t model_bytes = 0;
+  std::uint64_t train_flops = 0;
+};
+
+/// Trains the big model on (decoded, original) pairs sampled across the
+/// entire video. Used as both the NAS and the (simplified) NEMO model.
+BaselineResult train_big_model(const VideoSource& video,
+                               const codec::EncodedVideo& encoded,
+                               const BaselineConfig& cfg);
+
+/// The (lo, hi) pairs the baseline trains on; exposed for the Fig. 1(c)
+/// quality-variance and Fig. 11 memorisation experiments.
+std::vector<sr::TrainSample> collect_whole_video_pairs(
+    const VideoSource& video, const codec::EncodedVideo& encoded,
+    int training_frames);
+
+}  // namespace dcsr::core

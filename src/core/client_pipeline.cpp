@@ -1,0 +1,184 @@
+#include "core/client_pipeline.hpp"
+
+#include <stdexcept>
+
+#include "image/convert.hpp"
+#include "image/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace dcsr::core {
+
+namespace {
+
+// Accumulates per-frame metrics against the pristine source.
+class MetricsCollector {
+ public:
+  MetricsCollector(const VideoSource& original, const PlaybackOptions& opts)
+      : original_(original), opts_(opts) {}
+
+  void measure(const FrameYUV& decoded, int display_index) {
+    const FrameRGB rgb = yuv420_to_rgb(decoded);
+    measure_rgb(rgb, display_index);
+  }
+
+  void measure_rgb(const FrameRGB& rgb, int display_index) {
+    const FrameRGB ref = original_.frame(display_index);
+    result_.frame_psnr.push_back(psnr(ref, rgb));
+    result_.psnr_frame_index.push_back(display_index);
+    if (count_ % opts_.ssim_stride == 0)
+      result_.frame_ssim.push_back(ssim(ref, rgb));
+    ++count_;
+  }
+
+  PlaybackResult finish() {
+    result_.mean_psnr = mean(result_.frame_psnr);
+    result_.mean_ssim = mean(result_.frame_ssim);
+    return std::move(result_);
+  }
+
+ private:
+  const VideoSource& original_;
+  PlaybackOptions opts_;
+  PlaybackResult result_;
+  int count_ = 0;
+};
+
+// Decodes every segment with the given reference hook and feeds all display
+// frames to the collector.
+PlaybackResult decode_and_measure(const codec::EncodedVideo& encoded,
+                                  const VideoSource& original,
+                                  const PlaybackOptions& opts,
+                                  const std::function<void(FrameYUV&, int segment)>& enhance_i) {
+  MetricsCollector collector(original, opts);
+  codec::Decoder decoder(encoded.width, encoded.height, encoded.crf);
+  decoder.set_deblock(encoded.deblock);
+  int frame_base = 0;
+  for (std::size_t s = 0; s < encoded.segments.size(); ++s) {
+    if (enhance_i) {
+      decoder.set_reference_hook(
+          [&](FrameYUV& f, codec::FrameType, int) { enhance_i(f, static_cast<int>(s)); });
+    }
+    const auto frames = decoder.decode_segment(encoded.segments[s]);
+    for (std::size_t i = 0; i < frames.size(); ++i)
+      collector.measure(frames[i], frame_base + static_cast<int>(i));
+    frame_base += static_cast<int>(frames.size());
+  }
+  return collector.finish();
+}
+
+}  // namespace
+
+void enhance_reference_frame(FrameYUV& frame, sr::Edsr& model) {
+  if (model.config().scale != 1)
+    throw std::invalid_argument(
+        "enhance_reference_frame: in-loop enhancement requires a scale-1 model "
+        "(the enhanced picture must fit back into the DPB)");
+  // Steps 2-5 of Fig. 6.
+  const FrameRGB rgb = yuv420_to_rgb(frame);
+  const FrameRGB enhanced = model.enhance(rgb);
+  frame = rgb_to_yuv420(enhanced);
+}
+
+PlaybackResult play_dcsr(const codec::EncodedVideo& encoded,
+                         const std::vector<int>& labels,
+                         const std::vector<std::unique_ptr<sr::Edsr>>& models,
+                         const VideoSource& original,
+                         const PlaybackOptions& opts) {
+  if (labels.size() != encoded.segments.size())
+    throw std::invalid_argument("play_dcsr: one label per segment required");
+  for (const int l : labels)
+    if (l < 0 || static_cast<std::size_t>(l) >= models.size())
+      throw std::invalid_argument("play_dcsr: label out of range");
+  return decode_and_measure(
+      encoded, original, opts, [&](FrameYUV& f, int segment) {
+        enhance_reference_frame(
+            f, *models[static_cast<std::size_t>(labels[static_cast<std::size_t>(segment)])]);
+      });
+}
+
+PlaybackResult play_nemo(const codec::EncodedVideo& encoded, sr::Edsr& big_model,
+                         const VideoSource& original, const PlaybackOptions& opts) {
+  return decode_and_measure(encoded, original, opts,
+                            [&](FrameYUV& f, int) { enhance_reference_frame(f, big_model); });
+}
+
+PlaybackResult play_nas(const codec::EncodedVideo& encoded, sr::Edsr& big_model,
+                        const VideoSource& original, const PlaybackOptions& opts) {
+  MetricsCollector collector(original, opts);
+  codec::Decoder decoder(encoded.width, encoded.height, encoded.crf);
+  decoder.set_deblock(encoded.deblock);
+  int frame_base = 0;
+  for (const auto& seg : encoded.segments) {
+    const auto frames = decoder.decode_segment(seg);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const int display = frame_base + static_cast<int>(i);
+      if (display % opts.nas_eval_stride != 0) continue;
+      // Out-of-loop: enhance the displayed frame, references untouched.
+      const FrameRGB enhanced = big_model.enhance(yuv420_to_rgb(frames[i]));
+      collector.measure_rgb(enhanced, display);
+    }
+    frame_base += static_cast<int>(frames.size());
+  }
+  return collector.finish();
+}
+
+PlaybackResult play_low(const codec::EncodedVideo& encoded,
+                        const VideoSource& original, const PlaybackOptions& opts) {
+  return decode_and_measure(encoded, original, opts, nullptr);
+}
+
+AnchorPlaybackResult play_dcsr_anchors(
+    const codec::EncodedVideo& encoded, const std::vector<int>& labels,
+    const std::vector<std::unique_ptr<sr::Edsr>>& models,
+    const VideoSource& original, int anchor_period, const PlaybackOptions& opts) {
+  if (labels.size() != encoded.segments.size())
+    throw std::invalid_argument("play_dcsr_anchors: one label per segment required");
+  for (const int l : labels)
+    if (l < 0 || static_cast<std::size_t>(l) >= models.size())
+      throw std::invalid_argument("play_dcsr_anchors: label out of range");
+
+  AnchorPlaybackResult result;
+  MetricsCollector collector(original, opts);
+  codec::Decoder enhanced_decoder(encoded.width, encoded.height, encoded.crf);
+  codec::Decoder vanilla_decoder(encoded.width, encoded.height, encoded.crf);
+  enhanced_decoder.set_deblock(encoded.deblock);
+  vanilla_decoder.set_deblock(encoded.deblock);
+
+  int frame_base = 0;
+  for (std::size_t s = 0; s < encoded.segments.size(); ++s) {
+    sr::Edsr& model = *models[static_cast<std::size_t>(labels[s])];
+
+    // Anchors must be enhanced from the *vanilla* decode: the micro model
+    // was trained on plainly decoded frames, and re-enhancing an
+    // already-enhanced chain compounds the correction until it diverges
+    // (this is why NEMO keeps its anchor inputs on the un-enhanced path).
+    const auto vanilla = vanilla_decoder.decode_segment(encoded.segments[s]);
+
+    enhanced_decoder.set_reference_hook(
+        [&](FrameYUV& f, codec::FrameType type, int display_index) {
+          const int local = display_index - encoded.segments[s].first_frame;
+          if (type == codec::FrameType::kI) {
+            enhance_reference_frame(f, model);
+            ++result.inferences;
+            return;
+          }
+          // P anchor: replace the drifted reference with the enhanced
+          // vanilla reconstruction — an I-refresh that costs an inference
+          // instead of bits.
+          if (anchor_period > 0 && local % anchor_period == 0) {
+            f = vanilla[static_cast<std::size_t>(local)];
+            enhance_reference_frame(f, model);
+            ++result.inferences;
+          }
+        },
+        /*include_p_frames=*/anchor_period > 0);
+    const auto frames = enhanced_decoder.decode_segment(encoded.segments[s]);
+    for (std::size_t i = 0; i < frames.size(); ++i)
+      collector.measure(frames[i], frame_base + static_cast<int>(i));
+    frame_base += static_cast<int>(frames.size());
+  }
+  result.playback = collector.finish();
+  return result;
+}
+
+}  // namespace dcsr::core

@@ -1,0 +1,27 @@
+#pragma once
+
+/// Umbrella header for the dcSR library: pulls in the public API of the
+/// primary contribution (server + client pipelines, baselines) and the
+/// substrate modules an application typically touches.
+///
+/// Quick map:
+///   core/server_pipeline.hpp — Fig. 2: split, VAE features, global K-means,
+///                              per-cluster micro EDSR training
+///   core/client_pipeline.hpp — Fig. 6: decoder-integrated I-frame SR,
+///                              plus the NEMO/NAS/LOW baselines
+///   core/baselines.hpp       — big-model training (NAS/NEMO)
+///   stream/*                 — manifests, Algorithm-1 model cache, sessions
+///   device/*                 — Jetson/laptop/desktop latency & power models
+#include "codec/decoder.hpp"
+#include "codec/encoder.hpp"
+#include "core/baselines.hpp"
+#include "core/client_pipeline.hpp"
+#include "core/server_pipeline.hpp"
+#include "device/latency.hpp"
+#include "device/power.hpp"
+#include "device/profiles.hpp"
+#include "split/segmenter.hpp"
+#include "sr/min_model.hpp"
+#include "sr/model_zoo.hpp"
+#include "stream/session.hpp"
+#include "video/genres.hpp"

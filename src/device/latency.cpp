@@ -1,0 +1,49 @@
+#include "device/latency.hpp"
+
+namespace dcsr::device {
+
+double inference_seconds(const DeviceProfile& dev, const sr::EdsrConfig& cfg,
+                         const Resolution& res) noexcept {
+  const double flops =
+      static_cast<double>(sr::edsr_flops(cfg, res.width, res.height));
+  return flops / (dev.effective_tflops * 1e12) +
+         dev.inference_overhead_ms / 1e3;
+}
+
+double decode_seconds(const DeviceProfile& dev, const Resolution& res) noexcept {
+  return res.megapixels() * dev.decode_ms_per_mpix / 1e3;
+}
+
+bool fits_memory(const DeviceProfile& dev, const sr::EdsrConfig& cfg,
+                 const Resolution& res) noexcept {
+  // Activation footprint is architecture-determined; closed form below
+  // mirrors Edsr::activation_bytes without building the model.
+  const auto f = static_cast<std::uint64_t>(cfg.n_filters);
+  const auto in_px = static_cast<std::uint64_t>(res.width) *
+                     static_cast<std::uint64_t>(res.height);
+  const auto s = static_cast<std::uint64_t>(cfg.scale);
+  const auto out_px = in_px * s * s;
+  std::uint64_t samples = 3 * in_px + 3 * out_px + 2 * f * in_px;
+  if (cfg.scale > 1) samples += f * s * s * in_px + f * out_px;
+  const std::uint64_t activations = 4 * samples;
+  const std::uint64_t weights = sr::edsr_model_bytes(cfg);
+  return static_cast<double>(activations + weights) <= dev.mem_budget_bytes;
+}
+
+SegmentThroughput segment_fps(const DeviceProfile& dev, const sr::EdsrConfig& cfg,
+                              const Resolution& res, int frames_per_segment,
+                              int inferences_per_segment) noexcept {
+  SegmentThroughput out;
+  if (!fits_memory(dev, cfg, res)) {
+    out.oom = true;
+    return out;
+  }
+  out.decode_s = decode_seconds(dev, res) * frames_per_segment;
+  out.inference_s =
+      inference_seconds(dev, cfg, res) * inferences_per_segment;
+  const double total = out.decode_s + out.inference_s;
+  out.fps = total > 0.0 ? static_cast<double>(frames_per_segment) / total : 0.0;
+  return out;
+}
+
+}  // namespace dcsr::device

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "device/profiles.hpp"
+#include "sr/edsr.hpp"
+
+namespace dcsr::device {
+
+/// Seconds to run one inference of the given model config on a frame at the
+/// given resolution (includes the fixed per-inference overhead).
+double inference_seconds(const DeviceProfile& dev, const sr::EdsrConfig& cfg,
+                         const Resolution& res) noexcept;
+
+/// Seconds to hardware-decode one frame.
+double decode_seconds(const DeviceProfile& dev, const Resolution& res) noexcept;
+
+/// Whether the model's inference working set fits the device. NAS/NEMO-sized
+/// models at 4K exceed the Jetson budget — the paper's OOM result.
+bool fits_memory(const DeviceProfile& dev, const sr::EdsrConfig& cfg,
+                 const Resolution& res) noexcept;
+
+/// Effective playback throughput over one segment, the metric of Figs. 8(a-c)
+/// and 12: frames in the segment divided by total decode + inference time.
+/// "To evaluate the practical FPS, we consider both the video decoding
+/// latency and the inference latency" (§4).
+struct SegmentThroughput {
+  double fps = 0.0;
+  double decode_s = 0.0;
+  double inference_s = 0.0;
+  bool oom = false;
+};
+SegmentThroughput segment_fps(const DeviceProfile& dev, const sr::EdsrConfig& cfg,
+                              const Resolution& res, int frames_per_segment,
+                              int inferences_per_segment) noexcept;
+
+}  // namespace dcsr::device

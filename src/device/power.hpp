@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "device/latency.hpp"
+
+namespace dcsr::device {
+
+/// How often a method runs SR during playback.
+enum class InferenceSchedule {
+  kPerSegment,  // dcSR / NEMO: a few inferences at each segment boundary
+  kEveryFrame   // NAS: every decoded frame
+};
+
+struct PowerConfig {
+  sr::EdsrConfig model;
+  Resolution resolution;
+  InferenceSchedule schedule = InferenceSchedule::kPerSegment;
+  double segment_seconds = 4.0;
+  int inferences_per_segment = 1;
+  double video_fps = 30.0;
+};
+
+/// Result of simulating the power rails during playback, mirroring the 1 Hz
+/// sampling of the Jetson power monitor used for Fig. 8(d).
+struct PowerTrace {
+  std::vector<double> watts;  // one sample per second of playback
+  double total_joules = 0.0;
+  double peak_watts = 0.0;
+  double mean_watts = 0.0;
+};
+
+/// Simulates `duration_seconds` of playback. Power at any instant is
+/// idle + decode (while playing) + compute (while the GPU runs an
+/// inference); each 1-second sample is the time-average over that second,
+/// which is what produces the paper's spiky dcSR/NEMO traces versus NAS's
+/// sustained draw.
+PowerTrace simulate_power(const DeviceProfile& dev, const PowerConfig& cfg,
+                          double duration_seconds);
+
+}  // namespace dcsr::device

@@ -1,0 +1,42 @@
+#include "device/profiles.hpp"
+
+namespace dcsr::device {
+
+DeviceProfile jetson_xavier_nx() {
+  return {.name = "jetson-xavier-nx",
+          .effective_tflops = 0.7,
+          .mem_budget_bytes = 4e9,
+          .decode_ms_per_mpix = 2.0,
+          .inference_overhead_ms = 50.0,
+          .idle_watts = 0.5,
+          .decode_watts = 0.3,
+          .compute_watts = 2.0};
+}
+
+DeviceProfile laptop_gtx1060() {
+  return {.name = "laptop-gtx1060",
+          .effective_tflops = 7.5,
+          .mem_budget_bytes = 6e9,
+          .decode_ms_per_mpix = 1.0,
+          .inference_overhead_ms = 20.0,
+          .idle_watts = 8.0,
+          .decode_watts = 4.0,
+          .compute_watts = 80.0};
+}
+
+DeviceProfile desktop_rtx2070() {
+  return {.name = "desktop-rtx2070",
+          .effective_tflops = 13.0,
+          .mem_budget_bytes = 8e9,
+          .decode_ms_per_mpix = 0.8,
+          .inference_overhead_ms = 15.0,
+          .idle_watts = 30.0,
+          .decode_watts = 6.0,
+          .compute_watts = 150.0};
+}
+
+Resolution res_720p() { return {1280, 720, "720p"}; }
+Resolution res_1080p() { return {1920, 1080, "1080p"}; }
+Resolution res_4k() { return {3840, 2160, "4K"}; }
+
+}  // namespace dcsr::device

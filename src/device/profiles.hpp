@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+namespace dcsr::device {
+
+/// Analytic model of a playback device. The paper measures three real
+/// devices (Jetson Xavier NX, a GTX-1060 laptop, an RTX-2070 desktop); this
+/// repo has no GPUs, so each device is reduced to the constants that
+/// determine the paper's figures: sustained neural throughput, memory
+/// ceiling, hardware-decoder speed, per-inference fixed overhead (kernel
+/// launch + the YUV<->RGB hops of Fig. 6), and the three power rails of the
+/// Fig. 8(d) model. Constants are calibrated against the anchor points of
+/// Figs. 1, 8 and 12 (see DESIGN.md §2); only ratios/crossings are meant to
+/// be faithful, not absolute numbers.
+struct DeviceProfile {
+  std::string name;
+  double effective_tflops = 1.0;     // sustained SR-model throughput
+  double mem_budget_bytes = 4e9;     // activation memory ceiling before OOM
+  double decode_ms_per_mpix = 2.0;   // hardware video decode cost
+  double inference_overhead_ms = 50; // fixed per-inference cost
+  double idle_watts = 0.5;
+  double decode_watts = 0.3;
+  double compute_watts = 2.0;        // additional draw while the GPU is busy
+};
+
+/// Mobile-grade device of Fig. 8.
+DeviceProfile jetson_xavier_nx();
+
+/// Laptop of Fig. 12(a): i7-7700HQ + GTX 1060.
+DeviceProfile laptop_gtx1060();
+
+/// Desktop of Fig. 12(b): i7-8700 + RTX 2070.
+DeviceProfile desktop_rtx2070();
+
+/// Video resolution preset.
+struct Resolution {
+  int width = 0, height = 0;
+  std::string name;
+
+  double megapixels() const noexcept {
+    return static_cast<double>(width) * static_cast<double>(height) / 1e6;
+  }
+};
+
+Resolution res_720p();
+Resolution res_1080p();
+Resolution res_4k();
+
+}  // namespace dcsr::device

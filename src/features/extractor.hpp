@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "features/vae.hpp"
+#include "image/frame.hpp"
+
+namespace dcsr::features {
+
+/// Downscales a frame to the VAE's square input size and packs it as a
+/// 1x3xSxS tensor.
+Tensor make_thumbnail(const FrameRGB& frame, int input_size);
+
+/// Thumbnails for a list of frames (one tensor each).
+std::vector<Tensor> make_thumbnails(const std::vector<FrameRGB>& frames,
+                                    int input_size);
+
+/// Embeds frames with the VAE's mean head and returns one feature vector per
+/// frame, ready for the clustering stage. Also usable on YUV I frames after
+/// conversion by the caller.
+cluster::Dataset extract_features(Vae& vae, const std::vector<FrameRGB>& frames);
+
+/// Baseline feature for the "VAE vs raw pixels" ablation: the thumbnail
+/// itself, flattened.
+cluster::Dataset raw_pixel_features(const std::vector<FrameRGB>& frames,
+                                    int input_size);
+
+}  // namespace dcsr::features

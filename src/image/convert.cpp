@@ -1,0 +1,76 @@
+#include "image/convert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcsr {
+
+namespace {
+// BT.601 full-range coefficients.
+constexpr float kWr = 0.299f;
+constexpr float kWg = 0.587f;
+constexpr float kWb = 0.114f;
+}  // namespace
+
+float rgb_to_luma(float r, float g, float b) noexcept {
+  return kWr * r + kWg * g + kWb * b;
+}
+
+FrameYUV rgb_to_yuv420(const FrameRGB& rgb) {
+  const int W = rgb.width(), H = rgb.height();
+  FrameYUV out(W, H);
+  // Full-resolution Y plus full-resolution U/V scratch for the box filter.
+  Plane uf(W, H), vf(W, H);
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      const float r = rgb.r.at(x, y), g = rgb.g.at(x, y), b = rgb.b.at(x, y);
+      const float luma = rgb_to_luma(r, g, b);
+      out.y.at(x, y) = luma;
+      uf.at(x, y) = 0.5f + 0.5f * (b - luma) / (1.0f - kWb);
+      vf.at(x, y) = 0.5f + 0.5f * (r - luma) / (1.0f - kWr);
+    }
+  }
+  for (int y = 0; y < H / 2; ++y) {
+    for (int x = 0; x < W / 2; ++x) {
+      out.u.at(x, y) = 0.25f * (uf.at(2 * x, 2 * y) + uf.at(2 * x + 1, 2 * y) +
+                                uf.at(2 * x, 2 * y + 1) + uf.at(2 * x + 1, 2 * y + 1));
+      out.v.at(x, y) = 0.25f * (vf.at(2 * x, 2 * y) + vf.at(2 * x + 1, 2 * y) +
+                                vf.at(2 * x, 2 * y + 1) + vf.at(2 * x + 1, 2 * y + 1));
+    }
+  }
+  return out;
+}
+
+FrameRGB yuv420_to_rgb(const FrameYUV& yuv) {
+  const int W = yuv.width(), H = yuv.height();
+  FrameRGB out(W, H);
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      // Bilinear chroma upsample: sample the half-res plane at the pixel's
+      // chroma-space position (co-sited with the 2x2 block centre).
+      const float cx = (static_cast<float>(x) - 0.5f) / 2.0f;
+      const float cy = (static_cast<float>(y) - 0.5f) / 2.0f;
+      const int x0 = static_cast<int>(std::floor(cx));
+      const int y0 = static_cast<int>(std::floor(cy));
+      const float fx = cx - static_cast<float>(x0);
+      const float fy = cy - static_cast<float>(y0);
+      auto sample = [&](const Plane& p) {
+        const float a = p.at_clamped(x0, y0) * (1 - fx) + p.at_clamped(x0 + 1, y0) * fx;
+        const float b = p.at_clamped(x0, y0 + 1) * (1 - fx) + p.at_clamped(x0 + 1, y0 + 1) * fx;
+        return a * (1 - fy) + b * fy;
+      };
+      const float luma = yuv.y.at(x, y);
+      const float u = (sample(yuv.u) - 0.5f) * 2.0f * (1.0f - kWb);
+      const float v = (sample(yuv.v) - 0.5f) * 2.0f * (1.0f - kWr);
+      const float r = luma + v;
+      const float b = luma + u;
+      const float g = (luma - kWr * r - kWb * b) / kWg;
+      out.r.at(x, y) = std::clamp(r, 0.0f, 1.0f);
+      out.g.at(x, y) = std::clamp(g, 0.0f, 1.0f);
+      out.b.at(x, y) = std::clamp(b, 0.0f, 1.0f);
+    }
+  }
+  return out;
+}
+
+}  // namespace dcsr

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "image/frame.hpp"
+
+namespace dcsr {
+
+/// BT.601 full-range RGB -> YUV 4:2:0. Chroma is 2x2 box-filtered, matching
+/// what a typical encoder front-end does. U/V are stored centred on 0.5 so
+/// all planes live in [0,1].
+FrameYUV rgb_to_yuv420(const FrameRGB& rgb);
+
+/// BT.601 full-range YUV 4:2:0 -> RGB with bilinear chroma upsampling — the
+/// conversion the client-side dcSR performs on the DPB I frame before SR
+/// (step 2 of Fig. 6) and back after (step 5).
+FrameRGB yuv420_to_rgb(const FrameYUV& yuv);
+
+/// Luma-only conversion of a single RGB pixel triple (used by metrics).
+float rgb_to_luma(float r, float g, float b) noexcept;
+
+}  // namespace dcsr

@@ -1,0 +1,41 @@
+#include "image/frame.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcsr {
+
+float Plane::at_clamped(int x, int y) const noexcept {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return data_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void Plane::clamp01() noexcept {
+  for (auto& p : data_) p = std::clamp(p, 0.0f, 1.0f);
+}
+
+Tensor frame_to_tensor(const FrameRGB& f) {
+  const int H = f.height(), W = f.width();
+  Tensor t({1, 3, H, W});
+  const Plane* planes[3] = {&f.r, &f.g, &f.b};
+  for (int c = 0; c < 3; ++c)
+    for (int y = 0; y < H; ++y)
+      for (int x = 0; x < W; ++x) t.at(0, c, y, x) = planes[c]->at(x, y);
+  return t;
+}
+
+FrameRGB tensor_to_frame(const Tensor& t) {
+  if (t.rank() != 4 || t.dim(0) != 1 || t.dim(1) != 3)
+    throw std::invalid_argument("tensor_to_frame: expected 1x3xHxW");
+  const int H = t.dim(2), W = t.dim(3);
+  FrameRGB f(W, H);
+  Plane* planes[3] = {&f.r, &f.g, &f.b};
+  for (int c = 0; c < 3; ++c)
+    for (int y = 0; y < H; ++y)
+      for (int x = 0; x < W; ++x)
+        planes[c]->at(x, y) = std::clamp(t.at(0, c, y, x), 0.0f, 1.0f);
+  return f;
+}
+
+}  // namespace dcsr

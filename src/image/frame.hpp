@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dcsr {
+
+/// One image plane of float samples. Pixel values are normalised to [0,1];
+/// the codec quantises in this domain and SR models consume it directly, so
+/// no 8-bit round-trips happen between pipeline stages except where the
+/// codec's quantiser deliberately introduces loss.
+class Plane {
+ public:
+  Plane() = default;
+  Plane(int width, int height)
+      : width_(width), height_(height),
+        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              0.0f) {}
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float& at(int x, int y) noexcept {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  float at(int x, int y) const noexcept {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Clamped access: coordinates outside the plane read the nearest edge
+  /// sample. Used by filters and motion compensation at frame borders.
+  float at_clamped(int x, int y) const noexcept;
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  void fill(float v) noexcept {
+    for (auto& p : data_) p = v;
+  }
+
+  /// Clamps all samples into [0,1].
+  void clamp01() noexcept;
+
+  bool same_size(const Plane& other) const noexcept {
+    return width_ == other.width_ && height_ == other.height_;
+  }
+
+ private:
+  int width_ = 0, height_ = 0;
+  std::vector<float> data_;
+};
+
+/// RGB frame, planar.
+struct FrameRGB {
+  Plane r, g, b;
+
+  FrameRGB() = default;
+  FrameRGB(int width, int height) : r(width, height), g(width, height), b(width, height) {}
+
+  int width() const noexcept { return r.width(); }
+  int height() const noexcept { return r.height(); }
+  bool empty() const noexcept { return r.empty(); }
+};
+
+/// YUV 4:2:0 frame: full-resolution luma, half-resolution chroma — the
+/// layout H.264 decoders keep in the decoded picture buffer. Dimensions must
+/// be even.
+struct FrameYUV {
+  Plane y, u, v;
+
+  FrameYUV() = default;
+  FrameYUV(int width, int height)
+      : y(width, height), u(width / 2, height / 2), v(width / 2, height / 2) {
+    assert(width % 2 == 0 && height % 2 == 0);
+  }
+
+  int width() const noexcept { return y.width(); }
+  int height() const noexcept { return y.height(); }
+  bool empty() const noexcept { return y.empty(); }
+};
+
+/// Packs an RGB frame into a 1x3xHxW tensor (model input layout).
+Tensor frame_to_tensor(const FrameRGB& f);
+
+/// Unpacks a 1x3xHxW tensor into an RGB frame, clamping to [0,1].
+FrameRGB tensor_to_frame(const Tensor& t);
+
+}  // namespace dcsr

@@ -1,0 +1,106 @@
+#include "image/resize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcsr {
+
+namespace {
+
+// Catmull-Rom cubic kernel (a = -0.5).
+float cubic_weight(float t) noexcept {
+  constexpr float a = -0.5f;
+  t = std::abs(t);
+  if (t < 1.0f) return ((a + 2.0f) * t - (a + 3.0f)) * t * t + 1.0f;
+  if (t < 2.0f) return (((t - 5.0f) * t + 8.0f) * t - 4.0f) * a;
+  return 0.0f;
+}
+
+}  // namespace
+
+Plane resize_bilinear(const Plane& src, int out_w, int out_h) {
+  if (out_w <= 0 || out_h <= 0)
+    throw std::invalid_argument("resize_bilinear: bad output size");
+  Plane out(out_w, out_h);
+  const float sx = static_cast<float>(src.width()) / static_cast<float>(out_w);
+  const float sy = static_cast<float>(src.height()) / static_cast<float>(out_h);
+  for (int y = 0; y < out_h; ++y) {
+    const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+    const int y0 = static_cast<int>(std::floor(fy));
+    const float wy = fy - static_cast<float>(y0);
+    for (int x = 0; x < out_w; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+      const int x0 = static_cast<int>(std::floor(fx));
+      const float wx = fx - static_cast<float>(x0);
+      const float a = src.at_clamped(x0, y0) * (1 - wx) + src.at_clamped(x0 + 1, y0) * wx;
+      const float b = src.at_clamped(x0, y0 + 1) * (1 - wx) + src.at_clamped(x0 + 1, y0 + 1) * wx;
+      out.at(x, y) = a * (1 - wy) + b * wy;
+    }
+  }
+  return out;
+}
+
+Plane resize_bicubic(const Plane& src, int out_w, int out_h) {
+  if (out_w <= 0 || out_h <= 0)
+    throw std::invalid_argument("resize_bicubic: bad output size");
+  Plane out(out_w, out_h);
+  const float sx = static_cast<float>(src.width()) / static_cast<float>(out_w);
+  const float sy = static_cast<float>(src.height()) / static_cast<float>(out_h);
+  for (int y = 0; y < out_h; ++y) {
+    const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+    const int y0 = static_cast<int>(std::floor(fy));
+    for (int x = 0; x < out_w; ++x) {
+      const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+      const int x0 = static_cast<int>(std::floor(fx));
+      float acc = 0.0f, wsum = 0.0f;
+      for (int dy = -1; dy <= 2; ++dy) {
+        const float wy = cubic_weight(fy - static_cast<float>(y0 + dy));
+        if (wy == 0.0f) continue;
+        for (int dx = -1; dx <= 2; ++dx) {
+          const float wx = cubic_weight(fx - static_cast<float>(x0 + dx));
+          if (wx == 0.0f) continue;
+          acc += wx * wy * src.at_clamped(x0 + dx, y0 + dy);
+          wsum += wx * wy;
+        }
+      }
+      out.at(x, y) = std::clamp(acc / wsum, 0.0f, 1.0f);
+    }
+  }
+  return out;
+}
+
+FrameRGB resize(const FrameRGB& src, int out_w, int out_h, ResizeFilter filter) {
+  FrameRGB out;
+  auto f = (filter == ResizeFilter::kBilinear) ? resize_bilinear : resize_bicubic;
+  out.r = f(src.r, out_w, out_h);
+  out.g = f(src.g, out_w, out_h);
+  out.b = f(src.b, out_w, out_h);
+  return out;
+}
+
+Plane downscale_box(const Plane& src, int factor) {
+  if (factor <= 0 || src.width() % factor || src.height() % factor)
+    throw std::invalid_argument("downscale_box: size not divisible by factor");
+  Plane out(src.width() / factor, src.height() / factor);
+  const float norm = 1.0f / static_cast<float>(factor * factor);
+  for (int y = 0; y < out.height(); ++y)
+    for (int x = 0; x < out.width(); ++x) {
+      float acc = 0.0f;
+      for (int dy = 0; dy < factor; ++dy)
+        for (int dx = 0; dx < factor; ++dx)
+          acc += src.at(x * factor + dx, y * factor + dy);
+      out.at(x, y) = acc * norm;
+    }
+  return out;
+}
+
+FrameRGB downscale_box(const FrameRGB& src, int factor) {
+  FrameRGB out;
+  out.r = downscale_box(src.r, factor);
+  out.g = downscale_box(src.g, factor);
+  out.b = downscale_box(src.b, factor);
+  return out;
+}
+
+}  // namespace dcsr

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "image/frame.hpp"
+
+namespace dcsr {
+
+/// Bilinear plane resize to an arbitrary size.
+Plane resize_bilinear(const Plane& src, int out_w, int out_h);
+
+/// Bicubic (Catmull-Rom) plane resize — the downscaling kernel used to make
+/// the low-resolution SR training inputs, matching the SR literature's
+/// "bicubic degradation" convention.
+Plane resize_bicubic(const Plane& src, int out_w, int out_h);
+
+enum class ResizeFilter { kBilinear, kBicubic };
+
+/// Resizes all three channels of an RGB frame.
+FrameRGB resize(const FrameRGB& src, int out_w, int out_h,
+                ResizeFilter filter = ResizeFilter::kBicubic);
+
+/// Downscale by an integer factor with box averaging (clean anti-aliased
+/// decimation for synthesising low-res variants of ground-truth frames).
+Plane downscale_box(const Plane& src, int factor);
+FrameRGB downscale_box(const FrameRGB& src, int factor);
+
+}  // namespace dcsr

@@ -1,0 +1,82 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcsr::nn {
+
+Tensor ReLU::forward(const Tensor& x) {
+  mask_ = Tensor(x.shape());
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] > 0.0f) {
+      mask_[i] = 1.0f;
+    } else {
+      out[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (mask_.empty()) throw std::logic_error("ReLU::backward before forward");
+  Tensor grad = grad_out;
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+Tensor LeakyReLU::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i] < 0.0f) out[i] *= slope_;
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  if (cached_input_.empty())
+    throw std::logic_error("LeakyReLU::backward before forward");
+  Tensor grad = grad_out;
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    if (cached_input_[i] < 0.0f) grad[i] *= slope_;
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& x) {
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  if (cached_output_.empty())
+    throw std::logic_error("Sigmoid::backward before forward");
+  Tensor grad = grad_out;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= y * (1.0f - y);
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  if (cached_output_.empty())
+    throw std::logic_error("Tanh::backward before forward");
+  Tensor grad = grad_out;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= 1.0f - y * y;
+  }
+  return grad;
+}
+
+}  // namespace dcsr::nn

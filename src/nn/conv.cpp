@@ -1,0 +1,83 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace dcsr::nn {
+
+namespace {
+
+Tensor he_init(int out_c, int in_c, int k, Rng& rng) {
+  const float fan_in = static_cast<float>(in_c * k * k);
+  const float stddev = std::sqrt(2.0f / fan_in);
+  return Tensor::randn({out_c, in_c * k * k}, rng, stddev);
+}
+
+}  // namespace
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, Rng& rng,
+               int stride, int pad)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad < 0 ? kernel / 2 : pad),
+      weight_(he_init(out_channels, in_channels, kernel, rng)),
+      bias_(Tensor({out_channels, 1})) {}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != in_channels_)
+    throw std::invalid_argument("Conv2d: bad input shape " + x.shape_str());
+  cached_input_ = x;
+  const int N = x.dim(0);
+  const int oh = conv_out_size(x.dim(2), kernel_, stride_, pad_);
+  const int ow = conv_out_size(x.dim(3), kernel_, stride_, pad_);
+  Tensor out({N, out_channels_, oh, ow});
+  for (int n = 0; n < N; ++n) {
+    const Tensor cols = im2col(x, n, kernel_, stride_, pad_);
+    const Tensor y = matmul(weight_.value, cols);  // outC x (oh*ow)
+    float* dst = out.data() +
+                 static_cast<std::size_t>(n) * out_channels_ * oh * ow;
+    const float* src = y.data();
+    for (int c = 0; c < out_channels_; ++c) {
+      const float b = bias_.value[static_cast<std::size_t>(c)];
+      for (int i = 0; i < oh * ow; ++i)
+        dst[static_cast<std::size_t>(c) * oh * ow + i] =
+            src[static_cast<std::size_t>(c) * oh * ow + i] + b;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  if (x.empty()) throw std::logic_error("Conv2d::backward before forward");
+  const int N = x.dim(0);
+  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  Tensor grad_in(x.shape());
+  for (int n = 0; n < N; ++n) {
+    // View this item's output gradient as an (outC) x (oh*ow) matrix.
+    Tensor go({out_channels_, oh * ow});
+    const float* src = grad_out.data() +
+                       static_cast<std::size_t>(n) * out_channels_ * oh * ow;
+    std::copy(src, src + static_cast<std::size_t>(out_channels_) * oh * ow,
+              go.data());
+
+    const Tensor cols = im2col(x, n, kernel_, stride_, pad_);
+    // dW += dY * cols^T ; db += rowsum(dY) ; dX = col2im(W^T * dY).
+    weight_.grad.add_(matmul_nt(go, cols));
+    for (int c = 0; c < out_channels_; ++c) {
+      float acc = 0.0f;
+      const float* row = go.data() + static_cast<std::size_t>(c) * oh * ow;
+      for (int i = 0; i < oh * ow; ++i) acc += row[i];
+      bias_.grad[static_cast<std::size_t>(c)] += acc;
+    }
+    const Tensor dcols = matmul_tn(weight_.value, go);
+    col2im_add(dcols, grad_in, n, kernel_, stride_, pad_);
+  }
+  return grad_in;
+}
+
+}  // namespace dcsr::nn

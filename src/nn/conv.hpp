@@ -1,0 +1,38 @@
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace dcsr::nn {
+
+/// 2-D convolution over NCHW tensors via im2col + GEMM.
+///
+/// Weight layout is (out_channels) x (in_channels * k * k), i.e. the GEMM
+/// left operand; bias is one scalar per output channel. He-normal init.
+class Conv2d final : public Module {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, Rng& rng, int stride = 1,
+         int pad = -1 /* -1 => same padding for stride 1 */);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string name() const override { return "Conv2d"; }
+
+  int in_channels() const noexcept { return in_channels_; }
+  int out_channels() const noexcept { return out_channels_; }
+  int kernel() const noexcept { return kernel_; }
+  int stride() const noexcept { return stride_; }
+  int pad() const noexcept { return pad_; }
+
+  Param& weight() noexcept { return weight_; }
+  Param& bias() noexcept { return bias_; }
+
+ private:
+  int in_channels_, out_channels_, kernel_, stride_, pad_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;  // needed to form dW
+};
+
+}  // namespace dcsr::nn

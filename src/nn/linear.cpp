@@ -1,0 +1,41 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace dcsr::nn {
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::randn({out_features, in_features}, rng,
+                            std::sqrt(2.0f / static_cast<float>(in_features)))),
+      bias_(Tensor({out_features, 1})) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_features_)
+    throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
+  cached_input_ = x;
+  Tensor out = matmul_nt(x, weight_.value);  // N x out
+  const int N = x.dim(0);
+  for (int n = 0; n < N; ++n)
+    for (int o = 0; o < out_features_; ++o)
+      out.at(n, o) += bias_.value[static_cast<std::size_t>(o)];
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  if (x.empty()) throw std::logic_error("Linear::backward before forward");
+  // dW = dY^T * X ; db = colsum(dY) ; dX = dY * W.
+  weight_.grad.add_(matmul_tn(grad_out, x));
+  const int N = x.dim(0);
+  for (int n = 0; n < N; ++n)
+    for (int o = 0; o < out_features_; ++o)
+      bias_.grad[static_cast<std::size_t>(o)] += grad_out.at(n, o);
+  return matmul(grad_out, weight_.value);
+}
+
+}  // namespace dcsr::nn

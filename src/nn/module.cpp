@@ -1,0 +1,15 @@
+#include "nn/module.hpp"
+
+namespace dcsr::nn {
+
+void Module::zero_grad() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+std::size_t Module::param_count() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->count();
+  return n;
+}
+
+}  // namespace dcsr::nn

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dcsr::nn {
+
+/// A learnable parameter: value plus accumulated gradient of equal shape.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+  std::size_t count() const noexcept { return value.size(); }
+};
+
+/// Base class for all layers.
+///
+/// Training uses explicit reverse-mode differentiation: forward() caches
+/// whatever the layer needs, backward() consumes dL/d(output) and returns
+/// dL/d(input) while accumulating dL/d(param) into each Param::grad. There is
+/// no tape/graph machinery — the model topologies in this project (EDSR and a
+/// small VAE) are static, and explicit backward keeps every gradient path
+/// auditable and unit-testable against finite differences.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters; default none.
+  virtual std::vector<Param*> params() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  /// Clears accumulated gradients on all parameters.
+  void zero_grad();
+
+  /// Total number of learnable scalars.
+  std::size_t param_count();
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace dcsr::nn

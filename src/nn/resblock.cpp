@@ -1,0 +1,32 @@
+#include "nn/resblock.hpp"
+
+namespace dcsr::nn {
+
+ResBlock::ResBlock(int channels, Rng& rng, float res_scale)
+    : conv1_(channels, channels, 3, rng),
+      conv2_(channels, channels, 3, rng),
+      res_scale_(res_scale) {}
+
+Tensor ResBlock::forward(const Tensor& x) {
+  Tensor y = conv2_.forward(relu_.forward(conv1_.forward(x)));
+  y.scale_(res_scale_);
+  y.add_(x);
+  return y;
+}
+
+Tensor ResBlock::backward(const Tensor& grad_out) {
+  Tensor branch = grad_out;
+  branch.scale_(res_scale_);
+  Tensor grad = conv1_.backward(relu_.backward(conv2_.backward(branch)));
+  grad.add_(grad_out);  // identity skip
+  return grad;
+}
+
+std::vector<Param*> ResBlock::params() {
+  std::vector<Param*> ps = conv1_.params();
+  const auto p2 = conv2_.params();
+  ps.insert(ps.end(), p2.begin(), p2.end());
+  return ps;
+}
+
+}  // namespace dcsr::nn

@@ -1,0 +1,27 @@
+#include "nn/sequential.hpp"
+
+namespace dcsr::nn {
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor y = x;
+  for (auto& layer : layers_) y = layer->forward(y);
+  return y;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> ps;
+  for (auto& layer : layers_) {
+    const auto child = layer->params();
+    ps.insert(ps.end(), child.begin(), child.end());
+  }
+  return ps;
+}
+
+}  // namespace dcsr::nn

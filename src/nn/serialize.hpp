@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "util/serialize.hpp"
+
+namespace dcsr::nn {
+
+/// Serialises a model's parameters (shapes + float32 payload) into the
+/// portable binary format downloads are accounted in. The byte count returned
+/// by serialized_size() is exactly what the streaming simulator charges to
+/// the network when a client fetches a model.
+void save_params(Module& model, ByteWriter& out);
+
+/// Restores parameters in-place; the module must have an identical topology
+/// to the one that was saved. Throws on shape mismatch or truncation.
+void load_params(Module& model, ByteReader& in);
+
+/// Size in bytes of the serialised form, without materialising it twice.
+std::uint64_t serialized_size(Module& model);
+
+/// Copies parameter values from src into dst (identical topologies). Used to
+/// give micro models identical initial weights in the Fig. 11 memorisation
+/// experiment.
+void copy_params(Module& src, Module& dst);
+
+/// Half-precision variants: weights are stored as IEEE-754 binary16,
+/// halving every model download. SR weights tolerate fp16 easily (relative
+/// error ~1e-3), so this is the natural first lever on dcSR's model-transfer
+/// bytes beyond making the models smaller.
+void save_params_fp16(Module& model, ByteWriter& out);
+void load_params_fp16(Module& model, ByteReader& in);
+std::uint64_t serialized_size_fp16(Module& model);
+
+/// Scalar float <-> binary16 conversions (round-to-nearest-even on encode),
+/// exposed for tests.
+std::uint16_t float_to_half(float v) noexcept;
+float half_to_float(std::uint16_t h) noexcept;
+
+}  // namespace dcsr::nn

@@ -1,0 +1,163 @@
+#include "nn/shape_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcsr::nn {
+
+Tensor PixelShuffle::forward(const Tensor& x) {
+  const int r = scale_;
+  if (x.rank() != 4 || x.dim(1) % (r * r) != 0)
+    throw std::invalid_argument("PixelShuffle: channels not divisible by r^2");
+  const int N = x.dim(0), C = x.dim(1) / (r * r), H = x.dim(2), W = x.dim(3);
+  Tensor out({N, C, H * r, W * r});
+  for (int n = 0; n < N; ++n)
+    for (int c = 0; c < C; ++c)
+      for (int dy = 0; dy < r; ++dy)
+        for (int dx = 0; dx < r; ++dx) {
+          const int ic = c * r * r + dy * r + dx;
+          for (int h = 0; h < H; ++h)
+            for (int w = 0; w < W; ++w)
+              out.at(n, c, h * r + dy, w * r + dx) = x.at(n, ic, h, w);
+        }
+  return out;
+}
+
+Tensor PixelShuffle::backward(const Tensor& grad_out) {
+  const int r = scale_;
+  const int N = grad_out.dim(0), C = grad_out.dim(1);
+  const int H = grad_out.dim(2) / r, W = grad_out.dim(3) / r;
+  Tensor grad({N, C * r * r, H, W});
+  for (int n = 0; n < N; ++n)
+    for (int c = 0; c < C; ++c)
+      for (int dy = 0; dy < r; ++dy)
+        for (int dx = 0; dx < r; ++dx) {
+          const int ic = c * r * r + dy * r + dx;
+          for (int h = 0; h < H; ++h)
+            for (int w = 0; w < W; ++w)
+              grad.at(n, ic, h, w) = grad_out.at(n, c, h * r + dy, w * r + dx);
+        }
+  return grad;
+}
+
+namespace {
+
+// Source position and interpolation weight for one output coordinate under
+// centre-aligned bilinear upsampling by `r`.
+struct Tap {
+  int i0, i1;
+  float w1;  // weight of i1; i0 gets (1 - w1)
+};
+
+Tap bilinear_tap(int o, int r, int in_size) noexcept {
+  const float src = (static_cast<float>(o) + 0.5f) / static_cast<float>(r) - 0.5f;
+  int i0 = static_cast<int>(std::floor(src));
+  float w1 = src - static_cast<float>(i0);
+  int i1 = i0 + 1;
+  if (i0 < 0) {
+    i0 = 0;
+    i1 = 0;
+    w1 = 0.0f;
+  }
+  if (i1 >= in_size) {
+    i1 = in_size - 1;
+    if (i0 >= in_size) i0 = in_size - 1;
+    if (i0 == i1) w1 = 0.0f;
+  }
+  return {i0, i1, w1};
+}
+
+}  // namespace
+
+Tensor BilinearUpsample::forward(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("BilinearUpsample: expected NCHW");
+  const int r = scale_;
+  const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  Tensor out({N, C, H * r, W * r});
+  for (int oy = 0; oy < H * r; ++oy) {
+    const Tap ty = bilinear_tap(oy, r, H);
+    for (int ox = 0; ox < W * r; ++ox) {
+      const Tap tx = bilinear_tap(ox, r, W);
+      for (int n = 0; n < N; ++n)
+        for (int c = 0; c < C; ++c) {
+          const float top = x.at(n, c, ty.i0, tx.i0) * (1 - tx.w1) +
+                            x.at(n, c, ty.i0, tx.i1) * tx.w1;
+          const float bot = x.at(n, c, ty.i1, tx.i0) * (1 - tx.w1) +
+                            x.at(n, c, ty.i1, tx.i1) * tx.w1;
+          out.at(n, c, oy, ox) = top * (1 - ty.w1) + bot * ty.w1;
+        }
+    }
+  }
+  return out;
+}
+
+Tensor BilinearUpsample::backward(const Tensor& grad_out) {
+  const int r = scale_;
+  const int N = grad_out.dim(0), C = grad_out.dim(1);
+  const int H = grad_out.dim(2) / r, W = grad_out.dim(3) / r;
+  Tensor grad({N, C, H, W});
+  for (int oy = 0; oy < H * r; ++oy) {
+    const Tap ty = bilinear_tap(oy, r, H);
+    for (int ox = 0; ox < W * r; ++ox) {
+      const Tap tx = bilinear_tap(ox, r, W);
+      for (int n = 0; n < N; ++n)
+        for (int c = 0; c < C; ++c) {
+          const float g = grad_out.at(n, c, oy, ox);
+          grad.at(n, c, ty.i0, tx.i0) += g * (1 - ty.w1) * (1 - tx.w1);
+          grad.at(n, c, ty.i0, tx.i1) += g * (1 - ty.w1) * tx.w1;
+          grad.at(n, c, ty.i1, tx.i0) += g * ty.w1 * (1 - tx.w1);
+          grad.at(n, c, ty.i1, tx.i1) += g * ty.w1 * tx.w1;
+        }
+    }
+  }
+  return grad;
+}
+
+Tensor UpsampleNearest::forward(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("UpsampleNearest: expected NCHW");
+  const int r = scale_;
+  const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  Tensor out({N, C, H * r, W * r});
+  for (int n = 0; n < N; ++n)
+    for (int c = 0; c < C; ++c)
+      for (int h = 0; h < H * r; ++h)
+        for (int w = 0; w < W * r; ++w)
+          out.at(n, c, h, w) = x.at(n, c, h / r, w / r);
+  return out;
+}
+
+Tensor UpsampleNearest::backward(const Tensor& grad_out) {
+  const int r = scale_;
+  const int N = grad_out.dim(0), C = grad_out.dim(1);
+  const int H = grad_out.dim(2) / r, W = grad_out.dim(3) / r;
+  Tensor grad({N, C, H, W});
+  for (int n = 0; n < N; ++n)
+    for (int c = 0; c < C; ++c)
+      for (int h = 0; h < H * r; ++h)
+        for (int w = 0; w < W * r; ++w)
+          grad.at(n, c, h / r, w / r) += grad_out.at(n, c, h, w);
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("Flatten: expected NCHW");
+  cached_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.dim(1) * x.dim(2) * x.dim(3)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  if (cached_shape_.empty())
+    throw std::logic_error("Flatten::backward before forward");
+  return grad_out.reshaped(cached_shape_);
+}
+
+Tensor Reshape4::forward(const Tensor& x) {
+  if (x.rank() != 2) throw std::invalid_argument("Reshape4: expected 2-D input");
+  return x.reshaped({x.dim(0), c_, h_, w_});
+}
+
+Tensor Reshape4::backward(const Tensor& grad_out) {
+  return grad_out.reshaped({grad_out.dim(0), c_ * h_ * w_});
+}
+
+}  // namespace dcsr::nn

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "video/source.hpp"
+
+namespace dcsr::split {
+
+/// Shot-change detector configuration.
+struct ShotDetectorConfig {
+  /// Frames are compared on a downscaled luma thumbnail of this many columns
+  /// (rows follow the aspect ratio); keeps detection O(1) per frame pair at
+  /// any source resolution.
+  int thumb_width = 48;
+
+  /// Mean-absolute-luma-difference threshold above which a cut is declared.
+  /// The paper: "we estimate how different each frame is from its previous
+  /// one. If the difference is above the predefined threshold value, we
+  /// start a new segment."
+  double threshold = 0.08;
+};
+
+/// Per-frame difference signal: diff[i] is the mean absolute luma difference
+/// between frame i and frame i-1 (diff[0] = 0). Exposed separately so tests
+/// and the threshold ablation can inspect it.
+std::vector<double> frame_differences(const VideoSource& video,
+                                      const ShotDetectorConfig& cfg = {});
+
+/// Indices of detected shot boundaries (first frame of each new shot;
+/// always includes 0).
+std::vector<int> detect_shots(const VideoSource& video,
+                              const ShotDetectorConfig& cfg = {});
+
+}  // namespace dcsr::split

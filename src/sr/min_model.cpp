@@ -1,0 +1,49 @@
+#include "sr/min_model.hpp"
+
+#include <algorithm>
+
+#include "sr/model_zoo.hpp"
+
+namespace dcsr::sr {
+
+MinModelResult find_minimum_working_model(
+    const std::vector<TrainSample>& iframe_pairs, const EdsrConfig& big,
+    double big_psnr_db, double tolerance_db, const TrainOptions& opts, Rng& rng) {
+  // Build the Table-1 grid restricted to configs strictly smaller than the
+  // big model, sorted by serialised size ascending.
+  std::vector<EdsrConfig> grid;
+  for (const int f : table1_filter_axis())
+    for (const int rb : table1_resblock_axis()) {
+      EdsrConfig cfg{.n_filters = f, .n_resblocks = rb, .scale = big.scale};
+      if (edsr_model_bytes(cfg) < edsr_model_bytes(big)) grid.push_back(cfg);
+    }
+  std::sort(grid.begin(), grid.end(), [](const EdsrConfig& a, const EdsrConfig& b) {
+    return edsr_model_bytes(a) < edsr_model_bytes(b);
+  });
+
+  MinModelResult result;
+  result.big_psnr_db = big_psnr_db;
+  result.config = big;  // fallback: nothing smaller qualifies
+
+  for (const auto& cfg : grid) {
+    Rng model_rng = rng.fork();
+    Edsr model(cfg, model_rng);
+    train_sr_model(model, iframe_pairs, opts, model_rng);
+    const double q = evaluate_psnr(model, iframe_pairs);
+    result.probes.push_back({cfg, model_size_mb(cfg), q});
+    if (q >= big_psnr_db - tolerance_db) {
+      result.config = cfg;
+      return result;
+    }
+  }
+  return result;
+}
+
+int max_micro_models(const EdsrConfig& big, const EdsrConfig& min_working) noexcept {
+  const auto big_bytes = edsr_model_bytes(big);
+  const auto min_bytes = edsr_model_bytes(min_working);
+  if (min_bytes == 0) return 1;
+  return std::max(1, static_cast<int>(big_bytes / min_bytes));
+}
+
+}  // namespace dcsr::sr

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "sr/trainer.hpp"
+
+namespace dcsr::sr {
+
+/// One probe of the minimum-working-model search.
+struct MinModelProbe {
+  EdsrConfig config;
+  double size_mb = 0.0;
+  double psnr_db = 0.0;
+};
+
+struct MinModelResult {
+  EdsrConfig config;          // smallest config within tolerance of the big model
+  double big_psnr_db = 0.0;   // reference quality of the big model on I frames
+  std::vector<MinModelProbe> probes;  // every configuration evaluated, in size order
+};
+
+/// Appendix A.1: walks the Table-1 configuration grid in ascending model
+/// size, trains each candidate briefly on the video's I-frame pairs, and
+/// returns the first configuration whose PSNR is within `tolerance_db` of
+/// the big model's. |M_big| / |M_min| then bounds the number of micro models
+/// K the server may deploy (Eq. 3).
+MinModelResult find_minimum_working_model(
+    const std::vector<TrainSample>& iframe_pairs, const EdsrConfig& big,
+    double big_psnr_db, double tolerance_db, const TrainOptions& opts, Rng& rng);
+
+/// Upper bound on K from Eq. (3): floor(|M_big| / |M_min|), at least 1.
+int max_micro_models(const EdsrConfig& big, const EdsrConfig& min_working) noexcept;
+
+}  // namespace dcsr::sr

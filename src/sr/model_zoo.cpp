@@ -1,0 +1,28 @@
+#include "sr/model_zoo.hpp"
+
+#include <sstream>
+
+namespace dcsr::sr {
+
+EdsrConfig dcsr1_config(int scale) { return {.n_filters = 16, .n_resblocks = 4, .scale = scale}; }
+EdsrConfig dcsr2_config(int scale) { return {.n_filters = 16, .n_resblocks = 12, .scale = scale}; }
+EdsrConfig dcsr3_config(int scale) { return {.n_filters = 16, .n_resblocks = 16, .scale = scale}; }
+
+EdsrConfig big_model_config(int scale) {
+  return {.n_filters = 64, .n_resblocks = 16, .scale = scale, .res_scale = 0.1f};
+}
+
+std::vector<int> table1_filter_axis() { return {4, 8, 16, 32, 64}; }
+std::vector<int> table1_resblock_axis() { return {4, 8, 12, 16, 20}; }
+
+double model_size_mb(const EdsrConfig& cfg) {
+  return static_cast<double>(edsr_model_bytes(cfg)) / 1e6;
+}
+
+std::string config_name(const EdsrConfig& cfg) {
+  std::ostringstream os;
+  os << cfg.n_filters << "f x " << cfg.n_resblocks << "rb (x" << cfg.scale << ")";
+  return os.str();
+}
+
+}  // namespace dcsr::sr

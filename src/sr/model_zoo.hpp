@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sr/edsr.hpp"
+
+namespace dcsr::sr {
+
+/// The named configurations evaluated in the paper.
+///
+/// dcSR-1/2/3: "composed of 4, 12, and 16 ResBlocks, each of which has 16
+/// convolution filters" (§4). The big model is the NAS/NEMO-style network
+/// trained on the whole video (64 filters x 16 blocks, the largest cell of
+/// Table 1's grid at the paper's dcSR-3 depth).
+EdsrConfig dcsr1_config(int scale = 1);
+EdsrConfig dcsr2_config(int scale = 1);
+EdsrConfig dcsr3_config(int scale = 1);
+EdsrConfig big_model_config(int scale = 1);
+
+/// The hyperparameter grid of Table 1: n_filters in {4,8,16,32,64} x
+/// n_resblocks in {4,8,12,16,20}.
+std::vector<int> table1_filter_axis();
+std::vector<int> table1_resblock_axis();
+
+/// One cell of Table 1: model size in MB for the configuration.
+double model_size_mb(const EdsrConfig& cfg);
+
+/// Human-readable name like "16f x 8rb (x1)".
+std::string config_name(const EdsrConfig& cfg);
+
+}  // namespace dcsr::sr

@@ -1,0 +1,168 @@
+#include "stream/abr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcsr::stream {
+
+double ThroughputTrace::bytes_between(double t0, double t1) const noexcept {
+  if (bytes_per_second.empty() || t1 <= t0) return 0.0;
+  double total = 0.0;
+  double t = t0;
+  while (t < t1) {
+    const auto idx = std::min<std::size_t>(
+        static_cast<std::size_t>(t), bytes_per_second.size() - 1);
+    const double slice_end = std::min(t1, std::floor(t) + 1.0);
+    total += bytes_per_second[idx] * (slice_end - t);
+    t = slice_end;
+  }
+  return total;
+}
+
+double ThroughputTrace::seconds_to_download(double t0, double bytes) const noexcept {
+  if (bytes <= 0.0) return 0.0;
+  if (bytes_per_second.empty()) return 1e18;
+  double remaining = bytes;
+  double t = t0;
+  while (true) {
+    const auto idx = std::min<std::size_t>(
+        static_cast<std::size_t>(t), bytes_per_second.size() - 1);
+    const double rate = bytes_per_second[idx];
+    const double slice_end = std::floor(t) + 1.0;
+    const double slice = slice_end - t;
+    if (rate > 0.0 && remaining <= rate * slice) return (t + remaining / rate) - t0;
+    remaining -= rate * slice;
+    t = slice_end;
+    if (t - t0 > 1e7) return 1e18;  // dead network
+  }
+}
+
+AbrResult simulate_abr(const std::vector<Rung>& ladder,
+                       const std::vector<std::uint64_t>& model_bytes_per_segment,
+                       const ThroughputTrace& network, const AbrConfig& cfg) {
+  if (ladder.empty() || ladder[0].segment_bytes.empty())
+    throw std::invalid_argument("simulate_abr: empty ladder");
+  const std::size_t n_segments = ladder[0].segment_bytes.size();
+  for (const auto& rung : ladder)
+    if (rung.segment_bytes.size() != n_segments)
+      throw std::invalid_argument("simulate_abr: ladder rungs disagree on segments");
+  if (!model_bytes_per_segment.empty() &&
+      model_bytes_per_segment.size() != n_segments)
+    throw std::invalid_argument("simulate_abr: model byte vector length mismatch");
+
+  AbrResult result;
+  double clock = 0.0;           // wall time
+  double buffer = 0.0;          // seconds of video buffered
+  double est_throughput = 0.0;  // EWMA, bytes/s (0 = no sample yet)
+  bool started = false;
+
+  for (std::size_t i = 0; i < n_segments; ++i) {
+    // --- rung selection -----------------------------------------------------
+    int rung = 0;
+    if (cfg.policy == AbrPolicy::kBufferBased) {
+      // Linear map from buffer occupancy: lowest rung inside the reservoir,
+      // top rung when the buffer approaches its cap.
+      const double cushion =
+          std::max(1e-9, cfg.max_buffer_seconds - cfg.reservoir_seconds -
+                             cfg.segment_seconds);
+      const double level =
+          std::clamp((buffer - cfg.reservoir_seconds) / cushion, 0.0, 1.0);
+      rung = static_cast<int>(
+          std::floor(level * static_cast<double>(ladder.size() - 1) + 0.5));
+    } else if (est_throughput > 0.0) {
+      for (int r = static_cast<int>(ladder.size()) - 1; r >= 0; --r) {
+        const double rate_needed =
+            static_cast<double>(ladder[static_cast<std::size_t>(r)].segment_bytes[i]) /
+            cfg.segment_seconds;
+        if (rate_needed <= cfg.safety * est_throughput) {
+          rung = r;
+          break;
+        }
+      }
+    }
+    if (cfg.dcsr_aware) {
+      // Stop climbing once enhancement already reaches the target quality:
+      // take the LOWEST rung that satisfies the target (subject to the
+      // throughput cap chosen above).
+      for (int r = 0; r <= rung; ++r) {
+        if (ladder[static_cast<std::size_t>(r)].enhanced_quality_db >=
+            cfg.target_quality_db) {
+          rung = r;
+          break;
+        }
+      }
+    }
+
+    // --- download -------------------------------------------------------------
+    const double model_bytes =
+        model_bytes_per_segment.empty()
+            ? 0.0
+            : static_cast<double>(model_bytes_per_segment[i]);
+    const double bytes =
+        static_cast<double>(ladder[static_cast<std::size_t>(rung)].segment_bytes[i]) +
+        model_bytes;
+    const double dl = network.seconds_to_download(clock, bytes);
+
+    AbrSegmentLog log;
+    log.segment = static_cast<int>(i);
+    log.rung = rung;
+    log.download_seconds = dl;
+    log.bytes = static_cast<std::uint64_t>(bytes);
+
+    // --- buffer dynamics --------------------------------------------------------
+    // Playback drains the buffer while we download (after startup).
+    if (started) {
+      if (buffer >= dl) {
+        buffer -= dl;
+      } else {
+        log.rebuffer_seconds = dl - buffer;
+        buffer = 0.0;
+      }
+    }
+    clock += dl;
+    buffer += cfg.segment_seconds;
+    if (!started && buffer >= cfg.startup_buffer_seconds) started = true;
+    // Respect the buffer cap: wait (playing) before requesting more.
+    if (buffer > cfg.max_buffer_seconds) {
+      const double wait = buffer - cfg.max_buffer_seconds;
+      clock += wait;
+      buffer = cfg.max_buffer_seconds;
+    }
+
+    // --- state updates -----------------------------------------------------------
+    if (dl > 0.0) {
+      const double sample = bytes / dl;
+      est_throughput = est_throughput == 0.0
+                           ? sample
+                           : cfg.ewma_alpha * sample +
+                                 (1.0 - cfg.ewma_alpha) * est_throughput;
+    }
+    const auto& chosen = ladder[static_cast<std::size_t>(rung)];
+    log.quality_db =
+        cfg.dcsr_aware ? chosen.enhanced_quality_db : chosen.base_quality_db;
+
+    result.rebuffer_seconds += log.rebuffer_seconds;
+    result.total_bytes += log.bytes;
+    result.mean_quality_db += log.quality_db;
+    result.mean_rung += rung;
+    result.log.push_back(log);
+  }
+
+  const auto n = static_cast<double>(n_segments);
+  result.mean_quality_db /= n;
+  result.mean_rung /= n;
+  return result;
+}
+
+double qoe_score(const AbrResult& result, const QoeWeights& weights) {
+  if (result.log.empty()) return 0.0;
+  double switches = 0.0;
+  for (std::size_t i = 1; i < result.log.size(); ++i)
+    switches += std::abs(result.log[i].quality_db - result.log[i - 1].quality_db);
+  const auto n = static_cast<double>(result.log.size());
+  return result.mean_quality_db - weights.switch_penalty * switches / n -
+         weights.rebuffer_penalty * result.rebuffer_seconds / n;
+}
+
+}  // namespace dcsr::stream

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcsr::stream {
+
+/// One rung of a bitrate ladder: the same video encoded at one CRF.
+struct Rung {
+  int crf = 51;
+  std::vector<std::uint64_t> segment_bytes;  // per segment, from the encoder
+  double base_quality_db = 0.0;      // decoded quality without SR
+  double enhanced_quality_db = 0.0;  // quality after dcSR enhancement
+};
+
+/// Per-second available network throughput (bytes/s).
+struct ThroughputTrace {
+  std::vector<double> bytes_per_second;
+
+  /// Total bytes deliverable in [t0, t1) (seconds, fractional ok); the trace
+  /// repeats its last value beyond its end.
+  double bytes_between(double t0, double t1) const noexcept;
+
+  /// Seconds needed from time t0 to deliver `bytes`.
+  double seconds_to_download(double t0, double bytes) const noexcept;
+};
+
+/// Rate-based ABR with a playback buffer, extended with the paper's
+/// "super-resolved quality as ABR input" idea (§4):
+///
+///  - classic mode picks the highest rung whose bitrate fits under
+///    safety * estimated_throughput (throughput is an EWMA of measured
+///    download rates);
+///  - dcSR-aware mode additionally stops climbing the ladder once a rung's
+///    *enhanced* quality reaches `target_quality_db`: when the micro models
+///    can recover the quality anyway, spending bandwidth on a higher rung
+///    is wasted.
+enum class AbrPolicy {
+  /// Rate-based: highest rung under safety * EWMA(throughput).
+  kRateBased,
+  /// Buffer-based (BBA-style, in the spirit of the BOLA/BBA line the paper
+  /// cites): the rung is a linear function of buffer occupancy between a
+  /// reservoir and a cushion — no throughput estimation at all.
+  kBufferBased,
+};
+
+struct AbrConfig {
+  AbrPolicy policy = AbrPolicy::kRateBased;
+  double segment_seconds = 4.0;
+  double safety = 0.8;
+  double ewma_alpha = 0.6;          // weight of the newest throughput sample
+  double startup_buffer_seconds = 4.0;
+  double max_buffer_seconds = 16.0;
+  double reservoir_seconds = 4.0;   // buffer-based: below this, lowest rung
+  bool dcsr_aware = false;
+  double target_quality_db = 0.0;   // only used when dcsr_aware
+};
+
+struct AbrSegmentLog {
+  int segment = 0;
+  int rung = 0;
+  double download_seconds = 0.0;
+  double rebuffer_seconds = 0.0;
+  double quality_db = 0.0;   // delivered quality (enhanced when dcsr_aware)
+  std::uint64_t bytes = 0;   // video + model bytes fetched for this segment
+};
+
+struct AbrResult {
+  std::vector<AbrSegmentLog> log;
+  double rebuffer_seconds = 0.0;
+  double mean_quality_db = 0.0;
+  double mean_rung = 0.0;
+  std::uint64_t total_bytes = 0;
+};
+
+/// Simulates one playback session over the ladder. `model_bytes_per_segment`
+/// is the extra model download charged to each segment (zero after a cache
+/// hit — compute it with ModelCache/simulate_session); pass an empty vector
+/// for model-free methods.
+AbrResult simulate_abr(const std::vector<Rung>& ladder,
+                       const std::vector<std::uint64_t>& model_bytes_per_segment,
+                       const ThroughputTrace& network, const AbrConfig& cfg);
+
+/// Standard linear QoE model from the ABR literature (Pensieve/BOLA-style):
+///   QoE = mean quality − switch_penalty * mean |quality change|
+///                      − rebuffer_penalty * (rebuffer seconds / segment).
+/// Quality is the per-segment delivered dB from the AbrResult log.
+struct QoeWeights {
+  double switch_penalty = 1.0;
+  double rebuffer_penalty = 4.3;  // the customary Pensieve weight (dB/s)
+};
+double qoe_score(const AbrResult& result, const QoeWeights& weights = {});
+
+}  // namespace dcsr::stream

@@ -1,0 +1,70 @@
+#include "stream/model_bundle.hpp"
+
+#include <stdexcept>
+
+#include "codec/container.hpp"  // crc32
+
+namespace dcsr::stream {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x64634d42;  // "dcMB"
+}
+
+void ModelBundle::add(int label, std::vector<std::uint8_t> payload) {
+  if (contains(label))
+    throw std::invalid_argument("ModelBundle::add: duplicate label");
+  entries_.push_back({label, std::move(payload)});
+}
+
+bool ModelBundle::contains(int label) const noexcept {
+  for (const auto& e : entries_)
+    if (e.label == label) return true;
+  return false;
+}
+
+const std::vector<std::uint8_t>& ModelBundle::payload(int label) const {
+  for (const auto& e : entries_)
+    if (e.label == label) return e.payload;
+  throw std::out_of_range("ModelBundle::payload: unknown label");
+}
+
+std::uint64_t ModelBundle::total_bytes() const noexcept {
+  std::uint64_t n = 8;  // magic + count
+  for (const auto& e : entries_) n += 12 + e.payload.size();
+  return n;
+}
+
+void ModelBundle::serialize(ByteWriter& out) const {
+  out.write_u32(kMagic);
+  out.write_u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    out.write_u32(static_cast<std::uint32_t>(e.label));
+    out.write_u32(static_cast<std::uint32_t>(e.payload.size()));
+    out.write_u32(codec::crc32(e.payload.data(), e.payload.size()));
+    for (const auto b : e.payload) out.write_u8(b);
+  }
+}
+
+ModelBundle ModelBundle::deserialize(ByteReader& in) {
+  if (in.read_u32() != kMagic)
+    throw std::invalid_argument("ModelBundle: bad magic");
+  const std::uint32_t count = in.read_u32();
+  if (count > 1u << 16)
+    throw std::invalid_argument("ModelBundle: implausible entry count");
+  ModelBundle bundle;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const int label = static_cast<int>(in.read_u32());
+    const std::uint32_t size = in.read_u32();
+    const std::uint32_t crc = in.read_u32();
+    if (size > in.remaining())
+      throw std::invalid_argument("ModelBundle: truncated payload");
+    std::vector<std::uint8_t> payload(size);
+    for (auto& b : payload) b = in.read_u8();
+    if (codec::crc32(payload.data(), payload.size()) != crc)
+      throw std::invalid_argument("ModelBundle: CRC mismatch");
+    bundle.add(label, std::move(payload));
+  }
+  return bundle;
+}
+
+}  // namespace dcsr::stream

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/serialize.hpp"
+
+namespace dcsr::stream {
+
+/// A labelled, integrity-checked package of serialised micro models — what
+/// the CDN actually stores and the client actually downloads. Each entry is
+/// a label plus an opaque payload (fp32 or fp16 model bytes) with a CRC-32;
+/// the client can fetch and verify one model without touching the rest.
+struct ModelBundleEntry {
+  int label = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class ModelBundle {
+ public:
+  /// Adds a model; labels must be unique.
+  void add(int label, std::vector<std::uint8_t> payload);
+
+  bool contains(int label) const noexcept;
+  const std::vector<std::uint8_t>& payload(int label) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::vector<ModelBundleEntry>& entries() const noexcept { return entries_; }
+
+  /// Total serialised size (what a full-bundle download costs).
+  std::uint64_t total_bytes() const noexcept;
+
+  /// Wire format: magic | count | per entry (label | size | crc32 | bytes).
+  void serialize(ByteWriter& out) const;
+
+  /// Parses and verifies every entry's CRC; throws std::invalid_argument on
+  /// corruption, duplicate labels, or truncation.
+  static ModelBundle deserialize(ByteReader& in);
+
+ private:
+  std::vector<ModelBundleEntry> entries_;
+};
+
+}  // namespace dcsr::stream

@@ -1,0 +1,15 @@
+#include "stream/model_cache.hpp"
+
+namespace dcsr::stream {
+
+bool ModelCache::fetch(int label) {
+  if (cache_.count(label) > 0) {
+    ++hits_;
+    return true;
+  }
+  cache_.insert(label);
+  ++downloads_;
+  return false;
+}
+
+}  // namespace dcsr::stream

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <set>
+
+namespace dcsr::stream {
+
+/// Algorithm 1 of the paper: the client-side micro-model cache. Models are
+/// keyed by cluster label; once downloaded, a model is never fetched again —
+/// segments that revisit an earlier scene (the long-term temporal
+/// correlation dcSR exploits) hit the cache.
+class ModelCache {
+ public:
+  /// Looks up a label, downloading on miss (the DOWNLOAD(L) of line 6).
+  /// Returns true on a cache hit.
+  bool fetch(int label);
+
+  bool contains(int label) const noexcept { return cache_.count(label) > 0; }
+
+  int hits() const noexcept { return hits_; }
+  int downloads() const noexcept { return downloads_; }
+  std::size_t size() const noexcept { return cache_.size(); }
+
+  void clear() noexcept {
+    cache_.clear();
+    hits_ = 0;
+    downloads_ = 0;
+  }
+
+ private:
+  std::set<int> cache_;
+  int hits_ = 0;
+  int downloads_ = 0;
+};
+
+}  // namespace dcsr::stream

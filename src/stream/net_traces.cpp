@@ -1,0 +1,39 @@
+#include "stream/net_traces.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcsr::stream {
+
+ThroughputTrace constant_trace(double bytes_per_s, int seconds) {
+  if (seconds <= 0) throw std::invalid_argument("constant_trace: bad duration");
+  return {std::vector<double>(static_cast<std::size_t>(seconds), bytes_per_s)};
+}
+
+ThroughputTrace step_trace(double before, double after, int step_at, int seconds) {
+  if (seconds <= 0 || step_at < 0)
+    throw std::invalid_argument("step_trace: bad arguments");
+  ThroughputTrace t;
+  t.bytes_per_second.reserve(static_cast<std::size_t>(seconds));
+  for (int s = 0; s < seconds; ++s)
+    t.bytes_per_second.push_back(s < step_at ? before : after);
+  return t;
+}
+
+ThroughputTrace markov_trace(const MarkovTraceConfig& cfg, int seconds, Rng& rng) {
+  if (seconds <= 0) throw std::invalid_argument("markov_trace: bad duration");
+  ThroughputTrace t;
+  t.bytes_per_second.reserve(static_cast<std::size_t>(seconds));
+  bool good = true;
+  for (int s = 0; s < seconds; ++s) {
+    const double flip = rng.uniform();
+    if (good && flip < cfg.p_good_to_bad) good = false;
+    else if (!good && flip < cfg.p_bad_to_good) good = true;
+    const double base = good ? cfg.good_rate : cfg.bad_rate;
+    const double jittered = base * (1.0 + cfg.jitter * rng.normal());
+    t.bytes_per_second.push_back(std::max(jittered, base * 0.1));
+  }
+  return t;
+}
+
+}  // namespace dcsr::stream

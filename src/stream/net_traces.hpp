@@ -1,0 +1,29 @@
+#pragma once
+
+#include "stream/abr.hpp"
+#include "util/rng.hpp"
+
+namespace dcsr::stream {
+
+/// Canned network-throughput trace generators for ABR experiments. All rates
+/// are bytes/second, one sample per second.
+
+/// Constant-rate link.
+ThroughputTrace constant_trace(double bytes_per_s, int seconds);
+
+/// A single rate step at `step_at` seconds (e.g. WiFi -> cellular handover).
+ThroughputTrace step_trace(double before, double after, int step_at, int seconds);
+
+/// Two-state Gilbert-Elliott-style channel: dwell in a good or bad state
+/// with geometric holding times, plus mild lognormal-ish jitter. A standard
+/// stand-in for LTE traces in streaming papers.
+struct MarkovTraceConfig {
+  double good_rate = 4000.0;
+  double bad_rate = 500.0;
+  double p_good_to_bad = 0.05;  // per second
+  double p_bad_to_good = 0.15;
+  double jitter = 0.15;         // relative stddev within a state
+};
+ThroughputTrace markov_trace(const MarkovTraceConfig& cfg, int seconds, Rng& rng);
+
+}  // namespace dcsr::stream

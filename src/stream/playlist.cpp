@@ -1,0 +1,115 @@
+#include "stream/playlist.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dcsr::stream {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::invalid_argument("parse_playlist: " + why);
+}
+
+// Splits "a:b:c" after a known prefix into fields.
+std::vector<std::string> fields_after(const std::string& line,
+                                      const std::string& prefix) {
+  std::vector<std::string> out;
+  std::string rest = line.substr(prefix.size());
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = rest.find(':', pos);
+    if (next == std::string::npos) {
+      out.push_back(rest.substr(pos));
+      break;
+    }
+    out.push_back(rest.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size())
+    fail("bad number '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+std::string write_playlist(const Manifest& manifest) {
+  std::ostringstream os;
+  os << "#DCSR-PLAYLIST:1\n";
+  os << "#MODELS:" << manifest.model_bytes.size() << '\n';
+  for (std::size_t m = 0; m < manifest.model_bytes.size(); ++m)
+    os << "#MODEL:" << m << ':' << manifest.model_bytes[m] << '\n';
+  for (const auto& seg : manifest.segments) {
+    os << "#SEGMENT:" << seg.segment_index << ':' << seg.frame_count << ':'
+       << seg.video_bytes << ':';
+    if (seg.model_label == kNoModel) {
+      os << '-';
+    } else {
+      os << seg.model_label;
+    }
+    os << '\n';
+  }
+  os << "#END\n";
+  return os.str();
+}
+
+Manifest parse_playlist(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+
+  if (!std::getline(is, line) || line != "#DCSR-PLAYLIST:1")
+    fail("missing or unsupported header");
+
+  Manifest manifest;
+  if (!std::getline(is, line) || line.rfind("#MODELS:", 0) != 0)
+    fail("missing #MODELS");
+  const auto n_models = to_u64(line.substr(8));
+  if (n_models > 1u << 20) fail("implausible model count");
+
+  for (std::uint64_t m = 0; m < n_models; ++m) {
+    if (!std::getline(is, line) || line.rfind("#MODEL:", 0) != 0)
+      fail("missing #MODEL line");
+    const auto f = fields_after(line, "#MODEL:");
+    if (f.size() != 2) fail("malformed #MODEL");
+    if (to_u64(f[0]) != m) fail("model labels must be dense and ordered");
+    manifest.model_bytes.push_back(to_u64(f[1]));
+  }
+
+  bool ended = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line == "#END") {
+      ended = true;
+      break;
+    }
+    if (line.rfind("#SEGMENT:", 0) != 0) fail("unknown directive: " + line);
+    const auto f = fields_after(line, "#SEGMENT:");
+    if (f.size() != 4) fail("malformed #SEGMENT");
+    SegmentEntry seg;
+    seg.segment_index = static_cast<int>(to_u64(f[0]));
+    seg.frame_count = static_cast<int>(to_u64(f[1]));
+    seg.video_bytes = to_u64(f[2]);
+    if (f[3] == "-") {
+      seg.model_label = kNoModel;
+    } else {
+      seg.model_label = static_cast<int>(to_u64(f[3]));
+      if (static_cast<std::size_t>(seg.model_label) >= manifest.model_bytes.size())
+        fail("segment references unknown model");
+    }
+    if (seg.segment_index != static_cast<int>(manifest.segments.size()))
+      fail("segments must be dense and ordered");
+    manifest.segments.push_back(seg);
+  }
+  if (!ended) fail("missing #END");
+  return manifest;
+}
+
+}  // namespace dcsr::stream

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "stream/manifest.hpp"
+
+namespace dcsr::stream {
+
+/// Text playlist format for dcSR manifests — the HLS-flavoured integration
+/// surface a real CDN/player pair would exchange. One line per directive:
+///
+///   #DCSR-PLAYLIST:1
+///   #MODELS:<count>
+///   #MODEL:<label>:<bytes>
+///   #SEGMENT:<index>:<frames>:<video-bytes>:<model-label|->
+///   #END
+///
+/// Labels use "-" for kNoModel. The parser is strict: unknown directives,
+/// out-of-range labels, or a missing #END throw std::invalid_argument.
+std::string write_playlist(const Manifest& manifest);
+
+Manifest parse_playlist(const std::string& text);
+
+}  // namespace dcsr::stream

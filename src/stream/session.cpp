@@ -1,0 +1,41 @@
+#include "stream/session.hpp"
+
+namespace dcsr::stream {
+
+SessionResult simulate_session(const Manifest& manifest, const SessionConfig& cfg) {
+  SessionResult result;
+  ModelCache cache;
+
+  const std::size_t limit =
+      cfg.watch_segments < 0
+          ? manifest.segments.size()
+          : std::min<std::size_t>(static_cast<std::size_t>(cfg.watch_segments),
+                                  manifest.segments.size());
+
+  for (std::size_t i = 0; i < limit; ++i) {
+    const SegmentEntry& seg = manifest.segments[i];
+    SegmentLog log;
+    log.segment_index = seg.segment_index;
+    log.video_bytes = seg.video_bytes;
+
+    if (seg.model_label != kNoModel) {
+      const bool hit = cfg.enable_model_cache ? cache.fetch(seg.model_label)
+                                              : false;
+      log.cache_hit = hit;
+      if (!hit) {
+        log.model_bytes =
+            manifest.model_bytes[static_cast<std::size_t>(seg.model_label)];
+        ++result.model_downloads;
+      } else {
+        ++result.cache_hits;
+      }
+    }
+
+    result.video_bytes += log.video_bytes;
+    result.model_bytes += log.model_bytes;
+    result.log.push_back(log);
+  }
+  return result;
+}
+
+}  // namespace dcsr::stream

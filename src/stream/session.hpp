@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "stream/manifest.hpp"
+#include "stream/model_cache.hpp"
+
+namespace dcsr::stream {
+
+struct SessionConfig {
+  /// Caching per Algorithm 1. Disabling it re-downloads a model every time
+  /// its label appears — the ablation quantifying what the cache saves.
+  bool enable_model_cache = true;
+
+  /// Stop after this many segments (-1 = play to the end). Lets experiments
+  /// model users who abandon a video early — the scenario where NAS/NEMO's
+  /// download-everything-up-front model wastes the most bandwidth.
+  int watch_segments = -1;
+};
+
+/// Per-segment download record.
+struct SegmentLog {
+  int segment_index = 0;
+  std::uint64_t video_bytes = 0;
+  std::uint64_t model_bytes = 0;  // 0 on cache hit or kNoModel
+  bool cache_hit = false;
+};
+
+/// Network usage of one playback session.
+struct SessionResult {
+  std::vector<SegmentLog> log;
+  std::uint64_t video_bytes = 0;
+  std::uint64_t model_bytes = 0;
+  int model_downloads = 0;
+  int cache_hits = 0;
+
+  std::uint64_t total_bytes() const noexcept { return video_bytes + model_bytes; }
+};
+
+/// Simulates a playback session against a manifest: fetch each segment's
+/// video bytes, consult the cache for its model, download on miss.
+/// Single-model manifests (NAS/NEMO) naturally download their model once,
+/// with the first segment — matching "downloaded in the beginning of the
+/// video streaming".
+SessionResult simulate_session(const Manifest& manifest,
+                               const SessionConfig& cfg = {});
+
+}  // namespace dcsr::stream

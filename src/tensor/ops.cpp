@@ -1,0 +1,196 @@
+#include "tensor/ops.hpp"
+
+#include <stdexcept>
+
+namespace dcsr {
+namespace {
+
+void require_same(const Tensor& a, const Tensor& b, const char* what) {
+  if (!a.same_shape(b)) throw std::invalid_argument(std::string(what) + ": shape mismatch");
+}
+
+void require_2d(const Tensor& t, const char* what) {
+  if (t.rank() != 2) throw std::invalid_argument(std::string(what) + ": expected 2-D tensor");
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  require_same(a, b, "add");
+  Tensor out = a;
+  out.add_(b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  require_same(a, b, "sub");
+  Tensor out = a;
+  out.axpy_(-1.0f, b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  require_same(a, b, "mul");
+  Tensor out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Tensor scaled(const Tensor& a, float s) {
+  Tensor out = a;
+  out.scale_(s);
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul");
+  require_2d(b, "matmul");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor out({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = out.data();
+  // ikj loop order: streams B and C rows, friendly to the prefetcher.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = A[static_cast<std::size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const float* Brow = B + static_cast<std::size_t>(kk) * n;
+      float* Crow = C + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul_tn");
+  require_2d(b, "matmul_tn");
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dim mismatch");
+  Tensor out({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = out.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* Arow = A + static_cast<std::size_t>(kk) * m;
+    const float* Brow = B + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float aik = Arow[i];
+      if (aik == 0.0f) continue;
+      float* Crow = C + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul_nt");
+  require_2d(b, "matmul_nt");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  Tensor out({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = out.data();
+  for (int i = 0; i < m; ++i) {
+    const float* Arow = A + static_cast<std::size_t>(i) * k;
+    float* Crow = C + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* Brow = B + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += Arow[kk] * Brow[kk];
+      Crow[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& a) {
+  require_2d(a, "transpose");
+  const int m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) out.at(j, i) = a.at(i, j);
+  return out;
+}
+
+int conv_out_size(int in, int kernel, int stride, int pad) noexcept {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+Tensor im2col(const Tensor& input, int n, int kernel, int stride, int pad) {
+  if (input.rank() != 4) throw std::invalid_argument("im2col: expected NCHW input");
+  const int C = input.dim(1), H = input.dim(2), W = input.dim(3);
+  const int oh = conv_out_size(H, kernel, stride, pad);
+  const int ow = conv_out_size(W, kernel, stride, pad);
+  Tensor cols({C * kernel * kernel, oh * ow});
+  float* out = cols.data();
+  for (int c = 0; c < C; ++c) {
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        const int row = (c * kernel + ky) * kernel + kx;
+        float* dst = out + static_cast<std::size_t>(row) * oh * ow;
+        for (int y = 0; y < oh; ++y) {
+          const int sy = y * stride + ky - pad;
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x * stride + kx - pad;
+            dst[y * ow + x] = (sy >= 0 && sy < H && sx >= 0 && sx < W)
+                                  ? input.at(n, c, sy, sx)
+                                  : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+void col2im_add(const Tensor& cols, Tensor& out, int n, int kernel, int stride,
+                int pad) {
+  if (out.rank() != 4) throw std::invalid_argument("col2im_add: expected NCHW output");
+  const int C = out.dim(1), H = out.dim(2), W = out.dim(3);
+  const int oh = conv_out_size(H, kernel, stride, pad);
+  const int ow = conv_out_size(W, kernel, stride, pad);
+  if (cols.dim(0) != C * kernel * kernel || cols.dim(1) != oh * ow)
+    throw std::invalid_argument("col2im_add: column shape mismatch");
+  const float* src = cols.data();
+  for (int c = 0; c < C; ++c) {
+    for (int ky = 0; ky < kernel; ++ky) {
+      for (int kx = 0; kx < kernel; ++kx) {
+        const int row = (c * kernel + ky) * kernel + kx;
+        const float* s = src + static_cast<std::size_t>(row) * oh * ow;
+        for (int y = 0; y < oh; ++y) {
+          const int sy = y * stride + ky - pad;
+          if (sy < 0 || sy >= H) continue;
+          for (int x = 0; x < ow; ++x) {
+            const int sx = x * stride + kx - pad;
+            if (sx < 0 || sx >= W) continue;
+            out.at(n, c, sy, sx) += s[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+double sum(const Tensor& a) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i];
+  return s;
+}
+
+double mse(const Tensor& a, const Tensor& b) {
+  require_same(a, b, "mse");
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return s / static_cast<double>(a.size());
+}
+
+}  // namespace dcsr

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dcsr {
+
+/// Elementwise ops. All require matching shapes and return a new tensor.
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scaled(const Tensor& a, float s);
+
+/// Matrix product of 2-D tensors: (m x k) * (k x n) -> (m x n).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// Matrix product with the first operand transposed: aT(k x m) * b(k x n).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Matrix product with the second operand transposed: a(m x k) * bT(n x k).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// 2-D transpose.
+Tensor transpose(const Tensor& a);
+
+/// im2col for a single image (C x H x W laid out as the n-th item of an NCHW
+/// tensor): extracts k x k patches with the given stride and zero padding
+/// into a (C*k*k) x (outH*outW) matrix. This is the workhorse behind Conv2d.
+Tensor im2col(const Tensor& input, int n, int kernel, int stride, int pad);
+
+/// Adjoint of im2col: scatter-adds columns back into a C x H x W gradient
+/// image (written into the n-th item of `out`, which must be pre-shaped).
+void col2im_add(const Tensor& cols, Tensor& out, int n, int kernel, int stride,
+                int pad);
+
+/// Output spatial size of a convolution: floor((in + 2*pad - kernel)/stride)+1.
+int conv_out_size(int in, int kernel, int stride, int pad) noexcept;
+
+/// Sum of all elements.
+double sum(const Tensor& a) noexcept;
+
+/// Mean squared difference between two same-shaped tensors.
+double mse(const Tensor& a, const Tensor& b);
+
+}  // namespace dcsr

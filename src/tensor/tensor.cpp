@@ -1,0 +1,74 @@
+#include "tensor/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace dcsr {
+namespace {
+
+std::size_t element_count(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    if (d <= 0) throw std::invalid_argument("Tensor: non-positive dimension");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  if (element_count(shape) != size())
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch");
+  Tensor t = *this;
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+void Tensor::fill(float v) noexcept {
+  for (auto& x : data_) x = v;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor::add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) noexcept {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float alpha, const Tensor& other) {
+  if (!same_shape(other)) throw std::invalid_argument("Tensor::axpy_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  return *this;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  return os.str();
+}
+
+}  // namespace dcsr

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dcsr {
+
+/// Dense float tensor in row-major (NCHW for 4-D) layout.
+///
+/// The tensor is deliberately simple: contiguous storage, explicit shape, no
+/// views or broadcasting. The neural-network layers in dcsr_nn implement
+/// their own forward/backward kernels on top of this, which keeps the whole
+/// training stack auditable — important here because the SR models are the
+/// object of study, not an implementation detail.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialised tensor with the given shape.
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::initializer_list<int> shape)
+      : Tensor(std::vector<int>(shape)) {}
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+
+  /// He/Kaiming-normal init for conv/linear weights (fan_in based).
+  static Tensor randn(std::vector<int> shape, Rng& rng, float stddev = 1.0f);
+
+  const std::vector<int>& shape() const noexcept { return shape_; }
+  int dim(std::size_t i) const noexcept { return shape_[i]; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> span() noexcept { return data_; }
+  std::span<const float> span() const noexcept { return data_; }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// 4-D accessors (NCHW). Bounds are assert-checked in debug builds.
+  float& at(int n, int c, int h, int w) noexcept {
+    assert(rank() == 4);
+    return data_[idx4(n, c, h, w)];
+  }
+  float at(int n, int c, int h, int w) const noexcept {
+    assert(rank() == 4);
+    return data_[idx4(n, c, h, w)];
+  }
+
+  /// 2-D accessors (rows x cols).
+  float& at(int r, int c) noexcept {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(shape_[1]) +
+                 static_cast<std::size_t>(c)];
+  }
+  float at(int r, int c) const noexcept {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(shape_[1]) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  /// Returns a copy with a new shape of equal element count.
+  Tensor reshaped(std::vector<int> shape) const;
+
+  void fill(float v) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// In-place compound ops used by optimisers.
+  Tensor& add_(const Tensor& other);
+  Tensor& scale_(float s) noexcept;
+  Tensor& axpy_(float alpha, const Tensor& other);  // this += alpha * other
+
+  /// Shape as "NxCxHxW" for diagnostics.
+  std::string shape_str() const;
+
+  bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+ private:
+  std::size_t idx4(int n, int c, int h, int w) const noexcept {
+    const auto C = static_cast<std::size_t>(shape_[1]);
+    const auto H = static_cast<std::size_t>(shape_[2]);
+    const auto W = static_cast<std::size_t>(shape_[3]);
+    return ((static_cast<std::size_t>(n) * C + static_cast<std::size_t>(c)) * H +
+            static_cast<std::size_t>(h)) *
+               W +
+           static_cast<std::size_t>(w);
+  }
+
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dcsr

@@ -1,0 +1,28 @@
+#include "util/file.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace dcsr {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("read_file: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), size))
+    throw std::runtime_error("read_file: short read on " + path);
+  return bytes;
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_file: cannot open " + path);
+  if (!bytes.empty() &&
+      !out.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size())))
+    throw std::runtime_error("write_file: short write on " + path);
+}
+
+}  // namespace dcsr

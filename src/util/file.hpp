@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcsr {
+
+/// Reads a whole file into memory; throws std::runtime_error on failure.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Writes bytes to a file (truncating); throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+}  // namespace dcsr

@@ -1,0 +1,3 @@
+#include "util/serialize.hpp"
+
+// Header-only implementation; this TU anchors the library target.

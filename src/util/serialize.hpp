@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dcsr {
+
+/// Little-endian binary writer used for model files and bitstream
+/// serialisation. All multi-byte values are written LSB-first regardless of
+/// host endianness so serialised artefacts are portable.
+class ByteWriter {
+ public:
+  void write_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void write_u16(std::uint16_t v) {
+    write_u8(static_cast<std::uint8_t>(v & 0xff));
+    write_u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void write_u32(std::uint32_t v) {
+    write_u16(static_cast<std::uint16_t>(v & 0xffff));
+    write_u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void write_u64(std::uint64_t v) {
+    write_u32(static_cast<std::uint32_t>(v & 0xffffffffULL));
+    write_u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+
+  void write_f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    write_u32(bits);
+  }
+
+  void write_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    write_u64(bits);
+  }
+
+  void write_string(const std::string& s) {
+    write_u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void write_f32_span(const float* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) write_f32(data[i]);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Matching reader; throws std::out_of_range on truncated input so corrupt
+/// model files fail loudly instead of yielding garbage weights.
+class ByteReader {
+ public:
+  explicit ByteReader(std::vector<std::uint8_t> bytes) : buf_(std::move(bytes)) {}
+
+  std::uint8_t read_u8() {
+    require(1);
+    return buf_[pos_++];
+  }
+
+  std::uint16_t read_u16() {
+    const auto lo = read_u8();
+    const auto hi = read_u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t read_u32() {
+    const std::uint32_t lo = read_u16();
+    const std::uint32_t hi = read_u16();
+    return lo | (hi << 16);
+  }
+
+  std::uint64_t read_u64() {
+    const std::uint64_t lo = read_u32();
+    const std::uint64_t hi = read_u32();
+    return lo | (hi << 32);
+  }
+
+  std::int32_t read_i32() { return static_cast<std::int32_t>(read_u32()); }
+
+  float read_f32() {
+    const std::uint32_t bits = read_u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  double read_f64() {
+    const std::uint64_t bits = read_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::string read_string() {
+    const auto n = read_u32();
+    require(n);
+    std::string s(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return s;
+  }
+
+  void read_f32_span(float* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = read_f32();
+  }
+
+  std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+  bool done() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > buf_.size())
+      throw std::out_of_range("ByteReader: truncated input");
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dcsr

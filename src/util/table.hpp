@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dcsr {
+
+/// Minimal fixed-layout ASCII table used by the bench binaries to print the
+/// rows/series that correspond to the paper's tables and figures.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns.
+  std::string to_string() const;
+
+  /// Renders comma-separated values (header + rows), for downstream plotting.
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+std::string fmt(double v, int decimals = 2);
+
+}  // namespace dcsr

@@ -1,0 +1,100 @@
+#include "video/genres.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcsr {
+
+std::vector<Genre> all_genres() {
+  return {Genre::kAnimation, Genre::kSports,      Genre::kNews,
+          Genre::kMusicVideo, Genre::kDocumentary, Genre::kGaming};
+}
+
+std::string genre_name(Genre g) {
+  switch (g) {
+    case Genre::kAnimation: return "animation";
+    case Genre::kSports: return "sports";
+    case Genre::kNews: return "news";
+    case Genre::kMusicVideo: return "music";
+    case Genre::kDocumentary: return "documentary";
+    case Genre::kGaming: return "gaming";
+  }
+  throw std::invalid_argument("genre_name: unknown genre");
+}
+
+GenreProfile profile_for(Genre g) {
+  switch (g) {
+    case Genre::kAnimation:
+      return {.scene_library_size = 10, .mean_shot_seconds = 3.0,
+              .motion_intensity = 0.8f, .texture_detail = 0.2f,
+              .recurrence_prob = 0.6};
+    case Genre::kSports:
+      return {.scene_library_size = 8, .mean_shot_seconds = 5.0,
+              .motion_intensity = 2.0f, .texture_detail = 0.7f,
+              .recurrence_prob = 0.5};
+    case Genre::kNews:
+      return {.scene_library_size = 5, .mean_shot_seconds = 8.0,
+              .motion_intensity = 0.2f, .texture_detail = 0.4f,
+              .recurrence_prob = 0.75};
+    case Genre::kMusicVideo:
+      return {.scene_library_size = 14, .mean_shot_seconds = 2.0,
+              .motion_intensity = 1.5f, .texture_detail = 0.6f,
+              .recurrence_prob = 0.55};
+    case Genre::kDocumentary:
+      return {.scene_library_size = 18, .mean_shot_seconds = 7.0,
+              .motion_intensity = 0.5f, .texture_detail = 0.9f,
+              .recurrence_prob = 0.25};
+    case Genre::kGaming:
+      return {.scene_library_size = 9, .mean_shot_seconds = 4.0,
+              .motion_intensity = 1.8f, .texture_detail = 0.5f,
+              .recurrence_prob = 0.5};
+  }
+  throw std::invalid_argument("profile_for: unknown genre");
+}
+
+std::unique_ptr<SyntheticVideo> make_genre_video(Genre g, std::uint64_t seed,
+                                                 int width, int height,
+                                                 double duration_seconds,
+                                                 double fps) {
+  const GenreProfile prof = profile_for(g);
+  Rng rng(seed ^ (static_cast<std::uint64_t>(g) << 32));
+
+  std::vector<SceneSpec> scenes;
+  scenes.reserve(static_cast<std::size_t>(prof.scene_library_size));
+  for (int i = 0; i < prof.scene_library_size; ++i)
+    scenes.push_back(random_scene(rng, prof.motion_intensity, prof.texture_detail));
+
+  const int total_frames = std::max(1, static_cast<int>(duration_seconds * fps));
+  std::vector<Shot> shots;
+  int emitted = 0;
+  std::vector<int> used_scenes;
+  while (emitted < total_frames) {
+    // Shot length: exponential-ish around the genre mean, clamped to at
+    // least half a second so every shot has room for an I frame + deltas.
+    const double len_s = std::max(
+        0.5, prof.mean_shot_seconds * (0.5 + rng.uniform() * 1.0));
+    int frames = std::min(total_frames - emitted,
+                          std::max(8, static_cast<int>(len_s * fps)));
+
+    Shot shot;
+    if (!used_scenes.empty() && rng.uniform() < prof.recurrence_prob) {
+      // Revisit a previously used scene, resuming at a fresh time offset —
+      // visually the same content, later in the video.
+      shot.scene_id = used_scenes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(used_scenes.size()) - 1))];
+      shot.scene_time_offset = rng.uniform(0.0, 30.0);
+    } else {
+      shot.scene_id = static_cast<int>(rng.uniform_int(0, prof.scene_library_size - 1));
+      shot.scene_time_offset = 0.0;
+      used_scenes.push_back(shot.scene_id);
+    }
+    shot.frame_count = frames;
+    shots.push_back(shot);
+    emitted += frames;
+  }
+
+  return std::make_unique<SyntheticVideo>(genre_name(g), std::move(scenes),
+                                          std::move(shots), width, height, fps);
+}
+
+}  // namespace dcsr

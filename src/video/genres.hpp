@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "video/source.hpp"
+
+namespace dcsr {
+
+/// The six content genres standing in for the paper's "6 representative
+/// videos from different genres from YouTube" (§4). Each genre differs in
+/// the dimensions that matter to dcSR: scene-library size, cut frequency,
+/// motion intensity, texture richness, and — critically — how often scenes
+/// *recur* later in the video.
+enum class Genre {
+  kAnimation,    // flat colours, sharp edges, frequent cuts, strong recurrence
+  kSports,       // fast pans, textured field, moderate recurrence (replays)
+  kNews,         // near-static studio shots that recur heavily
+  kMusicVideo,   // rapid cuts, high contrast, chorus scenes recur
+  kDocumentary,  // slow pans, rich texture, little recurrence
+  kGaming        // synthetic patterns, fast motion, map areas recur
+};
+
+/// All genres, in a stable order (video index 1..6 in the paper's figures).
+std::vector<Genre> all_genres();
+
+std::string genre_name(Genre g);
+
+/// Knobs that define a genre's statistics; exposed so tests can build videos
+/// with controlled properties.
+struct GenreProfile {
+  int scene_library_size = 12;    // distinct scenes available
+  double mean_shot_seconds = 4.0; // average shot length
+  float motion_intensity = 1.0f;  // scales pan/sprite velocity
+  float texture_detail = 0.5f;    // scales texture octaves/scale
+  double recurrence_prob = 0.5;   // P(next shot reuses an earlier scene)
+};
+
+GenreProfile profile_for(Genre g);
+
+/// Builds a deterministic synthetic video of the given genre. The paper's
+/// videos average 754 s; tests pass much shorter durations.
+std::unique_ptr<SyntheticVideo> make_genre_video(Genre g, std::uint64_t seed,
+                                                 int width, int height,
+                                                 double duration_seconds,
+                                                 double fps = 30.0);
+
+}  // namespace dcsr

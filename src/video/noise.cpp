@@ -1,0 +1,56 @@
+#include "video/noise.hpp"
+
+#include <cmath>
+
+namespace dcsr {
+
+namespace {
+
+// Mixes lattice coordinates and seed into a uniform [0,1) float.
+float hash01(std::int64_t ix, std::int64_t iy, std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(ix) * 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h ^= static_cast<std::uint64_t>(iy) * 0xc2b2ae3d27d4eb4fULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<float>(h >> 11) * 0x1.0p-53f;
+}
+
+float smoothstep(float t) noexcept { return t * t * (3.0f - 2.0f * t); }
+
+}  // namespace
+
+float ValueNoise::lattice(std::int64_t ix, std::int64_t iy) const noexcept {
+  return hash01(ix, iy, seed_);
+}
+
+float ValueNoise::sample(float x, float y, float scale) const noexcept {
+  const float fx = x / scale;
+  const float fy = y / scale;
+  const auto ix = static_cast<std::int64_t>(std::floor(fx));
+  const auto iy = static_cast<std::int64_t>(std::floor(fy));
+  const float tx = smoothstep(fx - static_cast<float>(ix));
+  const float ty = smoothstep(fy - static_cast<float>(iy));
+  const float a = lattice(ix, iy);
+  const float b = lattice(ix + 1, iy);
+  const float c = lattice(ix, iy + 1);
+  const float d = lattice(ix + 1, iy + 1);
+  const float top = a + (b - a) * tx;
+  const float bot = c + (d - c) * tx;
+  return top + (bot - top) * ty;
+}
+
+float ValueNoise::fbm(float x, float y, float base_scale, int octaves) const noexcept {
+  float acc = 0.0f, amp = 1.0f, norm = 0.0f, scale = base_scale;
+  for (int o = 0; o < octaves; ++o) {
+    acc += amp * sample(x, y, scale);
+    norm += amp;
+    amp *= 0.5f;
+    scale *= 0.5f;
+    if (scale < 1.0f) break;
+  }
+  return acc / norm;
+}
+
+}  // namespace dcsr

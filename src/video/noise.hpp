@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace dcsr {
+
+/// Deterministic 2-D value noise with multiple octaves. Every sample is a
+/// pure function of (x, y, seed), so frames can be rendered in any order and
+/// the same seed always produces the same video — the property the whole
+/// reproducibility story rests on.
+class ValueNoise {
+ public:
+  explicit ValueNoise(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Single-octave smooth noise in [0,1]; `scale` is the lattice cell size in
+  /// pixels (larger = smoother).
+  float sample(float x, float y, float scale) const noexcept;
+
+  /// Fractal sum of `octaves` octaves with persistence 0.5, in [0,1].
+  float fbm(float x, float y, float base_scale, int octaves) const noexcept;
+
+ private:
+  float lattice(std::int64_t ix, std::int64_t iy) const noexcept;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace dcsr

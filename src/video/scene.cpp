@@ -1,0 +1,160 @@
+#include "video/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "video/noise.hpp"
+
+namespace dcsr {
+
+namespace {
+
+Color lerp(const Color& a, const Color& b, float t) noexcept {
+  return {a.r + (b.r - a.r) * t, a.g + (b.g - a.g) * t, a.b + (b.b - a.b) * t};
+}
+
+Color background_color(const SceneSpec& spec, const ValueNoise& noise, float px,
+                       float py, int width, int height) {
+  // Scale texture coordinates so a scene looks the same (just sharper) at any
+  // render resolution; 1080 rows is the reference. The floor keeps features
+  // at least a few pixels wide — real video downscaled this far is smooth,
+  // not pixel noise, and pixel noise is not super-resolvable content.
+  const float res_scale = static_cast<float>(height) / 1080.0f;
+  const float scale = std::max(6.0f, spec.texture_scale * res_scale);
+  switch (spec.background) {
+    case Background::kGradient: {
+      const float t = 0.5f * (px / static_cast<float>(width) +
+                              py / static_cast<float>(height));
+      return lerp(spec.color_a, spec.color_b, std::clamp(t, 0.0f, 1.0f));
+    }
+    case Background::kTexture: {
+      const float n = noise.fbm(px, py, scale, spec.texture_octaves);
+      return lerp(spec.color_a, spec.color_b, n);
+    }
+    case Background::kStripes: {
+      const float phase = std::sin(2.0f * 3.14159265f * px / (scale * 2.0f));
+      return phase > 0.0f ? spec.color_a : spec.color_b;
+    }
+    case Background::kCheckerboard: {
+      const int cx = static_cast<int>(std::floor(px / scale));
+      const int cy = static_cast<int>(std::floor(py / scale));
+      return ((cx + cy) & 1) ? spec.color_a : spec.color_b;
+    }
+  }
+  return spec.color_a;
+}
+
+}  // namespace
+
+FrameRGB render_scene(const SceneSpec& spec, double t, int width, int height) {
+  FrameRGB frame(width, height);
+  const ValueNoise noise(spec.seed);
+  const ValueNoise sprite_noise(spec.seed ^ 0xabcdef1234ULL);
+
+  const float pan_x = static_cast<float>(spec.pan_vx * t) * static_cast<float>(width);
+  const float pan_y = static_cast<float>(spec.pan_vy * t) * static_cast<float>(height);
+  const float flick =
+      1.0f + spec.flicker * std::sin(static_cast<float>(t) * 6.0f);
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float px = static_cast<float>(x) + pan_x;
+      const float py = static_cast<float>(y) + pan_y;
+      Color c = background_color(spec, noise, px, py, width, height);
+      c.r = std::clamp(c.r * flick, 0.0f, 1.0f);
+      c.g = std::clamp(c.g * flick, 0.0f, 1.0f);
+      c.b = std::clamp(c.b * flick, 0.0f, 1.0f);
+      frame.r.at(x, y) = c.r;
+      frame.g.at(x, y) = c.g;
+      frame.b.at(x, y) = c.b;
+    }
+  }
+
+  // Foreground sprites, drawn back-to-front in declaration order. Sprites
+  // bounce off frame edges so long shots keep their content on screen.
+  for (const auto& s : spec.sprites) {
+    auto bounce = [](float start, float v, double tt) {
+      float pos = start + static_cast<float>(v * tt);
+      pos = std::fmod(pos, 2.0f);
+      if (pos < 0.0f) pos += 2.0f;
+      return pos > 1.0f ? 2.0f - pos : pos;
+    };
+    const float cx = bounce(s.cx, s.vx, t) * static_cast<float>(width);
+    const float cy = bounce(s.cy, s.vy, t) * static_cast<float>(height);
+    const float hw = 0.5f * s.w * static_cast<float>(width);
+    const float hh = 0.5f * s.h * static_cast<float>(height);
+    const int x0 = std::max(0, static_cast<int>(cx - hw));
+    const int x1 = std::min(width - 1, static_cast<int>(cx + hw));
+    const int y0 = std::max(0, static_cast<int>(cy - hh));
+    const int y1 = std::min(height - 1, static_cast<int>(cy + hh));
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        if (s.shape == Sprite::Shape::kCircle) {
+          const float dx = (static_cast<float>(x) - cx) / hw;
+          const float dy = (static_cast<float>(y) - cy) / hh;
+          if (dx * dx + dy * dy > 1.0f) continue;
+        }
+        Color c = s.color;
+        if (s.texture_amount > 0.0f) {
+          const float n = sprite_noise.fbm(static_cast<float>(x - x0),
+                                           static_cast<float>(y - y0), 8.0f, 3);
+          const float m = 1.0f - s.texture_amount * (1.0f - n);
+          c.r *= m;
+          c.g *= m;
+          c.b *= m;
+        }
+        frame.r.at(x, y) = c.r;
+        frame.g.at(x, y) = c.g;
+        frame.b.at(x, y) = c.b;
+      }
+    }
+  }
+  return frame;
+}
+
+SceneSpec random_scene(Rng& rng, float motion_intensity, float texture_detail) {
+  SceneSpec spec;
+  spec.seed = rng.next_u64();
+  const double bg = rng.uniform();
+  if (bg < 0.5) {
+    spec.background = Background::kTexture;
+  } else if (bg < 0.7) {
+    spec.background = Background::kGradient;
+  } else if (bg < 0.85) {
+    spec.background = Background::kStripes;
+  } else {
+    spec.background = Background::kCheckerboard;
+  }
+  spec.color_a = {static_cast<float>(rng.uniform(0.05, 0.95)),
+                  static_cast<float>(rng.uniform(0.05, 0.95)),
+                  static_cast<float>(rng.uniform(0.05, 0.95))};
+  spec.color_b = {static_cast<float>(rng.uniform(0.05, 0.95)),
+                  static_cast<float>(rng.uniform(0.05, 0.95)),
+                  static_cast<float>(rng.uniform(0.05, 0.95))};
+  spec.texture_scale = static_cast<float>(rng.uniform(10.0, 60.0)) /
+                       std::max(0.25f, texture_detail);
+  spec.texture_octaves = 2 + static_cast<int>(texture_detail * 4.0f);
+  spec.pan_vx = static_cast<float>(rng.uniform(-0.05, 0.05)) * motion_intensity;
+  spec.pan_vy = static_cast<float>(rng.uniform(-0.02, 0.02)) * motion_intensity;
+  spec.flicker = static_cast<float>(rng.uniform(0.0, 0.03));
+
+  const int n_sprites = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < n_sprites; ++i) {
+    Sprite s;
+    s.shape = rng.uniform() < 0.5 ? Sprite::Shape::kRectangle : Sprite::Shape::kCircle;
+    s.cx = static_cast<float>(rng.uniform(0.1, 0.9));
+    s.cy = static_cast<float>(rng.uniform(0.1, 0.9));
+    s.vx = static_cast<float>(rng.uniform(-0.25, 0.25)) * motion_intensity;
+    s.vy = static_cast<float>(rng.uniform(-0.15, 0.15)) * motion_intensity;
+    s.w = static_cast<float>(rng.uniform(0.05, 0.25));
+    s.h = static_cast<float>(rng.uniform(0.05, 0.25));
+    s.color = {static_cast<float>(rng.uniform(0.1, 1.0)),
+               static_cast<float>(rng.uniform(0.1, 1.0)),
+               static_cast<float>(rng.uniform(0.1, 1.0))};
+    s.texture_amount = static_cast<float>(rng.uniform(0.0, 1.0)) * texture_detail;
+    spec.sprites.push_back(s);
+  }
+  return spec;
+}
+
+}  // namespace dcsr

@@ -1,0 +1,132 @@
+// Tests for the bitstream analyzer and the fp16 model serialisation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/analyze.hpp"
+#include "codec/encoder.hpp"
+#include "nn/serialize.hpp"
+#include "sr/edsr.hpp"
+#include "video/genres.hpp"
+
+namespace dcsr {
+namespace {
+
+TEST(Analyze, CountsAndBytesByFrameType) {
+  codec::EncodedSegment seg;
+  auto add = [&](codec::FrameType t, std::size_t bytes) {
+    codec::EncodedFrame f;
+    f.type = t;
+    f.payload.assign(bytes, 0);
+    seg.frames.push_back(std::move(f));
+  };
+  add(codec::FrameType::kI, 1000);
+  add(codec::FrameType::kP, 100);
+  add(codec::FrameType::kP, 200);
+  add(codec::FrameType::kB, 50);
+
+  const codec::StreamStats s = codec::analyze(seg);
+  EXPECT_EQ(s.i_frames, 1);
+  EXPECT_EQ(s.p_frames, 2);
+  EXPECT_EQ(s.b_frames, 1);
+  EXPECT_EQ(s.total_bytes(), 1350u);
+  EXPECT_DOUBLE_EQ(s.i_byte_share(), 1000.0 / 1350.0);
+  EXPECT_DOUBLE_EQ(s.mean_p_bytes(), 150.0);
+  EXPECT_DOUBLE_EQ(s.mean_b_bytes(), 50.0);
+}
+
+TEST(Analyze, EmptyStreamIsAllZeros) {
+  const codec::StreamStats s = codec::analyze(codec::EncodedVideo{});
+  EXPECT_EQ(s.frame_count(), 0);
+  EXPECT_DOUBLE_EQ(s.i_byte_share(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_i_bytes(), 0.0);
+}
+
+TEST(Analyze, RealStreamConfirmsGopPremise) {
+  // The paper's §3.1.1 premise, measured: I frames are few but carry a
+  // disproportionate share of the bytes; P frames are far cheaper each.
+  const auto video = make_genre_video(Genre::kNews, 61, 64, 48, 4.0, 15.0);
+  codec::CodecConfig cfg;
+  cfg.crf = 35;
+  const auto encoded = codec::Encoder(cfg).encode(
+      *video, {{0, video->frame_count()}});
+  const codec::StreamStats s = codec::analyze(encoded);
+  ASSERT_EQ(s.i_frames, 1);
+  ASSERT_GT(s.p_frames, 10);
+  EXPECT_GT(s.mean_i_bytes(), 2.0 * s.mean_p_bytes());
+  EXPECT_GT(s.i_byte_share(),
+            1.5 / static_cast<double>(s.frame_count()));  // >> its frame share
+}
+
+// ---- fp16 ------------------------------------------------------------------
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  // Values exactly representable in binary16 survive unchanged.
+  for (const float v : {0.0f, -0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f,
+                        0.09375f, -65504.0f /* max half */}) {
+    EXPECT_EQ(nn::half_to_float(nn::float_to_half(v)), v) << v;
+  }
+}
+
+TEST(Fp16, RelativeErrorBounded) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = static_cast<float>(rng.normal(0.0, 1.0));
+    const float back = nn::half_to_float(nn::float_to_half(v));
+    EXPECT_NEAR(back, v, std::max(1e-6f, std::abs(v) * 1e-3f));
+  }
+}
+
+TEST(Fp16, SubnormalsAndOverflow) {
+  // Tiny values collapse toward zero gracefully.
+  const float tiny = 1e-9f;
+  const float back = nn::half_to_float(nn::float_to_half(tiny));
+  EXPECT_GE(back, 0.0f);
+  EXPECT_LT(back, 1e-6f);
+  // Values beyond half range become infinity.
+  EXPECT_TRUE(std::isinf(nn::half_to_float(nn::float_to_half(1e6f))));
+  EXPECT_TRUE(std::isinf(nn::half_to_float(nn::float_to_half(-1e6f))));
+  // Infinity round-trips.
+  EXPECT_TRUE(std::isinf(nn::half_to_float(nn::float_to_half(
+      std::numeric_limits<float>::infinity()))));
+}
+
+TEST(Fp16, HalfOfSmallestNormalIsSubnormal) {
+  const float v = 3.0e-5f;  // below the smallest normal half (6.1e-5)
+  const float back = nn::half_to_float(nn::float_to_half(v));
+  EXPECT_NEAR(back, v, v * 0.05f);
+}
+
+TEST(Fp16, ModelRoundTripPreservesBehaviour) {
+  Rng rng(2);
+  const sr::EdsrConfig cfg{.n_filters = 8, .n_resblocks = 2, .scale = 1};
+  sr::Edsr model(cfg, rng), reloaded(cfg, rng);
+
+  ByteWriter w;
+  nn::save_params_fp16(model, w);
+  EXPECT_EQ(w.size(), nn::serialized_size_fp16(model));
+  // Half the float32 payload plus identical headers.
+  EXPECT_LT(nn::serialized_size_fp16(model), nn::serialized_size(model) * 6 / 10);
+
+  ByteReader r(w.bytes());
+  nn::load_params_fp16(reloaded, r);
+
+  const Tensor x = Tensor::randn({1, 3, 12, 12}, rng, 0.3f);
+  const Tensor ya = model.forward(x);
+  const Tensor yb = reloaded.forward(x);
+  for (std::size_t i = 0; i < ya.size(); ++i)
+    EXPECT_NEAR(ya[i], yb[i], 5e-2f);
+}
+
+TEST(Fp16, RejectsFp32Payload) {
+  Rng rng(3);
+  sr::Edsr model({.n_filters = 4, .n_resblocks = 1}, rng);
+  ByteWriter w;
+  nn::save_params(model, w);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(nn::load_params_fp16(model, r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcsr

@@ -1,0 +1,85 @@
+// Tests for the NEMO-style anchor-frame extension.
+
+#include <gtest/gtest.h>
+
+#include "core/client_pipeline.hpp"
+#include "core/server_pipeline.hpp"
+#include "video/genres.hpp"
+
+namespace dcsr::core {
+namespace {
+
+struct AnchorFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    video = make_genre_video(Genre::kNews, 71, 64, 48, 20.0, 15.0).release();
+    ServerConfig cfg;
+    cfg.codec.crf = 51;
+    cfg.codec.intra_period = 0;  // no intra refresh: anchors do the work
+    cfg.vae = {.input_size = 16, .latent_dim = 4, .base_channels = 4, .hidden = 32};
+    cfg.vae_epochs = 6;
+    cfg.micro = {.n_filters = 8, .n_resblocks = 2, .scale = 1};
+    cfg.k_max = 3;
+    cfg.training = {.iterations = 300, .patch_size = 24, .batch_size = 2, .lr = 3e-3};
+    cfg.seed = 21;
+    server = new ServerResult(run_server_pipeline(*video, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete server;
+    delete video;
+    server = nullptr;
+    video = nullptr;
+  }
+  static SyntheticVideo* video;
+  static ServerResult* server;
+};
+SyntheticVideo* AnchorFixture::video = nullptr;
+ServerResult* AnchorFixture::server = nullptr;
+
+TEST_F(AnchorFixture, ZeroPeriodMatchesPlainDcsr) {
+  const PlaybackResult plain =
+      play_dcsr(server->encoded, server->labels, server->micro_models, *video);
+  const AnchorPlaybackResult anchored = play_dcsr_anchors(
+      server->encoded, server->labels, server->micro_models, *video, 0);
+  ASSERT_EQ(plain.frame_psnr.size(), anchored.playback.frame_psnr.size());
+  for (std::size_t i = 0; i < plain.frame_psnr.size(); ++i)
+    EXPECT_DOUBLE_EQ(plain.frame_psnr[i], anchored.playback.frame_psnr[i]);
+  // One inference per I frame (= per segment, since intra_period is 0).
+  EXPECT_EQ(anchored.inferences,
+            static_cast<int>(server->encoded.segments.size()));
+}
+
+TEST_F(AnchorFixture, AnchorsSpendMoreInferences) {
+  const auto sparse = play_dcsr_anchors(server->encoded, server->labels,
+                                        server->micro_models, *video, 20);
+  const auto dense = play_dcsr_anchors(server->encoded, server->labels,
+                                       server->micro_models, *video, 5);
+  EXPECT_GT(dense.inferences, sparse.inferences);
+  EXPECT_GT(sparse.inferences,
+            static_cast<int>(server->encoded.segments.size()));
+}
+
+TEST_F(AnchorFixture, AnchorsImproveQualityWithoutExtraBits) {
+  // The headline property: anchors fight drift using compute, not bitrate —
+  // the stream is byte-identical, quality goes up.
+  const auto plain = play_dcsr_anchors(server->encoded, server->labels,
+                                       server->micro_models, *video, 0);
+  const auto anchored = play_dcsr_anchors(server->encoded, server->labels,
+                                          server->micro_models, *video, 8);
+  EXPECT_GT(anchored.playback.mean_psnr, plain.playback.mean_psnr);
+}
+
+TEST_F(AnchorFixture, ValidatesLabels) {
+  // Out-of-range label (right count, bogus value).
+  std::vector<int> bad(server->encoded.segments.size(), 99);
+  EXPECT_THROW(play_dcsr_anchors(server->encoded, bad, server->micro_models,
+                                 *video, 5),
+               std::invalid_argument);
+  // Wrong label count.
+  std::vector<int> short_labels(server->encoded.segments.size() + 1, 0);
+  EXPECT_THROW(play_dcsr_anchors(server->encoded, short_labels,
+                                 server->micro_models, *video, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcsr::core

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/global_kmeans.hpp"
+#include "cluster/kmeans.hpp"
+#include "cluster/silhouette.hpp"
+
+namespace dcsr::cluster {
+namespace {
+
+// Three well-separated Gaussian blobs in 2-D.
+Dataset three_blobs(Rng& rng, int per_blob = 20, double spread = 0.3) {
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Dataset data;
+  for (int b = 0; b < 3; ++b)
+    for (int i = 0; i < per_blob; ++i)
+      data.push_back({static_cast<float>(centers[b][0] + rng.normal(0, spread)),
+                      static_cast<float>(centers[b][1] + rng.normal(0, spread))});
+  return data;
+}
+
+// Ground-truth blob of point i given the construction above.
+int blob_of(std::size_t i, int per_blob = 20) { return static_cast<int>(i) / per_blob; }
+
+// Checks that an assignment exactly recovers the blob partition (up to
+// cluster relabeling).
+void expect_recovers_blobs(const Clustering& c, int per_blob = 20) {
+  std::set<int> blob_labels[3];
+  for (std::size_t i = 0; i < c.assignment.size(); ++i)
+    blob_labels[static_cast<std::size_t>(blob_of(i, per_blob))].insert(c.assignment[i]);
+  for (const auto& s : blob_labels) EXPECT_EQ(s.size(), 1u);  // pure clusters
+  std::set<int> all;
+  for (const auto& s : blob_labels) all.insert(s.begin(), s.end());
+  EXPECT_EQ(all.size(), 3u);  // distinct labels
+}
+
+TEST(SqDistance, MatchesHandComputation) {
+  EXPECT_DOUBLE_EQ(sq_distance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(sq_distance({1, 1, 1}, {1, 1, 1}), 0.0);
+}
+
+TEST(Lloyd, RecoversSeparatedBlobs) {
+  Rng rng(1);
+  const Dataset data = three_blobs(rng);
+  // Seed near the true centers.
+  const Clustering c = lloyd(data, {{1, 1}, {9, 1}, {1, 9}}, 50);
+  expect_recovers_blobs(c);
+  EXPECT_LT(c.inertia, 60.0);  // ~n * spread^2 * dims
+}
+
+TEST(Lloyd, RejectsBadK) {
+  const Dataset data{{0, 0}, {1, 1}};
+  EXPECT_THROW(lloyd(data, {}, 10), std::invalid_argument);
+  EXPECT_THROW(lloyd(data, {{0, 0}, {1, 1}, {2, 2}}, 10), std::invalid_argument);
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  Rng rng(2);
+  const Dataset data = three_blobs(rng);
+  const Clustering c = kmeans(data, 3, rng);
+  expect_recovers_blobs(c);
+}
+
+TEST(KMeans, KEqualsNGivesZeroInertia) {
+  Rng rng(3);
+  Dataset data{{0, 0}, {5, 5}, {9, 1}};
+  const Clustering c = kmeans(data, 3, rng);
+  EXPECT_NEAR(c.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  Rng rng(4);
+  const Dataset data = three_blobs(rng);
+  const double i2 = kmeans(data, 2, rng).inertia;
+  const double i3 = kmeans(data, 3, rng).inertia;
+  const double i6 = kmeans(data, 6, rng).inertia;
+  EXPECT_GT(i2, i3);
+  EXPECT_GT(i3, i6);
+}
+
+TEST(GlobalKMeans, RecoversSeparatedBlobs) {
+  Rng rng(5);
+  const Dataset data = three_blobs(rng);
+  expect_recovers_blobs(global_kmeans(data, 3));
+}
+
+TEST(GlobalKMeans, ExhaustiveMatchesOrBeatsFast) {
+  Rng rng(6);
+  const Dataset data = three_blobs(rng, 8, 1.2);
+  const double fast = global_kmeans(data, 4, 100, /*exhaustive=*/false).inertia;
+  const double exact = global_kmeans(data, 4, 100, /*exhaustive=*/true).inertia;
+  EXPECT_LE(exact, fast + 1e-9);
+}
+
+TEST(GlobalKMeans, NeverWorseThanSingleLloydRun) {
+  // The local-optimum argument of §3.1.2: global K-means should match or
+  // beat a single random-restart Lloyd run on a clusterable dataset.
+  Rng rng(7);
+  Dataset data = three_blobs(rng, 15, 2.0);
+  const double global_inertia = global_kmeans(data, 3).inertia;
+  const double lloyd_inertia = kmeans(data, 3, rng, 100, /*n_init=*/1).inertia;
+  EXPECT_LE(global_inertia, lloyd_inertia * 1.001);
+}
+
+TEST(GlobalKMeans, SweepIsIncrementallyConsistent) {
+  Rng rng(8);
+  const Dataset data = three_blobs(rng);
+  const auto sweep = global_kmeans_sweep(data, 5);
+  ASSERT_EQ(sweep.size(), 5u);
+  for (std::size_t i = 0; i < sweep.size(); ++i)
+    EXPECT_EQ(sweep[i].k(), static_cast<int>(i) + 1);
+  for (std::size_t i = 1; i < sweep.size(); ++i)
+    EXPECT_LE(sweep[i].inertia, sweep[i - 1].inertia + 1e-9);
+}
+
+TEST(Silhouette, PerfectSeparationNearOne) {
+  Rng rng(9);
+  const Dataset data = three_blobs(rng, 20, 0.1);
+  const Clustering c = global_kmeans(data, 3);
+  EXPECT_GT(silhouette(data, c.assignment), 0.95);
+}
+
+TEST(Silhouette, OverSplitScoresLower) {
+  Rng rng(10);
+  const Dataset data = three_blobs(rng, 20, 0.5);
+  const double s3 = silhouette(data, global_kmeans(data, 3).assignment);
+  const double s6 = silhouette(data, global_kmeans(data, 6).assignment);
+  EXPECT_GT(s3, s6);
+}
+
+TEST(Silhouette, SweepPeaksAtTrueK) {
+  Rng rng(11);
+  const Dataset data = three_blobs(rng, 20, 0.4);
+  const auto curve = silhouette_sweep(data, 8);
+  ASSERT_EQ(curve.size(), 7u);  // k = 2..8
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    if (curve[i] > curve[best]) best = i;
+  EXPECT_EQ(best + 2, 3u);  // peak at k = 3
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  const Dataset data{{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_DOUBLE_EQ(silhouette(data, {0, 0, 0}), 0.0);
+}
+
+TEST(Silhouette, BadInputsThrow) {
+  EXPECT_THROW(silhouette({}, {}), std::invalid_argument);
+  EXPECT_THROW(silhouette({{0, 0}}, {0, 1}), std::invalid_argument);
+}
+
+TEST(Silhouette, IdenticalPointsSplitAcrossClustersScoreZeroOrLess) {
+  // Degenerate data: all points identical. Any 2-way split has a = b = 0;
+  // contributions are 0 (denominator guard), so the score must not be
+  // positive — the sweep will never prefer splitting indistinguishable data.
+  const Dataset data(8, Point{1.0f, 2.0f});
+  std::vector<int> assignment{0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_LE(silhouette(data, assignment), 0.0);
+}
+
+TEST(GlobalKMeans, SweepValidatesArguments) {
+  const Dataset data{{0, 0}, {1, 1}, {2, 2}};
+  EXPECT_THROW(global_kmeans_sweep(data, 0), std::invalid_argument);
+  EXPECT_THROW(global_kmeans_sweep(data, 4), std::invalid_argument);
+  EXPECT_THROW(global_kmeans(data, 0), std::invalid_argument);
+}
+
+TEST(GlobalKMeans, HandlesDuplicatePoints) {
+  // Clusters of exact duplicates must not crash the candidate search.
+  Dataset data;
+  for (int i = 0; i < 6; ++i) data.push_back({0.0f, 0.0f});
+  for (int i = 0; i < 6; ++i) data.push_back({5.0f, 5.0f});
+  const Clustering c = global_kmeans(data, 2);
+  EXPECT_NEAR(c.inertia, 0.0, 1e-12);
+  EXPECT_NE(c.assignment[0], c.assignment[6]);
+}
+
+}  // namespace
+}  // namespace dcsr::cluster

@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include "codec/bits.hpp"
+#include "codec/block_coder.hpp"
+#include "codec/dct.hpp"
+#include "codec/decoder.hpp"
+#include "codec/encoder.hpp"
+#include "codec/frame_coding.hpp"
+#include "codec/motion.hpp"
+#include "codec/quant.hpp"
+#include "image/convert.hpp"
+#include "image/metrics.hpp"
+#include "video/genres.hpp"
+#include "video/noise.hpp"
+
+namespace dcsr::codec {
+namespace {
+
+// ---- bits -------------------------------------------------------------------
+
+TEST(Bits, RawBitsRoundTrip) {
+  BitWriter w;
+  w.put_bits(0b10110, 5);
+  w.put_bit(true);
+  w.put_bits(0xff, 8);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.get_bits(5), 0b10110u);
+  EXPECT_TRUE(r.get_bit());
+  EXPECT_EQ(r.get_bits(8), 0xffu);
+}
+
+TEST(Bits, ExpGolombUnsignedRoundTrip) {
+  BitWriter w;
+  for (std::uint32_t v = 0; v < 300; ++v) w.put_ue(v);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (std::uint32_t v = 0; v < 300; ++v) EXPECT_EQ(r.get_ue(), v);
+}
+
+TEST(Bits, ExpGolombSignedRoundTrip) {
+  BitWriter w;
+  for (std::int32_t v = -50; v <= 50; ++v) w.put_se(v);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (std::int32_t v = -50; v <= 50; ++v) EXPECT_EQ(r.get_se(), v);
+}
+
+TEST(Bits, OverReadThrows) {
+  BitWriter w;
+  w.put_bit(true);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  r.get_bits(8);  // padded byte
+  EXPECT_THROW(r.get_bit(), std::out_of_range);
+}
+
+TEST(Bits, KnownUeCodewords) {
+  // ue(0) = "1", ue(1) = "010", ue(2) = "011".
+  BitWriter w;
+  w.put_ue(0);
+  w.put_ue(1);
+  w.put_ue(2);
+  EXPECT_EQ(w.bit_count(), 7u);
+  const auto bytes = w.finish();
+  EXPECT_EQ(bytes[0], 0b10100110);
+}
+
+// ---- DCT ---------------------------------------------------------------------
+
+TEST(Dct, RoundTripIsIdentity) {
+  Rng rng(1);
+  Block8 b{};
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  const Block8 rec = idct8x8(dct8x8(b));
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(rec[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-5f);
+}
+
+TEST(Dct, ConstantBlockIsPureDc) {
+  Block8 b{};
+  for (auto& v : b) v = 0.5f;
+  const Block8 c = dct8x8(b);
+  EXPECT_NEAR(c[0], 4.0f, 1e-5f);  // orthonormal: DC = 8 * 0.5
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(c[static_cast<std::size_t>(i)], 0.0f, 1e-5f);
+}
+
+TEST(Dct, EnergyPreserved) {
+  // Orthonormal transform preserves the L2 norm (Parseval).
+  Rng rng(2);
+  Block8 b{};
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  const Block8 c = dct8x8(b);
+  double eb = 0, ec = 0;
+  for (int i = 0; i < 64; ++i) {
+    eb += b[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    ec += c[static_cast<std::size_t>(i)] * c[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(eb, ec, 1e-4);
+}
+
+TEST(Dct, ZigzagIsAPermutation) {
+  std::array<bool, 64> seen{};
+  for (const int z : kZigzag) {
+    ASSERT_GE(z, 0);
+    ASSERT_LT(z, 64);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(z)]);
+    seen[static_cast<std::size_t>(z)] = true;
+  }
+}
+
+// ---- Quantizer ----------------------------------------------------------------
+
+TEST(Quantizer, StepDoublesEverySixCrf) {
+  const Quantizer q18(18), q24(24), q30(30);
+  EXPECT_NEAR(q24.base_step() / q18.base_step(), 2.0f, 1e-4f);
+  EXPECT_NEAR(q30.base_step() / q24.base_step(), 2.0f, 1e-4f);
+}
+
+TEST(Quantizer, LowCrfNearLossless) {
+  Rng rng(3);
+  Block8 b{};
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-0.4, 0.4));
+  const Quantizer q(0);
+  const Block8 rec = q.dequantize(q.quantize(b, true), true);
+  // Worst-case error is half the largest (highest-frequency) step.
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(rec[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 6e-3f);
+}
+
+TEST(Quantizer, Crf51DestroysDetail) {
+  // At CRF 51 almost all AC coefficients should quantise to zero.
+  Rng rng(4);
+  Block8 b{};
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-0.05, 0.05));
+  const Quantizer q(51);
+  const auto levels = q.quantize(dct8x8(b), true);
+  int nonzero = 0;
+  for (int i = 1; i < 64; ++i)
+    if (levels[static_cast<std::size_t>(i)] != 0) ++nonzero;
+  EXPECT_LE(nonzero, 3);
+}
+
+TEST(Quantizer, CrfIsClamped) {
+  EXPECT_EQ(Quantizer(99).crf(), 51);
+  EXPECT_EQ(Quantizer(-3).crf(), 0);
+}
+
+// ---- Motion -------------------------------------------------------------------
+
+TEST(Motion, FindsKnownTranslation) {
+  // Reference has a feature; current frame has it shifted by (3, -2).
+  // Smooth textured reference: the SAD surface then decreases toward the
+  // true offset, which a greedy three-step search requires.
+  Plane ref(64, 64), cur(64, 64);
+  const ValueNoise noise(5);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      ref.at(x, y) = noise.fbm(static_cast<float>(x), static_cast<float>(y), 16.0f, 2);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      cur.at(x, y) = ref.at_clamped(x + 3, y - 2);
+  const MotionVector mv = motion_search(cur, ref, 16, 16, 16, 8);
+  EXPECT_EQ(mv.x, 3);
+  EXPECT_EQ(mv.y, -2);
+}
+
+TEST(Motion, StaticBlockYieldsZeroVector) {
+  Plane p(32, 32);
+  Rng rng(6);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) p.at(x, y) = static_cast<float>(rng.uniform());
+  const MotionVector mv = motion_search(p, p, 8, 8, 16, 8);
+  EXPECT_EQ(mv.x, 0);
+  EXPECT_EQ(mv.y, 0);
+}
+
+TEST(Motion, CompensationCopiesDisplacedBlock) {
+  Plane ref(32, 32), dst(32, 32);
+  ref.at(10, 12) = 0.9f;
+  motion_compensate(ref, dst, 8, 8, 8, {2, 4});
+  EXPECT_FLOAT_EQ(dst.at(8, 8), ref.at(10, 12));
+}
+
+TEST(Motion, BiPredictionAverages) {
+  Plane a(16, 16), b(16, 16), dst(16, 16);
+  a.fill(0.2f);
+  b.fill(0.6f);
+  motion_compensate_bi(a, {0, 0}, b, {0, 0}, dst, 0, 0, 16);
+  EXPECT_FLOAT_EQ(dst.at(5, 5), 0.4f);
+}
+
+// ---- Block coder ---------------------------------------------------------------
+
+TEST(BlockCoder, LevelsRoundTripInter) {
+  Rng rng(7);
+  Levels8 levels{};
+  for (auto& v : levels) v = static_cast<std::int32_t>(rng.uniform_int(-20, 20));
+  BitWriter w;
+  write_levels(w, levels, nullptr);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  const Levels8 rec = read_levels(r, nullptr);
+  EXPECT_EQ(levels, rec);
+}
+
+TEST(BlockCoder, LevelsRoundTripIntraDcPrediction) {
+  Rng rng(8);
+  std::int32_t dc_w = 0, dc_r = 0;
+  BitWriter w;
+  std::vector<Levels8> blocks;
+  for (int b = 0; b < 10; ++b) {
+    Levels8 levels{};
+    for (auto& v : levels) v = static_cast<std::int32_t>(rng.uniform_int(-5, 5));
+    blocks.push_back(levels);
+    write_levels(w, levels, &dc_w);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto& expected : blocks)
+    EXPECT_EQ(read_levels(r, &dc_r), expected);
+}
+
+TEST(BlockCoder, SparseBlockCodesCompactly) {
+  Levels8 zero{};
+  BitWriter w;
+  write_levels(w, zero, nullptr);
+  // All-zero inter block = single EOB symbol = 13 bits.
+  EXPECT_LE(w.bit_count(), 13u);
+}
+
+// ---- Frame coding ---------------------------------------------------------------
+
+FrameYUV test_frame(int w, int h, std::uint64_t seed, double t = 0.0) {
+  const auto video = make_genre_video(Genre::kDocumentary, seed, w, h, 4.0);
+  return rgb_to_yuv420(video->frame(static_cast<int>(t * 30.0)));
+}
+
+TEST(FrameCoding, IntraRoundTripMatchesEncoderRecon) {
+  const FrameYUV src = test_frame(64, 48, 11);
+  const Quantizer q(23);
+  BitWriter bw;
+  const FrameYUV enc_recon = encode_intra_frame(src, q, bw);
+  const auto payload = bw.finish();
+  BitReader br(payload);
+  const FrameYUV dec = decode_intra_frame(64, 48, q, br);
+  // Decoder must reproduce the encoder's reconstruction *exactly* — the
+  // closed-loop property that keeps P/B prediction drift-free.
+  EXPECT_DOUBLE_EQ(psnr(enc_recon.y, dec.y), 100.0);
+  EXPECT_DOUBLE_EQ(psnr(enc_recon.u, dec.u), 100.0);
+  EXPECT_DOUBLE_EQ(psnr(enc_recon.v, dec.v), 100.0);
+}
+
+TEST(FrameCoding, IntraQualityTracksCrf) {
+  const FrameYUV src = test_frame(64, 48, 12);
+  auto quality_at = [&](int crf) {
+    const Quantizer q(crf);
+    BitWriter bw;
+    const FrameYUV recon = encode_intra_frame(src, q, bw);
+    return psnr(src.y, recon.y);
+  };
+  const double q10 = quality_at(10);
+  const double q30 = quality_at(30);
+  const double q51 = quality_at(51);
+  EXPECT_GT(q10, q30);
+  EXPECT_GT(q30, q51);
+  EXPECT_GT(q10, 40.0);
+  EXPECT_LT(q51, 30.0);
+}
+
+TEST(FrameCoding, IntraBitsTrackCrf) {
+  const FrameYUV src = test_frame(64, 48, 13);
+  auto bits_at = [&](int crf) {
+    const Quantizer q(crf);
+    BitWriter bw;
+    encode_intra_frame(src, q, bw);
+    return bw.bit_count();
+  };
+  EXPECT_GT(bits_at(10), bits_at(30));
+  EXPECT_GT(bits_at(30), bits_at(51));
+}
+
+TEST(FrameCoding, PFrameRoundTripBitExact) {
+  const FrameYUV f0 = test_frame(64, 48, 14, 0.0);
+  const FrameYUV f1 = test_frame(64, 48, 14, 0.2);
+  const Quantizer q(28);
+  BitWriter bw_i;
+  const FrameYUV ref = encode_intra_frame(f0, q, bw_i);
+  BitWriter bw_p;
+  const FrameYUV enc_recon = encode_p_frame(f1, ref, q, 8, bw_p);
+  const auto payload = bw_p.finish();
+  BitReader br(payload);
+  const FrameYUV dec = decode_p_frame(ref, q, br);
+  EXPECT_DOUBLE_EQ(psnr(enc_recon.y, dec.y), 100.0);
+  EXPECT_DOUBLE_EQ(psnr(enc_recon.u, dec.u), 100.0);
+}
+
+TEST(FrameCoding, PFrameSmallerThanIFrame) {
+  const FrameYUV f0 = test_frame(64, 48, 15, 0.0);
+  const FrameYUV f1 = test_frame(64, 48, 15, 1.0 / 30.0);
+  const Quantizer q(28);
+  BitWriter bw_i;
+  const FrameYUV ref = encode_intra_frame(f0, q, bw_i);
+  BitWriter bw_i1;
+  encode_intra_frame(f1, q, bw_i1);
+  BitWriter bw_p;
+  encode_p_frame(f1, ref, q, 8, bw_p);
+  // The GOP premise: consecutive-frame P coding is much cheaper than intra.
+  EXPECT_LT(bw_p.bit_count() * 3, bw_i1.bit_count());
+}
+
+TEST(FrameCoding, StaticPFrameIsNearlyAllSkip) {
+  const FrameYUV f = test_frame(64, 48, 16);
+  const Quantizer q(28);
+  BitWriter bw_i;
+  const FrameYUV ref = encode_intra_frame(f, q, bw_i);
+  BitWriter bw_p;
+  encode_p_frame(f, ref, q, 8, bw_p);
+  // 12 MBs; all should skip (1 bit each), so the frame fits in a few bytes.
+  EXPECT_LE(bw_p.bit_count(), 12u * 4u);
+}
+
+TEST(FrameCoding, BFrameRoundTripBitExact) {
+  const FrameYUV f0 = test_frame(64, 48, 17, 0.0);
+  const FrameYUV f1 = test_frame(64, 48, 17, 0.1);
+  const FrameYUV f2 = test_frame(64, 48, 17, 0.2);
+  const Quantizer q(28);
+  BitWriter bw0, bw2, bwb;
+  const FrameYUV r0 = encode_intra_frame(f0, q, bw0);
+  const FrameYUV r2 = encode_p_frame(f2, r0, q, 8, bw2);
+  const FrameYUV enc_recon = encode_b_frame(f1, r0, r2, q, 8, bwb);
+  const auto payload = bwb.finish();
+  BitReader br(payload);
+  const FrameYUV dec = decode_b_frame(r0, r2, q, br);
+  EXPECT_DOUBLE_EQ(psnr(enc_recon.y, dec.y), 100.0);
+}
+
+TEST(FrameCoding, RejectsUnalignedDimensions) {
+  const FrameYUV src(60, 44);  // not multiples of 16
+  const Quantizer q(28);
+  BitWriter bw;
+  EXPECT_THROW(encode_intra_frame(src, q, bw), std::invalid_argument);
+}
+
+// ---- Encoder / Decoder ------------------------------------------------------------
+
+TEST(Codec, WholeVideoRoundTripDecodes) {
+  const auto video = make_genre_video(Genre::kSports, 21, 64, 48, 2.0);
+  CodecConfig cfg;
+  cfg.crf = 28;
+  const Encoder enc(cfg);
+  const std::vector<SegmentPlan> segs{{0, 30}, {30, 30}};
+  const EncodedVideo ev = enc.encode(*video, segs);
+  EXPECT_EQ(ev.frame_count(), 60);
+  EXPECT_EQ(ev.crf, 28);
+
+  Decoder dec(64, 48, ev.crf);
+  const auto frames = dec.decode_video(ev);
+  ASSERT_EQ(frames.size(), 60u);
+  // Decoded frames should resemble the source.
+  for (int i = 0; i < 60; i += 13) {
+    const FrameYUV src = rgb_to_yuv420(video->frame(i));
+    EXPECT_GT(psnr(src.y, frames[static_cast<std::size_t>(i)].y), 25.0) << "frame " << i;
+  }
+}
+
+TEST(Codec, SegmentsStartWithIFrames) {
+  const auto video = make_genre_video(Genre::kNews, 22, 64, 48, 2.0);
+  const Encoder enc(CodecConfig{});
+  const EncodedVideo ev = enc.encode(*video, {{0, 30}, {30, 30}});
+  for (const auto& seg : ev.segments) {
+    ASSERT_FALSE(seg.frames.empty());
+    EXPECT_EQ(seg.frames.front().type, FrameType::kI);
+    EXPECT_EQ(seg.frames.front().display_index, 0);
+  }
+}
+
+TEST(Codec, IntraPeriodInsertsExtraIFrames) {
+  const auto video = make_genre_video(Genre::kNews, 23, 64, 48, 1.0);
+  CodecConfig cfg;
+  cfg.intra_period = 10;
+  const Encoder enc(cfg);
+  const EncodedVideo ev = enc.encode(*video, {{0, 30}});
+  int i_frames = 0;
+  for (const auto& f : ev.segments[0].frames)
+    if (f.type == FrameType::kI) ++i_frames;
+  EXPECT_EQ(i_frames, 3);  // display 0, 10, 20
+}
+
+TEST(Codec, BFramesProducedAndDecodable) {
+  const auto video = make_genre_video(Genre::kSports, 24, 64, 48, 1.0);
+  CodecConfig cfg;
+  cfg.use_b_frames = true;
+  const Encoder enc(cfg);
+  const EncodedVideo ev = enc.encode(*video, {{0, 30}});
+  int b_frames = 0;
+  for (const auto& f : ev.segments[0].frames)
+    if (f.type == FrameType::kB) ++b_frames;
+  EXPECT_GT(b_frames, 10);
+  // Last display frame must not be a B.
+  for (const auto& f : ev.segments[0].frames) {
+    if (f.display_index == 29) {
+      EXPECT_NE(f.type, FrameType::kB);
+    }
+  }
+
+  Decoder dec(64, 48, ev.crf);
+  const auto frames = dec.decode_video(ev);
+  ASSERT_EQ(frames.size(), 30u);
+  const FrameYUV src = rgb_to_yuv420(video->frame(15));
+  EXPECT_GT(psnr(src.y, frames[15].y), 22.0);
+}
+
+TEST(Codec, ReferenceHookFiresOncePerIFrame) {
+  const auto video = make_genre_video(Genre::kAnimation, 25, 64, 48, 1.0);
+  CodecConfig cfg;
+  cfg.intra_period = 10;
+  const Encoder enc(cfg);
+  const EncodedVideo ev = enc.encode(*video, {{0, 30}});
+
+  Decoder dec(64, 48, ev.crf);
+  std::vector<int> hook_indices;
+  dec.set_reference_hook([&](FrameYUV&, FrameType type, int display_index) {
+    EXPECT_EQ(type, FrameType::kI);
+    hook_indices.push_back(display_index);
+  });
+  dec.decode_video(ev);
+  EXPECT_EQ(hook_indices, (std::vector<int>{0, 10, 20}));
+}
+
+TEST(Codec, HookEnhancementPropagatesToDependentFrames) {
+  // Brighten the I frame in the DPB; dependent P frames (mostly skip/static
+  // content) must inherit the change — the core dcSR client mechanism.
+  const auto video = make_genre_video(Genre::kNews, 26, 64, 48, 1.0);
+  const Encoder enc(CodecConfig{});
+  const EncodedVideo ev = enc.encode(*video, {{0, 30}});
+
+  Decoder plain(64, 48, ev.crf);
+  const auto base = plain.decode_video(ev);
+
+  Decoder hooked(64, 48, ev.crf);
+  hooked.set_reference_hook([](FrameYUV& f, FrameType, int) {
+    for (int y = 0; y < f.y.height(); ++y)
+      for (int x = 0; x < f.y.width(); ++x)
+        f.y.at(x, y) = std::min(1.0f, f.y.at(x, y) + 0.1f);
+  });
+  const auto enhanced = hooked.decode_video(ev);
+
+  // A late frame in the segment should still carry most of the brightening.
+  double diff = 0.0;
+  const auto& a = base[20].y;
+  const auto& b = enhanced[20].y;
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) diff += b.at(x, y) - a.at(x, y);
+  diff /= static_cast<double>(a.size());
+  EXPECT_GT(diff, 0.05);
+}
+
+TEST(Codec, NonContiguousSegmentsRejected) {
+  const auto video = make_genre_video(Genre::kGaming, 27, 64, 48, 1.0);
+  const Encoder enc(CodecConfig{});
+  EXPECT_THROW(enc.encode(*video, {{0, 10}, {15, 15}}), std::invalid_argument);
+  EXPECT_THROW(enc.encode(*video, {{0, 10}}), std::invalid_argument);  // not covering
+}
+
+TEST(Codec, HigherCrfUsesFewerBytes) {
+  const auto video = make_genre_video(Genre::kSports, 28, 64, 48, 1.0);
+  auto bytes_at = [&](int crf) {
+    CodecConfig cfg;
+    cfg.crf = crf;
+    return Encoder(cfg).encode(*video, {{0, 30}}).size_bytes();
+  };
+  EXPECT_GT(bytes_at(18), bytes_at(35));
+  EXPECT_GT(bytes_at(35), bytes_at(51));
+}
+
+}  // namespace
+}  // namespace dcsr::codec

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/client_pipeline.hpp"
+#include "core/server_pipeline.hpp"
+#include "sr/min_model.hpp"
+#include "image/convert.hpp"
+#include "image/metrics.hpp"
+#include "stream/session.hpp"
+#include "video/genres.hpp"
+
+namespace dcsr::core {
+namespace {
+
+// Small-but-real configuration used across these tests: tiny models and few
+// iterations so the full pipeline runs in seconds.
+ServerConfig tiny_config() {
+  ServerConfig cfg;
+  cfg.codec.crf = 51;  // the paper's operating point, where SR gains are large
+  cfg.codec.intra_period = 10;
+  cfg.vae = {.input_size = 16, .latent_dim = 4, .base_channels = 4, .hidden = 32};
+  cfg.vae_epochs = 8;
+  cfg.micro = {.n_filters = 8, .n_resblocks = 2, .scale = 1};
+  cfg.big = {.n_filters = 32, .n_resblocks = 4, .scale = 1};
+  cfg.k_max = 5;
+  cfg.training = {.iterations = 400, .patch_size = 24, .batch_size = 2, .lr = 3e-3};
+  cfg.seed = 3;
+  return cfg;
+}
+
+std::unique_ptr<SyntheticVideo> tiny_video(std::uint64_t seed = 11) {
+  // Music-video pacing (short shots, strong recurrence) guarantees several
+  // segments and shared clusters even in a 30-second clip.
+  return make_genre_video(Genre::kMusicVideo, seed, 64, 48, 30.0, 15.0);
+}
+
+// The pipeline runs take seconds; share one run across assertions.
+struct PipelineFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    video = tiny_video().release();
+    result = new ServerResult(run_server_pipeline(*video, tiny_config()));
+  }
+  static void TearDownTestSuite() {
+    delete result;
+    delete video;
+    result = nullptr;
+    video = nullptr;
+  }
+  static SyntheticVideo* video;
+  static ServerResult* result;
+};
+SyntheticVideo* PipelineFixture::video = nullptr;
+ServerResult* PipelineFixture::result = nullptr;
+
+TEST_F(PipelineFixture, SegmentsCoverVideo) {
+  int total = 0;
+  for (const auto& s : result->segments) total += s.frame_count;
+  EXPECT_EQ(total, video->frame_count());
+  EXPECT_EQ(result->encoded.frame_count(), video->frame_count());
+}
+
+TEST_F(PipelineFixture, OneLabelPerSegmentWithinK) {
+  ASSERT_EQ(result->labels.size(), result->segments.size());
+  for (const int l : result->labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, result->k);
+  }
+}
+
+TEST_F(PipelineFixture, OneModelPerCluster) {
+  EXPECT_EQ(result->micro_models.size(), static_cast<std::size_t>(result->k));
+  for (const auto& m : result->micro_models)
+    EXPECT_EQ(m->config().n_filters, 8);
+  EXPECT_GT(result->micro_model_bytes, 0u);
+  EXPECT_GT(result->train_flops, 0u);
+}
+
+TEST_F(PipelineFixture, KRespectsBounds) {
+  const ServerConfig cfg = tiny_config();
+  EXPECT_GE(result->k, 2);
+  EXPECT_LE(result->k, cfg.k_max);
+  const int size_bound = sr::max_micro_models(cfg.big, cfg.micro);
+  EXPECT_LE(result->k, size_bound);
+  EXPECT_FALSE(result->silhouette_curve.empty());
+}
+
+TEST_F(PipelineFixture, ManifestIsConsistent) {
+  const stream::Manifest m = result->manifest();
+  EXPECT_EQ(m.segments.size(), result->segments.size());
+  EXPECT_EQ(m.model_bytes.size(), static_cast<std::size_t>(result->k));
+  for (const auto b : m.model_bytes) EXPECT_EQ(b, result->micro_model_bytes);
+  EXPECT_EQ(m.total_video_bytes(), result->encoded.size_bytes());
+}
+
+TEST_F(PipelineFixture, DcsrPlaybackBeatsLow) {
+  // The headline quality property: in-loop micro-model enhancement must
+  // improve PSNR over the degraded stream.
+  PlaybackOptions opts;
+  const PlaybackResult low = play_low(result->encoded, *video, opts);
+  const PlaybackResult dcsr =
+      play_dcsr(result->encoded, result->labels, result->micro_models, *video, opts);
+  EXPECT_EQ(low.frame_psnr.size(), static_cast<std::size_t>(video->frame_count()));
+  EXPECT_GT(dcsr.mean_psnr, low.mean_psnr + 0.15);
+  EXPECT_GE(dcsr.mean_ssim, low.mean_ssim - 5e-3);
+}
+
+TEST_F(PipelineFixture, RecurringSegmentsShareModels) {
+  // News content revisits scenes, so there must be fewer clusters than
+  // segments — the redundancy dcSR monetises.
+  EXPECT_LT(static_cast<std::size_t>(result->k), result->labels.size());
+  // And the session must hit the cache at least once.
+  const auto session = stream::simulate_session(result->manifest());
+  EXPECT_GT(session.cache_hits, 0);
+}
+
+TEST(CollectIFramePairs, PairsMatchSegmentIFrames) {
+  const auto video = tiny_video(21);
+  ServerConfig cfg = tiny_config();
+  const auto segments = split::variable_segments(*video, cfg.segmenter);
+  const auto encoded = codec::Encoder(cfg.codec).encode(*video, segments);
+  const auto iframes = collect_iframe_pairs(*video, encoded, segments);
+  ASSERT_EQ(iframes.size(), segments.size());
+  for (std::size_t s = 0; s < iframes.size(); ++s) {
+    ASSERT_GE(iframes[s].pairs.size(), 1u);
+    const auto& p = iframes[s].pairs.front();
+    EXPECT_EQ(p.lo.width(), video->width());
+    // The lo frame is the decoded (degraded) I frame; it must resemble but
+    // not equal the original.
+    const double q = psnr(p.lo, p.hi);
+    EXPECT_GT(q, 10.0);
+    EXPECT_LT(q, 60.0);
+  }
+}
+
+TEST(Baselines, BigModelTrainsAndEnhances) {
+  const auto video = tiny_video(22);
+  ServerConfig scfg = tiny_config();
+  const auto segments = split::variable_segments(*video, scfg.segmenter);
+  const auto encoded = codec::Encoder(scfg.codec).encode(*video, segments);
+
+  BaselineConfig bcfg;
+  bcfg.big = {.n_filters = 8, .n_resblocks = 2, .scale = 1};
+  bcfg.training_frames = 6;
+  bcfg.training = {.iterations = 500, .patch_size = 24, .batch_size = 2, .lr = 3e-3};
+  const BaselineResult base = train_big_model(*video, encoded, bcfg);
+  ASSERT_NE(base.model, nullptr);
+  EXPECT_EQ(base.model_bytes, sr::edsr_model_bytes(bcfg.big));
+  EXPECT_GT(base.train_flops, 0u);
+
+  PlaybackOptions opts;
+  opts.nas_eval_stride = 17;
+  const PlaybackResult low = play_low(encoded, *video, opts);
+  const PlaybackResult nemo = play_nemo(encoded, *base.model, *video, opts);
+  const PlaybackResult nas = play_nas(encoded, *base.model, *video, opts);
+  EXPECT_GT(nemo.mean_psnr, low.mean_psnr);
+  EXPECT_GT(nas.mean_psnr, low.mean_psnr);
+  // NAS evaluates a strided subset only.
+  EXPECT_LT(nas.frame_psnr.size(), low.frame_psnr.size());
+}
+
+TEST(Baselines, CollectWholeVideoPairsSamplesUniformly) {
+  const auto video = tiny_video(23);
+  ServerConfig scfg = tiny_config();
+  const auto segments = split::variable_segments(*video, scfg.segmenter);
+  const auto encoded = codec::Encoder(scfg.codec).encode(*video, segments);
+  const auto pairs = collect_whole_video_pairs(*video, encoded, 8);
+  EXPECT_GE(pairs.size(), 6u);
+  EXPECT_LE(pairs.size(), 8u);
+}
+
+TEST(ClientPipeline, EnhanceReferenceFrameRejectsUpscalers) {
+  Rng rng(1);
+  sr::Edsr upscaler({.n_filters = 4, .n_resblocks = 1, .scale = 2}, rng);
+  FrameYUV frame(32, 32);
+  EXPECT_THROW(enhance_reference_frame(frame, upscaler), std::invalid_argument);
+}
+
+TEST(ClientPipeline, PlayDcsrValidatesLabels) {
+  const auto video = tiny_video(24);
+  ServerConfig cfg = tiny_config();
+  // Fixed split guarantees several segments regardless of content.
+  const auto segments = split::fixed_segments(video->frame_count(), 40);
+  ASSERT_GE(segments.size(), 2u);
+  const auto encoded = codec::Encoder(cfg.codec).encode(*video, segments);
+  std::vector<std::unique_ptr<sr::Edsr>> models;
+  Rng rng(2);
+  models.push_back(std::make_unique<sr::Edsr>(cfg.micro, rng));
+  // Wrong label count.
+  EXPECT_THROW(play_dcsr(encoded, {0}, models, *video), std::invalid_argument);
+  // Label out of range.
+  std::vector<int> bad(encoded.segments.size(), 5);
+  EXPECT_THROW(play_dcsr(encoded, bad, models, *video), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcsr::core

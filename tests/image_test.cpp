@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/convert.hpp"
+#include "image/frame.hpp"
+#include "image/metrics.hpp"
+#include "image/resize.hpp"
+#include "util/rng.hpp"
+
+namespace dcsr {
+namespace {
+
+FrameRGB random_frame(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  FrameRGB f(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      f.r.at(x, y) = static_cast<float>(rng.uniform());
+      f.g.at(x, y) = static_cast<float>(rng.uniform());
+      f.b.at(x, y) = static_cast<float>(rng.uniform());
+    }
+  return f;
+}
+
+// Smooth frame: low-frequency content that chroma subsampling barely hurts.
+FrameRGB smooth_frame(int w, int h) {
+  FrameRGB f(w, h);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const float u = static_cast<float>(x) / static_cast<float>(w);
+      const float v = static_cast<float>(y) / static_cast<float>(h);
+      f.r.at(x, y) = 0.3f + 0.4f * u;
+      f.g.at(x, y) = 0.5f - 0.2f * v;
+      f.b.at(x, y) = 0.4f + 0.2f * u * v;
+    }
+  return f;
+}
+
+TEST(Plane, ClampedAccessReadsEdges) {
+  Plane p(2, 2);
+  p.at(0, 0) = 1.0f;
+  p.at(1, 1) = 2.0f;
+  EXPECT_EQ(p.at_clamped(-5, -5), 1.0f);
+  EXPECT_EQ(p.at_clamped(7, 9), 2.0f);
+}
+
+TEST(Plane, Clamp01) {
+  Plane p(2, 1);
+  p.at(0, 0) = -0.5f;
+  p.at(1, 0) = 1.5f;
+  p.clamp01();
+  EXPECT_EQ(p.at(0, 0), 0.0f);
+  EXPECT_EQ(p.at(1, 0), 1.0f);
+}
+
+TEST(FrameTensor, RoundTrip) {
+  const FrameRGB f = random_frame(6, 4, 1);
+  const FrameRGB g = tensor_to_frame(frame_to_tensor(f));
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 6; ++x) {
+      EXPECT_FLOAT_EQ(f.r.at(x, y), g.r.at(x, y));
+      EXPECT_FLOAT_EQ(f.g.at(x, y), g.g.at(x, y));
+      EXPECT_FLOAT_EQ(f.b.at(x, y), g.b.at(x, y));
+    }
+}
+
+TEST(Convert, LumaWeightsSumToOne) {
+  EXPECT_NEAR(rgb_to_luma(1.0f, 1.0f, 1.0f), 1.0f, 1e-6f);
+  EXPECT_NEAR(rgb_to_luma(0.0f, 0.0f, 0.0f), 0.0f, 1e-6f);
+}
+
+TEST(Convert, GrayRoundTripsExactly) {
+  // Gray pixels have neutral chroma, so 4:2:0 subsampling is lossless.
+  FrameRGB f(8, 8);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      const float v = static_cast<float>(x + y) / 14.0f;
+      f.r.at(x, y) = f.g.at(x, y) = f.b.at(x, y) = v;
+    }
+  const FrameRGB g = yuv420_to_rgb(rgb_to_yuv420(f));
+  EXPECT_GT(psnr(f, g), 45.0);
+}
+
+TEST(Convert, SmoothContentRoundTripsWell) {
+  const FrameRGB f = smooth_frame(32, 32);
+  const FrameRGB g = yuv420_to_rgb(rgb_to_yuv420(f));
+  EXPECT_GT(psnr(f, g), 38.0);
+}
+
+TEST(Convert, ChromaPlanesAreHalfSize) {
+  const FrameYUV yuv = rgb_to_yuv420(random_frame(16, 8, 2));
+  EXPECT_EQ(yuv.y.width(), 16);
+  EXPECT_EQ(yuv.u.width(), 8);
+  EXPECT_EQ(yuv.u.height(), 4);
+}
+
+TEST(Convert, AllPlanesInUnitRange) {
+  const FrameYUV yuv = rgb_to_yuv420(random_frame(16, 16, 3));
+  auto check = [](const Plane& p) {
+    for (int y = 0; y < p.height(); ++y)
+      for (int x = 0; x < p.width(); ++x) {
+        EXPECT_GE(p.at(x, y), 0.0f);
+        EXPECT_LE(p.at(x, y), 1.0f);
+      }
+  };
+  check(yuv.y);
+  check(yuv.u);
+  check(yuv.v);
+}
+
+TEST(Resize, BilinearPreservesConstant) {
+  Plane p(8, 8);
+  p.fill(0.7f);
+  const Plane q = resize_bilinear(p, 5, 11);
+  for (int y = 0; y < q.height(); ++y)
+    for (int x = 0; x < q.width(); ++x) EXPECT_NEAR(q.at(x, y), 0.7f, 1e-6f);
+}
+
+TEST(Resize, BicubicPreservesConstant) {
+  Plane p(8, 8);
+  p.fill(0.3f);
+  const Plane q = resize_bicubic(p, 16, 16);
+  for (int y = 0; y < q.height(); ++y)
+    for (int x = 0; x < q.width(); ++x) EXPECT_NEAR(q.at(x, y), 0.3f, 1e-5f);
+}
+
+TEST(Resize, UpThenDownApproximatesIdentityOnSmoothContent) {
+  const FrameRGB f = smooth_frame(16, 16);
+  const FrameRGB up = resize(f, 32, 32);
+  const FrameRGB back = resize(up, 16, 16);
+  EXPECT_GT(psnr(f, back), 40.0);
+}
+
+TEST(Resize, BoxDownscaleAveragesBlocks) {
+  Plane p(4, 4);
+  p.at(0, 0) = 1.0f;  // others zero in the top-left 2x2 block
+  const Plane q = downscale_box(p, 2);
+  EXPECT_EQ(q.width(), 2);
+  EXPECT_FLOAT_EQ(q.at(0, 0), 0.25f);
+  EXPECT_FLOAT_EQ(q.at(1, 1), 0.0f);
+}
+
+TEST(Resize, BoxDownscaleRejectsNonDivisible) {
+  EXPECT_THROW(downscale_box(Plane(5, 4), 2), std::invalid_argument);
+}
+
+TEST(Metrics, PsnrIdenticalIsCapped) {
+  const FrameRGB f = random_frame(8, 8, 4);
+  EXPECT_DOUBLE_EQ(psnr(f, f), 100.0);
+}
+
+TEST(Metrics, PsnrKnownValue) {
+  Plane a(4, 4), b(4, 4);
+  b.fill(0.1f);  // MSE = 0.01 -> PSNR = 20 dB
+  EXPECT_NEAR(psnr(a, b), 20.0, 1e-5);
+}
+
+TEST(Metrics, PsnrDecreasesWithNoise) {
+  const FrameRGB f = smooth_frame(16, 16);
+  Rng rng(5);
+  FrameRGB n1 = f, n2 = f;
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) {
+      n1.r.at(x, y) += static_cast<float>(rng.normal(0, 0.01));
+      n2.r.at(x, y) += static_cast<float>(rng.normal(0, 0.1));
+    }
+  EXPECT_GT(psnr(f, n1), psnr(f, n2));
+}
+
+TEST(Metrics, SsimIdenticalIsOne) {
+  const FrameRGB f = random_frame(16, 16, 6);
+  EXPECT_NEAR(ssim(f, f), 1.0, 1e-9);
+}
+
+TEST(Metrics, SsimOrdersDegradationsLikePsnr) {
+  const FrameRGB f = smooth_frame(32, 32);
+  Rng rng(7);
+  FrameRGB mild = f, severe = f;
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) {
+      const auto e1 = static_cast<float>(rng.normal(0, 0.02));
+      const auto e2 = static_cast<float>(rng.normal(0, 0.2));
+      mild.r.at(x, y) = std::clamp(mild.r.at(x, y) + e1, 0.0f, 1.0f);
+      severe.r.at(x, y) = std::clamp(severe.r.at(x, y) + e2, 0.0f, 1.0f);
+    }
+  EXPECT_GT(ssim(f, mild), ssim(f, severe));
+  EXPECT_LT(ssim(f, severe), 1.0);
+}
+
+TEST(Metrics, MismatchedSizesThrow) {
+  EXPECT_THROW(psnr(Plane(4, 4), Plane(5, 4)), std::invalid_argument);
+}
+
+TEST(Metrics, MsSsimIdenticalIsOne) {
+  const FrameRGB f = random_frame(64, 64, 8);
+  EXPECT_NEAR(ms_ssim(f, f), 1.0, 1e-9);
+}
+
+TEST(Metrics, MsSsimOrdersDegradations) {
+  const FrameRGB f = smooth_frame(64, 64);
+  Rng rng(9);
+  FrameRGB mild = f, severe = f;
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) {
+      mild.g.at(x, y) = std::clamp(
+          mild.g.at(x, y) + static_cast<float>(rng.normal(0, 0.02)), 0.0f, 1.0f);
+      severe.g.at(x, y) = std::clamp(
+          severe.g.at(x, y) + static_cast<float>(rng.normal(0, 0.2)), 0.0f, 1.0f);
+    }
+  EXPECT_GT(ms_ssim(f, mild), ms_ssim(f, severe));
+}
+
+TEST(Metrics, MsSsimSingleScaleMatchesSsim) {
+  const FrameRGB a = smooth_frame(32, 32);
+  const FrameRGB b = random_frame(32, 32, 10);
+  EXPECT_NEAR(ms_ssim(a.r, b.r, 1), std::max(0.0, ssim(a.r, b.r)), 1e-9);
+}
+
+TEST(Metrics, MsSsimRejectsTinyPlanes) {
+  EXPECT_THROW(ms_ssim(Plane(12, 12), Plane(12, 12), 3), std::invalid_argument);
+  EXPECT_THROW(ms_ssim(Plane(32, 32), Plane(32, 32), 0), std::invalid_argument);
+}
+
+TEST(Metrics, PsnrLumaUsesOnlyY) {
+  FrameYUV a(16, 16), b(16, 16);
+  b.u.fill(0.9f);  // chroma-only difference
+  EXPECT_DOUBLE_EQ(psnr_luma(a, b), 100.0);
+  b.y.fill(0.5f);
+  EXPECT_LT(psnr_luma(a, b), 100.0);
+}
+
+}  // namespace
+}  // namespace dcsr

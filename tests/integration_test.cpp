@@ -1,0 +1,139 @@
+// Cross-module integration tests: the full dcSR loop wired together the way
+// the examples and benches use it, with assertions on the interactions
+// between stages rather than on any single module.
+
+#include <gtest/gtest.h>
+
+#include "core/dcsr.hpp"
+#include "image/convert.hpp"
+#include "image/metrics.hpp"
+#include "nn/serialize.hpp"
+#include "util/serialize.hpp"
+
+namespace dcsr {
+namespace {
+
+core::ServerConfig fast_config() {
+  core::ServerConfig cfg;
+  cfg.codec.crf = 51;
+  cfg.codec.intra_period = 10;
+  cfg.vae = {.input_size = 16, .latent_dim = 4, .base_channels = 4, .hidden = 32};
+  cfg.vae_epochs = 6;
+  cfg.micro = {.n_filters = 8, .n_resblocks = 2, .scale = 1};
+  cfg.big = {.n_filters = 32, .n_resblocks = 4, .scale = 1};
+  cfg.k_max = 4;
+  cfg.training = {.iterations = 30, .patch_size = 16, .batch_size = 2, .lr = 3e-3};
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(Integration, PipelineIsDeterministicForFixedSeed) {
+  const auto video = make_genre_video(Genre::kGaming, 55, 64, 48, 20.0, 15.0);
+  const core::ServerConfig cfg = fast_config();
+  const auto a = core::run_server_pipeline(*video, cfg);
+  const auto b = core::run_server_pipeline(*video, cfg);
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.encoded.size_bytes(), b.encoded.size_bytes());
+  // Model weights identical too.
+  ByteWriter wa, wb;
+  nn::save_params(*a.micro_models[0], wa);
+  nn::save_params(*b.micro_models[0], wb);
+  EXPECT_EQ(wa.bytes(), wb.bytes());
+}
+
+TEST(Integration, ManifestSessionAndDecodeAgreeOnSegments) {
+  const auto video = make_genre_video(Genre::kMusicVideo, 56, 64, 48, 20.0, 15.0);
+  const auto server = core::run_server_pipeline(*video, fast_config());
+  const auto manifest = server.manifest();
+  const auto session = stream::simulate_session(manifest);
+
+  ASSERT_EQ(manifest.segments.size(), server.encoded.segments.size());
+  ASSERT_EQ(session.log.size(), manifest.segments.size());
+  EXPECT_EQ(session.video_bytes, server.encoded.size_bytes());
+
+  // Every downloaded model label is one the playback path would use.
+  for (std::size_t s = 0; s < session.log.size(); ++s)
+    EXPECT_EQ(manifest.segments[s].model_label, server.labels[s]);
+
+  // Decoding the streamed segments yields exactly the video's frame count.
+  codec::Decoder dec(server.encoded.width, server.encoded.height,
+                     server.encoded.crf);
+  EXPECT_EQ(dec.decode_video(server.encoded).size(),
+            static_cast<std::size_t>(video->frame_count()));
+}
+
+TEST(Integration, SerializedMicroModelsDriveClientPlayback) {
+  // Ship the micro models through their wire format (as the CDN would),
+  // reload them into fresh instances, and verify playback is identical to
+  // using the originals — models survive serialisation end to end.
+  const auto video = make_genre_video(Genre::kNews, 57, 64, 48, 16.0, 15.0);
+  const auto server = core::run_server_pipeline(*video, fast_config());
+
+  std::vector<std::unique_ptr<sr::Edsr>> shipped;
+  Rng rng(1);
+  for (const auto& m : server.micro_models) {
+    ByteWriter w;
+    nn::save_params(*m, w);
+    EXPECT_EQ(w.size(), server.micro_model_bytes);
+    auto fresh = std::make_unique<sr::Edsr>(m->config(), rng);
+    ByteReader r(w.bytes());
+    nn::load_params(*fresh, r);
+    shipped.push_back(std::move(fresh));
+  }
+
+  const auto original =
+      core::play_dcsr(server.encoded, server.labels, server.micro_models, *video);
+  const auto reloaded =
+      core::play_dcsr(server.encoded, server.labels, shipped, *video);
+  ASSERT_EQ(original.frame_psnr.size(), reloaded.frame_psnr.size());
+  for (std::size_t i = 0; i < original.frame_psnr.size(); ++i)
+    EXPECT_DOUBLE_EQ(original.frame_psnr[i], reloaded.frame_psnr[i]);
+}
+
+TEST(Integration, EnhancementOnlyTouchesTargetSegments) {
+  // Playing with micro models must never *change the segment structure*:
+  // frame counts, order and segment boundaries are decode-layer facts.
+  const auto video = make_genre_video(Genre::kSports, 58, 64, 48, 12.0, 15.0);
+  const auto server = core::run_server_pipeline(*video, fast_config());
+  const auto low = core::play_low(server.encoded, *video);
+  const auto dcsr = core::play_dcsr(server.encoded, server.labels,
+                                    server.micro_models, *video);
+  ASSERT_EQ(low.psnr_frame_index, dcsr.psnr_frame_index);
+  EXPECT_EQ(low.frame_psnr.size(),
+            static_cast<std::size_t>(video->frame_count()));
+}
+
+TEST(Integration, HigherCrfStreamsFewerBytesAtLowerQuality) {
+  // End-to-end rate/distortion sanity across the whole pipeline.
+  const auto video = make_genre_video(Genre::kDocumentary, 59, 64, 48, 10.0, 15.0);
+  auto run_at = [&](int crf) {
+    core::ServerConfig cfg = fast_config();
+    cfg.codec.crf = crf;
+    cfg.training.iterations = 5;  // quality of the *stream*, not the models
+    const auto server = core::run_server_pipeline(*video, cfg);
+    const auto low = core::play_low(server.encoded, *video);
+    return std::pair<std::size_t, double>(server.encoded.size_bytes(),
+                                          low.mean_psnr);
+  };
+  const auto [bytes35, psnr35] = run_at(35);
+  const auto [bytes51, psnr51] = run_at(51);
+  EXPECT_GT(bytes35, bytes51);
+  EXPECT_GT(psnr35, psnr51);
+}
+
+TEST(Integration, DeviceModelAgreesWithModelFlops) {
+  // The FPS the device model predicts for a micro model must track the
+  // model's actual FLOPs: half the FLOPs => strictly higher FPS.
+  const auto dev = device::jetson_xavier_nx();
+  const auto res = device::res_1080p();
+  const sr::EdsrConfig small = sr::dcsr1_config();
+  const sr::EdsrConfig large = sr::dcsr3_config();
+  ASSERT_LT(sr::edsr_flops(small, res.width, res.height),
+            sr::edsr_flops(large, res.width, res.height));
+  EXPECT_GT(device::segment_fps(dev, small, res, 120, 3).fps,
+            device::segment_fps(dev, large, res, 120, 3).fps);
+}
+
+}  // namespace
+}  // namespace dcsr

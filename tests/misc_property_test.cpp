@@ -1,0 +1,160 @@
+// Additional cross-cutting property tests.
+
+#include <gtest/gtest.h>
+
+#include "codec/container.hpp"
+#include "codec/encoder.hpp"
+#include "core/client_pipeline.hpp"
+#include "image/metrics.hpp"
+#include "image/resize.hpp"
+#include "stream/playlist.hpp"
+#include "video/genres.hpp"
+
+namespace dcsr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Resolution independence of the video generator: rendering the same scene
+// script at half resolution must approximate a downscale of the full-res
+// render. (bench_sr_mode builds its half-res stream on this property.)
+// ---------------------------------------------------------------------------
+
+class ResolutionIndependence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResolutionIndependence, HalfResRenderMatchesDownscaledFullRes) {
+  // Scenes whose feature sizes stay above the renderer's texture floor at
+  // both resolutions (very fine textures are clamped to a minimum pixel
+  // size per resolution and are NOT expected to be resolution-consistent).
+  Rng rng(static_cast<std::uint64_t>(200 + GetParam()));
+  SceneSpec spec = random_scene(rng, /*motion=*/0.5f, /*detail=*/0.3f);
+  spec.texture_scale = 300.0f;  // ~18 px at 64 rows, ~9 px at 32 rows
+  // Sharp periodic backgrounds (stripes/checker) legitimately alias
+  // differently per resolution; smooth backgrounds are the invariant case.
+  if (spec.background == Background::kStripes ||
+      spec.background == Background::kCheckerboard)
+    spec.background = Background::kTexture;
+  for (auto& s : spec.sprites) s.texture_amount = 0.0f;
+
+  std::vector<SceneSpec> scenes{spec};
+  std::vector<Shot> shots{{0, 40, 0.0}};
+  const SyntheticVideo full("full", scenes, shots, 96, 64, 10.0);
+  const SyntheticVideo half("half", scenes, shots, 48, 32, 10.0);
+  for (int i = 0; i < 40; i += 13) {
+    const FrameRGB down = downscale_box(full.frame(i), 2);
+    const double q = psnr(down, half.frame(i));
+    EXPECT_GT(q, 24.0) << "frame " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenes, ResolutionIndependence, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Playback measurement options.
+// ---------------------------------------------------------------------------
+
+TEST(PlaybackOptions, SsimStrideControlsSampleCount) {
+  const auto video = make_genre_video(Genre::kNews, 101, 64, 48, 4.0, 15.0);
+  codec::CodecConfig cfg;
+  cfg.crf = 40;
+  const auto encoded =
+      codec::Encoder(cfg).encode(*video, {{0, video->frame_count()}});
+
+  core::PlaybackOptions sparse;
+  sparse.ssim_stride = 10;
+  core::PlaybackOptions dense;
+  dense.ssim_stride = 2;
+  const auto a = core::play_low(encoded, *video, sparse);
+  const auto b = core::play_low(encoded, *video, dense);
+  EXPECT_EQ(a.frame_psnr.size(), b.frame_psnr.size());  // PSNR always dense
+  EXPECT_LT(a.frame_ssim.size(), b.frame_ssim.size());
+  EXPECT_EQ(a.frame_ssim.size(),
+            (a.frame_psnr.size() + 9) / 10);
+}
+
+TEST(PlaybackOptions, PsnrIndicesAreSequential) {
+  const auto video = make_genre_video(Genre::kSports, 102, 64, 48, 2.0, 15.0);
+  codec::CodecConfig cfg;
+  const auto encoded =
+      codec::Encoder(cfg).encode(*video, {{0, 15}, {15, 15}});
+  const auto r = core::play_low(encoded, *video);
+  ASSERT_EQ(r.psnr_frame_index.size(), 30u);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(r.psnr_frame_index[static_cast<std::size_t>(i)], i);
+}
+
+// ---------------------------------------------------------------------------
+// Playlist parser fuzzing: random single-character mutations either parse to
+// a manifest (harmless edit inside a number, say) or throw — never crash.
+// Mutated parses that DO succeed must still be structurally sane.
+// ---------------------------------------------------------------------------
+
+TEST(PlaylistFuzz, RandomMutationsNeverCrashOrYieldNonsense) {
+  stream::Manifest m;
+  m.model_bytes = {100, 250};
+  m.segments.push_back({0, 30, 4000, 0});
+  m.segments.push_back({1, 25, 3000, 1});
+  m.segments.push_back({2, 40, 5000, stream::kNoModel});
+  const std::string clean = stream::write_playlist(m);
+
+  Rng rng(12345);
+  int threw = 0, parsed = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = clean;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(text.size()) - 1));
+    text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    try {
+      const stream::Manifest out = stream::parse_playlist(text);
+      ++parsed;
+      // Whatever parsed must be internally consistent.
+      for (const auto& seg : out.segments) {
+        if (seg.model_label != stream::kNoModel) {
+          ASSERT_GE(seg.model_label, 0);
+          ASSERT_LT(static_cast<std::size_t>(seg.model_label),
+                    out.model_bytes.size());
+        }
+      }
+    } catch (const std::invalid_argument&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw + parsed, 300);
+  EXPECT_GT(threw, 100);  // most mutations break the strict grammar
+}
+
+// ---------------------------------------------------------------------------
+// Container round trip across encoder configurations (TEST_P).
+// ---------------------------------------------------------------------------
+
+using ContainerParams = std::tuple<int /*crf*/, bool /*b*/, bool /*deblock*/>;
+
+class ContainerSweep : public ::testing::TestWithParam<ContainerParams> {};
+
+TEST_P(ContainerSweep, RoundTripsAndDecodes) {
+  const auto [crf, use_b, deblock] = GetParam();
+  const auto video = make_genre_video(Genre::kGaming, 103, 64, 48, 1.0, 15.0);
+  codec::CodecConfig cfg;
+  cfg.crf = crf;
+  cfg.use_b_frames = use_b;
+  cfg.deblock = deblock;
+  const auto encoded =
+      codec::Encoder(cfg).encode(*video, {{0, video->frame_count()}});
+
+  ByteWriter w;
+  codec::write_container(encoded, w);
+  ByteReader r(w.bytes());
+  const auto parsed = codec::read_container(r);
+  EXPECT_EQ(parsed.deblock, deblock);
+  EXPECT_EQ(parsed.size_bytes(), encoded.size_bytes());
+
+  codec::Decoder dec(64, 48, parsed.crf);
+  const auto frames = dec.decode_video(parsed);
+  EXPECT_EQ(frames.size(), static_cast<std::size_t>(video->frame_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ContainerSweep,
+                         ::testing::Combine(::testing::Values(25, 51),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace dcsr

@@ -1,0 +1,451 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/module.hpp"
+#include "nn/optim.hpp"
+#include "nn/resblock.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "nn/shape_ops.hpp"
+#include "tensor/ops.hpp"
+
+namespace dcsr::nn {
+namespace {
+
+// Scalar objective used for gradient checks: L = sum(w .* f(x)) with fixed
+// random weights w, so dL/d(out) = w.
+double objective(const Tensor& out, const Tensor& w) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) s += out[i] * w[i];
+  return s;
+}
+
+// Finite-difference check of input gradients AND parameter gradients for an
+// arbitrary module.
+void grad_check(Module& m, const Tensor& x0, double tol = 2e-2) {
+  Rng rng(99);
+  Tensor x = x0;
+  Tensor out = m.forward(x);
+  const Tensor w = Tensor::randn(out.shape(), rng);
+
+  m.zero_grad();
+  Tensor gin = m.backward(w);
+
+  constexpr float kEps = 1e-3f;
+  // Input gradient: probe a handful of positions.
+  for (std::size_t probe = 0; probe < std::min<std::size_t>(x.size(), 12); ++probe) {
+    const std::size_t i = (probe * 7919) % x.size();
+    Tensor xp = x, xm = x;
+    xp[i] += kEps;
+    xm[i] -= kEps;
+    const double fp = objective(m.forward(xp), w);
+    const double fm = objective(m.forward(xm), w);
+    const double numeric = (fp - fm) / (2.0 * kEps);
+    EXPECT_NEAR(gin[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "input grad mismatch at " << i;
+  }
+
+  // Parameter gradients: recompute analytic grads at x (forward state was
+  // clobbered by the probes above).
+  m.zero_grad();
+  m.forward(x);
+  m.backward(w);
+  for (Param* p : m.params()) {
+    // Copy analytic grads before probing (probes don't touch grads but the
+    // forward cache changes).
+    Tensor analytic = p->grad;
+    for (std::size_t probe = 0; probe < std::min<std::size_t>(p->value.size(), 8); ++probe) {
+      const std::size_t i = (probe * 104729) % p->value.size();
+      const float orig = p->value[i];
+      p->value[i] = orig + kEps;
+      const double fp = objective(m.forward(x), w);
+      p->value[i] = orig - kEps;
+      const double fm = objective(m.forward(x), w);
+      p->value[i] = orig;
+      const double numeric = (fp - fm) / (2.0 * kEps);
+      EXPECT_NEAR(analytic[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+          << "param grad mismatch at " << i;
+    }
+  }
+}
+
+TEST(Conv2d, OutputShapeSamePadding) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, rng);
+  const Tensor y = conv.forward(Tensor({2, 3, 6, 5}));
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 8, 6, 5}));
+}
+
+TEST(Conv2d, OutputShapeStride2) {
+  Rng rng(1);
+  Conv2d conv(2, 4, 3, rng, /*stride=*/2, /*pad=*/1);
+  const Tensor y = conv.forward(Tensor({1, 2, 8, 8}));
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 4, 4, 4}));
+}
+
+TEST(Conv2d, BiasShiftsOutput) {
+  Rng rng(2);
+  Conv2d conv(1, 1, 1, rng);
+  conv.weight().value.fill(0.0f);
+  conv.bias().value.fill(1.5f);
+  const Tensor y = conv.forward(Tensor({1, 1, 2, 2}));
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], 1.5f);
+}
+
+TEST(Conv2d, GradCheck) {
+  Rng rng(3);
+  Conv2d conv(2, 3, 3, rng);
+  grad_check(conv, Tensor::randn({1, 2, 5, 4}, rng));
+}
+
+TEST(Conv2d, GradCheckStrided) {
+  Rng rng(4);
+  Conv2d conv(2, 2, 3, rng, /*stride=*/2, /*pad=*/1);
+  grad_check(conv, Tensor::randn({1, 2, 6, 6}, rng));
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(5);
+  Linear lin(6, 4, rng);
+  grad_check(lin, Tensor::randn({3, 6}, rng));
+}
+
+TEST(Activations, ReluForwardAndGrad) {
+  ReLU relu;
+  Tensor x({1, 4});
+  x[0] = -1;
+  x[1] = 0;
+  x[2] = 2;
+  x[3] = -3;
+  const Tensor y = relu.forward(x.reshaped({1, 1, 1, 4}));
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  Rng rng(6);
+  grad_check(relu, Tensor::randn({1, 1, 2, 8}, rng));
+}
+
+TEST(Activations, LeakyReluGradCheck) {
+  Rng rng(7);
+  LeakyReLU lrelu(0.1f);
+  grad_check(lrelu, Tensor::randn({1, 1, 3, 5}, rng));
+}
+
+TEST(Activations, SigmoidRangeAndGrad) {
+  Sigmoid sig;
+  Rng rng(8);
+  const Tensor y = sig.forward(Tensor::randn({1, 1, 4, 4}, rng, 3.0f));
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_GT(y[i], 0.0f);
+    EXPECT_LT(y[i], 1.0f);
+  }
+  grad_check(sig, Tensor::randn({1, 1, 3, 3}, rng));
+}
+
+TEST(Activations, TanhGradCheck) {
+  Rng rng(9);
+  Tanh tanh_m;
+  grad_check(tanh_m, Tensor::randn({2, 5}, rng));
+}
+
+TEST(PixelShuffle, RearrangesChannelsToSpace) {
+  PixelShuffle ps(2);
+  Tensor x({1, 4, 1, 1});
+  for (int c = 0; c < 4; ++c) x.at(0, c, 0, 0) = static_cast<float>(c);
+  const Tensor y = ps.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 1, 2, 2}));
+  EXPECT_EQ(y.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(y.at(0, 0, 0, 1), 1.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 0), 2.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 1), 3.0f);
+}
+
+TEST(PixelShuffle, BackwardIsInverse) {
+  Rng rng(10);
+  PixelShuffle ps(2);
+  const Tensor x = Tensor::randn({1, 8, 3, 3}, rng);
+  const Tensor y = ps.forward(x);
+  const Tensor back = ps.backward(y);  // permutation => backward(forward(x)) == x
+  ASSERT_TRUE(back.same_shape(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(back[i], x[i]);
+}
+
+TEST(BilinearUpsample, ConstantStaysConstant) {
+  BilinearUpsample up(2);
+  const Tensor y = up.forward(Tensor::full({1, 1, 3, 3}, 0.4f));
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 1, 6, 6}));
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], 0.4f, 1e-6f);
+}
+
+TEST(BilinearUpsample, InterpolatesBetweenSamples) {
+  BilinearUpsample up(2);
+  Tensor x({1, 1, 1, 2});
+  x[0] = 0.0f;
+  x[1] = 1.0f;
+  const Tensor y = up.forward(x);
+  // Centre-aligned x2: outputs sample at src positions -0.25, 0.25, 0.75, 1.25.
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.25f);
+  EXPECT_FLOAT_EQ(y[2], 0.75f);
+  EXPECT_FLOAT_EQ(y[3], 1.0f);
+}
+
+TEST(BilinearUpsample, GradCheck) {
+  Rng rng(31);
+  BilinearUpsample up(2);
+  grad_check(up, Tensor::randn({1, 2, 3, 4}, rng));
+}
+
+TEST(BilinearUpsample, BackwardIsAdjoint) {
+  // <up(x), y> == <x, up^T(y)> for random tensors.
+  Rng rng(32);
+  BilinearUpsample up(3);
+  const Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  const Tensor y = Tensor::randn({1, 1, 12, 12}, rng);
+  const Tensor ux = up.forward(x);
+  const Tensor uty = up.backward(y);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < ux.size(); ++i) lhs += ux[i] * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * uty[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(UpsampleNearest, GradCheck) {
+  Rng rng(11);
+  UpsampleNearest up(2);
+  grad_check(up, Tensor::randn({1, 2, 3, 3}, rng));
+}
+
+TEST(FlattenReshape, RoundTrip) {
+  Rng rng(12);
+  Flatten flat;
+  Reshape4 back(3, 4, 5);
+  const Tensor x = Tensor::randn({2, 3, 4, 5}, rng);
+  const Tensor y = back.forward(flat.forward(x));
+  ASSERT_TRUE(y.same_shape(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(ResBlock, IdentityWhenConvsZero) {
+  Rng rng(13);
+  ResBlock rb(4, rng);
+  for (Param* p : rb.params()) p->value.zero();
+  const Tensor x = Tensor::randn({1, 4, 5, 5}, rng);
+  const Tensor y = rb.forward(x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(ResBlock, GradCheck) {
+  Rng rng(14);
+  ResBlock rb(2, rng, 0.5f);
+  grad_check(rb, Tensor::randn({1, 2, 4, 4}, rng));
+}
+
+TEST(Sequential, ChainsAndCollectsParams) {
+  Rng rng(15);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 2, 3, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Conv2d>(2, 1, 3, rng);
+  EXPECT_EQ(seq.params().size(), 4u);
+  const Tensor y = seq.forward(Tensor({1, 1, 4, 4}));
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 1, 4, 4}));
+  grad_check(seq, Tensor::randn({1, 1, 4, 4}, rng));
+}
+
+TEST(Loss, MseMatchesDefinitionAndGrad) {
+  Tensor pred = Tensor::full({2, 2}, 1.0f);
+  Tensor target = Tensor::full({2, 2}, 0.0f);
+  const LossResult r = mse_loss(pred, target);
+  EXPECT_DOUBLE_EQ(r.value, 1.0);
+  for (std::size_t i = 0; i < r.grad.size(); ++i)
+    EXPECT_FLOAT_EQ(r.grad[i], 2.0f / 4.0f);
+}
+
+TEST(Loss, L1MatchesDefinition) {
+  Tensor pred = Tensor::full({4}, -2.0f);
+  Tensor target = Tensor::full({4}, 1.0f);
+  const LossResult r = l1_loss(pred, target);
+  EXPECT_DOUBLE_EQ(r.value, 3.0);
+  EXPECT_FLOAT_EQ(r.grad[0], -0.25f);
+}
+
+TEST(Loss, KlZeroForStandardNormal) {
+  const Tensor mu({2, 3});
+  const Tensor logvar({2, 3});  // zeros => unit variance
+  const KlResult r = kl_divergence(mu, logvar);
+  EXPECT_NEAR(r.value, 0.0, 1e-9);
+  for (std::size_t i = 0; i < r.grad_mu.size(); ++i) {
+    EXPECT_FLOAT_EQ(r.grad_mu[i], 0.0f);
+    EXPECT_FLOAT_EQ(r.grad_logvar[i], 0.0f);
+  }
+}
+
+TEST(Loss, KlGradientsByFiniteDifference) {
+  Rng rng(16);
+  Tensor mu = Tensor::randn({2, 4}, rng);
+  Tensor logvar = Tensor::randn({2, 4}, rng, 0.5f);
+  const KlResult r = kl_divergence(mu, logvar);
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    Tensor mp = mu;
+    mp[i] += kEps;
+    Tensor mm = mu;
+    mm[i] -= kEps;
+    const double num = (kl_divergence(mp, logvar).value -
+                        kl_divergence(mm, logvar).value) /
+                       (2.0 * kEps);
+    EXPECT_NEAR(r.grad_mu[i], num, 1e-3);
+  }
+  for (std::size_t i = 0; i < logvar.size(); ++i) {
+    Tensor lp = logvar;
+    lp[i] += kEps;
+    Tensor lm = logvar;
+    lm[i] -= kEps;
+    const double num = (kl_divergence(mu, lp).value -
+                        kl_divergence(mu, lm).value) /
+                       (2.0 * kEps);
+    EXPECT_NEAR(r.grad_logvar[i], num, 1e-3);
+  }
+}
+
+TEST(Optim, SgdDescendsQuadratic) {
+  // Minimise f(w) = ||w - 3||^2 by hand-feeding gradients.
+  Param w(Tensor::full({4}, 0.0f));
+  Sgd opt({&w}, 0.1);
+  for (int it = 0; it < 200; ++it) {
+    for (std::size_t i = 0; i < w.value.size(); ++i)
+      w.grad[i] = 2.0f * (w.value[i] - 3.0f);
+    opt.step();
+  }
+  for (std::size_t i = 0; i < w.value.size(); ++i)
+    EXPECT_NEAR(w.value[i], 3.0f, 1e-3f);
+}
+
+TEST(Optim, AdamDescendsQuadratic) {
+  Param w(Tensor::full({4}, 10.0f));
+  Adam opt({&w}, 0.5);
+  for (int it = 0; it < 300; ++it) {
+    for (std::size_t i = 0; i < w.value.size(); ++i)
+      w.grad[i] = 2.0f * (w.value[i] + 1.0f);
+    opt.step();
+  }
+  for (std::size_t i = 0; i < w.value.size(); ++i)
+    EXPECT_NEAR(w.value[i], -1.0f, 1e-2f);
+}
+
+TEST(Optim, WeightDecayShrinksWeightsWithZeroGrads) {
+  Param w(Tensor::full({4}, 2.0f));
+  Adam opt({&w}, 0.1);
+  opt.set_weight_decay(0.1);
+  for (int it = 0; it < 50; ++it) {
+    w.grad.zero();
+    opt.step();
+  }
+  for (std::size_t i = 0; i < w.value.size(); ++i) {
+    EXPECT_LT(w.value[i], 2.0f);
+    EXPECT_GT(w.value[i], 0.0f);
+  }
+}
+
+TEST(Optim, GradClipBoundsTheUpdateDirectionally) {
+  // With a gigantic gradient on one coordinate, clipping preserves direction
+  // but reports the raw norm.
+  Param w(Tensor::full({2}, 0.0f));
+  Adam opt({&w}, 0.1);
+  opt.set_grad_clip(1.0);
+  w.grad[0] = 1e6f;
+  w.grad[1] = 0.0f;
+  opt.step();
+  EXPECT_NEAR(opt.last_grad_norm(), 1e6, 1.0);
+  EXPECT_LT(w.value[0], 0.0f);      // moved against the gradient
+  EXPECT_FLOAT_EQ(w.value[1], 0.0f);  // untouched coordinate
+}
+
+TEST(Optim, ClippedAdamStillConverges) {
+  Param w(Tensor::full({4}, 10.0f));
+  Adam opt({&w}, 0.5);
+  opt.set_grad_clip(0.5);
+  for (int it = 0; it < 400; ++it) {
+    for (std::size_t i = 0; i < w.value.size(); ++i)
+      w.grad[i] = 2.0f * (w.value[i] + 1.0f);
+    opt.step();
+  }
+  for (std::size_t i = 0; i < w.value.size(); ++i)
+    EXPECT_NEAR(w.value[i], -1.0f, 5e-2f);
+}
+
+TEST(Optim, TrainsTinyConvToIdentity) {
+  // End-to-end sanity: a 1-channel 3x3 conv can learn the identity map.
+  Rng rng(17);
+  Conv2d conv(1, 1, 3, rng);
+  Adam opt(conv.params(), 0.05);
+  const Tensor x = Tensor::randn({4, 1, 6, 6}, rng);
+  double final_loss = 1e9;
+  for (int it = 0; it < 200; ++it) {
+    conv.zero_grad();
+    const Tensor y = conv.forward(x);
+    const LossResult r = mse_loss(y, x);
+    conv.backward(r.grad);
+    opt.step();
+    final_loss = r.value;
+  }
+  EXPECT_LT(final_loss, 1e-3);
+}
+
+TEST(Serialize, SaveLoadRoundTrip) {
+  Rng rng(18);
+  Sequential a, b;
+  a.emplace<Conv2d>(2, 3, 3, rng);
+  a.emplace<Linear>(4, 2, rng);  // not used in forward; params only
+  b.emplace<Conv2d>(2, 3, 3, rng);
+  b.emplace<Linear>(4, 2, rng);
+
+  ByteWriter w;
+  save_params(a, w);
+  EXPECT_EQ(w.size(), serialized_size(a));
+
+  ByteReader r(w.bytes());
+  load_params(b, r);
+  const auto pa = a.params();
+  const auto pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::size_t j = 0; j < pa[i]->value.size(); ++j)
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+}
+
+TEST(Serialize, LoadRejectsWrongTopology) {
+  Rng rng(19);
+  Sequential a, b;
+  a.emplace<Conv2d>(2, 3, 3, rng);
+  b.emplace<Conv2d>(2, 4, 3, rng);  // different width
+  ByteWriter w;
+  save_params(a, w);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(load_params(b, r), std::invalid_argument);
+}
+
+TEST(Serialize, CopyParamsMakesModelsIdentical) {
+  Rng rng(20);
+  Conv2d a(1, 2, 3, rng), b(1, 2, 3, rng);
+  copy_params(a, b);
+  const Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  const Tensor ya = a.forward(x);
+  const Tensor yb = b.forward(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Module, ParamCountMatchesArchitecture) {
+  Rng rng(21);
+  Conv2d conv(3, 16, 3, rng);
+  // 16 * (3*3*3) weights + 16 biases.
+  EXPECT_EQ(conv.param_count(), 16u * 27u + 16u);
+}
+
+}  // namespace
+}  // namespace dcsr::nn

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/pca.hpp"
+
+namespace dcsr::cluster {
+namespace {
+
+// Anisotropic Gaussian: dominant axis along (3,4)/5, minor axis orthogonal.
+Dataset anisotropic(Rng& rng, int n, double major = 5.0, double minor = 0.5) {
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.normal(0.0, major);
+    const double b = rng.normal(0.0, minor);
+    data.push_back({static_cast<float>(0.6 * a - 0.8 * b + 10.0),
+                    static_cast<float>(0.8 * a + 0.6 * b - 3.0)});
+  }
+  return data;
+}
+
+TEST(Pca, RecoversDominantAxis) {
+  Rng rng(1);
+  const Dataset data = anisotropic(rng, 500);
+  const Pca pca = fit_pca(data, 1);
+  const auto& v = pca.components[0];
+  // Component matches (0.6, 0.8) up to sign.
+  const double align = std::abs(0.6 * v[0] + 0.8 * v[1]);
+  EXPECT_GT(align, 0.99);
+  // Eigenvalue ~ major^2 = 25.
+  EXPECT_NEAR(pca.eigenvalues[0], 25.0, 4.0);
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  Rng rng(2);
+  Dataset data;
+  for (int i = 0; i < 200; ++i)
+    data.push_back({static_cast<float>(rng.normal(0, 3)),
+                    static_cast<float>(rng.normal(0, 2)),
+                    static_cast<float>(rng.normal(0, 1)),
+                    static_cast<float>(rng.normal(0, 0.5))});
+  const Pca pca = fit_pca(data, 3);
+  for (int i = 0; i < 3; ++i) {
+    double norm = 0.0;
+    for (const float x : pca.components[static_cast<std::size_t>(i)]) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+    for (int j = i + 1; j < 3; ++j) {
+      double d = 0.0;
+      for (std::size_t k = 0; k < 4; ++k)
+        d += pca.components[static_cast<std::size_t>(i)][k] *
+             pca.components[static_cast<std::size_t>(j)][k];
+      EXPECT_NEAR(d, 0.0, 1e-3);
+    }
+  }
+  // Eigenvalues descend.
+  EXPECT_GE(pca.eigenvalues[0], pca.eigenvalues[1]);
+  EXPECT_GE(pca.eigenvalues[1], pca.eigenvalues[2]);
+}
+
+TEST(Pca, FullRankTransformIsLossless) {
+  Rng rng(3);
+  const Dataset data = anisotropic(rng, 100);
+  const Pca pca = fit_pca(data, 2);
+  const Dataset back = pca_inverse(pca, pca_transform(pca, data));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    for (std::size_t d = 0; d < 2; ++d)
+      EXPECT_NEAR(back[i][d], data[i][d], 1e-2f);
+}
+
+TEST(Pca, TruncationKeepsMostVariance) {
+  Rng rng(4);
+  const Dataset data = anisotropic(rng, 300, 5.0, 0.3);
+  const Pca pca = fit_pca(data, 1);
+  const Dataset back = pca_inverse(pca, pca_transform(pca, data));
+  double err = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    for (std::size_t d = 0; d < 2; ++d) {
+      const double e = back[i][d] - data[i][d];
+      const double c = data[i][d] - pca.mean[d];
+      err += e * e;
+      total += c * c;
+    }
+  EXPECT_LT(err / total, 0.02);  // minor axis carries <2% of the variance
+}
+
+TEST(Pca, TransformOutputDimensionIsK) {
+  Rng rng(5);
+  const Dataset data = anisotropic(rng, 50);
+  const Pca pca = fit_pca(data, 1);
+  const Dataset z = pca_transform(pca, data);
+  ASSERT_EQ(z.size(), data.size());
+  EXPECT_EQ(z[0].size(), 1u);
+}
+
+TEST(Pca, ValidatesArguments) {
+  EXPECT_THROW(fit_pca({{1.0f, 2.0f}}, 1), std::invalid_argument);
+  Rng rng(6);
+  const Dataset data = anisotropic(rng, 10);
+  EXPECT_THROW(fit_pca(data, 0), std::invalid_argument);
+  EXPECT_THROW(fit_pca(data, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcsr::cluster

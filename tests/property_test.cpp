@@ -1,0 +1,277 @@
+// Property-style tests: invariants checked across parameter sweeps with
+// TEST_P. These complement the per-module unit tests by exercising the same
+// code paths over many configurations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/kmeans.hpp"
+#include "codec/bits.hpp"
+#include "codec/decoder.hpp"
+#include "codec/dct.hpp"
+#include "codec/encoder.hpp"
+#include "image/convert.hpp"
+#include "image/metrics.hpp"
+#include "nn/serialize.hpp"
+#include "sr/model_zoo.hpp"
+#include "stream/session.hpp"
+#include "video/genres.hpp"
+
+namespace dcsr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Codec round-trip invariant: for ANY (crf, B-frames, intra period) the
+// standalone decoder must reproduce the encoder's closed-loop reconstruction
+// bit-exactly on every frame. This is the property that keeps inter
+// prediction drift-free.
+// ---------------------------------------------------------------------------
+
+using CodecParams = std::tuple<int /*crf*/, bool /*b frames*/, int /*intra*/>;
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecParams> {};
+
+TEST_P(CodecRoundTrip, DecoderMatchesEncoderReconstruction) {
+  const auto [crf, use_b, intra_period] = GetParam();
+  const auto video = make_genre_video(Genre::kSports, 77, 64, 48, 1.5, 20.0);
+
+  codec::CodecConfig cfg;
+  cfg.crf = crf;
+  cfg.use_b_frames = use_b;
+  cfg.intra_period = intra_period;
+  const codec::Encoder enc(cfg);
+  const auto encoded = enc.encode(*video, {{0, 15}, {15, 15}});
+
+  // Reference: decode; then re-decode to verify determinism of the decoder
+  // itself as well.
+  codec::Decoder dec1(64, 48, crf), dec2(64, 48, crf);
+  const auto a = dec1.decode_video(encoded);
+  const auto b = dec2.decode_video(encoded);
+  ASSERT_EQ(a.size(), 30u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_FALSE(a[i].empty()) << "frame " << i << " missing";
+    EXPECT_DOUBLE_EQ(psnr(a[i].y, b[i].y), 100.0);
+    EXPECT_DOUBLE_EQ(psnr(a[i].u, b[i].u), 100.0);
+  }
+
+  // Decoded stream must resemble the source below the quantiser's noise
+  // floor for its CRF (sanity that all modes reconstruct, not just parse).
+  const FrameYUV src = rgb_to_yuv420(video->frame(20));
+  EXPECT_GT(psnr(src.y, a[20].y), crf >= 51 ? 14.0 : 20.0);
+}
+
+std::string codec_param_name(const ::testing::TestParamInfo<CodecParams>& info) {
+  const auto [crf, use_b, intra] = info.param;
+  return "crf" + std::to_string(crf) + (use_b ? "_b" : "_p") + "_ip" +
+         std::to_string(intra);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecRoundTrip,
+    ::testing::Combine(::testing::Values(18, 35, 51),
+                       ::testing::Bool(),
+                       ::testing::Values(0, 7)),
+    codec_param_name);
+
+// ---------------------------------------------------------------------------
+// DCT energy-preservation property across many random blocks.
+// ---------------------------------------------------------------------------
+
+class DctProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DctProperty, RoundTripAndParseval) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  codec::Block8 b{};
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const codec::Block8 c = codec::dct8x8(b);
+  const codec::Block8 r = codec::idct8x8(c);
+  double eb = 0.0, ec = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_NEAR(r[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-4f);
+    eb += b[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    ec += c[static_cast<std::size_t>(i)] * c[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(eb, ec, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DctProperty, ::testing::Range(1, 16));
+
+// ---------------------------------------------------------------------------
+// Exp-Golomb codes: round trip over value ranges, and codeword monotonicity
+// (longer codes for larger values).
+// ---------------------------------------------------------------------------
+
+class ExpGolombProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExpGolombProperty, RoundTripsRange) {
+  const int base = GetParam() * 1000;
+  codec::BitWriter w;
+  for (int v = base; v < base + 200; ++v) {
+    w.put_ue(static_cast<std::uint32_t>(v));
+    w.put_se(v % 2 ? v : -v);
+  }
+  const auto bytes = w.finish();
+  codec::BitReader r(bytes);
+  for (int v = base; v < base + 200; ++v) {
+    EXPECT_EQ(r.get_ue(), static_cast<std::uint32_t>(v));
+    EXPECT_EQ(r.get_se(), v % 2 ? v : -v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, ExpGolombProperty, ::testing::Values(0, 1, 5, 50));
+
+// ---------------------------------------------------------------------------
+// K-means invariants for any (k, seed): assignments reference existing
+// centroids, every point sits with its NEAREST centroid (Lloyd fixpoint),
+// and the reported inertia matches a recomputation.
+// ---------------------------------------------------------------------------
+
+using KmeansParams = std::tuple<int /*k*/, int /*seed*/>;
+
+class KmeansProperty : public ::testing::TestWithParam<KmeansParams> {};
+
+TEST_P(KmeansProperty, LloydFixpointInvariants) {
+  const auto [k, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  cluster::Dataset data;
+  for (int i = 0; i < 40; ++i)
+    data.push_back({static_cast<float>(rng.uniform(0, 10)),
+                    static_cast<float>(rng.uniform(0, 10)),
+                    static_cast<float>(rng.uniform(0, 10))});
+
+  const cluster::Clustering c = cluster::kmeans(data, k, rng);
+  ASSERT_EQ(c.assignment.size(), data.size());
+  ASSERT_EQ(c.centroids.size(), static_cast<std::size_t>(k));
+
+  double inertia = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int a = c.assignment[i];
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, k);
+    const double own = cluster::sq_distance(data[i], c.centroids[static_cast<std::size_t>(a)]);
+    for (int j = 0; j < k; ++j)
+      EXPECT_LE(own, cluster::sq_distance(data[i], c.centroids[static_cast<std::size_t>(j)]) + 1e-9)
+          << "point " << i << " not with nearest centroid";
+    inertia += own;
+  }
+  EXPECT_NEAR(inertia, c.inertia, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KmeansProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 10),
+                                            ::testing::Values(3, 17)));
+
+// ---------------------------------------------------------------------------
+// EDSR closed forms across the whole Table-1 grid and scales: the analytic
+// parameter count, serialised size, and a save/load round trip must agree
+// with the real model.
+// ---------------------------------------------------------------------------
+
+using EdsrParams = std::tuple<int /*filters*/, int /*blocks*/, int /*scale*/>;
+
+class EdsrGridProperty : public ::testing::TestWithParam<EdsrParams> {};
+
+TEST_P(EdsrGridProperty, ClosedFormsMatchRealModel) {
+  const auto [f, rb, scale] = GetParam();
+  const sr::EdsrConfig cfg{.n_filters = f, .n_resblocks = rb, .scale = scale};
+  Rng rng(3);
+  sr::Edsr model(cfg, rng);
+  EXPECT_EQ(model.param_count(), sr::edsr_param_count(cfg));
+  EXPECT_EQ(nn::serialized_size(model), sr::edsr_model_bytes(cfg));
+
+  // Save -> load into a second instance -> identical outputs.
+  sr::Edsr other(cfg, rng);
+  ByteWriter w;
+  nn::save_params(model, w);
+  ByteReader r(w.bytes());
+  nn::load_params(other, r);
+  const Tensor x = Tensor::randn({1, 3, 8, 8}, rng, 0.3f);
+  const Tensor ya = model.forward(x);
+  const Tensor yb = other.forward(x);
+  ASSERT_TRUE(ya.same_shape(yb));
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EdsrGridProperty,
+                         ::testing::Combine(::testing::Values(4, 8, 16),
+                                            ::testing::Values(4, 8),
+                                            ::testing::Values(1, 2, 4)));
+
+// ---------------------------------------------------------------------------
+// Streaming-session accounting invariants for arbitrary label patterns.
+// ---------------------------------------------------------------------------
+
+class SessionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionProperty, AccountingInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n_segments = 12;
+  const int n_models = 4;
+
+  codec::EncodedVideo video;
+  video.width = 64;
+  video.height = 48;
+  std::vector<int> labels;
+  std::vector<std::uint64_t> model_bytes;
+  for (int m = 0; m < n_models; ++m)
+    model_bytes.push_back(static_cast<std::uint64_t>(rng.uniform_int(100, 900)));
+  for (int s = 0; s < n_segments; ++s) {
+    codec::EncodedSegment seg;
+    codec::EncodedFrame f;
+    f.payload.assign(static_cast<std::size_t>(rng.uniform_int(10, 500)), 0);
+    seg.frames.push_back(std::move(f));
+    video.segments.push_back(std::move(seg));
+    labels.push_back(static_cast<int>(rng.uniform_int(0, n_models - 1)));
+  }
+
+  const auto manifest = stream::make_manifest(video, labels, model_bytes);
+  const auto r = stream::simulate_session(manifest);
+
+  // Log covers every segment; totals equal the log sums.
+  ASSERT_EQ(r.log.size(), static_cast<std::size_t>(n_segments));
+  std::uint64_t video_sum = 0, model_sum = 0;
+  for (const auto& log : r.log) {
+    video_sum += log.video_bytes;
+    model_sum += log.model_bytes;
+  }
+  EXPECT_EQ(video_sum, r.video_bytes);
+  EXPECT_EQ(model_sum, r.model_bytes);
+  EXPECT_EQ(r.video_bytes, manifest.total_video_bytes());
+
+  // Each distinct label is downloaded exactly once; hits + downloads cover
+  // every segment.
+  std::set<int> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(r.model_downloads, static_cast<int>(distinct.size()));
+  EXPECT_EQ(r.model_downloads + r.cache_hits, n_segments);
+
+  // Downloaded bytes equal the sum of distinct models' sizes.
+  std::uint64_t expected_model_bytes = 0;
+  for (const int l : distinct) expected_model_bytes += model_bytes[static_cast<std::size_t>(l)];
+  EXPECT_EQ(r.model_bytes, expected_model_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionProperty, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// YUV conversion property: luma survives the RGB round trip exactly (up to
+// clamping) for in-gamut frames, on all genres.
+// ---------------------------------------------------------------------------
+
+class ConversionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConversionProperty, LumaSurvivesRoundTrip) {
+  const auto genres = all_genres();
+  const Genre g = genres[static_cast<std::size_t>(GetParam()) % genres.size()];
+  const auto video = make_genre_video(g, 1234, 64, 48, 1.0, 10.0);
+  const FrameRGB rgb = video->frame(3);
+  const FrameYUV yuv = rgb_to_yuv420(rgb);
+  const FrameYUV back = rgb_to_yuv420(yuv420_to_rgb(yuv));
+  // Luma: algebraically exact modulo gamut clamping at chroma extremes.
+  EXPECT_GT(psnr(yuv.y, back.y), 38.0) << genre_name(g);
+}
+
+INSTANTIATE_TEST_SUITE_P(Genres, ConversionProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dcsr

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "codec/decoder.hpp"
+#include "codec/rate_control.hpp"
+#include "image/convert.hpp"
+#include "image/metrics.hpp"
+#include "split/segmenter.hpp"
+#include "video/genres.hpp"
+
+namespace dcsr::codec {
+namespace {
+
+TEST(SegmentBps, MatchesHandComputation) {
+  EncodedSegment seg;
+  EncodedFrame f;
+  f.payload.assign(1500, 0);  // 12000 bits
+  seg.frames.push_back(f);
+  seg.frames.push_back(f);    // 24000 bits over 2 frames
+  // 2 frames at 10 fps = 0.2 s -> 120000 bps.
+  EXPECT_DOUBLE_EQ(segment_bps(seg, 10.0), 120000.0);
+  EXPECT_DOUBLE_EQ(segment_bps(EncodedSegment{}, 10.0), 0.0);
+}
+
+TEST(RateControl, EverySegmentMeetsTheTarget) {
+  const auto video = make_genre_video(Genre::kSports, 111, 64, 48, 6.0, 15.0);
+  const auto segments = split::fixed_segments(video->frame_count(), 30);
+  CodecConfig base;
+  const double target = 60000.0;  // bits per second
+  const auto rc = encode_with_target_bitrate(*video, segments, base, target);
+
+  ASSERT_EQ(rc.video.segments.size(), segments.size());
+  ASSERT_EQ(rc.segment_crf.size(), segments.size());
+  for (std::size_t s = 0; s < rc.video.segments.size(); ++s) {
+    if (rc.segment_crf[s] < 51) {  // 51 = could not fit, delivered anyway
+      EXPECT_LE(segment_bps(rc.video.segments[s], video->fps()), target)
+          << "segment " << s;
+    }
+    EXPECT_EQ(rc.video.segments[s].crf, rc.segment_crf[s]);
+  }
+}
+
+TEST(RateControl, UsesLowestCrfThatFits) {
+  // Re-encoding any segment one CRF lower must exceed the target (otherwise
+  // the search stopped too early).
+  const auto video = make_genre_video(Genre::kNews, 112, 64, 48, 4.0, 15.0);
+  const auto segments = split::fixed_segments(video->frame_count(), 30);
+  CodecConfig base;
+  const double target = 50000.0;
+  const auto rc = encode_with_target_bitrate(*video, segments, base, target);
+
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const int crf = rc.segment_crf[s];
+    if (crf == 0 || crf >= 51) continue;
+    std::vector<FrameYUV> frames;
+    for (int i = 0; i < segments[s].frame_count; ++i)
+      frames.push_back(rgb_to_yuv420(video->frame(segments[s].first_frame + i)));
+    CodecConfig lower = base;
+    lower.crf = crf - 1;
+    const auto trial = Encoder(lower).encode_segment(frames, segments[s].first_frame);
+    EXPECT_GT(segment_bps(trial, video->fps()), target) << "segment " << s;
+  }
+}
+
+TEST(RateControl, HigherTargetGivesBetterQuality) {
+  const auto video = make_genre_video(Genre::kDocumentary, 113, 64, 48, 3.0, 15.0);
+  const auto segments = split::fixed_segments(video->frame_count(), 45);
+  CodecConfig base;
+
+  auto quality_at = [&](double target) {
+    const auto rc = encode_with_target_bitrate(*video, segments, base, target);
+    Decoder dec(64, 48, rc.video.crf);
+    const auto frames = dec.decode_video(rc.video);
+    double acc = 0.0;
+    for (int i = 0; i < video->frame_count(); i += 11)
+      acc += psnr_luma(rgb_to_yuv420(video->frame(i)),
+                       frames[static_cast<std::size_t>(i)]);
+    return acc;
+  };
+  EXPECT_GT(quality_at(400000.0), quality_at(30000.0));
+}
+
+TEST(RateControl, PerSegmentCrfDecodesCorrectly) {
+  // A rate-controlled stream can mix CRFs across segments; the decoder must
+  // pick each segment's own quantiser.
+  const auto video = make_genre_video(Genre::kMusicVideo, 114, 64, 48, 6.0, 15.0);
+  const auto segments = split::fixed_segments(video->frame_count(), 30);
+  const auto rc =
+      encode_with_target_bitrate(*video, segments, CodecConfig{}, 80000.0);
+
+  Decoder dec(64, 48, rc.video.crf);
+  const auto frames = dec.decode_video(rc.video);
+  ASSERT_EQ(frames.size(), static_cast<std::size_t>(video->frame_count()));
+  for (int i = 0; i < video->frame_count(); i += 17)
+    EXPECT_GT(psnr_luma(rgb_to_yuv420(video->frame(i)),
+                        frames[static_cast<std::size_t>(i)]),
+              18.0)
+        << "frame " << i;
+}
+
+TEST(RateControl, ValidatesInputs) {
+  const auto video = make_genre_video(Genre::kNews, 115, 64, 48, 1.0, 15.0);
+  EXPECT_THROW(encode_with_target_bitrate(*video, {{0, 15}}, CodecConfig{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      encode_with_target_bitrate(*video, {{0, 10}}, CodecConfig{}, 1000.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcsr::codec

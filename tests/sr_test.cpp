@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "codec/bits.hpp"
+#include "codec/frame_coding.hpp"
+#include "codec/quant.hpp"
+#include "image/convert.hpp"
+#include "image/metrics.hpp"
+#include "image/resize.hpp"
+#include "nn/serialize.hpp"
+#include "nn/shape_ops.hpp"
+#include "sr/edsr.hpp"
+#include "sr/min_model.hpp"
+#include "sr/model_zoo.hpp"
+#include "sr/trainer.hpp"
+#include "video/scene.hpp"
+
+namespace dcsr::sr {
+namespace {
+
+FrameRGB textured_frame(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  SceneSpec spec = random_scene(rng, 0.0f, 0.8f);
+  return render_scene(spec, 0.0, w, h);
+}
+
+// Degrades a frame (blur via down/up resize) to make (lo, hi) SR pairs.
+TrainSample degraded_pair(const FrameRGB& hi) {
+  TrainSample s;
+  s.hi = hi;
+  const FrameRGB small = resize(hi, hi.width() / 2, hi.height() / 2);
+  s.lo = resize(small, hi.width(), hi.height());
+  return s;
+}
+
+TEST(Edsr, Scale1PreservesShape) {
+  Rng rng(1);
+  Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 1}, rng);
+  const Tensor y = model.forward(Tensor({1, 3, 16, 16}));
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 3, 16, 16}));
+}
+
+TEST(Edsr, Scale2DoublesResolution) {
+  Rng rng(2);
+  Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 2}, rng);
+  const Tensor y = model.forward(Tensor({1, 3, 8, 8}));
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 3, 16, 16}));
+}
+
+TEST(Edsr, Scale4QuadruplesResolution) {
+  Rng rng(3);
+  Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 4}, rng);
+  const Tensor y = model.forward(Tensor({1, 3, 4, 4}));
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 3, 16, 16}));
+}
+
+TEST(Edsr, UntrainedScale2IsABilinearUpsampler) {
+  // Zero-initialised tail + bilinear input skip: the fresh model must act
+  // as plain bilinear upsampling (the trainable part contributes zero).
+  Rng rng(40);
+  Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 2}, rng);
+  nn::BilinearUpsample up(2);
+  const Tensor x = Tensor::randn({1, 3, 6, 8}, rng, 0.2f);
+  const Tensor a = model.forward(x);
+  const Tensor b = up.forward(x);
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Edsr, Scale2GradCheck) {
+  Rng rng(41);
+  Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 2}, rng);
+  // Perturb the tail away from zero so all paths carry gradient.
+  for (nn::Param* p : model.params())
+    for (std::size_t i = 0; i < p->value.size(); ++i)
+      p->value[i] += static_cast<float>(rng.normal(0.0, 0.05));
+
+  const Tensor x = Tensor::randn({1, 3, 5, 5}, rng, 0.3f);
+  Tensor out = model.forward(x);
+  const Tensor w = Tensor::randn(out.shape(), rng);
+  model.zero_grad();
+  const Tensor gin = model.backward(w);
+
+  auto objective = [&](const Tensor& t) {
+    const Tensor y = model.forward(t);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) s += y[i] * w[i];
+    return s;
+  };
+  constexpr float kEps = 1e-3f;
+  for (std::size_t probe = 0; probe < 8; ++probe) {
+    const std::size_t i = (probe * 37) % x.size();
+    Tensor xp = x, xm = x;
+    xp[i] += kEps;
+    xm[i] -= kEps;
+    const double numeric = (objective(xp) - objective(xm)) / (2.0 * kEps);
+    EXPECT_NEAR(gin[i], numeric, 2e-2 * std::max(1.0, std::abs(numeric)));
+  }
+}
+
+TEST(Edsr, UnsupportedScaleThrows) {
+  Rng rng(4);
+  EXPECT_THROW(Edsr({.n_filters = 4, .n_resblocks = 1, .scale = 5}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Edsr({.n_filters = 0, .n_resblocks = 1}, rng), std::invalid_argument);
+}
+
+TEST(Edsr, ParamCountMatchesClosedForm) {
+  for (const EdsrConfig cfg : {EdsrConfig{.n_filters = 8, .n_resblocks = 3, .scale = 1},
+                               EdsrConfig{.n_filters = 16, .n_resblocks = 2, .scale = 2},
+                               EdsrConfig{.n_filters = 8, .n_resblocks = 1, .scale = 4},
+                               EdsrConfig{.n_filters = 4, .n_resblocks = 2, .scale = 3}}) {
+    Rng rng(5);
+    Edsr model(cfg, rng);
+    EXPECT_EQ(model.param_count(), edsr_param_count(cfg)) << config_name(cfg);
+  }
+}
+
+TEST(Edsr, ModelBytesMatchSerializedSize) {
+  for (const EdsrConfig cfg : {EdsrConfig{.n_filters = 8, .n_resblocks = 3, .scale = 1},
+                               EdsrConfig{.n_filters = 16, .n_resblocks = 4, .scale = 2}}) {
+    Rng rng(6);
+    Edsr model(cfg, rng);
+    EXPECT_EQ(nn::serialized_size(model), edsr_model_bytes(cfg)) << config_name(cfg);
+  }
+}
+
+TEST(Edsr, FlopsScaleWithArchitecture) {
+  const EdsrConfig small{.n_filters = 8, .n_resblocks = 4};
+  const EdsrConfig deep{.n_filters = 8, .n_resblocks = 8};
+  const EdsrConfig wide{.n_filters = 16, .n_resblocks = 4};
+  EXPECT_GT(edsr_flops(deep, 64, 64), edsr_flops(small, 64, 64));
+  EXPECT_GT(edsr_flops(wide, 64, 64), edsr_flops(small, 64, 64));
+  // Doubling width quadruples body FLOPs (f^2 scaling).
+  EXPECT_GT(edsr_flops(wide, 64, 64), 3 * edsr_flops(small, 64, 64) / 2);
+  // FLOPs are linear in pixel count.
+  EXPECT_EQ(edsr_flops(small, 64, 64) * 4, edsr_flops(small, 128, 128));
+}
+
+TEST(Edsr, GradCheckTinyModel) {
+  Rng rng(7);
+  Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 1}, rng);
+  const Tensor x = Tensor::randn({1, 3, 6, 6}, rng, 0.3f);
+  Tensor out = model.forward(x);
+  const Tensor w = Tensor::randn(out.shape(), rng);
+  model.zero_grad();
+  const Tensor gin = model.backward(w);
+
+  auto objective = [&](const Tensor& t) {
+    const Tensor y = model.forward(t);
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) s += y[i] * w[i];
+    return s;
+  };
+  constexpr float kEps = 1e-3f;
+  for (std::size_t probe = 0; probe < 10; ++probe) {
+    const std::size_t i = (probe * 101) % x.size();
+    Tensor xp = x, xm = x;
+    xp[i] += kEps;
+    xm[i] -= kEps;
+    const double numeric = (objective(xp) - objective(xm)) / (2.0 * kEps);
+    EXPECT_NEAR(gin[i], numeric, 2e-2 * std::max(1.0, std::abs(numeric)));
+  }
+}
+
+TEST(Edsr, EnhanceRoundTripsThroughFrames) {
+  Rng rng(8);
+  Edsr model({.n_filters = 4, .n_resblocks = 1}, rng);
+  const FrameRGB f = textured_frame(16, 16, 9);
+  const FrameRGB out = model.enhance(f);
+  EXPECT_EQ(out.width(), 16);
+  EXPECT_EQ(out.height(), 16);
+}
+
+TEST(Trainer, MicroModelLearnsToEnhance) {
+  // Train a micro enhancement model on the real dcSR task: undoing CRF-51
+  // quantisation artefacts on the I frames it will later enhance (training
+  // and test sets are identical by design — §A.1's memorisation argument).
+  Rng rng(10);
+  codec::Quantizer q(51);
+  std::vector<TrainSample> pairs;
+  for (const std::uint64_t seed : {31ULL, 32ULL, 33ULL}) {
+    TrainSample p;
+    p.hi = textured_frame(48, 48, seed);
+    codec::BitWriter bw;
+    const FrameYUV recon = codec::encode_intra_frame(rgb_to_yuv420(p.hi), q, bw);
+    p.lo = yuv420_to_rgb(recon);
+    pairs.push_back(std::move(p));
+  }
+  double degraded_psnr = 0.0;
+  for (const auto& p : pairs) degraded_psnr += psnr(p.lo, p.hi);
+  degraded_psnr /= 3.0;
+
+  Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 1}, rng);
+  TrainOptions opts;
+  opts.iterations = 400;
+  opts.patch_size = 24;
+  opts.batch_size = 4;
+  opts.lr = 3e-3;
+  const TrainStats stats = train_sr_model(model, pairs, opts, rng);
+  EXPECT_LT(stats.final_loss, stats.loss_curve.front());
+
+  const double enhanced_psnr = evaluate_psnr(model, pairs);
+  EXPECT_GT(enhanced_psnr, degraded_psnr + 0.7);
+}
+
+TEST(Trainer, LossCurveHasRequestedLength) {
+  Rng rng(12);
+  const TrainSample pair = degraded_pair(textured_frame(32, 32, 13));
+  Edsr model({.n_filters = 4, .n_resblocks = 1}, rng);
+  TrainOptions opts;
+  opts.iterations = 15;
+  opts.patch_size = 16;
+  const TrainStats stats = train_sr_model(model, {pair}, opts, rng);
+  EXPECT_EQ(stats.loss_curve.size(), 15u);
+  EXPECT_GT(stats.train_flops, 0u);
+}
+
+TEST(Trainer, AugmentationStillConverges) {
+  // Dihedral augmentation must keep (lo, hi) patches aligned; if a flip
+  // were applied inconsistently the loss would not drop below the input
+  // error. Quick convergence check with augment on.
+  Rng rng(44);
+  codec::Quantizer q(51);
+  TrainSample p;
+  p.hi = textured_frame(48, 48, 45);
+  codec::BitWriter bw;
+  const FrameYUV recon = codec::encode_intra_frame(rgb_to_yuv420(p.hi), q, bw);
+  p.lo = yuv420_to_rgb(recon);
+
+  Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 1}, rng);
+  TrainOptions opts;
+  opts.iterations = 200;
+  opts.patch_size = 24;
+  opts.batch_size = 4;
+  opts.lr = 3e-3;
+  opts.augment = true;
+  const TrainStats stats = train_sr_model(model, {p}, opts, rng);
+  EXPECT_LT(stats.final_loss, stats.loss_curve.front() * 0.9);
+  EXPECT_GT(evaluate_psnr(model, {p}), psnr(p.lo, p.hi) - 0.2);
+}
+
+TEST(Trainer, EvaluateSsimInUnitRange) {
+  Rng rng(46);
+  Edsr model({.n_filters = 4, .n_resblocks = 1}, rng);
+  const TrainSample pair = degraded_pair(textured_frame(32, 32, 47));
+  const double s = evaluate_ssim(model, {pair});
+  EXPECT_GT(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(Trainer, RejectsMismatchedPairs) {
+  Rng rng(14);
+  Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 2}, rng);
+  TrainSample bad;
+  bad.lo = FrameRGB(16, 16);
+  bad.hi = FrameRGB(16, 16);  // should be 32x32 for scale 2
+  EXPECT_THROW(train_sr_model(model, {bad}, TrainOptions{}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(train_sr_model(model, {}, TrainOptions{}, rng), std::invalid_argument);
+}
+
+TEST(ModelZoo, NamedConfigsMatchPaper) {
+  EXPECT_EQ(dcsr1_config().n_resblocks, 4);
+  EXPECT_EQ(dcsr2_config().n_resblocks, 12);
+  EXPECT_EQ(dcsr3_config().n_resblocks, 16);
+  EXPECT_EQ(dcsr1_config().n_filters, 16);
+  EXPECT_EQ(big_model_config().n_filters, 64);
+}
+
+TEST(ModelZoo, Table1AxesMatchPaper) {
+  EXPECT_EQ(table1_filter_axis(), (std::vector<int>{4, 8, 16, 32, 64}));
+  EXPECT_EQ(table1_resblock_axis(), (std::vector<int>{4, 8, 12, 16, 20}));
+}
+
+TEST(ModelZoo, SizeGrowsMonotonicallyAlongBothAxes) {
+  // The structural property of Table 1: size increases along rows (filters)
+  // and columns (ResBlocks).
+  for (const int f : table1_filter_axis()) {
+    double prev = 0.0;
+    for (const int rb : table1_resblock_axis()) {
+      const double mb = model_size_mb({.n_filters = f, .n_resblocks = rb});
+      EXPECT_GT(mb, prev);
+      prev = mb;
+    }
+  }
+  for (const int rb : table1_resblock_axis()) {
+    double prev = 0.0;
+    for (const int f : table1_filter_axis()) {
+      const double mb = model_size_mb({.n_filters = f, .n_resblocks = rb});
+      EXPECT_GT(mb, prev);
+      prev = mb;
+    }
+  }
+}
+
+TEST(ModelZoo, MicroModelsAreMuchSmallerThanBig) {
+  const double big = model_size_mb(big_model_config());
+  const double micro = model_size_mb(dcsr1_config());
+  EXPECT_GT(big / micro, 10.0);
+}
+
+TEST(MinModel, BoundMatchesByteRatio) {
+  const EdsrConfig big = big_model_config();
+  const EdsrConfig micro = dcsr1_config();
+  const int bound = max_micro_models(big, micro);
+  EXPECT_EQ(bound, static_cast<int>(edsr_model_bytes(big) / edsr_model_bytes(micro)));
+  EXPECT_GE(max_micro_models(micro, big), 1);  // never below 1
+}
+
+TEST(MinModel, SearchFindsSmallConfigOnEasyContent) {
+  // On an easy enhancement task, a tiny config should already match the big
+  // model within a generous tolerance, so the search must stop early.
+  Rng rng(15);
+  const TrainSample pair = degraded_pair(textured_frame(32, 32, 16));
+  TrainOptions opts;
+  opts.iterations = 20;
+  opts.patch_size = 16;
+  opts.batch_size = 2;
+  const EdsrConfig big{.n_filters = 16, .n_resblocks = 8};
+  const MinModelResult res = find_minimum_working_model(
+      {pair}, big, /*big_psnr_db=*/20.0, /*tolerance_db=*/3.0, opts, rng);
+  EXPECT_LT(edsr_model_bytes(res.config), edsr_model_bytes(big));
+  ASSERT_FALSE(res.probes.empty());
+  // Probes are visited in ascending size order.
+  for (std::size_t i = 1; i < res.probes.size(); ++i)
+    EXPECT_GE(res.probes[i].size_mb, res.probes[i - 1].size_mb);
+}
+
+}  // namespace
+}  // namespace dcsr::sr

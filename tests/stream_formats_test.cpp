@@ -1,0 +1,188 @@
+// Tests for the streaming-layer formats: the text playlist, the model
+// bundle, and the network trace generators.
+
+#include <gtest/gtest.h>
+
+#include "stream/model_bundle.hpp"
+#include "stream/net_traces.hpp"
+#include "stream/playlist.hpp"
+#include "stream/session.hpp"
+
+namespace dcsr::stream {
+namespace {
+
+Manifest sample_manifest() {
+  Manifest m;
+  m.model_bytes = {1000, 2000, 1500};
+  m.segments.push_back({0, 30, 5000, 0});
+  m.segments.push_back({1, 25, 4000, 1});
+  m.segments.push_back({2, 40, 6000, 0});
+  m.segments.push_back({3, 12, 1200, kNoModel});
+  m.segments.push_back({4, 33, 5100, 2});
+  return m;
+}
+
+// ---- playlist ---------------------------------------------------------------
+
+TEST(Playlist, RoundTripsManifest) {
+  const Manifest original = sample_manifest();
+  const std::string text = write_playlist(original);
+  const Manifest parsed = parse_playlist(text);
+
+  ASSERT_EQ(parsed.model_bytes, original.model_bytes);
+  ASSERT_EQ(parsed.segments.size(), original.segments.size());
+  for (std::size_t s = 0; s < parsed.segments.size(); ++s) {
+    EXPECT_EQ(parsed.segments[s].segment_index, original.segments[s].segment_index);
+    EXPECT_EQ(parsed.segments[s].frame_count, original.segments[s].frame_count);
+    EXPECT_EQ(parsed.segments[s].video_bytes, original.segments[s].video_bytes);
+    EXPECT_EQ(parsed.segments[s].model_label, original.segments[s].model_label);
+  }
+}
+
+TEST(Playlist, TextIsHumanReadable) {
+  const std::string text = write_playlist(sample_manifest());
+  EXPECT_NE(text.find("#DCSR-PLAYLIST:1"), std::string::npos);
+  EXPECT_NE(text.find("#MODEL:1:2000"), std::string::npos);
+  EXPECT_NE(text.find("#SEGMENT:3:12:1200:-"), std::string::npos);
+  EXPECT_NE(text.find("#END"), std::string::npos);
+}
+
+TEST(Playlist, SessionResultsIdenticalThroughText) {
+  const Manifest original = sample_manifest();
+  const Manifest parsed = parse_playlist(write_playlist(original));
+  const auto a = simulate_session(original);
+  const auto b = simulate_session(parsed);
+  EXPECT_EQ(a.video_bytes, b.video_bytes);
+  EXPECT_EQ(a.model_bytes, b.model_bytes);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+}
+
+TEST(Playlist, RejectsMalformedInput) {
+  EXPECT_THROW(parse_playlist(""), std::invalid_argument);
+  EXPECT_THROW(parse_playlist("#DCSR-PLAYLIST:2\n#MODELS:0\n#END\n"),
+               std::invalid_argument);
+  // Unknown directive.
+  EXPECT_THROW(parse_playlist("#DCSR-PLAYLIST:1\n#MODELS:0\n#BOGUS:1\n#END\n"),
+               std::invalid_argument);
+  // Missing #END.
+  EXPECT_THROW(parse_playlist("#DCSR-PLAYLIST:1\n#MODELS:0\n"),
+               std::invalid_argument);
+  // Segment referencing unknown model.
+  EXPECT_THROW(
+      parse_playlist("#DCSR-PLAYLIST:1\n#MODELS:1\n#MODEL:0:10\n"
+                     "#SEGMENT:0:30:100:5\n#END\n"),
+      std::invalid_argument);
+  // Non-dense segment numbering.
+  EXPECT_THROW(
+      parse_playlist("#DCSR-PLAYLIST:1\n#MODELS:0\n#SEGMENT:1:30:100:-\n#END\n"),
+      std::invalid_argument);
+  // Garbage number.
+  EXPECT_THROW(
+      parse_playlist("#DCSR-PLAYLIST:1\n#MODELS:0\n#SEGMENT:0:3x:100:-\n#END\n"),
+      std::invalid_argument);
+}
+
+// ---- model bundle --------------------------------------------------------------
+
+TEST(ModelBundle, RoundTripsPayloads) {
+  ModelBundle bundle;
+  bundle.add(0, {1, 2, 3, 4});
+  bundle.add(1, {0xff, 0xee});
+  bundle.add(7, std::vector<std::uint8_t>(1000, 0x5a));
+
+  ByteWriter w;
+  bundle.serialize(w);
+  EXPECT_EQ(w.size(), bundle.total_bytes());
+
+  ByteReader r(w.bytes());
+  const ModelBundle parsed = ModelBundle::deserialize(r);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_EQ(parsed.payload(0), (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(parsed.payload(7).size(), 1000u);
+  EXPECT_TRUE(parsed.contains(1));
+  EXPECT_FALSE(parsed.contains(2));
+}
+
+TEST(ModelBundle, DuplicateLabelRejected) {
+  ModelBundle bundle;
+  bundle.add(3, {1});
+  EXPECT_THROW(bundle.add(3, {2}), std::invalid_argument);
+}
+
+TEST(ModelBundle, UnknownLabelThrows) {
+  ModelBundle bundle;
+  EXPECT_THROW(bundle.payload(9), std::out_of_range);
+}
+
+TEST(ModelBundle, CorruptionDetected) {
+  ModelBundle bundle;
+  bundle.add(0, std::vector<std::uint8_t>(64, 0xaa));
+  ByteWriter w;
+  bundle.serialize(w);
+  auto bytes = w.bytes();
+  bytes[bytes.size() - 10] ^= 0x01;  // flip a payload bit
+  ByteReader r(std::move(bytes));
+  EXPECT_THROW(ModelBundle::deserialize(r), std::invalid_argument);
+}
+
+TEST(ModelBundle, TruncationDetected) {
+  ModelBundle bundle;
+  bundle.add(0, std::vector<std::uint8_t>(64, 0xaa));
+  ByteWriter w;
+  bundle.serialize(w);
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() - 20);
+  ByteReader r(std::move(bytes));
+  EXPECT_ANY_THROW(ModelBundle::deserialize(r));
+}
+
+// ---- network traces ----------------------------------------------------------
+
+TEST(NetTraces, ConstantAndStep) {
+  const auto c = constant_trace(1000.0, 5);
+  ASSERT_EQ(c.bytes_per_second.size(), 5u);
+  EXPECT_DOUBLE_EQ(c.bytes_per_second[3], 1000.0);
+
+  const auto s = step_trace(2000.0, 100.0, 3, 6);
+  EXPECT_DOUBLE_EQ(s.bytes_per_second[2], 2000.0);
+  EXPECT_DOUBLE_EQ(s.bytes_per_second[3], 100.0);
+  EXPECT_THROW(constant_trace(1.0, 0), std::invalid_argument);
+}
+
+TEST(NetTraces, MarkovVisitsBothStates) {
+  Rng rng(11);
+  MarkovTraceConfig cfg;
+  const auto t = markov_trace(cfg, 600, rng);
+  ASSERT_EQ(t.bytes_per_second.size(), 600u);
+  int near_good = 0, near_bad = 0;
+  for (const double r : t.bytes_per_second) {
+    EXPECT_GT(r, 0.0);
+    if (r > cfg.good_rate * 0.5) ++near_good;
+    if (r < cfg.bad_rate * 2.0) ++near_bad;
+  }
+  EXPECT_GT(near_good, 100);
+  EXPECT_GT(near_bad, 30);
+}
+
+TEST(NetTraces, MarkovDeterministicPerSeed) {
+  Rng a(5), b(5);
+  const auto ta = markov_trace({}, 50, a);
+  const auto tb = markov_trace({}, 50, b);
+  EXPECT_EQ(ta.bytes_per_second, tb.bytes_per_second);
+}
+
+TEST(NetTraces, MarkovDwellTimesFollowTransitionProbs) {
+  // With a much stickier good state, the trace should spend most time good.
+  Rng rng(6);
+  MarkovTraceConfig sticky;
+  sticky.p_good_to_bad = 0.01;
+  sticky.p_bad_to_good = 0.5;
+  const auto t = markov_trace(sticky, 2000, rng);
+  int good = 0;
+  for (const double r : t.bytes_per_second)
+    if (r > sticky.good_rate * 0.5) ++good;
+  EXPECT_GT(good, 1600);
+}
+
+}  // namespace
+}  // namespace dcsr::stream

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcsr {
+namespace {
+
+TEST(Tensor, ConstructedZeroInitialised) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RejectsNonPositiveDims) {
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+  EXPECT_THROW(Tensor({-1, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, FullFillsValue) {
+  const Tensor t = Tensor::full({4}, 2.5f);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, At4dRowMajorLayout) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  // Index = ((1*3 + 2)*4 + 3)*5 + 4 = 119.
+  EXPECT_EQ(t[119], 7.0f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t({2, 6});
+  t.at(1, 5) = 3.0f;
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.at(2, 3), 3.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, AddAndAxpy) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  const Tensor b = Tensor::full({3}, 2.0f);
+  a.add_(b);
+  EXPECT_EQ(a[0], 3.0f);
+  a.axpy_(-2.0f, b);
+  EXPECT_EQ(a[1], -1.0f);
+  EXPECT_THROW(a.add_(Tensor({4})), std::invalid_argument);
+}
+
+TEST(Tensor, RandnStddevScales) {
+  Rng rng(3);
+  const Tensor t = Tensor::randn({10000}, rng, 0.5f);
+  double s2 = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) s2 += t[i] * t[i];
+  EXPECT_NEAR(s2 / static_cast<double>(t.size()), 0.25, 0.02);
+}
+
+TEST(Ops, ElementwiseAddSubMul) {
+  Tensor a({2});
+  a[0] = 1;
+  a[1] = 2;
+  Tensor b({2});
+  b[0] = 3;
+  b[1] = 5;
+  EXPECT_EQ(add(a, b)[1], 7.0f);
+  EXPECT_EQ(sub(b, a)[0], 2.0f);
+  EXPECT_EQ(mul(a, b)[1], 10.0f);
+  EXPECT_EQ(scaled(a, 4.0f)[0], 4.0f);
+}
+
+TEST(Ops, MatmulAgainstHandComputed) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  for (int i = 0; i < 6; ++i) a[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+  for (int i = 0; i < 6; ++i) b[static_cast<std::size_t>(i)] = static_cast<float>(i + 7);
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 3})), std::invalid_argument);
+}
+
+TEST(Ops, TransposedVariantsMatchExplicitTranspose) {
+  Rng rng(17);
+  const Tensor a = Tensor::randn({4, 3}, rng);
+  const Tensor b = Tensor::randn({4, 5}, rng);
+  const Tensor expected = matmul(transpose(a), b);
+  const Tensor got = matmul_tn(a, b);
+  ASSERT_TRUE(expected.same_shape(got));
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(expected[i], got[i], 1e-5f);
+
+  const Tensor c = Tensor::randn({3, 4}, rng);
+  const Tensor d = Tensor::randn({5, 4}, rng);
+  const Tensor e1 = matmul(c, transpose(d));
+  const Tensor e2 = matmul_nt(c, d);
+  for (std::size_t i = 0; i < e1.size(); ++i) EXPECT_NEAR(e1[i], e2[i], 1e-5f);
+}
+
+TEST(Ops, ConvOutSize) {
+  EXPECT_EQ(conv_out_size(8, 3, 1, 1), 8);   // same padding
+  EXPECT_EQ(conv_out_size(8, 3, 2, 1), 4);   // strided
+  EXPECT_EQ(conv_out_size(7, 3, 1, 0), 5);   // valid
+}
+
+TEST(Ops, Im2colIdentityKernel) {
+  // With a 1x1 kernel, im2col is just a channel-major flatten.
+  Tensor x({1, 2, 2, 2});
+  for (int i = 0; i < 8; ++i) x[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  const Tensor cols = im2col(x, 0, 1, 1, 0);
+  EXPECT_EQ(cols.dim(0), 2);
+  EXPECT_EQ(cols.dim(1), 4);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(cols[static_cast<std::size_t>(i)], static_cast<float>(i));
+}
+
+TEST(Ops, Im2colZeroPadsBorders) {
+  Tensor x = Tensor::full({1, 1, 2, 2}, 1.0f);
+  const Tensor cols = im2col(x, 0, 3, 1, 1);
+  // Centre tap of the first output position sees pixel (0,0) = 1; the
+  // top-left tap is padding = 0.
+  EXPECT_EQ(cols.at(4, 0), 1.0f);
+  EXPECT_EQ(cols.at(0, 0), 0.0f);
+}
+
+TEST(Ops, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im_add(y)> — the defining adjoint property,
+  // checked with random tensors.
+  Rng rng(23);
+  const Tensor x = Tensor::randn({1, 3, 6, 6}, rng);
+  const int k = 3, stride = 2, pad = 1;
+  const Tensor cols = im2col(x, 0, k, stride, pad);
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back({1, 3, 6, 6});
+  col2im_add(y, back, 0, k, stride, pad);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Ops, SumAndMse) {
+  Tensor a = Tensor::full({4}, 2.0f);
+  Tensor b = Tensor::full({4}, 3.0f);
+  EXPECT_DOUBLE_EQ(sum(a), 8.0);
+  EXPECT_DOUBLE_EQ(mse(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace dcsr

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/stats.hpp"
+#include "util/file.hpp"
+#include "util/table.hpp"
+
+namespace dcsr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Serialize, RoundTripsScalars) {
+  ByteWriter w;
+  w.write_u8(0xab);
+  w.write_u16(0x1234);
+  w.write_u32(0xdeadbeef);
+  w.write_u64(0x0123456789abcdefULL);
+  w.write_i32(-42);
+  w.write_f32(3.25f);
+  w.write_f64(-1.5e-20);
+  w.write_string("dcSR");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 0xab);
+  EXPECT_EQ(r.read_u16(), 0x1234);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.read_i32(), -42);
+  EXPECT_EQ(r.read_f32(), 3.25f);
+  EXPECT_EQ(r.read_f64(), -1.5e-20);
+  EXPECT_EQ(r.read_string(), "dcSR");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  ByteWriter w;
+  w.write_u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_EQ(r.read_u8(), 0);
+  EXPECT_THROW(r.read_u8(), std::out_of_range);
+}
+
+TEST(Serialize, FloatSpanRoundTrip) {
+  const float xs[4] = {1.0f, -2.5f, 0.0f, 1e-8f};
+  ByteWriter w;
+  w.write_f32_span(xs, 4);
+  ByteReader r(w.bytes());
+  float ys[4];
+  r.read_f32_span(ys, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(xs[i], ys[i]);
+}
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(2.0));
+}
+
+TEST(Stats, EmptyMeanIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, Percentiles) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, EmpiricalCdfMonotone) {
+  const std::vector<double> samples{1, 2, 2, 3, 10};
+  const std::vector<double> probes{0, 1, 2, 5, 10};
+  const auto cdf = empirical_cdf(samples, probes);
+  ASSERT_EQ(cdf.size(), probes.size());
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.2);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.6);
+  EXPECT_DOUBLE_EQ(cdf[3], 0.8);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+}
+
+TEST(Stats, ArgmaxArgmin) {
+  const std::vector<double> xs{3, 9, 1, 9};
+  EXPECT_EQ(argmax(xs), 1u);
+  EXPECT_EQ(argmin(xs), 2u);
+}
+
+TEST(Table, RendersAlignedRowsAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1\nb,22\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.to_csv(), "a,b,c\nx,,\n");
+}
+
+TEST(Fmt, FormatsDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(File, RoundTripsBytes) {
+  const std::string path = ::testing::TempDir() + "dcsr_util_file_test.bin";
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  write_file(path, data);
+  EXPECT_EQ(read_file(path), data);
+  // Overwrite with shorter content truncates.
+  write_file(path, {1, 2, 3});
+  EXPECT_EQ(read_file(path).size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(File, EmptyFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "dcsr_util_file_empty.bin";
+  write_file(path, {});
+  EXPECT_TRUE(read_file(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(File, MissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/definitely/missing.bin"),
+               std::runtime_error);
+  EXPECT_THROW(write_file("/nonexistent/definitely/missing.bin", {1}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dcsr

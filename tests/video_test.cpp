@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "image/metrics.hpp"
+#include "video/genres.hpp"
+#include "video/noise.hpp"
+#include "video/scene.hpp"
+#include "video/source.hpp"
+
+namespace dcsr {
+namespace {
+
+TEST(ValueNoise, DeterministicAndBounded) {
+  ValueNoise n(42);
+  for (float y = 0; y < 20; y += 3.7f)
+    for (float x = 0; x < 20; x += 2.3f) {
+      const float a = n.sample(x, y, 8.0f);
+      const float b = n.sample(x, y, 8.0f);
+      EXPECT_EQ(a, b);
+      EXPECT_GE(a, 0.0f);
+      EXPECT_LE(a, 1.0f);
+    }
+}
+
+TEST(ValueNoise, DifferentSeedsDiffer) {
+  ValueNoise a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i)
+    if (a.sample(static_cast<float>(i) * 3.1f, 0.0f, 4.0f) !=
+        b.sample(static_cast<float>(i) * 3.1f, 0.0f, 4.0f))
+      ++diff;
+  EXPECT_GT(diff, 12);
+}
+
+TEST(ValueNoise, FbmSmootherThanBase) {
+  // fbm averages octaves, so neighbouring samples should differ less than a
+  // single fine octave's neighbouring samples.
+  ValueNoise n(3);
+  double d_base = 0.0, d_fbm = 0.0;
+  for (int i = 0; i < 256; ++i) {
+    const float x = static_cast<float>(i);
+    d_base += std::abs(n.sample(x, 0, 2.0f) - n.sample(x + 1, 0, 2.0f));
+    d_fbm += std::abs(n.fbm(x, 0, 32.0f, 4) - n.fbm(x + 1, 0, 32.0f, 4));
+  }
+  EXPECT_LT(d_fbm, d_base);
+}
+
+TEST(Scene, RenderIsDeterministic) {
+  Rng rng(5);
+  const SceneSpec spec = random_scene(rng, 1.0f, 0.5f);
+  const FrameRGB a = render_scene(spec, 1.25, 64, 48);
+  const FrameRGB b = render_scene(spec, 1.25, 64, 48);
+  EXPECT_DOUBLE_EQ(psnr(a, b), 100.0);
+}
+
+TEST(Scene, TimeChangesContentWhenInMotion) {
+  Rng rng(6);
+  SceneSpec spec = random_scene(rng, 2.0f, 0.5f);
+  spec.pan_vx = 0.1f;  // force motion
+  const FrameRGB a = render_scene(spec, 0.0, 64, 48);
+  const FrameRGB b = render_scene(spec, 2.0, 64, 48);
+  EXPECT_LT(psnr(a, b), 60.0);
+}
+
+TEST(Scene, PixelsAreInRange) {
+  Rng rng(7);
+  const SceneSpec spec = random_scene(rng, 1.0f, 1.0f);
+  const FrameRGB f = render_scene(spec, 0.5, 32, 32);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) {
+      EXPECT_GE(f.r.at(x, y), 0.0f);
+      EXPECT_LE(f.r.at(x, y), 1.0f);
+    }
+}
+
+TEST(SyntheticVideo, FrameCountMatchesShots) {
+  Rng rng(8);
+  std::vector<SceneSpec> scenes{random_scene(rng, 1, 0.5f), random_scene(rng, 1, 0.5f)};
+  std::vector<Shot> shots{{0, 10, 0.0}, {1, 5, 0.0}, {0, 7, 3.0}};
+  SyntheticVideo v("test", scenes, shots, 32, 32, 30.0);
+  EXPECT_EQ(v.frame_count(), 22);
+  EXPECT_EQ(v.shot_of_frame(0), 0);
+  EXPECT_EQ(v.shot_of_frame(9), 0);
+  EXPECT_EQ(v.shot_of_frame(10), 1);
+  EXPECT_EQ(v.shot_of_frame(15), 2);
+  EXPECT_EQ(v.scene_of_frame(15), 0);
+  EXPECT_THROW(v.frame(22), std::out_of_range);
+}
+
+TEST(SyntheticVideo, RecurringSceneLooksAlike) {
+  // Two shots of the same scene should be far more similar to each other
+  // than to a shot of a different scene — the property clustering exploits.
+  Rng rng(9);
+  std::vector<SceneSpec> scenes{random_scene(rng, 0.2f, 0.5f),
+                                random_scene(rng, 0.2f, 0.5f)};
+  std::vector<Shot> shots{{0, 5, 0.0}, {1, 5, 0.0}, {0, 5, 1.0}};
+  SyntheticVideo v("test", scenes, shots, 64, 48, 30.0);
+  const FrameRGB first = v.frame(0);
+  const FrameRGB other_scene = v.frame(5);
+  const FrameRGB recurrence = v.frame(10);
+  EXPECT_GT(psnr(first, recurrence), psnr(first, other_scene));
+}
+
+TEST(SyntheticVideo, RejectsBadShotLists) {
+  Rng rng(10);
+  std::vector<SceneSpec> scenes{random_scene(rng, 1, 0.5f)};
+  EXPECT_THROW(SyntheticVideo("x", scenes, {}, 32, 32, 30.0), std::invalid_argument);
+  EXPECT_THROW(SyntheticVideo("x", scenes, {{5, 10, 0.0}}, 32, 32, 30.0),
+               std::invalid_argument);
+  EXPECT_THROW(SyntheticVideo("x", scenes, {{0, 0, 0.0}}, 32, 32, 30.0),
+               std::invalid_argument);
+}
+
+TEST(Genres, AllSixGenresBuild) {
+  for (const Genre g : all_genres()) {
+    const auto v = make_genre_video(g, 1, 64, 48, 10.0, 30.0);
+    EXPECT_EQ(v->frame_count(), 300) << genre_name(g);
+    EXPECT_GE(v->shots().size(), 2u) << genre_name(g);
+    // Every shot must reference a valid scene; rendering must not throw.
+    const FrameRGB f = v->frame(v->frame_count() - 1);
+    EXPECT_EQ(f.width(), 64);
+  }
+}
+
+TEST(Genres, DeterministicAcrossCalls) {
+  const auto a = make_genre_video(Genre::kSports, 7, 32, 32, 5.0);
+  const auto b = make_genre_video(Genre::kSports, 7, 32, 32, 5.0);
+  ASSERT_EQ(a->frame_count(), b->frame_count());
+  EXPECT_DOUBLE_EQ(psnr(a->frame(37), b->frame(37)), 100.0);
+}
+
+TEST(Genres, NewsRecursMoreThanDocumentary) {
+  // Count repeated-scene shots; news should revisit scenes far more often.
+  auto count_recurrences = [](Genre g) {
+    const auto v = make_genre_video(g, 3, 32, 32, 120.0);
+    std::vector<bool> seen(v->scene_count(), false);
+    int rec = 0;
+    for (const auto& shot : v->shots()) {
+      if (seen[static_cast<std::size_t>(shot.scene_id)]) ++rec;
+      seen[static_cast<std::size_t>(shot.scene_id)] = true;
+    }
+    return rec;
+  };
+  EXPECT_GT(count_recurrences(Genre::kNews),
+            count_recurrences(Genre::kDocumentary));
+}
+
+TEST(Genres, ProfilesHaveSaneRanges) {
+  for (const Genre g : all_genres()) {
+    const GenreProfile p = profile_for(g);
+    EXPECT_GT(p.scene_library_size, 0);
+    EXPECT_GT(p.mean_shot_seconds, 0.0);
+    EXPECT_GE(p.recurrence_prob, 0.0);
+    EXPECT_LE(p.recurrence_prob, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dcsr
