@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abr_extension.dir/bench_abr_extension.cpp.o"
+  "CMakeFiles/bench_abr_extension.dir/bench_abr_extension.cpp.o.d"
+  "bench_abr_extension"
+  "bench_abr_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abr_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

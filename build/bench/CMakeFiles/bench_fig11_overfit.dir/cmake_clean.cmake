@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_overfit.dir/bench_fig11_overfit.cpp.o"
+  "CMakeFiles/bench_fig11_overfit.dir/bench_fig11_overfit.cpp.o.d"
+  "bench_fig11_overfit"
+  "bench_fig11_overfit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_overfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_challenges.dir/bench_fig1_challenges.cpp.o"
+  "CMakeFiles/bench_fig1_challenges.dir/bench_fig1_challenges.cpp.o.d"
+  "bench_fig1_challenges"
+  "bench_fig1_challenges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_challenges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_inference.cpp" "bench/CMakeFiles/bench_fig8_inference.dir/bench_fig8_inference.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_inference.dir/bench_fig8_inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcsr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/split/CMakeFiles/dcsr_split.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/dcsr_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dcsr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/dcsr_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/dcsr_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dcsr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/dcsr_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sr/CMakeFiles/dcsr_sr.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dcsr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_inference.dir/bench_fig8_inference.cpp.o"
+  "CMakeFiles/bench_fig8_inference.dir/bench_fig8_inference.cpp.o.d"
+  "bench_fig8_inference"
+  "bench_fig8_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sr_mode.dir/bench_sr_mode.cpp.o"
+  "CMakeFiles/bench_sr_mode.dir/bench_sr_mode.cpp.o.d"
+  "bench_sr_mode"
+  "bench_sr_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sr_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

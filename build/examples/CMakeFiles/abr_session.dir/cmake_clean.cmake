@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_session.dir/abr_session.cpp.o"
+  "CMakeFiles/abr_session.dir/abr_session.cpp.o.d"
+  "abr_session"
+  "abr_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_sweep.dir/device_sweep.cpp.o"
+  "CMakeFiles/device_sweep.dir/device_sweep.cpp.o.d"
+  "device_sweep"
+  "device_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

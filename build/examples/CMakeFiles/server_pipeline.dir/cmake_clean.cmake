@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_pipeline.dir/server_pipeline.cpp.o"
+  "CMakeFiles/server_pipeline.dir/server_pipeline.cpp.o.d"
+  "server_pipeline"
+  "server_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

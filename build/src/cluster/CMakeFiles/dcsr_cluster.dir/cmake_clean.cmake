@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_cluster.dir/global_kmeans.cpp.o"
+  "CMakeFiles/dcsr_cluster.dir/global_kmeans.cpp.o.d"
+  "CMakeFiles/dcsr_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/dcsr_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/dcsr_cluster.dir/pca.cpp.o"
+  "CMakeFiles/dcsr_cluster.dir/pca.cpp.o.d"
+  "CMakeFiles/dcsr_cluster.dir/silhouette.cpp.o"
+  "CMakeFiles/dcsr_cluster.dir/silhouette.cpp.o.d"
+  "libdcsr_cluster.a"
+  "libdcsr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

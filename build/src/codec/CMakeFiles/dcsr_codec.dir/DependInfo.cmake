@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/analyze.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/analyze.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/analyze.cpp.o.d"
+  "/root/repo/src/codec/bits.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/bits.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/bits.cpp.o.d"
+  "/root/repo/src/codec/block_coder.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/block_coder.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/block_coder.cpp.o.d"
+  "/root/repo/src/codec/container.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/container.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/container.cpp.o.d"
+  "/root/repo/src/codec/dct.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/dct.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/dct.cpp.o.d"
+  "/root/repo/src/codec/deblock.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/deblock.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/deblock.cpp.o.d"
+  "/root/repo/src/codec/decoder.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/decoder.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/decoder.cpp.o.d"
+  "/root/repo/src/codec/encoder.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/encoder.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/encoder.cpp.o.d"
+  "/root/repo/src/codec/frame_coding.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/frame_coding.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/frame_coding.cpp.o.d"
+  "/root/repo/src/codec/motion.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/motion.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/motion.cpp.o.d"
+  "/root/repo/src/codec/quant.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/quant.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/quant.cpp.o.d"
+  "/root/repo/src/codec/rate_control.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/rate_control.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/rate_control.cpp.o.d"
+  "/root/repo/src/codec/types.cpp" "src/codec/CMakeFiles/dcsr_codec.dir/types.cpp.o" "gcc" "src/codec/CMakeFiles/dcsr_codec.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/dcsr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dcsr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcsr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcsr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_codec.dir/analyze.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/analyze.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/bits.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/bits.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/block_coder.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/block_coder.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/container.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/container.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/dct.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/dct.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/deblock.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/deblock.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/decoder.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/decoder.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/encoder.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/encoder.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/frame_coding.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/frame_coding.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/motion.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/motion.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/quant.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/quant.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/rate_control.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/rate_control.cpp.o.d"
+  "CMakeFiles/dcsr_codec.dir/types.cpp.o"
+  "CMakeFiles/dcsr_codec.dir/types.cpp.o.d"
+  "libdcsr_codec.a"
+  "libdcsr_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

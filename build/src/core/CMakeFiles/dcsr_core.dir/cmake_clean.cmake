@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_core.dir/baselines.cpp.o"
+  "CMakeFiles/dcsr_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/dcsr_core.dir/client_pipeline.cpp.o"
+  "CMakeFiles/dcsr_core.dir/client_pipeline.cpp.o.d"
+  "CMakeFiles/dcsr_core.dir/deployment.cpp.o"
+  "CMakeFiles/dcsr_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/dcsr_core.dir/server_pipeline.cpp.o"
+  "CMakeFiles/dcsr_core.dir/server_pipeline.cpp.o.d"
+  "libdcsr_core.a"
+  "libdcsr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/latency.cpp" "src/device/CMakeFiles/dcsr_device.dir/latency.cpp.o" "gcc" "src/device/CMakeFiles/dcsr_device.dir/latency.cpp.o.d"
+  "/root/repo/src/device/power.cpp" "src/device/CMakeFiles/dcsr_device.dir/power.cpp.o" "gcc" "src/device/CMakeFiles/dcsr_device.dir/power.cpp.o.d"
+  "/root/repo/src/device/profiles.cpp" "src/device/CMakeFiles/dcsr_device.dir/profiles.cpp.o" "gcc" "src/device/CMakeFiles/dcsr_device.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sr/CMakeFiles/dcsr_sr.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcsr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dcsr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcsr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

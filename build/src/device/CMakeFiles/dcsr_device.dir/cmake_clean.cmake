@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_device.dir/latency.cpp.o"
+  "CMakeFiles/dcsr_device.dir/latency.cpp.o.d"
+  "CMakeFiles/dcsr_device.dir/power.cpp.o"
+  "CMakeFiles/dcsr_device.dir/power.cpp.o.d"
+  "CMakeFiles/dcsr_device.dir/profiles.cpp.o"
+  "CMakeFiles/dcsr_device.dir/profiles.cpp.o.d"
+  "libdcsr_device.a"
+  "libdcsr_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_features.dir/extractor.cpp.o"
+  "CMakeFiles/dcsr_features.dir/extractor.cpp.o.d"
+  "CMakeFiles/dcsr_features.dir/vae.cpp.o"
+  "CMakeFiles/dcsr_features.dir/vae.cpp.o.d"
+  "libdcsr_features.a"
+  "libdcsr_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

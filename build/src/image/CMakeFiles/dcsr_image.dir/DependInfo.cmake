@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/convert.cpp" "src/image/CMakeFiles/dcsr_image.dir/convert.cpp.o" "gcc" "src/image/CMakeFiles/dcsr_image.dir/convert.cpp.o.d"
+  "/root/repo/src/image/frame.cpp" "src/image/CMakeFiles/dcsr_image.dir/frame.cpp.o" "gcc" "src/image/CMakeFiles/dcsr_image.dir/frame.cpp.o.d"
+  "/root/repo/src/image/metrics.cpp" "src/image/CMakeFiles/dcsr_image.dir/metrics.cpp.o" "gcc" "src/image/CMakeFiles/dcsr_image.dir/metrics.cpp.o.d"
+  "/root/repo/src/image/resize.cpp" "src/image/CMakeFiles/dcsr_image.dir/resize.cpp.o" "gcc" "src/image/CMakeFiles/dcsr_image.dir/resize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dcsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

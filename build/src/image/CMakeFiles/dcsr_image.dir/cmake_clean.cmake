@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_image.dir/convert.cpp.o"
+  "CMakeFiles/dcsr_image.dir/convert.cpp.o.d"
+  "CMakeFiles/dcsr_image.dir/frame.cpp.o"
+  "CMakeFiles/dcsr_image.dir/frame.cpp.o.d"
+  "CMakeFiles/dcsr_image.dir/metrics.cpp.o"
+  "CMakeFiles/dcsr_image.dir/metrics.cpp.o.d"
+  "CMakeFiles/dcsr_image.dir/resize.cpp.o"
+  "CMakeFiles/dcsr_image.dir/resize.cpp.o.d"
+  "libdcsr_image.a"
+  "libdcsr_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

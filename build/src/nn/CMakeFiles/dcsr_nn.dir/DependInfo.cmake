@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/optim.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/optim.cpp.o.d"
+  "/root/repo/src/nn/resblock.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/resblock.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/resblock.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/shape_ops.cpp" "src/nn/CMakeFiles/dcsr_nn.dir/shape_ops.cpp.o" "gcc" "src/nn/CMakeFiles/dcsr_nn.dir/shape_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dcsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

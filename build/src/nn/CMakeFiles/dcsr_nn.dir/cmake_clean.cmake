@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_nn.dir/activations.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/dcsr_nn.dir/conv.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/dcsr_nn.dir/linear.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/dcsr_nn.dir/loss.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/dcsr_nn.dir/module.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/module.cpp.o.d"
+  "CMakeFiles/dcsr_nn.dir/optim.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/dcsr_nn.dir/resblock.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/resblock.cpp.o.d"
+  "CMakeFiles/dcsr_nn.dir/sequential.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/dcsr_nn.dir/serialize.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/dcsr_nn.dir/shape_ops.cpp.o"
+  "CMakeFiles/dcsr_nn.dir/shape_ops.cpp.o.d"
+  "libdcsr_nn.a"
+  "libdcsr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

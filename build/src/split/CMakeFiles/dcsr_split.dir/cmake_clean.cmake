@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_split.dir/segmenter.cpp.o"
+  "CMakeFiles/dcsr_split.dir/segmenter.cpp.o.d"
+  "CMakeFiles/dcsr_split.dir/shot_detector.cpp.o"
+  "CMakeFiles/dcsr_split.dir/shot_detector.cpp.o.d"
+  "libdcsr_split.a"
+  "libdcsr_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sr/edsr.cpp" "src/sr/CMakeFiles/dcsr_sr.dir/edsr.cpp.o" "gcc" "src/sr/CMakeFiles/dcsr_sr.dir/edsr.cpp.o.d"
+  "/root/repo/src/sr/min_model.cpp" "src/sr/CMakeFiles/dcsr_sr.dir/min_model.cpp.o" "gcc" "src/sr/CMakeFiles/dcsr_sr.dir/min_model.cpp.o.d"
+  "/root/repo/src/sr/model_zoo.cpp" "src/sr/CMakeFiles/dcsr_sr.dir/model_zoo.cpp.o" "gcc" "src/sr/CMakeFiles/dcsr_sr.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/sr/trainer.cpp" "src/sr/CMakeFiles/dcsr_sr.dir/trainer.cpp.o" "gcc" "src/sr/CMakeFiles/dcsr_sr.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dcsr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dcsr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcsr_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcsr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

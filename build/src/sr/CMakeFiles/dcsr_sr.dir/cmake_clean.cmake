@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_sr.dir/edsr.cpp.o"
+  "CMakeFiles/dcsr_sr.dir/edsr.cpp.o.d"
+  "CMakeFiles/dcsr_sr.dir/min_model.cpp.o"
+  "CMakeFiles/dcsr_sr.dir/min_model.cpp.o.d"
+  "CMakeFiles/dcsr_sr.dir/model_zoo.cpp.o"
+  "CMakeFiles/dcsr_sr.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/dcsr_sr.dir/trainer.cpp.o"
+  "CMakeFiles/dcsr_sr.dir/trainer.cpp.o.d"
+  "libdcsr_sr.a"
+  "libdcsr_sr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_sr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/abr.cpp" "src/stream/CMakeFiles/dcsr_stream.dir/abr.cpp.o" "gcc" "src/stream/CMakeFiles/dcsr_stream.dir/abr.cpp.o.d"
+  "/root/repo/src/stream/manifest.cpp" "src/stream/CMakeFiles/dcsr_stream.dir/manifest.cpp.o" "gcc" "src/stream/CMakeFiles/dcsr_stream.dir/manifest.cpp.o.d"
+  "/root/repo/src/stream/model_bundle.cpp" "src/stream/CMakeFiles/dcsr_stream.dir/model_bundle.cpp.o" "gcc" "src/stream/CMakeFiles/dcsr_stream.dir/model_bundle.cpp.o.d"
+  "/root/repo/src/stream/model_cache.cpp" "src/stream/CMakeFiles/dcsr_stream.dir/model_cache.cpp.o" "gcc" "src/stream/CMakeFiles/dcsr_stream.dir/model_cache.cpp.o.d"
+  "/root/repo/src/stream/net_traces.cpp" "src/stream/CMakeFiles/dcsr_stream.dir/net_traces.cpp.o" "gcc" "src/stream/CMakeFiles/dcsr_stream.dir/net_traces.cpp.o.d"
+  "/root/repo/src/stream/playlist.cpp" "src/stream/CMakeFiles/dcsr_stream.dir/playlist.cpp.o" "gcc" "src/stream/CMakeFiles/dcsr_stream.dir/playlist.cpp.o.d"
+  "/root/repo/src/stream/session.cpp" "src/stream/CMakeFiles/dcsr_stream.dir/session.cpp.o" "gcc" "src/stream/CMakeFiles/dcsr_stream.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/dcsr_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcsr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/dcsr_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dcsr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcsr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_stream.dir/abr.cpp.o"
+  "CMakeFiles/dcsr_stream.dir/abr.cpp.o.d"
+  "CMakeFiles/dcsr_stream.dir/manifest.cpp.o"
+  "CMakeFiles/dcsr_stream.dir/manifest.cpp.o.d"
+  "CMakeFiles/dcsr_stream.dir/model_bundle.cpp.o"
+  "CMakeFiles/dcsr_stream.dir/model_bundle.cpp.o.d"
+  "CMakeFiles/dcsr_stream.dir/model_cache.cpp.o"
+  "CMakeFiles/dcsr_stream.dir/model_cache.cpp.o.d"
+  "CMakeFiles/dcsr_stream.dir/net_traces.cpp.o"
+  "CMakeFiles/dcsr_stream.dir/net_traces.cpp.o.d"
+  "CMakeFiles/dcsr_stream.dir/playlist.cpp.o"
+  "CMakeFiles/dcsr_stream.dir/playlist.cpp.o.d"
+  "CMakeFiles/dcsr_stream.dir/session.cpp.o"
+  "CMakeFiles/dcsr_stream.dir/session.cpp.o.d"
+  "libdcsr_stream.a"
+  "libdcsr_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

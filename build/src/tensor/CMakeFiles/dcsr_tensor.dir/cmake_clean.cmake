@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_tensor.dir/ops.cpp.o"
+  "CMakeFiles/dcsr_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/dcsr_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dcsr_tensor.dir/tensor.cpp.o.d"
+  "libdcsr_tensor.a"
+  "libdcsr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_util.dir/file.cpp.o"
+  "CMakeFiles/dcsr_util.dir/file.cpp.o.d"
+  "CMakeFiles/dcsr_util.dir/rng.cpp.o"
+  "CMakeFiles/dcsr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dcsr_util.dir/serialize.cpp.o"
+  "CMakeFiles/dcsr_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/dcsr_util.dir/stats.cpp.o"
+  "CMakeFiles/dcsr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dcsr_util.dir/table.cpp.o"
+  "CMakeFiles/dcsr_util.dir/table.cpp.o.d"
+  "libdcsr_util.a"
+  "libdcsr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

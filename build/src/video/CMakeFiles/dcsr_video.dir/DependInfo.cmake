@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/genres.cpp" "src/video/CMakeFiles/dcsr_video.dir/genres.cpp.o" "gcc" "src/video/CMakeFiles/dcsr_video.dir/genres.cpp.o.d"
+  "/root/repo/src/video/noise.cpp" "src/video/CMakeFiles/dcsr_video.dir/noise.cpp.o" "gcc" "src/video/CMakeFiles/dcsr_video.dir/noise.cpp.o.d"
+  "/root/repo/src/video/scene.cpp" "src/video/CMakeFiles/dcsr_video.dir/scene.cpp.o" "gcc" "src/video/CMakeFiles/dcsr_video.dir/scene.cpp.o.d"
+  "/root/repo/src/video/source.cpp" "src/video/CMakeFiles/dcsr_video.dir/source.cpp.o" "gcc" "src/video/CMakeFiles/dcsr_video.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/dcsr_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dcsr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcsr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_video.dir/genres.cpp.o"
+  "CMakeFiles/dcsr_video.dir/genres.cpp.o.d"
+  "CMakeFiles/dcsr_video.dir/noise.cpp.o"
+  "CMakeFiles/dcsr_video.dir/noise.cpp.o.d"
+  "CMakeFiles/dcsr_video.dir/scene.cpp.o"
+  "CMakeFiles/dcsr_video.dir/scene.cpp.o.d"
+  "CMakeFiles/dcsr_video.dir/source.cpp.o"
+  "CMakeFiles/dcsr_video.dir/source.cpp.o.d"
+  "libdcsr_video.a"
+  "libdcsr_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

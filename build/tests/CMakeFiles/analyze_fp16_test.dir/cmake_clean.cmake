@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_fp16_test.dir/analyze_fp16_test.cpp.o"
+  "CMakeFiles/analyze_fp16_test.dir/analyze_fp16_test.cpp.o.d"
+  "analyze_fp16_test"
+  "analyze_fp16_test.pdb"
+  "analyze_fp16_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_fp16_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

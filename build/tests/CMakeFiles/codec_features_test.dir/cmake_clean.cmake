@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_features_test.dir/codec_features_test.cpp.o"
+  "CMakeFiles/codec_features_test.dir/codec_features_test.cpp.o.d"
+  "codec_features_test"
+  "codec_features_test.pdb"
+  "codec_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

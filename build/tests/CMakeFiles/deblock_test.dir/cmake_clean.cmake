@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deblock_test.dir/deblock_test.cpp.o"
+  "CMakeFiles/deblock_test.dir/deblock_test.cpp.o.d"
+  "deblock_test"
+  "deblock_test.pdb"
+  "deblock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_property_test.dir/misc_property_test.cpp.o"
+  "CMakeFiles/misc_property_test.dir/misc_property_test.cpp.o.d"
+  "misc_property_test"
+  "misc_property_test.pdb"
+  "misc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

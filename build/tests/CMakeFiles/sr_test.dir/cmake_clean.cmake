@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sr_test.dir/sr_test.cpp.o"
+  "CMakeFiles/sr_test.dir/sr_test.cpp.o.d"
+  "sr_test"
+  "sr_test.pdb"
+  "sr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_formats_test.dir/stream_formats_test.cpp.o"
+  "CMakeFiles/stream_formats_test.dir/stream_formats_test.cpp.o.d"
+  "stream_formats_test"
+  "stream_formats_test.pdb"
+  "stream_formats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/image_test[1]_include.cmake")
+include("/root/repo/build/tests/video_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/split_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/sr_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/abr_test[1]_include.cmake")
+include("/root/repo/build/tests/analyze_fp16_test[1]_include.cmake")
+include("/root/repo/build/tests/container_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_formats_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_features_test[1]_include.cmake")
+include("/root/repo/build/tests/deblock_test[1]_include.cmake")
+include("/root/repo/build/tests/rate_control_test[1]_include.cmake")
+include("/root/repo/build/tests/pca_test[1]_include.cmake")
+include("/root/repo/build/tests/deployment_test[1]_include.cmake")
+include("/root/repo/build/tests/anchor_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_property_test[1]_include.cmake")

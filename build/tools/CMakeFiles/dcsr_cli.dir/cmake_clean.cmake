@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcsr_cli.dir/dcsr_cli.cpp.o"
+  "CMakeFiles/dcsr_cli.dir/dcsr_cli.cpp.o.d"
+  "dcsr_cli"
+  "dcsr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcsr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
