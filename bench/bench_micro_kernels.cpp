@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "codec/bits.hpp"
 #include "codec/block_coder.hpp"
 #include "codec/dct.hpp"
@@ -17,12 +19,27 @@
 #include "nn/conv.hpp"
 #include "sr/edsr.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 #include "video/genres.hpp"
 
 namespace dcsr {
 namespace {
 
 using codec::Block8;
+
+// Pool size before any sweep touched it (reads the DCSR_THREADS/-hardware
+// default on first call; every thread-sweep bench restores it afterwards).
+int base_threads() {
+  static const int t = default_thread_count();
+  return t;
+}
+
+// Second point of the thread sweeps: all hardware threads, or 2 on a
+// single-core host so the pooled code path still gets exercised.
+int sweep_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<int>(hw) : 2;
+}
 
 Block8 random_block(Rng& rng) {
   Block8 b{};
@@ -62,6 +79,30 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_MatmulNaive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul_naive(a, b));
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(256);
+
+// Thread sweep: same 256x256 GEMM on a pool of 1 vs all hardware threads.
+void BM_MatmulThreads(benchmark::State& state) {
+  const int dflt = base_threads();
+  const int n = 256;
+  Rng rng(4);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  set_default_pool_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(a, b));
+  set_default_pool_threads(dflt);
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatmulThreads)->Arg(1)->Arg(sweep_threads());
+
 void BM_Conv2dForward(benchmark::State& state) {
   const int c = static_cast<int>(state.range(0));
   Rng rng(5);
@@ -70,6 +111,38 @@ void BM_Conv2dForward(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
 }
 BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+// Backward pass on a batch: the im2col matrices built by forward are reused,
+// so backward pays only for the three GEMMs and the col2im scatter.
+void BM_Conv2dBackward(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  Rng rng(5);
+  nn::Conv2d conv(c, c, 3, rng);
+  const Tensor x = Tensor::randn({4, c, 48, 48}, rng);
+  const Tensor y = conv.forward(x);
+  Tensor go = Tensor::randn(y.shape(), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.backward(go));
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16)->Arg(32);
+
+// One full training step (forward + backward) across thread counts; batch
+// items are the parallel axis.
+void BM_Conv2dTrainStepThreads(benchmark::State& state) {
+  const int dflt = base_threads();
+  const int c = 16;
+  Rng rng(5);
+  nn::Conv2d conv(c, c, 3, rng);
+  const Tensor x = Tensor::randn({4, c, 48, 48}, rng);
+  const Tensor y = conv.forward(x);
+  Tensor go = Tensor::randn(y.shape(), rng);
+  set_default_pool_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+    benchmark::DoNotOptimize(conv.backward(go));
+  }
+  set_default_pool_threads(dflt);
+}
+BENCHMARK(BM_Conv2dTrainStepThreads)->Arg(1)->Arg(sweep_threads());
 
 void BM_EdsrInference(benchmark::State& state) {
   Rng rng(6);

@@ -5,21 +5,32 @@
 #include "image/convert.hpp"
 #include "image/metrics.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dcsr::core {
 
 namespace {
+
+// Converts a decoded segment to RGB with one task per frame. Conversion is
+// pure per-frame work, so it overlaps freely; the metric accumulation that
+// follows stays serial and in display order (the collector's SSIM stride
+// depends on visit order).
+std::vector<FrameRGB> convert_segment(const std::vector<FrameYUV>& frames) {
+  std::vector<FrameRGB> rgb(frames.size());
+  parallel_for(0, static_cast<std::int64_t>(frames.size()), 1,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i)
+                   rgb[static_cast<std::size_t>(i)] =
+                       yuv420_to_rgb(frames[static_cast<std::size_t>(i)]);
+               });
+  return rgb;
+}
 
 // Accumulates per-frame metrics against the pristine source.
 class MetricsCollector {
  public:
   MetricsCollector(const VideoSource& original, const PlaybackOptions& opts)
       : original_(original), opts_(opts) {}
-
-  void measure(const FrameYUV& decoded, int display_index) {
-    const FrameRGB rgb = yuv420_to_rgb(decoded);
-    measure_rgb(rgb, display_index);
-  }
 
   void measure_rgb(const FrameRGB& rgb, int display_index) {
     const FrameRGB ref = original_.frame(display_index);
@@ -59,8 +70,9 @@ PlaybackResult decode_and_measure(const codec::EncodedVideo& encoded,
           [&](FrameYUV& f, codec::FrameType, int) { enhance_i(f, static_cast<int>(s)); });
     }
     const auto frames = decoder.decode_segment(encoded.segments[s]);
-    for (std::size_t i = 0; i < frames.size(); ++i)
-      collector.measure(frames[i], frame_base + static_cast<int>(i));
+    const auto rgb = convert_segment(frames);
+    for (std::size_t i = 0; i < rgb.size(); ++i)
+      collector.measure_rgb(rgb[i], frame_base + static_cast<int>(i));
     frame_base += static_cast<int>(frames.size());
   }
   return collector.finish();
@@ -110,12 +122,25 @@ PlaybackResult play_nas(const codec::EncodedVideo& encoded, sr::Edsr& big_model,
   int frame_base = 0;
   for (const auto& seg : encoded.segments) {
     const auto frames = decoder.decode_segment(seg);
+    // Convert the sampled frames concurrently, then run SR serially: the
+    // model's layers cache activations between forward and backward, so one
+    // model instance cannot enhance two frames at once.
+    std::vector<std::pair<int, FrameYUV>> sampled;
     for (std::size_t i = 0; i < frames.size(); ++i) {
       const int display = frame_base + static_cast<int>(i);
-      if (display % opts.nas_eval_stride != 0) continue;
+      if (display % opts.nas_eval_stride == 0) sampled.emplace_back(display, frames[i]);
+    }
+    std::vector<FrameRGB> rgb(sampled.size());
+    parallel_for(0, static_cast<std::int64_t>(sampled.size()), 1,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   for (std::int64_t i = lo; i < hi; ++i)
+                     rgb[static_cast<std::size_t>(i)] =
+                         yuv420_to_rgb(sampled[static_cast<std::size_t>(i)].second);
+                 });
+    for (std::size_t i = 0; i < sampled.size(); ++i) {
       // Out-of-loop: enhance the displayed frame, references untouched.
-      const FrameRGB enhanced = big_model.enhance(yuv420_to_rgb(frames[i]));
-      collector.measure_rgb(enhanced, display);
+      const FrameRGB enhanced = big_model.enhance(rgb[i]);
+      collector.measure_rgb(enhanced, sampled[i].first);
     }
     frame_base += static_cast<int>(frames.size());
   }
@@ -173,8 +198,9 @@ AnchorPlaybackResult play_dcsr_anchors(
         },
         /*include_p_frames=*/anchor_period > 0);
     const auto frames = enhanced_decoder.decode_segment(encoded.segments[s]);
-    for (std::size_t i = 0; i < frames.size(); ++i)
-      collector.measure(frames[i], frame_base + static_cast<int>(i));
+    const auto rgb = convert_segment(frames);
+    for (std::size_t i = 0; i < rgb.size(); ++i)
+      collector.measure_rgb(rgb[i], frame_base + static_cast<int>(i));
     frame_base += static_cast<int>(frames.size());
   }
   result.playback = collector.finish();

@@ -14,6 +14,7 @@
 #include "nn/serialize.hpp"
 #include "sr/min_model.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dcsr::core {
 
@@ -102,22 +103,39 @@ ServerResult run_server_pipeline(const VideoSource& video, const ServerConfig& c
   }
 
   // 7. One micro model per cluster, trained on that cluster's I frames only
-  //    (§3.1.3).
-  result.micro_models.reserve(static_cast<std::size_t>(result.k));
-  for (int c = 0; c < result.k; ++c) {
+  //    (§3.1.3). Per-cluster training is embarrassingly parallel — the
+  //    paper's server-side pitch — so the clusters train concurrently. Each
+  //    cluster's Rng is forked from the parent stream serially, in cluster
+  //    order, before any task runs: every cluster sees the exact stream it
+  //    saw under serial execution, so the trained weights are bit-identical
+  //    regardless of thread count.
+  struct ClusterJob {
     std::vector<sr::TrainSample> data;
+    Rng rng{0};
+    std::unique_ptr<sr::Edsr> model;
+    sr::TrainStats stats;
+  };
+  std::vector<ClusterJob> jobs(static_cast<std::size_t>(result.k));
+  for (int c = 0; c < result.k; ++c) {
+    ClusterJob& job = jobs[static_cast<std::size_t>(c)];
     for (std::size_t s = 0; s < iframes.size(); ++s)
       if (result.labels[s] == c)
-        for (const auto& p : iframes[s].pairs) data.push_back(p);
-    if (data.empty())
+        for (const auto& p : iframes[s].pairs) job.data.push_back(p);
+    if (job.data.empty())
       throw std::logic_error("run_server_pipeline: empty cluster");
-
-    Rng model_rng = rng.fork();
-    auto model = std::make_unique<sr::Edsr>(cfg.micro, model_rng);
-    const sr::TrainStats stats =
-        sr::train_sr_model(*model, data, cfg.training, model_rng);
-    result.train_flops += stats.train_flops;
-    result.micro_models.push_back(std::move(model));
+    job.rng = rng.fork();
+  }
+  parallel_for(0, result.k, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t c = lo; c < hi; ++c) {
+      ClusterJob& job = jobs[static_cast<std::size_t>(c)];
+      job.model = std::make_unique<sr::Edsr>(cfg.micro, job.rng);
+      job.stats = sr::train_sr_model(*job.model, job.data, cfg.training, job.rng);
+    }
+  });
+  result.micro_models.reserve(static_cast<std::size_t>(result.k));
+  for (auto& job : jobs) {
+    result.train_flops += job.stats.train_flops;
+    result.micro_models.push_back(std::move(job.model));
   }
   result.micro_model_bytes = sr::edsr_model_bytes(cfg.micro);
   return result;

@@ -1,9 +1,11 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dcsr::nn {
 
@@ -27,6 +29,11 @@ Conv2d::Conv2d(int in_channels, int out_channels, int kernel, Rng& rng,
       weight_(he_init(out_channels, in_channels, kernel, rng)),
       bias_(Tensor({out_channels, 1})) {}
 
+void Conv2d::set_training(bool training) {
+  Module::set_training(training);
+  if (!training) cached_cols_.clear();
+}
+
 Tensor Conv2d::forward(const Tensor& x) {
   if (x.rank() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d: bad input shape " + x.shape_str());
@@ -35,19 +42,27 @@ Tensor Conv2d::forward(const Tensor& x) {
   const int oh = conv_out_size(x.dim(2), kernel_, stride_, pad_);
   const int ow = conv_out_size(x.dim(3), kernel_, stride_, pad_);
   Tensor out({N, out_channels_, oh, ow});
-  for (int n = 0; n < N; ++n) {
-    const Tensor cols = im2col(x, n, kernel_, stride_, pad_);
-    const Tensor y = matmul(weight_.value, cols);  // outC x (oh*ow)
-    float* dst = out.data() +
-                 static_cast<std::size_t>(n) * out_channels_ * oh * ow;
-    const float* src = y.data();
-    for (int c = 0; c < out_channels_; ++c) {
-      const float b = bias_.value[static_cast<std::size_t>(c)];
-      for (int i = 0; i < oh * ow; ++i)
-        dst[static_cast<std::size_t>(c) * oh * ow + i] =
-            src[static_cast<std::size_t>(c) * oh * ow + i] + b;
+  if (training())
+    cached_cols_.assign(static_cast<std::size_t>(N), Tensor());
+  else
+    cached_cols_.clear();
+  // Batch items are independent and write disjoint output slices.
+  parallel_for(0, N, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t n = lo; n < hi; ++n) {
+      Tensor cols = im2col(x, static_cast<int>(n), kernel_, stride_, pad_);
+      const Tensor y = matmul(weight_.value, cols);  // outC x (oh*ow)
+      float* dst = out.data() +
+                   static_cast<std::size_t>(n) * out_channels_ * oh * ow;
+      const float* src = y.data();
+      for (int c = 0; c < out_channels_; ++c) {
+        const float b = bias_.value[static_cast<std::size_t>(c)];
+        for (int i = 0; i < oh * ow; ++i)
+          dst[static_cast<std::size_t>(c) * oh * ow + i] =
+              src[static_cast<std::size_t>(c) * oh * ow + i] + b;
+      }
+      if (training()) cached_cols_[static_cast<std::size_t>(n)] = std::move(cols);
     }
-  }
+  });
   return out;
 }
 
@@ -55,27 +70,55 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const Tensor& x = cached_input_;
   if (x.empty()) throw std::logic_error("Conv2d::backward before forward");
   const int N = x.dim(0);
-  const int oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const int oh = conv_out_size(x.dim(2), kernel_, stride_, pad_);
+  const int ow = conv_out_size(x.dim(3), kernel_, stride_, pad_);
+  if (grad_out.rank() != 4 || grad_out.dim(0) != N ||
+      grad_out.dim(1) != out_channels_ || grad_out.dim(2) != oh ||
+      grad_out.dim(3) != ow)
+    throw std::invalid_argument("Conv2d::backward: grad shape " +
+                                grad_out.shape_str() + " does not match " +
+                                "cached forward output");
   Tensor grad_in(x.shape());
-  for (int n = 0; n < N; ++n) {
-    // View this item's output gradient as an (outC) x (oh*ow) matrix.
-    Tensor go({out_channels_, oh * ow});
-    const float* src = grad_out.data() +
-                       static_cast<std::size_t>(n) * out_channels_ * oh * ow;
-    std::copy(src, src + static_cast<std::size_t>(out_channels_) * oh * ow,
-              go.data());
+  // Per-item weight/bias partials, reduced in index order after the parallel
+  // section: float accumulation order must not depend on the thread count.
+  std::vector<Tensor> dw(static_cast<std::size_t>(N));
+  std::vector<Tensor> db(static_cast<std::size_t>(N));
+  parallel_for(0, N, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t item = lo; item < hi; ++item) {
+      const int n = static_cast<int>(item);
+      // View this item's output gradient as an (outC) x (oh*ow) matrix.
+      Tensor go({out_channels_, oh * ow});
+      const float* src = grad_out.data() +
+                         static_cast<std::size_t>(n) * out_channels_ * oh * ow;
+      std::copy(src, src + static_cast<std::size_t>(out_channels_) * oh * ow,
+                go.data());
 
-    const Tensor cols = im2col(x, n, kernel_, stride_, pad_);
-    // dW += dY * cols^T ; db += rowsum(dY) ; dX = col2im(W^T * dY).
-    weight_.grad.add_(matmul_nt(go, cols));
-    for (int c = 0; c < out_channels_; ++c) {
-      float acc = 0.0f;
-      const float* row = go.data() + static_cast<std::size_t>(c) * oh * ow;
-      for (int i = 0; i < oh * ow; ++i) acc += row[i];
-      bias_.grad[static_cast<std::size_t>(c)] += acc;
+      // Reuse the columns built by forward; recompute only if a caller ran
+      // forward in eval mode and then asked for gradients anyway.
+      const bool have_cols = static_cast<std::size_t>(n) < cached_cols_.size() &&
+                             !cached_cols_[static_cast<std::size_t>(n)].empty();
+      Tensor scratch;
+      if (!have_cols) scratch = im2col(x, n, kernel_, stride_, pad_);
+      const Tensor& cols =
+          have_cols ? cached_cols_[static_cast<std::size_t>(n)] : scratch;
+
+      // dW_n = dY * cols^T ; db_n = rowsum(dY) ; dX_n = col2im(W^T * dY).
+      dw[static_cast<std::size_t>(n)] = matmul_nt(go, cols);
+      Tensor dbn({out_channels_, 1});
+      for (int c = 0; c < out_channels_; ++c) {
+        float acc = 0.0f;
+        const float* row = go.data() + static_cast<std::size_t>(c) * oh * ow;
+        for (int i = 0; i < oh * ow; ++i) acc += row[i];
+        dbn[static_cast<std::size_t>(c)] = acc;
+      }
+      db[static_cast<std::size_t>(n)] = std::move(dbn);
+      const Tensor dcols = matmul_tn(weight_.value, go);
+      col2im_add(dcols, grad_in, n, kernel_, stride_, pad_);
     }
-    const Tensor dcols = matmul_tn(weight_.value, go);
-    col2im_add(dcols, grad_in, n, kernel_, stride_, pad_);
+  });
+  for (int n = 0; n < N; ++n) {
+    weight_.grad.add_(dw[static_cast<std::size_t>(n)]);
+    bias_.grad.add_(db[static_cast<std::size_t>(n)]);
   }
   return grad_in;
 }

@@ -18,6 +18,7 @@ class Conv2d final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Conv2d"; }
+  void set_training(bool training) override;
 
   int in_channels() const noexcept { return in_channels_; }
   int out_channels() const noexcept { return out_channels_; }
@@ -32,7 +33,12 @@ class Conv2d final : public Module {
   int in_channels_, out_channels_, kernel_, stride_, pad_;
   Param weight_;
   Param bias_;
-  Tensor cached_input_;  // needed to form dW
+  Tensor cached_input_;  // needed to form dX via col2im
+  // im2col of each batch item, built by forward and reused by backward so
+  // the columns are computed once per step instead of twice. Only populated
+  // in training mode — inference would pay k*k times the input's memory for
+  // matrices nobody reads.
+  std::vector<Tensor> cached_cols_;
 };
 
 }  // namespace dcsr::nn

@@ -40,11 +40,21 @@ class Module {
 
   virtual std::string name() const = 0;
 
+  /// Train/eval switch. In eval mode layers may skip caching activations
+  /// that only backward() needs (e.g. Conv2d's im2col column matrices, which
+  /// dwarf the input itself by a factor of k*k). Containers override this to
+  /// propagate to their children. Default is training.
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const noexcept { return training_; }
+
   /// Clears accumulated gradients on all parameters.
   void zero_grad();
 
   /// Total number of learnable scalars.
   std::size_t param_count();
+
+ private:
+  bool training_ = true;
 };
 
 using ModulePtr = std::unique_ptr<Module>;

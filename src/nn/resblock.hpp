@@ -17,6 +17,11 @@ class ResBlock final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   std::string name() const override { return "ResBlock"; }
+  void set_training(bool training) override {
+    Module::set_training(training);
+    conv1_.set_training(training);
+    conv2_.set_training(training);
+  }
 
   float res_scale() const noexcept { return res_scale_; }
 

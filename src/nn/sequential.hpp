@@ -28,6 +28,10 @@ class Sequential final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   std::string name() const override { return "Sequential"; }
+  void set_training(bool training) override {
+    Module::set_training(training);
+    for (auto& m : layers_) m->set_training(training);
+  }
 
   std::size_t layer_count() const noexcept { return layers_.size(); }
   Module& layer(std::size_t i) noexcept { return *layers_[i]; }

@@ -94,8 +94,23 @@ std::vector<nn::Param*> Edsr::params() {
   return ps;
 }
 
+void Edsr::set_training(bool training) {
+  nn::Module::set_training(training);
+  head_.set_training(training);
+  for (auto& rb : body_) rb->set_training(training);
+  body_conv_.set_training(training);
+  for (auto& c : up_convs_) c->set_training(training);
+  tail_.set_training(training);
+}
+
 FrameRGB Edsr::enhance(const FrameRGB& frame) {
-  return tensor_to_frame(forward(frame_to_tensor(frame)));
+  // Inference: drop into eval mode so the convs skip caching im2col
+  // matrices nobody will backpropagate through, then restore.
+  const bool was_training = training();
+  set_training(false);
+  FrameRGB out = tensor_to_frame(forward(frame_to_tensor(frame)));
+  set_training(was_training);
+  return out;
 }
 
 std::uint64_t Edsr::flops(int in_width, int in_height) const noexcept {

@@ -42,6 +42,7 @@ class Edsr final : public nn::Module {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<nn::Param*> params() override;
   std::string name() const override { return "Edsr"; }
+  void set_training(bool training) override;
 
   const EdsrConfig& config() const noexcept { return cfg_; }
 

@@ -59,6 +59,7 @@ TrainStats train_sr_model(Edsr& model, const std::vector<TrainSample>& samples,
       throw std::invalid_argument("train_sr_model: frame smaller than patch");
   }
 
+  model.set_training(true);
   nn::Adam opt(model.params(), opts.lr);
   TrainStats stats;
   stats.loss_curve.reserve(static_cast<std::size_t>(opts.iterations));

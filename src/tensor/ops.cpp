@@ -1,6 +1,10 @@
 #include "tensor/ops.hpp"
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace dcsr {
 namespace {
@@ -11,6 +15,184 @@ void require_same(const Tensor& a, const Tensor& b, const char* what) {
 
 void require_2d(const Tensor& t, const char* what) {
   if (t.rank() != 2) throw std::invalid_argument(std::string(what) + ": expected 2-D tensor");
+}
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM.
+//
+// C (m x n) += A * B where A is addressed through explicit strides
+// (a_rs between rows, a_ks between k steps) so the same driver serves both
+// matmul (A row-major, a_rs = k, a_ks = 1) and matmul_tn (A stored
+// transposed, a_rs = 1, a_ks = m). B is row-major k x n.
+//
+// Loop nest: rows are split across threads (disjoint C rows, so no
+// synchronisation); within a row chunk we block columns by kNC (B panel in
+// L2), k by kKC (A panel in L1), and run a kMR x kNR register tile in the
+// middle. For every C element the k loop advances strictly ascending across
+// blocks, which keeps the float summation order identical to the naive
+// kernel — blocked results are bit-identical to matmul_naive and invariant
+// to the thread count.
+// ---------------------------------------------------------------------------
+
+constexpr int kMR = 6;    // register tile rows
+constexpr int kNR = 16;   // register tile columns (two AVX2 vectors)
+constexpr int kKC = 256;  // k block: A panel kMR*kKC floats stays in L1
+constexpr int kNC = 512;  // column block: B panel kKC*kNC floats stays in L2
+
+#if defined(__GNUC__) && !defined(DCSR_NO_VECTOR_EXT)
+
+// 8-lane float vector (one AVX/NEON-pair register when available; GCC/Clang
+// lower it to whatever the target has). Named vector variables — unlike a
+// local float[4][16] — are reliably register-allocated, which is the whole
+// game: the C tile must live in registers across the k loop.
+typedef float Vec8 __attribute__((vector_size(32)));
+
+inline Vec8 load8(const float* p) {
+  Vec8 v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store8(float* p, Vec8 v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+inline Vec8 splat8(float x) { return Vec8{x, x, x, x, x, x, x, x}; }
+
+// Full kMR x kNR tile held in registers across the k block: 12 accumulator
+// vectors plus two B vectors and one broadcast fit the 16 AVX2 registers.
+void micro_tile(const float* A, std::size_t a_rs, std::size_t a_ks,
+                const float* B, std::size_t ldb, float* C, std::size_t ldc,
+                int kn) {
+  Vec8 acc[kMR][2];
+  for (int r = 0; r < kMR; ++r) {
+    acc[r][0] = load8(C + r * ldc);
+    acc[r][1] = load8(C + r * ldc + 8);
+  }
+  for (int kk = 0; kk < kn; ++kk) {
+    const float* b = B + static_cast<std::size_t>(kk) * ldb;
+    const Vec8 b0 = load8(b), b1 = load8(b + 8);
+    const std::size_t ak = static_cast<std::size_t>(kk) * a_ks;
+    const Vec8 a0 = splat8(A[ak]);
+    acc[0][0] += a0 * b0;
+    acc[0][1] += a0 * b1;
+    const Vec8 a1 = splat8(A[a_rs + ak]);
+    acc[1][0] += a1 * b0;
+    acc[1][1] += a1 * b1;
+    const Vec8 a2 = splat8(A[2 * a_rs + ak]);
+    acc[2][0] += a2 * b0;
+    acc[2][1] += a2 * b1;
+    const Vec8 a3 = splat8(A[3 * a_rs + ak]);
+    acc[3][0] += a3 * b0;
+    acc[3][1] += a3 * b1;
+    const Vec8 a4 = splat8(A[4 * a_rs + ak]);
+    acc[4][0] += a4 * b0;
+    acc[4][1] += a4 * b1;
+    const Vec8 a5 = splat8(A[5 * a_rs + ak]);
+    acc[5][0] += a5 * b0;
+    acc[5][1] += a5 * b1;
+  }
+  for (int r = 0; r < kMR; ++r) {
+    store8(C + r * ldc, acc[r][0]);
+    store8(C + r * ldc + 8, acc[r][1]);
+  }
+}
+
+#else
+
+// Portable fallback: same tile, array accumulators.
+void micro_tile(const float* A, std::size_t a_rs, std::size_t a_ks,
+                const float* B, std::size_t ldb, float* C, std::size_t ldc,
+                int kn) {
+  float acc[kMR][kNR];
+  for (int r = 0; r < kMR; ++r)
+    for (int c = 0; c < kNR; ++c) acc[r][c] = C[r * ldc + c];
+  for (int kk = 0; kk < kn; ++kk) {
+    const float* b = B + static_cast<std::size_t>(kk) * ldb;
+    for (int r = 0; r < kMR; ++r) {
+      const float a = A[r * a_rs + static_cast<std::size_t>(kk) * a_ks];
+      for (int c = 0; c < kNR; ++c) acc[r][c] += a * b[c];
+    }
+  }
+  for (int r = 0; r < kMR; ++r)
+    for (int c = 0; c < kNR; ++c) C[r * ldc + c] = acc[r][c];
+}
+
+#endif
+
+// Edge tile with runtime extents; accumulates straight into C.
+void micro_tile_any(const float* A, std::size_t a_rs, std::size_t a_ks,
+                    const float* B, std::size_t ldb, float* C, std::size_t ldc,
+                    int mr, int nr, int kn) {
+  for (int kk = 0; kk < kn; ++kk) {
+    const float* b = B + static_cast<std::size_t>(kk) * ldb;
+    for (int r = 0; r < mr; ++r) {
+      const float a = A[r * a_rs + static_cast<std::size_t>(kk) * a_ks];
+      float* c = C + static_cast<std::size_t>(r) * ldc;
+      for (int j = 0; j < nr; ++j) c[j] += a * b[j];
+    }
+  }
+}
+
+void gemm_strided(const float* A, std::size_t a_rs, std::size_t a_ks,
+                  const float* B, std::size_t ldb, float* C, std::size_t ldc,
+                  int m, int n, int k) {
+  if (m == 0 || n == 0 || k == 0) return;
+  // Size row chunks so each task carries at least ~1 MFLOP of work.
+  const std::int64_t flops_per_row = 2LL * k * n;
+  const std::int64_t grain =
+      std::max<std::int64_t>(kMR, (1LL << 20) / std::max<std::int64_t>(1, flops_per_row) + 1);
+  parallel_for(0, m, grain, [&](std::int64_t ilo, std::int64_t ihi) {
+    for (int jc = 0; jc < n; jc += kNC) {
+      const int jn = std::min(kNC, n - jc);
+      for (int kc = 0; kc < k; kc += kKC) {
+        const int kn = std::min(kKC, k - kc);
+        const float* Bp = B + static_cast<std::size_t>(kc) * ldb + jc;
+        for (std::int64_t i = ilo; i < ihi; i += kMR) {
+          const int mr = static_cast<int>(std::min<std::int64_t>(kMR, ihi - i));
+          const float* Ap = A + static_cast<std::size_t>(i) * a_rs +
+                            static_cast<std::size_t>(kc) * a_ks;
+          float* Cp = C + static_cast<std::size_t>(i) * ldc + jc;
+          int j = 0;
+          if (mr == kMR)
+            for (; j + kNR <= jn; j += kNR)
+              micro_tile(Ap, a_rs, a_ks, Bp + j, ldb, Cp + j, ldc, kn);
+          if (j < jn)
+            micro_tile_any(Ap, a_rs, a_ks, Bp + j, ldb, Cp + j, ldc, mr, jn - j, kn);
+        }
+      }
+    }
+  });
+}
+
+// Dot-product tile for matmul_nt: kDR rows of A against kDC rows of B, each
+// accumulated over kDL independent lanes along k so the compiler can
+// vectorise without reassociating a single serial sum.
+constexpr int kDR = 4;  // A rows per tile
+constexpr int kDC = 2;  // B rows per tile
+constexpr int kDL = 8;  // accumulation lanes (one AVX2 vector)
+
+void dot_tile(const float* A, std::size_t lda, const float* B, std::size_t ldb,
+              float* C, std::size_t ldc, int mr, int nr, int k) {
+  float acc[kDR][kDC][kDL] = {};
+  int kk = 0;
+  for (; kk + kDL <= k; kk += kDL) {
+    for (int r = 0; r < mr; ++r) {
+      const float* a = A + static_cast<std::size_t>(r) * lda + kk;
+      for (int c = 0; c < nr; ++c) {
+        const float* b = B + static_cast<std::size_t>(c) * ldb + kk;
+        for (int l = 0; l < kDL; ++l) acc[r][c][l] += a[l] * b[l];
+      }
+    }
+  }
+  for (int r = 0; r < mr; ++r) {
+    for (int c = 0; c < nr; ++c) {
+      float s = 0.0f;
+      for (int l = 0; l < kDL; ++l) s += acc[r][c][l];
+      const float* a = A + static_cast<std::size_t>(r) * lda;
+      const float* b = B + static_cast<std::size_t>(c) * ldb;
+      for (int t = kk; t < k; ++t) s += a[t] * b[t];
+      C[static_cast<std::size_t>(r) * ldc + c] = s;
+    }
+  }
 }
 
 }  // namespace
@@ -48,19 +230,9 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
   Tensor out({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = out.data();
-  // ikj loop order: streams B and C rows, friendly to the prefetcher.
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = A[static_cast<std::size_t>(i) * k + kk];
-      if (aik == 0.0f) continue;
-      const float* Brow = B + static_cast<std::size_t>(kk) * n;
-      float* Crow = C + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
-    }
-  }
+  gemm_strided(a.data(), static_cast<std::size_t>(k), 1, b.data(),
+               static_cast<std::size_t>(n), out.data(),
+               static_cast<std::size_t>(n), m, n, k);
   return out;
 }
 
@@ -70,19 +242,9 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dim mismatch");
   Tensor out({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = out.data();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* Arow = A + static_cast<std::size_t>(kk) * m;
-    const float* Brow = B + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float aik = Arow[i];
-      if (aik == 0.0f) continue;
-      float* Crow = C + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
-    }
-  }
+  gemm_strided(a.data(), 1, static_cast<std::size_t>(m), b.data(),
+               static_cast<std::size_t>(n), out.data(),
+               static_cast<std::size_t>(n), m, n, k);
   return out;
 }
 
@@ -91,6 +253,76 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   require_2d(b, "matmul_nt");
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  Tensor out({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = out.data();
+  const std::int64_t flops_per_row = 2LL * k * n;
+  const std::int64_t grain =
+      std::max<std::int64_t>(kDR, (1LL << 20) / std::max<std::int64_t>(1, flops_per_row) + 1);
+  parallel_for(0, m, grain, [&](std::int64_t ilo, std::int64_t ihi) {
+    for (std::int64_t i = ilo; i < ihi; i += kDR) {
+      const int mr = static_cast<int>(std::min<std::int64_t>(kDR, ihi - i));
+      const float* Ap = A + static_cast<std::size_t>(i) * k;
+      float* Cp = C + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; j += kDC) {
+        const int nr = std::min(kDC, n - j);
+        dot_tile(Ap, static_cast<std::size_t>(k),
+                 B + static_cast<std::size_t>(j) * k, static_cast<std::size_t>(k),
+                 Cp + j, static_cast<std::size_t>(n), mr, nr, k);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor matmul_naive(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul_naive");
+  require_2d(b, "matmul_naive");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul_naive: inner dim mismatch");
+  Tensor out({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = out.data();
+  // ikj loop order: streams B and C rows, friendly to the prefetcher.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = A[static_cast<std::size_t>(i) * k + kk];
+      const float* Brow = B + static_cast<std::size_t>(kk) * n;
+      float* Crow = C + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_tn_naive(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul_tn_naive");
+  require_2d(b, "matmul_tn_naive");
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) throw std::invalid_argument("matmul_tn_naive: inner dim mismatch");
+  Tensor out({m, n});
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = out.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* Arow = A + static_cast<std::size_t>(kk) * m;
+    const float* Brow = B + static_cast<std::size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float aik = Arow[i];
+      float* Crow = C + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor matmul_nt_naive(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul_nt_naive");
+  require_2d(b, "matmul_nt_naive");
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt_naive: inner dim mismatch");
   Tensor out({m, n});
   const float* A = a.data();
   const float* B = b.data();

@@ -11,13 +11,28 @@ Tensor mul(const Tensor& a, const Tensor& b);
 Tensor scaled(const Tensor& a, float s);
 
 /// Matrix product of 2-D tensors: (m x k) * (k x n) -> (m x n).
+///
+/// Cache-blocked (MC/KC/NC) with a register-tiled inner kernel, parallelised
+/// over row blocks on the default pool. Per output element the k-summation
+/// order is fixed and ascending, so results are bit-identical to
+/// matmul_naive and invariant to the thread count.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// Matrix product with the first operand transposed: aT(k x m) * b(k x n).
+/// Blocked and parallelised like matmul.
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
 
 /// Matrix product with the second operand transposed: a(m x k) * bT(n x k).
+/// Lane-parallel dot-product kernel; deterministic for a fixed shape but the
+/// accumulation order differs from the naive reference (compare with a
+/// tolerance, not bitwise).
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Scalar, unblocked, single-threaded reference implementations. Kept as the
+/// ground truth the blocked kernels are property-tested against.
+Tensor matmul_naive(const Tensor& a, const Tensor& b);
+Tensor matmul_tn_naive(const Tensor& a, const Tensor& b);
+Tensor matmul_nt_naive(const Tensor& a, const Tensor& b);
 
 /// 2-D transpose.
 Tensor transpose(const Tensor& a);

@@ -1,0 +1,176 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dcsr {
+
+namespace {
+
+// Set while a thread (worker or caller) is executing a parallel_for chunk.
+// Nested parallel_for calls check it and run inline instead of re-entering
+// the pool: the outer loop already owns all the parallelism there is.
+thread_local bool tl_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> tasks;
+  bool stop = false;
+  std::vector<std::thread> workers;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lk(mutex);
+        cv.wait(lk, [&] { return stop || !tasks.empty(); });
+        if (stop && tasks.empty()) return;
+        task = std::move(tasks.front());
+        tasks.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads)
+    : impl_(std::make_unique<Impl>()), threads_(std::max(1, threads)) {
+  impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  const std::int64_t range = end - begin;
+  if (grain < 1) grain = 1;
+  // Floor division so every chunk carries at least `grain` indices.
+  const std::int64_t nchunks =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(threads_, range / grain));
+
+  if (nchunks <= 1 || tl_in_parallel_region || impl_->workers.empty()) {
+    const bool was = tl_in_parallel_region;
+    tl_in_parallel_region = true;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      tl_in_parallel_region = was;
+      throw;
+    }
+    tl_in_parallel_region = was;
+    return;
+  }
+
+  struct Region {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::int64_t remaining;
+    std::exception_ptr error;
+  } region;
+  region.remaining = nchunks;
+
+  auto run_chunk = [&](std::int64_t c) {
+    const std::int64_t lo = begin + range * c / nchunks;
+    const std::int64_t hi = begin + range * (c + 1) / nchunks;
+    const bool was = tl_in_parallel_region;
+    tl_in_parallel_region = true;
+    try {
+      if (hi > lo) fn(lo, hi);
+    } catch (...) {
+      std::lock_guard lk(region.mutex);
+      if (!region.error) region.error = std::current_exception();
+    }
+    tl_in_parallel_region = was;
+    std::lock_guard lk(region.mutex);
+    if (--region.remaining == 0) region.cv.notify_all();
+  };
+
+  {
+    std::lock_guard lk(impl_->mutex);
+    for (std::int64_t c = 1; c < nchunks; ++c)
+      impl_->tasks.emplace_back([&run_chunk, c] { run_chunk(c); });
+  }
+  impl_->cv.notify_all();
+  run_chunk(0);
+
+  // Help drain the queue while waiting: under contention (several regions in
+  // flight) the caller keeps making global progress instead of idling.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard lk(impl_->mutex);
+      if (impl_->tasks.empty()) break;
+      task = std::move(impl_->tasks.front());
+      impl_->tasks.pop_front();
+    }
+    task();
+  }
+
+  {
+    std::unique_lock lk(region.mutex);
+    region.cv.wait(lk, [&] { return region.remaining == 0; });
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+namespace {
+
+std::mutex g_default_pool_mutex;
+std::unique_ptr<ThreadPool> g_default_pool;
+
+}  // namespace
+
+ThreadPool& default_pool() {
+  std::lock_guard lk(g_default_pool_mutex);
+  if (!g_default_pool)
+    g_default_pool = std::make_unique<ThreadPool>(thread_count_from_env());
+  return *g_default_pool;
+}
+
+void set_default_pool_threads(int threads) {
+  auto pool = std::make_unique<ThreadPool>(std::max(1, threads));
+  std::lock_guard lk(g_default_pool_mutex);
+  g_default_pool = std::move(pool);
+}
+
+int thread_count_from_env() {
+  if (const char* env = std::getenv("DCSR_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0') return std::max(1, static_cast<int>(v));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+int default_thread_count() {
+  std::lock_guard lk(g_default_pool_mutex);
+  return g_default_pool ? g_default_pool->threads() : thread_count_from_env();
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  default_pool().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace dcsr

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace dcsr {
+
+/// Persistent worker pool behind `parallel_for`.
+///
+/// Everything compute-bound in the library (GEMM row blocks, per-item conv
+/// batches, per-cluster training) is expressed as a static-chunked
+/// `parallel_for` over an index range. Determinism is a hard contract: the
+/// kernels only ever parallelise over *disjoint outputs* and reduce any
+/// shared accumulators in index order, so results are bit-identical no
+/// matter how many threads run — a pool of 1 is exactly the serial program.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread always participates);
+  /// `threads <= 1` spawns none and every parallel_for runs inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads this pool targets (including the caller).
+  int threads() const noexcept { return threads_; }
+
+  /// Splits [begin, end) into at most `threads()` contiguous chunks, each of
+  /// at least `grain` indices, and runs `fn(chunk_begin, chunk_end)` for
+  /// every chunk — the first on the calling thread, the rest on workers.
+  /// Blocks until all chunks finish; the first exception thrown by any chunk
+  /// is rethrown here. Nested calls (from inside a chunk) degrade to inline
+  /// serial execution, so layered kernels never deadlock or oversubscribe.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int threads_;
+};
+
+/// Process-wide default pool, created on first use. Sized from the
+/// `DCSR_THREADS` environment variable when set (values < 1 clamp to 1, and
+/// 1 means pure serial execution — handy for debugging), otherwise from
+/// `std::thread::hardware_concurrency()`.
+ThreadPool& default_pool();
+
+/// Replaces the default pool with one of the given size. Intended for tests
+/// and benches sweeping thread counts; callers must be quiescent (no
+/// parallel_for in flight) when swapping.
+void set_default_pool_threads(int threads);
+
+/// Thread count the default pool would use (without forcing its creation
+/// beyond reading the environment).
+int default_thread_count();
+
+/// Parses `DCSR_THREADS` (clamped to >= 1; non-numeric values are ignored)
+/// and falls back to hardware_concurrency(). This is what sizes the default
+/// pool on first use; exposed so the policy is testable.
+int thread_count_from_env();
+
+/// `default_pool().parallel_for(...)` convenience wrapper.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace dcsr

@@ -104,6 +104,18 @@ TEST(Conv2d, GradCheck) {
   grad_check(conv, Tensor::randn({1, 2, 5, 4}, rng));
 }
 
+TEST(Conv2d, BackwardRejectsWrongGradShape) {
+  Rng rng(9);
+  Conv2d conv(2, 4, 3, rng);
+  conv.forward(Tensor({2, 2, 6, 6}));
+  EXPECT_THROW(conv.backward(Tensor({2, 2, 6, 6})), std::invalid_argument);
+  EXPECT_THROW(conv.backward(Tensor({1, 4, 6, 6})), std::invalid_argument);
+  EXPECT_THROW(conv.backward(Tensor({2, 4, 5, 6})), std::invalid_argument);
+  EXPECT_THROW(conv.backward(Tensor({2, 4, 6, 6}).reshaped({2, 4, 36})),
+               std::invalid_argument);
+  conv.backward(Tensor({2, 4, 6, 6}));  // the matching shape still works
+}
+
 TEST(Conv2d, GradCheckStrided) {
   Rng rng(4);
   Conv2d conv(2, 2, 3, rng, /*stride=*/2, /*pad=*/1);

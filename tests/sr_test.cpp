@@ -12,6 +12,7 @@
 #include "sr/min_model.hpp"
 #include "sr/model_zoo.hpp"
 #include "sr/trainer.hpp"
+#include "util/thread_pool.hpp"
 #include "video/scene.hpp"
 
 namespace dcsr::sr {
@@ -237,6 +238,34 @@ TEST(Trainer, AugmentationStillConverges) {
   const TrainStats stats = train_sr_model(model, {p}, opts, rng);
   EXPECT_LT(stats.final_loss, stats.loss_curve.front() * 0.9);
   EXPECT_GT(evaluate_psnr(model, {p}), psnr(p.lo, p.hi) - 0.2);
+}
+
+TEST(Trainer, BitIdenticalAcrossThreadCounts) {
+  // The deterministic-reduction contract: training must produce the exact
+  // same floats no matter how many threads the pool runs. Conv batch items
+  // parallelise over disjoint outputs and weight/bias gradients reduce in
+  // item order, so DCSR_THREADS=1 and DCSR_THREADS=4 may differ only in
+  // wall-clock, never in results.
+  const int saved_threads = default_thread_count();
+  const auto train_once = [](int threads) {
+    set_default_pool_threads(threads);
+    Rng rng(77);
+    const TrainSample pair = degraded_pair(textured_frame(32, 32, 78));
+    Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 1}, rng);
+    TrainOptions opts;
+    opts.iterations = 25;
+    opts.patch_size = 16;
+    opts.batch_size = 2;
+    return train_sr_model(model, {pair}, opts, rng);
+  };
+  const TrainStats serial = train_once(1);
+  const TrainStats threaded = train_once(4);
+  set_default_pool_threads(saved_threads);
+
+  EXPECT_EQ(serial.final_loss, threaded.final_loss);
+  ASSERT_EQ(serial.loss_curve.size(), threaded.loss_curve.size());
+  for (std::size_t i = 0; i < serial.loss_curve.size(); ++i)
+    EXPECT_EQ(serial.loss_curve[i], threaded.loss_curve[i]) << "iteration " << i;
 }
 
 TEST(Trainer, EvaluateSsimInUnitRange) {

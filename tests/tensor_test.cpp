@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dcsr {
 namespace {
@@ -83,6 +86,72 @@ TEST(Ops, MatmulAgainstHandComputed) {
 
 TEST(Ops, MatmulShapeMismatchThrows) {
   EXPECT_THROW(matmul(Tensor({2, 3}), Tensor({2, 3})), std::invalid_argument);
+}
+
+// Property test: the blocked kernels against the scalar references across
+// non-square shapes, tile remainders, and degenerate 1xN / Nx1 extents.
+TEST(Ops, BlockedKernelsMatchNaiveReferences) {
+  Rng rng(71);
+  const int shapes[][3] = {{1, 1, 1},  {1, 8, 5},    {7, 1, 9},
+                           {5, 9, 1},  {1, 64, 1},   {33, 17, 65},
+                           {64, 64, 64}, {129, 31, 257}, {6, 300, 16},
+                           {8, 72, 100}};
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1], n = s[2];
+    SCOPED_TRACE(testing::Message() << "m=" << m << " k=" << k << " n=" << n);
+
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    const Tensor c = matmul(a, b);
+    const Tensor c_ref = matmul_naive(a, b);
+    ASSERT_TRUE(c.same_shape(c_ref));
+    // NN and TN keep the naive per-element summation order: bit-identical.
+    for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], c_ref[i]);
+
+    const Tensor at = Tensor::randn({k, m}, rng);
+    const Tensor ct = matmul_tn(at, b);
+    const Tensor ct_ref = matmul_tn_naive(at, b);
+    ASSERT_TRUE(ct.same_shape(ct_ref));
+    for (std::size_t i = 0; i < ct.size(); ++i) EXPECT_EQ(ct[i], ct_ref[i]);
+
+    const Tensor bt = Tensor::randn({n, k}, rng);
+    const Tensor cn = matmul_nt(a, bt);
+    const Tensor cn_ref = matmul_nt_naive(a, bt);
+    ASSERT_TRUE(cn.same_shape(cn_ref));
+    // NT reduces dot products over lanes — deterministic, but the order
+    // differs from the scalar reference, so compare with a tolerance.
+    for (std::size_t i = 0; i < cn.size(); ++i)
+      EXPECT_NEAR(cn[i], cn_ref[i], 1e-3f * (1.0f + std::abs(cn_ref[i])));
+  }
+}
+
+TEST(Ops, MatmulResultsInvariantToThreadCount) {
+  const int saved = default_thread_count();
+  Rng rng(73);
+  const Tensor a = Tensor::randn({70, 50}, rng);
+  const Tensor b = Tensor::randn({50, 90}, rng);
+  const Tensor bt = Tensor::randn({90, 50}, rng);
+
+  set_default_pool_threads(1);
+  const Tensor c1 = matmul(a, b);
+  const Tensor n1 = matmul_nt(a, bt);
+  set_default_pool_threads(4);
+  const Tensor c4 = matmul(a, b);
+  const Tensor n4 = matmul_nt(a, bt);
+  set_default_pool_threads(saved);
+
+  for (std::size_t i = 0; i < c1.size(); ++i) EXPECT_EQ(c1[i], c4[i]);
+  for (std::size_t i = 0; i < n1.size(); ++i) EXPECT_EQ(n1[i], n4[i]);
+}
+
+TEST(Ops, MatmulRejectsEmptyTensors) {
+  // Tensor refuses zero extents outright, so no kernel ever sees an empty
+  // operand — the degenerate "0-sized matmul" boundary is unrepresentable.
+  EXPECT_THROW(Tensor({0, 3}), std::invalid_argument);
+  EXPECT_THROW(Tensor({3, 0}), std::invalid_argument);
+  // A default-constructed tensor is rank-0, which matmul rejects as not 2-D.
+  EXPECT_THROW(matmul(Tensor(), Tensor({1, 1})), std::invalid_argument);
+  EXPECT_THROW(matmul_nt(Tensor({1, 1}), Tensor()), std::invalid_argument);
 }
 
 TEST(Ops, TransposedVariantsMatchExplicitTranspose) {

@@ -1,14 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 #include "util/stats.hpp"
 #include "util/file.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dcsr {
 namespace {
@@ -82,6 +88,108 @@ TEST(Rng, ShufflePreservesElements) {
   rng.shuffle(v);
   std::sort(v.begin(), v.end());
   EXPECT_EQ(v, orig);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, 1000, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, GrainAtLeastRangeRunsAsOneChunk) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  pool.parallel_for(3, 10, 7, [&](std::int64_t lo, std::int64_t hi) {
+    std::lock_guard lk(m);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::int64_t, std::int64_t>{3, 10}));
+}
+
+TEST(ThreadPool, GrainBoundsChunkSize) {
+  ThreadPool pool(8);
+  std::mutex m;
+  std::vector<std::int64_t> sizes;
+  pool.parallel_for(0, 10, 4, [&](std::int64_t lo, std::int64_t hi) {
+    std::lock_guard lk(m);
+    sizes.push_back(hi - lo);
+  });
+  // 10 / grain 4 -> at most 2 chunks, each at least 4 wide.
+  ASSERT_LE(sizes.size(), 2u);
+  for (const auto s : sizes) EXPECT_GE(s, 4);
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.parallel_for(0, 100, 1, [&](std::int64_t, std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::int64_t lo, std::int64_t) {
+                          if (lo == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed region.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, 1, [&](std::int64_t lo, std::int64_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineOnChunkThread) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, 4, 1, [&](std::int64_t, std::int64_t) {
+    const auto outer_thread = std::this_thread::get_id();
+    pool.parallel_for(0, 8, 1, [&](std::int64_t, std::int64_t) {
+      EXPECT_EQ(std::this_thread::get_id(), outer_thread);
+    });
+  });
+}
+
+TEST(ThreadPool, EnvVariableControlsDefaultSize) {
+  ASSERT_EQ(setenv("DCSR_THREADS", "5", 1), 0);
+  EXPECT_EQ(thread_count_from_env(), 5);
+  ASSERT_EQ(setenv("DCSR_THREADS", "0", 1), 0);
+  EXPECT_EQ(thread_count_from_env(), 1);  // clamps to serial
+  ASSERT_EQ(setenv("DCSR_THREADS", "garbage", 1), 0);
+  EXPECT_GE(thread_count_from_env(), 1);  // falls back to hardware
+  ASSERT_EQ(unsetenv("DCSR_THREADS"), 0);
+  EXPECT_GE(thread_count_from_env(), 1);
+}
+
+TEST(ThreadPool, DefaultPoolOverride) {
+  const int saved = default_thread_count();
+  set_default_pool_threads(3);
+  EXPECT_EQ(default_thread_count(), 3);
+  std::vector<int> hits(64, 0);
+  parallel_for(0, 64, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  set_default_pool_threads(saved);
 }
 
 TEST(Serialize, RoundTripsScalars) {

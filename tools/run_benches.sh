@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the micro-kernel benchmarks and records the results as
+# BENCH_kernels.json at the repo root, giving future PRs a perf trajectory
+# to diff against. Usage: tools/run_benches.sh [extra benchmark args...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+if [ ! -x "$BUILD/bench/bench_micro_kernels" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+  cmake --build "$BUILD" -j --target bench_micro_kernels
+fi
+
+"$BUILD/bench/bench_micro_kernels" \
+  --benchmark_format=json \
+  --benchmark_out="$ROOT/BENCH_kernels.json" \
+  --benchmark_out_format=json \
+  "$@" >/dev/null
+
+echo "wrote $ROOT/BENCH_kernels.json"
