@@ -10,9 +10,11 @@
 #include "codec/bits.hpp"
 #include "codec/block_coder.hpp"
 #include "codec/dct.hpp"
+#include "codec/encoder.hpp"
 #include "codec/frame_coding.hpp"
 #include "codec/motion.hpp"
 #include "codec/quant.hpp"
+#include "core/client_pipeline.hpp"
 #include "image/convert.hpp"
 #include "image/metrics.hpp"
 #include "image/resize.hpp"
@@ -151,6 +153,55 @@ void BM_EdsrInference(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(model.forward(x));
 }
 BENCHMARK(BM_EdsrInference);
+
+// Whole-frame enhancement through the stateless infer path, one shared model
+// across the pool, swept over pool sizes — the play_nas fan-out in
+// isolation. 8 frames per iteration, each a parallel_for task.
+void BM_EdsrEnhanceThreads(benchmark::State& state) {
+  const int dflt = base_threads();
+  Rng rng(6);
+  const sr::Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 1}, rng);
+  const auto video = make_genre_video(Genre::kNews, 12, 96, 64, 1.0, 30.0);
+  std::vector<FrameRGB> frames;
+  for (int i = 0; i < 8; ++i) frames.push_back(video->frame(i));
+  std::vector<FrameRGB> enhanced(frames.size());
+  set_default_pool_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    parallel_for(0, static_cast<std::int64_t>(frames.size()), 1,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   for (std::int64_t i = lo; i < hi; ++i)
+                     enhanced[static_cast<std::size_t>(i)] =
+                         model.enhance(frames[static_cast<std::size_t>(i)]);
+                 });
+    benchmark::DoNotOptimize(enhanced.data());
+  }
+  set_default_pool_threads(dflt);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frames.size()));
+}
+BENCHMARK(BM_EdsrEnhanceThreads)->Arg(1)->Arg(sweep_threads());
+
+// End-to-end NAS playback (decode + concurrent out-of-loop SR + metrics) on
+// a quickstart-sized workload, across pool sizes.
+void BM_PlayNasThreads(benchmark::State& state) {
+  const int dflt = base_threads();
+  Rng rng(6);
+  static const auto video =
+      make_genre_video(Genre::kNews, 5, 96, 64, 6.0, 10.0);
+  static const codec::EncodedVideo encoded = [] {
+    codec::CodecConfig cfg;
+    const codec::Encoder enc(cfg);
+    return enc.encode(*video, {{0, 30}, {30, 30}});
+  }();
+  const sr::Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 1}, rng);
+  core::PlaybackOptions opts;
+  opts.nas_eval_stride = 3;
+  set_default_pool_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::play_nas(encoded, model, *video, opts));
+  set_default_pool_threads(dflt);
+}
+BENCHMARK(BM_PlayNasThreads)->Arg(1)->Arg(sweep_threads());
 
 void BM_MotionSearch(benchmark::State& state) {
   const auto video = make_genre_video(Genre::kSports, 7, 128, 80, 1.0, 30.0);

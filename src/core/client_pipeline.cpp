@@ -1,6 +1,8 @@
 #include "core/client_pipeline.hpp"
 
+#include <future>
 #include <stdexcept>
+#include <utility>
 
 #include "image/convert.hpp"
 #include "image/metrics.hpp"
@@ -13,8 +15,7 @@ namespace {
 
 // Converts a decoded segment to RGB with one task per frame. Conversion is
 // pure per-frame work, so it overlaps freely; the metric accumulation that
-// follows stays serial and in display order (the collector's SSIM stride
-// depends on visit order).
+// follows stays serial and in display order.
 std::vector<FrameRGB> convert_segment(const std::vector<FrameYUV>& frames) {
   std::vector<FrameRGB> rgb(frames.size());
   parallel_for(0, static_cast<std::int64_t>(frames.size()), 1,
@@ -26,7 +27,10 @@ std::vector<FrameRGB> convert_segment(const std::vector<FrameYUV>& frames) {
   return rgb;
 }
 
-// Accumulates per-frame metrics against the pristine source.
+// Accumulates per-frame metrics against the pristine source. Strides are
+// keyed off the *display index*, never off how many frames a playback path
+// happened to visit: every method must evaluate SSIM on the same frames or
+// the Fig. 9 comparison is apples to oranges.
 class MetricsCollector {
  public:
   MetricsCollector(const VideoSource& original, const PlaybackOptions& opts)
@@ -36,9 +40,10 @@ class MetricsCollector {
     const FrameRGB ref = original_.frame(display_index);
     result_.frame_psnr.push_back(psnr(ref, rgb));
     result_.psnr_frame_index.push_back(display_index);
-    if (count_ % opts_.ssim_stride == 0)
+    if (display_index % opts_.ssim_stride == 0) {
       result_.frame_ssim.push_back(ssim(ref, rgb));
-    ++count_;
+      result_.ssim_frame_index.push_back(display_index);
+    }
   }
 
   PlaybackResult finish() {
@@ -51,8 +56,26 @@ class MetricsCollector {
   const VideoSource& original_;
   PlaybackOptions opts_;
   PlaybackResult result_;
-  int count_ = 0;
 };
+
+// Runs `produce(s)` for each segment index with one segment of lookahead:
+// while segment s's frames flow through `consume` (serial, display order —
+// the metric path), segment s+1 already decodes, enhances its I frame and
+// converts to RGB on a background thread. Exactly one producer task is in
+// flight at a time, so producers may share decoder state without locking;
+// consumption order — and therefore every accumulated metric — is identical
+// to the serial program.
+template <typename T, typename Produce, typename Consume>
+void pipeline_segments(std::size_t count, Produce produce, Consume consume) {
+  if (count == 0) return;
+  std::future<T> next;
+  for (std::size_t s = 0; s < count; ++s) {
+    T current = (s == 0) ? produce(0) : next.get();
+    if (s + 1 < count)
+      next = std::async(std::launch::async, produce, s + 1);
+    consume(std::move(current), s);
+  }
+}
 
 // Decodes every segment with the given reference hook and feeds all display
 // frames to the collector.
@@ -63,24 +86,33 @@ PlaybackResult decode_and_measure(const codec::EncodedVideo& encoded,
   MetricsCollector collector(original, opts);
   codec::Decoder decoder(encoded.width, encoded.height, encoded.crf);
   decoder.set_deblock(encoded.deblock);
-  int frame_base = 0;
-  for (std::size_t s = 0; s < encoded.segments.size(); ++s) {
+  const auto produce = [&](std::size_t s) {
     if (enhance_i) {
-      decoder.set_reference_hook(
-          [&](FrameYUV& f, codec::FrameType, int) { enhance_i(f, static_cast<int>(s)); });
+      decoder.set_reference_hook([&enhance_i, s](FrameYUV& f, codec::FrameType,
+                                                 int) {
+        enhance_i(f, static_cast<int>(s));
+      });
     }
-    const auto frames = decoder.decode_segment(encoded.segments[s]);
-    const auto rgb = convert_segment(frames);
-    for (std::size_t i = 0; i < rgb.size(); ++i)
-      collector.measure_rgb(rgb[i], frame_base + static_cast<int>(i));
-    frame_base += static_cast<int>(frames.size());
-  }
+    return convert_segment(decoder.decode_segment(encoded.segments[s]));
+  };
+
+  std::vector<int> frame_base(encoded.segments.size(), 0);
+  for (std::size_t s = 1; s < encoded.segments.size(); ++s)
+    frame_base[s] = frame_base[s - 1] +
+                    static_cast<int>(encoded.segments[s - 1].frames.size());
+
+  pipeline_segments<std::vector<FrameRGB>>(
+      encoded.segments.size(), produce,
+      [&](std::vector<FrameRGB> rgb, std::size_t s) {
+        for (std::size_t i = 0; i < rgb.size(); ++i)
+          collector.measure_rgb(rgb[i], frame_base[s] + static_cast<int>(i));
+      });
   return collector.finish();
 }
 
 }  // namespace
 
-void enhance_reference_frame(FrameYUV& frame, sr::Edsr& model) {
+void enhance_reference_frame(FrameYUV& frame, const sr::Edsr& model) {
   if (model.config().scale != 1)
     throw std::invalid_argument(
         "enhance_reference_frame: in-loop enhancement requires a scale-1 model "
@@ -108,13 +140,13 @@ PlaybackResult play_dcsr(const codec::EncodedVideo& encoded,
       });
 }
 
-PlaybackResult play_nemo(const codec::EncodedVideo& encoded, sr::Edsr& big_model,
+PlaybackResult play_nemo(const codec::EncodedVideo& encoded, const sr::Edsr& big_model,
                          const VideoSource& original, const PlaybackOptions& opts) {
   return decode_and_measure(encoded, original, opts,
                             [&](FrameYUV& f, int) { enhance_reference_frame(f, big_model); });
 }
 
-PlaybackResult play_nas(const codec::EncodedVideo& encoded, sr::Edsr& big_model,
+PlaybackResult play_nas(const codec::EncodedVideo& encoded, const sr::Edsr& big_model,
                         const VideoSource& original, const PlaybackOptions& opts) {
   MetricsCollector collector(original, opts);
   codec::Decoder decoder(encoded.width, encoded.height, encoded.crf);
@@ -122,26 +154,26 @@ PlaybackResult play_nas(const codec::EncodedVideo& encoded, sr::Edsr& big_model,
   int frame_base = 0;
   for (const auto& seg : encoded.segments) {
     const auto frames = decoder.decode_segment(seg);
-    // Convert the sampled frames concurrently, then run SR serially: the
-    // model's layers cache activations between forward and backward, so one
-    // model instance cannot enhance two frames at once.
     std::vector<std::pair<int, FrameYUV>> sampled;
     for (std::size_t i = 0; i < frames.size(); ++i) {
       const int display = frame_base + static_cast<int>(i);
       if (display % opts.nas_eval_stride == 0) sampled.emplace_back(display, frames[i]);
     }
-    std::vector<FrameRGB> rgb(sampled.size());
+    // Out-of-loop enhancement fans out across the pool: every sampled frame
+    // is YUV->RGB converted and super-resolved independently against the one
+    // shared model (infer touches no member state, so concurrent calls are
+    // safe), each task writing a disjoint slot. Metrics then accumulate
+    // serially in display order, keeping results bit-identical for any
+    // DCSR_THREADS.
+    std::vector<FrameRGB> enhanced(sampled.size());
     parallel_for(0, static_cast<std::int64_t>(sampled.size()), 1,
                  [&](std::int64_t lo, std::int64_t hi) {
                    for (std::int64_t i = lo; i < hi; ++i)
-                     rgb[static_cast<std::size_t>(i)] =
-                         yuv420_to_rgb(sampled[static_cast<std::size_t>(i)].second);
+                     enhanced[static_cast<std::size_t>(i)] = big_model.enhance(
+                         yuv420_to_rgb(sampled[static_cast<std::size_t>(i)].second));
                  });
-    for (std::size_t i = 0; i < sampled.size(); ++i) {
-      // Out-of-loop: enhance the displayed frame, references untouched.
-      const FrameRGB enhanced = big_model.enhance(rgb[i]);
-      collector.measure_rgb(enhanced, sampled[i].first);
-    }
+    for (std::size_t i = 0; i < sampled.size(); ++i)
+      collector.measure_rgb(enhanced[i], sampled[i].first);
     frame_base += static_cast<int>(frames.size());
   }
   return collector.finish();
@@ -169,9 +201,13 @@ AnchorPlaybackResult play_dcsr_anchors(
   enhanced_decoder.set_deblock(encoded.deblock);
   vanilla_decoder.set_deblock(encoded.deblock);
 
-  int frame_base = 0;
-  for (std::size_t s = 0; s < encoded.segments.size(); ++s) {
-    sr::Edsr& model = *models[static_cast<std::size_t>(labels[s])];
+  struct SegmentOut {
+    std::vector<FrameRGB> rgb;
+    int inferences = 0;
+  };
+  const auto produce = [&](std::size_t s) {
+    SegmentOut out;
+    const sr::Edsr& model = *models[static_cast<std::size_t>(labels[s])];
 
     // Anchors must be enhanced from the *vanilla* decode: the micro model
     // was trained on plainly decoded frames, and re-enhancing an
@@ -180,11 +216,11 @@ AnchorPlaybackResult play_dcsr_anchors(
     const auto vanilla = vanilla_decoder.decode_segment(encoded.segments[s]);
 
     enhanced_decoder.set_reference_hook(
-        [&](FrameYUV& f, codec::FrameType type, int display_index) {
+        [&, s](FrameYUV& f, codec::FrameType type, int display_index) {
           const int local = display_index - encoded.segments[s].first_frame;
           if (type == codec::FrameType::kI) {
             enhance_reference_frame(f, model);
-            ++result.inferences;
+            ++out.inferences;
             return;
           }
           // P anchor: replace the drifted reference with the enhanced
@@ -193,16 +229,25 @@ AnchorPlaybackResult play_dcsr_anchors(
           if (anchor_period > 0 && local % anchor_period == 0) {
             f = vanilla[static_cast<std::size_t>(local)];
             enhance_reference_frame(f, model);
-            ++result.inferences;
+            ++out.inferences;
           }
         },
         /*include_p_frames=*/anchor_period > 0);
-    const auto frames = enhanced_decoder.decode_segment(encoded.segments[s]);
-    const auto rgb = convert_segment(frames);
-    for (std::size_t i = 0; i < rgb.size(); ++i)
-      collector.measure_rgb(rgb[i], frame_base + static_cast<int>(i));
-    frame_base += static_cast<int>(frames.size());
-  }
+    out.rgb = convert_segment(enhanced_decoder.decode_segment(encoded.segments[s]));
+    return out;
+  };
+
+  std::vector<int> frame_base(encoded.segments.size(), 0);
+  for (std::size_t s = 1; s < encoded.segments.size(); ++s)
+    frame_base[s] = frame_base[s - 1] +
+                    static_cast<int>(encoded.segments[s - 1].frames.size());
+
+  pipeline_segments<SegmentOut>(
+      encoded.segments.size(), produce, [&](SegmentOut seg, std::size_t s) {
+        result.inferences += seg.inferences;
+        for (std::size_t i = 0; i < seg.rgb.size(); ++i)
+          collector.measure_rgb(seg.rgb[i], frame_base[s] + static_cast<int>(i));
+      });
   result.playback = collector.finish();
   return result;
 }

@@ -21,11 +21,15 @@ struct PlaybackOptions {
   int nas_eval_stride = 7;
 };
 
-/// Quality outcome of playing one video with one method.
+/// Quality outcome of playing one video with one method. Metric strides are
+/// keyed off the display index, so two methods evaluated with the same
+/// options measure SSIM on the same set of frames even when they visit
+/// different subsets (e.g. NAS's nas_eval_stride sampling).
 struct PlaybackResult {
   std::vector<double> frame_psnr;   // per evaluated frame
   std::vector<double> frame_ssim;   // per evaluated frame (strided)
   std::vector<int> psnr_frame_index;  // which display frames were measured
+  std::vector<int> ssim_frame_index;  // which display frames got SSIM
   double mean_psnr = 0.0;
   double mean_ssim = 0.0;
 };
@@ -42,13 +46,17 @@ PlaybackResult play_dcsr(const codec::EncodedVideo& encoded,
 
 /// NEMO baseline (as simplified in §4): a single big model, applied in-loop
 /// to I frames only — same decoder integration as dcSR, one model.
-PlaybackResult play_nemo(const codec::EncodedVideo& encoded, sr::Edsr& big_model,
+PlaybackResult play_nemo(const codec::EncodedVideo& encoded,
+                         const sr::Edsr& big_model,
                          const VideoSource& original,
                          const PlaybackOptions& opts = {});
 
 /// NAS baseline: a single big model applied out-of-loop to every decoded
-/// frame before display.
-PlaybackResult play_nas(const codec::EncodedVideo& encoded, sr::Edsr& big_model,
+/// frame before display. Sampled frames are enhanced concurrently across the
+/// pool (the model's infer path is stateless); results are bit-identical
+/// for any DCSR_THREADS.
+PlaybackResult play_nas(const codec::EncodedVideo& encoded,
+                        const sr::Edsr& big_model,
                         const VideoSource& original,
                         const PlaybackOptions& opts = {});
 
@@ -74,6 +82,6 @@ AnchorPlaybackResult play_dcsr_anchors(
 
 /// In-loop I-frame enhancement steps 2-5 of Fig. 6, reusable by anything
 /// that hooks the decoder: YUV->RGB, model, RGB->YUV, write back.
-void enhance_reference_frame(FrameYUV& frame, sr::Edsr& model);
+void enhance_reference_frame(FrameYUV& frame, const sr::Edsr& model);
 
 }  // namespace dcsr::core

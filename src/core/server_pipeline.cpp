@@ -94,12 +94,20 @@ ServerResult run_server_pipeline(const VideoSource& video, const ServerConfig& c
     result.labels.assign(feats.size(), 0);
   } else {
     result.silhouette_curve = cluster::silhouette_sweep(feats, k_max);
-    const int best_k = 2 + static_cast<int>(argmax(result.silhouette_curve));
+    if (result.silhouette_curve.empty()) {
+      // A sweep that produced no candidates (argmax would throw) degrades to
+      // the same single-model fallback as the k_max < 2 branch.
+      result.k = 1;
+      result.labels.assign(feats.size(), 0);
+    } else {
+      const int best_k = 2 + static_cast<int>(argmax(result.silhouette_curve));
 
-    // 6. Final clustering at K* with global K-means (§3.1.2).
-    const cluster::Clustering clustering = cluster::global_kmeans(feats, best_k);
-    result.k = best_k;
-    result.labels = clustering.assignment;
+      // 6. Final clustering at K* with global K-means (§3.1.2).
+      const cluster::Clustering clustering =
+          cluster::global_kmeans(feats, best_k);
+      result.k = best_k;
+      result.labels = clustering.assignment;
+    }
   }
 
   // 7. One micro model per cluster, trained on that cluster's I frames only

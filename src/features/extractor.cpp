@@ -17,7 +17,7 @@ std::vector<Tensor> make_thumbnails(const std::vector<FrameRGB>& frames,
   return out;
 }
 
-cluster::Dataset extract_features(Vae& vae, const std::vector<FrameRGB>& frames) {
+cluster::Dataset extract_features(const Vae& vae, const std::vector<FrameRGB>& frames) {
   cluster::Dataset features;
   features.reserve(frames.size());
   const int S = vae.config().input_size;

@@ -19,7 +19,7 @@ std::vector<Tensor> make_thumbnails(const std::vector<FrameRGB>& frames,
 /// Embeds frames with the VAE's mean head and returns one feature vector per
 /// frame, ready for the clustering stage. Also usable on YUV I frames after
 /// conversion by the caller.
-cluster::Dataset extract_features(Vae& vae, const std::vector<FrameRGB>& frames);
+cluster::Dataset extract_features(const Vae& vae, const std::vector<FrameRGB>& frames);
 
 /// Baseline feature for the "VAE vs raw pixels" ablation: the thumbnail
 /// itself, flattened.

@@ -48,12 +48,12 @@ Vae::Heads Vae::encode_heads(const Tensor& batch) {
   return {head_mu_.forward(h), head_logvar_.forward(h)};
 }
 
-Tensor Vae::encode_mu(const Tensor& batch) {
-  return head_mu_.forward(trunk_.forward(batch));
+Tensor Vae::encode_mu(const Tensor& batch) const {
+  return head_mu_.infer(trunk_.infer(batch));
 }
 
-Tensor Vae::reconstruct(const Tensor& batch) {
-  return decoder_.forward(encode_heads(batch).mu);
+Tensor Vae::reconstruct(const Tensor& batch) const {
+  return decoder_.infer(encode_mu(batch));
 }
 
 std::vector<nn::Param*> Vae::params() {

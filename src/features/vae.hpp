@@ -41,11 +41,12 @@ class Vae {
                        float beta = 1e-3f);
 
   /// Latent mean vectors, one row per batch item (N x latent_dim). The
-  /// deterministic embedding used for clustering.
-  Tensor encode_mu(const Tensor& batch);
+  /// deterministic embedding used for clustering. Runs the stateless infer
+  /// path, so a trained (const) VAE can embed from multiple threads.
+  Tensor encode_mu(const Tensor& batch) const;
 
   /// Decoder(mu(x)) — reconstruction without sampling, for inspection.
-  Tensor reconstruct(const Tensor& batch);
+  Tensor reconstruct(const Tensor& batch) const;
 
   std::vector<nn::Param*> params();
 

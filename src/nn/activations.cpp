@@ -18,6 +18,13 @@ Tensor ReLU::forward(const Tensor& x) {
   return out;
 }
 
+Tensor ReLU::infer(const Tensor& x) const {
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  return out;
+}
+
 Tensor ReLU::backward(const Tensor& grad_out) {
   if (mask_.empty()) throw std::logic_error("ReLU::backward before forward");
   Tensor grad = grad_out;
@@ -27,6 +34,10 @@ Tensor ReLU::backward(const Tensor& grad_out) {
 
 Tensor LeakyReLU::forward(const Tensor& x) {
   cached_input_ = x;
+  return infer(x);
+}
+
+Tensor LeakyReLU::infer(const Tensor& x) const {
   Tensor out = x;
   for (std::size_t i = 0; i < out.size(); ++i)
     if (out[i] < 0.0f) out[i] *= slope_;
@@ -43,10 +54,14 @@ Tensor LeakyReLU::backward(const Tensor& grad_out) {
 }
 
 Tensor Sigmoid::forward(const Tensor& x) {
+  cached_output_ = infer(x);
+  return cached_output_;
+}
+
+Tensor Sigmoid::infer(const Tensor& x) const {
   Tensor out = x;
   for (std::size_t i = 0; i < out.size(); ++i)
     out[i] = 1.0f / (1.0f + std::exp(-out[i]));
-  cached_output_ = out;
   return out;
 }
 
@@ -62,9 +77,13 @@ Tensor Sigmoid::backward(const Tensor& grad_out) {
 }
 
 Tensor Tanh::forward(const Tensor& x) {
+  cached_output_ = infer(x);
+  return cached_output_;
+}
+
+Tensor Tanh::infer(const Tensor& x) const {
   Tensor out = x;
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
-  cached_output_ = out;
   return out;
 }
 

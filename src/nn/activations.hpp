@@ -9,6 +9,7 @@ class ReLU final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -21,6 +22,7 @@ class LeakyReLU final : public Module {
   explicit LeakyReLU(float slope = 0.2f) : slope_(slope) {}
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "LeakyReLU"; }
 
  private:
@@ -34,6 +36,7 @@ class Sigmoid final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "Sigmoid"; }
 
  private:
@@ -45,6 +48,7 @@ class Tanh final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "Tanh"; }
 
  private:

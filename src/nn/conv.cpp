@@ -66,6 +66,35 @@ Tensor Conv2d::forward(const Tensor& x) {
   return out;
 }
 
+Tensor Conv2d::infer(const Tensor& x) const {
+  if (x.rank() != 4 || x.dim(1) != in_channels_)
+    throw std::invalid_argument("Conv2d: bad input shape " + x.shape_str());
+  const int N = x.dim(0);
+  const int oh = conv_out_size(x.dim(2), kernel_, stride_, pad_);
+  const int ow = conv_out_size(x.dim(3), kernel_, stride_, pad_);
+  Tensor out({N, out_channels_, oh, ow});
+  // Same arithmetic as forward() — im2col then one GEMM per item, identical
+  // summation order, so the outputs are bit-identical — but all scratch is
+  // local to the call. Inference batches are almost always size 1, so the
+  // parallelism comes from inside im2col_into and matmul rather than from
+  // the batch axis.
+  Tensor cols({in_channels_ * kernel_ * kernel_, oh * ow});
+  for (int n = 0; n < N; ++n) {
+    im2col_into(x, n, kernel_, stride_, pad_, cols);
+    const Tensor y = matmul(weight_.value, cols);  // outC x (oh*ow)
+    float* dst =
+        out.data() + static_cast<std::size_t>(n) * out_channels_ * oh * ow;
+    const float* src = y.data();
+    for (int c = 0; c < out_channels_; ++c) {
+      const float b = bias_.value[static_cast<std::size_t>(c)];
+      for (int i = 0; i < oh * ow; ++i)
+        dst[static_cast<std::size_t>(c) * oh * ow + i] =
+            src[static_cast<std::size_t>(c) * oh * ow + i] + b;
+    }
+  }
+  return out;
+}
+
 Tensor Conv2d::backward(const Tensor& grad_out) {
   const Tensor& x = cached_input_;
   if (x.empty()) throw std::logic_error("Conv2d::backward before forward");

@@ -18,6 +18,12 @@ Tensor Linear::forward(const Tensor& x) {
   if (x.rank() != 2 || x.dim(1) != in_features_)
     throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
   cached_input_ = x;
+  return infer(x);
+}
+
+Tensor Linear::infer(const Tensor& x) const {
+  if (x.rank() != 2 || x.dim(1) != in_features_)
+    throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
   Tensor out = matmul_nt(x, weight_.value);  // N x out
   const int N = x.dim(0);
   for (int n = 0; n < N; ++n)

@@ -13,6 +13,7 @@ class Linear final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }
 

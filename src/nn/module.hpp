@@ -35,6 +35,14 @@ class Module {
   virtual Tensor forward(const Tensor& x) = 0;
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
+  /// Stateless inference: computes the same function as forward() but writes
+  /// only into caller-owned scratch — no layer caches, no train/eval state,
+  /// no member mutation of any kind. Because it leaves the object untouched,
+  /// one model instance can serve concurrent infer() calls from many threads
+  /// (the client pipeline's frame-level parallelism depends on this).
+  /// backward() after infer() is a logic error: nothing was cached.
+  virtual Tensor infer(const Tensor& x) const = 0;
+
   /// Learnable parameters; default none.
   virtual std::vector<Param*> params() { return {}; }
 
@@ -58,5 +66,24 @@ class Module {
 };
 
 using ModulePtr = std::unique_ptr<Module>;
+
+/// RAII train/eval switch: sets the module's mode on construction and
+/// restores the mode it found on destruction — including when the scope
+/// unwinds through an exception mid-loop, which a manual save/set/restore
+/// sequence silently gets wrong.
+class TrainingModeGuard {
+ public:
+  TrainingModeGuard(Module& m, bool training)
+      : module_(m), saved_(m.training()) {
+    module_.set_training(training);
+  }
+  ~TrainingModeGuard() { module_.set_training(saved_); }
+  TrainingModeGuard(const TrainingModeGuard&) = delete;
+  TrainingModeGuard& operator=(const TrainingModeGuard&) = delete;
+
+ private:
+  Module& module_;
+  bool saved_;
+};
 
 }  // namespace dcsr::nn

@@ -14,6 +14,13 @@ Tensor ResBlock::forward(const Tensor& x) {
   return y;
 }
 
+Tensor ResBlock::infer(const Tensor& x) const {
+  Tensor y = conv2_.infer(relu_.infer(conv1_.infer(x)));
+  y.scale_(res_scale_);
+  y.add_(x);
+  return y;
+}
+
 Tensor ResBlock::backward(const Tensor& grad_out) {
   Tensor branch = grad_out;
   branch.scale_(res_scale_);

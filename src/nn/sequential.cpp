@@ -8,6 +8,12 @@ Tensor Sequential::forward(const Tensor& x) {
   return y;
 }
 
+Tensor Sequential::infer(const Tensor& x) const {
+  Tensor y = x;
+  for (const auto& layer : layers_) y = layer->infer(y);
+  return y;
+}
+
 Tensor Sequential::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)

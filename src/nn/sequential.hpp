@@ -26,6 +26,7 @@ class Sequential final : public Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param*> params() override;
   std::string name() const override { return "Sequential"; }
   void set_training(bool training) override {

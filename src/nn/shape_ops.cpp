@@ -5,7 +5,9 @@
 
 namespace dcsr::nn {
 
-Tensor PixelShuffle::forward(const Tensor& x) {
+Tensor PixelShuffle::forward(const Tensor& x) { return infer(x); }
+
+Tensor PixelShuffle::infer(const Tensor& x) const {
   const int r = scale_;
   if (x.rank() != 4 || x.dim(1) % (r * r) != 0)
     throw std::invalid_argument("PixelShuffle: channels not divisible by r^2");
@@ -69,7 +71,9 @@ Tap bilinear_tap(int o, int r, int in_size) noexcept {
 
 }  // namespace
 
-Tensor BilinearUpsample::forward(const Tensor& x) {
+Tensor BilinearUpsample::forward(const Tensor& x) { return infer(x); }
+
+Tensor BilinearUpsample::infer(const Tensor& x) const {
   if (x.rank() != 4) throw std::invalid_argument("BilinearUpsample: expected NCHW");
   const int r = scale_;
   const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
@@ -113,7 +117,9 @@ Tensor BilinearUpsample::backward(const Tensor& grad_out) {
   return grad;
 }
 
-Tensor UpsampleNearest::forward(const Tensor& x) {
+Tensor UpsampleNearest::forward(const Tensor& x) { return infer(x); }
+
+Tensor UpsampleNearest::infer(const Tensor& x) const {
   if (x.rank() != 4) throw std::invalid_argument("UpsampleNearest: expected NCHW");
   const int r = scale_;
   const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
@@ -145,13 +151,20 @@ Tensor Flatten::forward(const Tensor& x) {
   return x.reshaped({x.dim(0), x.dim(1) * x.dim(2) * x.dim(3)});
 }
 
+Tensor Flatten::infer(const Tensor& x) const {
+  if (x.rank() != 4) throw std::invalid_argument("Flatten: expected NCHW");
+  return x.reshaped({x.dim(0), x.dim(1) * x.dim(2) * x.dim(3)});
+}
+
 Tensor Flatten::backward(const Tensor& grad_out) {
   if (cached_shape_.empty())
     throw std::logic_error("Flatten::backward before forward");
   return grad_out.reshaped(cached_shape_);
 }
 
-Tensor Reshape4::forward(const Tensor& x) {
+Tensor Reshape4::forward(const Tensor& x) { return infer(x); }
+
+Tensor Reshape4::infer(const Tensor& x) const {
   if (x.rank() != 2) throw std::invalid_argument("Reshape4: expected 2-D input");
   return x.reshaped({x.dim(0), c_, h_, w_});
 }

@@ -12,6 +12,7 @@ class PixelShuffle final : public Module {
   explicit PixelShuffle(int scale) : scale_(scale) {}
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "PixelShuffle"; }
   int scale() const noexcept { return scale_; }
 
@@ -28,6 +29,7 @@ class BilinearUpsample final : public Module {
   explicit BilinearUpsample(int scale) : scale_(scale) {}
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "BilinearUpsample"; }
 
  private:
@@ -40,6 +42,7 @@ class UpsampleNearest final : public Module {
   explicit UpsampleNearest(int scale) : scale_(scale) {}
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "UpsampleNearest"; }
 
  private:
@@ -51,6 +54,7 @@ class Flatten final : public Module {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "Flatten"; }
 
  private:
@@ -64,6 +68,7 @@ class Reshape4 final : public Module {
   Reshape4(int c, int h, int w) : c_(c), h_(h), w_(w) {}
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::string name() const override { return "Reshape4"; }
 
  private:

@@ -64,6 +64,23 @@ Tensor Edsr::forward(const Tensor& x) {
   return y;
 }
 
+Tensor Edsr::infer(const Tensor& x) const {
+  const Tensor h = head_.infer(x);
+  Tensor b = h;
+  for (const auto& rb : body_) b = rb->infer(b);
+  Tensor s = body_conv_.infer(b);
+  s.add_(h);
+  for (std::size_t i = 0; i < up_convs_.size(); ++i)
+    s = up_shuffles_[i]->infer(up_convs_[i]->infer(s));
+  Tensor y = tail_.infer(s);
+  if (cfg_.scale == 1) {
+    y.add_(x);
+  } else {
+    y.add_(input_upsample_->infer(x));
+  }
+  return y;
+}
+
 Tensor Edsr::backward(const Tensor& grad_out) {
   Tensor g = tail_.backward(grad_out);
   for (std::size_t i = up_convs_.size(); i-- > 0;)
@@ -103,14 +120,8 @@ void Edsr::set_training(bool training) {
   tail_.set_training(training);
 }
 
-FrameRGB Edsr::enhance(const FrameRGB& frame) {
-  // Inference: drop into eval mode so the convs skip caching im2col
-  // matrices nobody will backpropagate through, then restore.
-  const bool was_training = training();
-  set_training(false);
-  FrameRGB out = tensor_to_frame(forward(frame_to_tensor(frame)));
-  set_training(was_training);
-  return out;
+FrameRGB Edsr::enhance(const FrameRGB& frame) const {
+  return tensor_to_frame(infer(frame_to_tensor(frame)));
 }
 
 std::uint64_t Edsr::flops(int in_width, int in_height) const noexcept {

@@ -40,6 +40,12 @@ class Edsr final : public nn::Module {
 
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+
+  /// Stateless forward pass (same floats as forward(), no member mutation).
+  /// Safe to call concurrently from any number of threads on one instance —
+  /// the client pipeline's frame-level inference parallelism relies on it.
+  Tensor infer(const Tensor& x) const override;
+
   std::vector<nn::Param*> params() override;
   std::string name() const override { return "Edsr"; }
   void set_training(bool training) override;
@@ -57,8 +63,9 @@ class Edsr final : public nn::Module {
   /// because of running out of memory".
   std::uint64_t activation_bytes(int in_width, int in_height) const noexcept;
 
-  /// Enhances a single RGB frame (convenience around forward()).
-  FrameRGB enhance(const FrameRGB& frame);
+  /// Enhances a single RGB frame (convenience around infer()). const and
+  /// thread-safe: no train/eval toggling, no layer caches touched.
+  FrameRGB enhance(const FrameRGB& frame) const;
 
  private:
   EdsrConfig cfg_;

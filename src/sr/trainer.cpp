@@ -59,7 +59,9 @@ TrainStats train_sr_model(Edsr& model, const std::vector<TrainSample>& samples,
       throw std::invalid_argument("train_sr_model: frame smaller than patch");
   }
 
-  model.set_training(true);
+  // Restores the caller's train/eval mode on every exit path, including an
+  // exception thrown mid-loop by forward/backward.
+  const nn::TrainingModeGuard mode_guard(model, /*training=*/true);
   nn::Adam opt(model.params(), opts.lr);
   TrainStats stats;
   stats.loss_curve.reserve(static_cast<std::size_t>(opts.iterations));
@@ -101,14 +103,14 @@ TrainStats train_sr_model(Edsr& model, const std::vector<TrainSample>& samples,
   return stats;
 }
 
-double evaluate_psnr(Edsr& model, const std::vector<TrainSample>& samples) {
+double evaluate_psnr(const Edsr& model, const std::vector<TrainSample>& samples) {
   if (samples.empty()) throw std::invalid_argument("evaluate_psnr: no samples");
   double acc = 0.0;
   for (const auto& s : samples) acc += psnr(model.enhance(s.lo), s.hi);
   return acc / static_cast<double>(samples.size());
 }
 
-double evaluate_ssim(Edsr& model, const std::vector<TrainSample>& samples) {
+double evaluate_ssim(const Edsr& model, const std::vector<TrainSample>& samples) {
   if (samples.empty()) throw std::invalid_argument("evaluate_ssim: no samples");
   double acc = 0.0;
   for (const auto& s : samples) acc += ssim(model.enhance(s.lo), s.hi);

@@ -51,9 +51,9 @@ TrainStats train_sr_model(Edsr& model, const std::vector<TrainSample>& samples,
 /// Mean PSNR (dB) of model(lo) against hi over the given samples — the
 /// "how well does the model enhance its own training I frames" measure used
 /// both for evaluation and the minimum-working-model search.
-double evaluate_psnr(Edsr& model, const std::vector<TrainSample>& samples);
+double evaluate_psnr(const Edsr& model, const std::vector<TrainSample>& samples);
 
 /// Mean SSIM over the samples.
-double evaluate_ssim(Edsr& model, const std::vector<TrainSample>& samples);
+double evaluate_ssim(const Edsr& model, const std::vector<TrainSample>& samples);
 
 }  // namespace dcsr::sr

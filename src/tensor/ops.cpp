@@ -359,25 +359,40 @@ Tensor im2col(const Tensor& input, int n, int kernel, int stride, int pad) {
   const int oh = conv_out_size(H, kernel, stride, pad);
   const int ow = conv_out_size(W, kernel, stride, pad);
   Tensor cols({C * kernel * kernel, oh * ow});
+  im2col_into(input, n, kernel, stride, pad, cols);
+  return cols;
+}
+
+void im2col_into(const Tensor& input, int n, int kernel, int stride, int pad,
+                 Tensor& cols) {
+  if (input.rank() != 4) throw std::invalid_argument("im2col: expected NCHW input");
+  const int C = input.dim(1), H = input.dim(2), W = input.dim(3);
+  const int oh = conv_out_size(H, kernel, stride, pad);
+  const int ow = conv_out_size(W, kernel, stride, pad);
+  const int rows = C * kernel * kernel;
+  if (cols.rank() != 2 || cols.dim(0) != rows || cols.dim(1) != oh * ow)
+    throw std::invalid_argument("im2col_into: column shape mismatch");
   float* out = cols.data();
-  for (int c = 0; c < C; ++c) {
-    for (int ky = 0; ky < kernel; ++ky) {
-      for (int kx = 0; kx < kernel; ++kx) {
-        const int row = (c * kernel + ky) * kernel + kx;
-        float* dst = out + static_cast<std::size_t>(row) * oh * ow;
-        for (int y = 0; y < oh; ++y) {
-          const int sy = y * stride + ky - pad;
-          for (int x = 0; x < ow; ++x) {
-            const int sx = x * stride + kx - pad;
-            dst[y * ow + x] = (sy >= 0 && sy < H && sx >= 0 && sx < W)
-                                  ? input.at(n, c, sy, sx)
-                                  : 0.0f;
-          }
+  // Each output row is filled from a read-only input, so rows tile across
+  // the pool with no shared writes; inference convs (batch 1) get their
+  // parallelism here rather than from the batch axis.
+  parallel_for(0, rows, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const int c = static_cast<int>(row) / (kernel * kernel);
+      const int ky = (static_cast<int>(row) / kernel) % kernel;
+      const int kx = static_cast<int>(row) % kernel;
+      float* dst = out + static_cast<std::size_t>(row) * oh * ow;
+      for (int y = 0; y < oh; ++y) {
+        const int sy = y * stride + ky - pad;
+        for (int x = 0; x < ow; ++x) {
+          const int sx = x * stride + kx - pad;
+          dst[y * ow + x] = (sy >= 0 && sy < H && sx >= 0 && sx < W)
+                                ? input.at(n, c, sy, sx)
+                                : 0.0f;
         }
       }
     }
-  }
-  return cols;
+  });
 }
 
 void col2im_add(const Tensor& cols, Tensor& out, int n, int kernel, int stride,

@@ -40,7 +40,15 @@ Tensor transpose(const Tensor& a);
 /// im2col for a single image (C x H x W laid out as the n-th item of an NCHW
 /// tensor): extracts k x k patches with the given stride and zero padding
 /// into a (C*k*k) x (outH*outW) matrix. This is the workhorse behind Conv2d.
+/// Parallelised over the C*k*k output rows (each row is a disjoint slice of
+/// the column matrix, so the values are thread-count invariant); inside an
+/// outer parallel region the tiling degrades to serial as usual.
 Tensor im2col(const Tensor& input, int n, int kernel, int stride, int pad);
+
+/// im2col into a caller-owned column matrix of shape (C*k*k) x (outH*outW).
+/// Lets inference loops reuse one scratch allocation across batch items.
+void im2col_into(const Tensor& input, int n, int kernel, int stride, int pad,
+                 Tensor& cols);
 
 /// Adjoint of im2col: scatter-adds columns back into a C x H x W gradient
 /// image (written into the n-th item of `out`, which must be pre-shaped).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace dcsr {
 
@@ -22,11 +23,13 @@ double variance(std::span<const double> xs) noexcept {
 
 double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
 
-double min_of(std::span<const double> xs) noexcept {
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty span");
   return *std::min_element(xs.begin(), xs.end());
 }
 
-double max_of(std::span<const double> xs) noexcept {
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty span");
   return *std::max_element(xs.begin(), xs.end());
 }
 
@@ -59,12 +62,14 @@ std::vector<double> empirical_cdf(std::span<const double> samples,
   return out;
 }
 
-std::size_t argmax(std::span<const double> xs) noexcept {
+std::size_t argmax(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("argmax: empty span");
   return static_cast<std::size_t>(std::max_element(xs.begin(), xs.end()) -
                                   xs.begin());
 }
 
-std::size_t argmin(std::span<const double> xs) noexcept {
+std::size_t argmin(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("argmin: empty span");
   return static_cast<std::size_t>(std::min_element(xs.begin(), xs.end()) -
                                   xs.begin());
 }

@@ -15,9 +15,10 @@ double variance(std::span<const double> xs) noexcept;
 /// Population standard deviation.
 double stddev(std::span<const double> xs) noexcept;
 
-/// Minimum / maximum; both require a non-empty span.
-double min_of(std::span<const double> xs) noexcept;
-double max_of(std::span<const double> xs) noexcept;
+/// Minimum / maximum; throw std::invalid_argument on an empty span (there is
+/// no extremum to return, and silently dereferencing end() is UB).
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
 
 /// Linear-interpolated percentile, p in [0,100]. Copies and sorts internally.
 double percentile(std::span<const double> xs, double p);
@@ -27,10 +28,12 @@ double percentile(std::span<const double> xs, double p);
 std::vector<double> empirical_cdf(std::span<const double> samples,
                                   std::span<const double> probes);
 
-/// Index of the maximum element (first on ties); requires non-empty.
-std::size_t argmax(std::span<const double> xs) noexcept;
+/// Index of the maximum element (first on ties); throws
+/// std::invalid_argument on an empty span.
+std::size_t argmax(std::span<const double> xs);
 
-/// Index of the minimum element (first on ties); requires non-empty.
-std::size_t argmin(std::span<const double> xs) noexcept;
+/// Index of the minimum element (first on ties); throws
+/// std::invalid_argument on an empty span.
+std::size_t argmin(std::span<const double> xs);
 
 }  // namespace dcsr

@@ -7,6 +7,7 @@
 #include "image/convert.hpp"
 #include "image/metrics.hpp"
 #include "stream/session.hpp"
+#include "util/thread_pool.hpp"
 #include "video/genres.hpp"
 
 namespace dcsr::core {
@@ -173,6 +174,94 @@ TEST(ClientPipeline, EnhanceReferenceFrameRejectsUpscalers) {
   sr::Edsr upscaler({.n_filters = 4, .n_resblocks = 1, .scale = 2}, rng);
   FrameYUV frame(32, 32);
   EXPECT_THROW(enhance_reference_frame(frame, upscaler), std::invalid_argument);
+}
+
+// Shared setup for the playback-path tests below: a short clip, two fixed
+// segments, and untrained (but deterministic) models — quality is irrelevant
+// here, only which frames get measured and which bits come out.
+struct PlaybackSetup {
+  std::unique_ptr<SyntheticVideo> video;
+  codec::EncodedVideo encoded;
+  std::vector<std::unique_ptr<sr::Edsr>> models;
+  std::vector<int> labels;
+};
+
+PlaybackSetup make_playback_setup(std::uint64_t seed) {
+  PlaybackSetup s;
+  s.video = make_genre_video(Genre::kNews, seed, 48, 32, 4.0, 10.0);
+  ServerConfig cfg = tiny_config();
+  const auto segments = split::fixed_segments(s.video->frame_count(), 20);
+  s.encoded = codec::Encoder(cfg.codec).encode(*s.video, segments);
+  Rng rng(7);
+  s.models.push_back(std::make_unique<sr::Edsr>(
+      sr::EdsrConfig{.n_filters = 4, .n_resblocks = 1, .scale = 1}, rng));
+  s.labels.assign(s.encoded.segments.size(), 0);
+  return s;
+}
+
+TEST(ClientPipeline, AllPathsMeasureSsimOnSameFrames) {
+  // SSIM striding is keyed off the display index, so every playback path —
+  // including NAS, which visits only a sampled subset — must report SSIM for
+  // the same set of frames whenever ssim_stride is a multiple of
+  // nas_eval_stride. (A visit-count stride used to make NAS's SSIM set drift
+  // with its sampling rate.)
+  const PlaybackSetup s = make_playback_setup(31);
+  PlaybackOptions opts;
+  opts.nas_eval_stride = 3;
+  opts.ssim_stride = 6;
+
+  const sr::Edsr& model = *s.models[0];
+  const PlaybackResult low = play_low(s.encoded, *s.video, opts);
+  const PlaybackResult dcsr =
+      play_dcsr(s.encoded, s.labels, s.models, *s.video, opts);
+  const PlaybackResult nemo = play_nemo(s.encoded, model, *s.video, opts);
+  const PlaybackResult nas = play_nas(s.encoded, model, *s.video, opts);
+  const AnchorPlaybackResult anchors = play_dcsr_anchors(
+      s.encoded, s.labels, s.models, *s.video, /*anchor_period=*/4, opts);
+
+  ASSERT_FALSE(low.ssim_frame_index.empty());
+  EXPECT_EQ(low.ssim_frame_index.size(), low.frame_ssim.size());
+  for (const int idx : low.ssim_frame_index) EXPECT_EQ(idx % opts.ssim_stride, 0);
+
+  EXPECT_EQ(dcsr.ssim_frame_index, low.ssim_frame_index);
+  EXPECT_EQ(nemo.ssim_frame_index, low.ssim_frame_index);
+  EXPECT_EQ(nas.ssim_frame_index, low.ssim_frame_index);
+  EXPECT_EQ(anchors.playback.ssim_frame_index, low.ssim_frame_index);
+}
+
+TEST(ClientPipeline, PlaybackBitIdenticalAcrossThreadCounts) {
+  // The client's new concurrency (segment-pipelined decode, fanned-out NAS
+  // enhancement, parallel im2col) must never change results: same floats for
+  // DCSR_THREADS=1 and =4.
+  const PlaybackSetup s = make_playback_setup(32);
+  PlaybackOptions opts;
+  opts.nas_eval_stride = 3;
+
+  const int saved_threads = default_thread_count();
+  const auto run_all = [&](int threads) {
+    set_default_pool_threads(threads);
+    std::vector<PlaybackResult> out;
+    out.push_back(play_dcsr(s.encoded, s.labels, s.models, *s.video, opts));
+    out.push_back(play_nas(s.encoded, *s.models[0], *s.video, opts));
+    out.push_back(play_dcsr_anchors(s.encoded, s.labels, s.models, *s.video,
+                                    /*anchor_period=*/4, opts)
+                      .playback);
+    return out;
+  };
+  const auto serial = run_all(1);
+  const auto threaded = run_all(4);
+  set_default_pool_threads(saved_threads);
+
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    ASSERT_EQ(serial[p].frame_psnr.size(), threaded[p].frame_psnr.size());
+    for (std::size_t i = 0; i < serial[p].frame_psnr.size(); ++i)
+      EXPECT_EQ(serial[p].frame_psnr[i], threaded[p].frame_psnr[i])
+          << "path " << p << " frame " << i;
+    ASSERT_EQ(serial[p].frame_ssim.size(), threaded[p].frame_ssim.size());
+    for (std::size_t i = 0; i < serial[p].frame_ssim.size(); ++i)
+      EXPECT_EQ(serial[p].frame_ssim[i], threaded[p].frame_ssim[i])
+          << "path " << p << " ssim sample " << i;
+  }
 }
 
 TEST(ClientPipeline, PlayDcsrValidatesLabels) {

@@ -14,6 +14,7 @@
 #include "nn/serialize.hpp"
 #include "nn/shape_ops.hpp"
 #include "tensor/ops.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dcsr::nn {
 namespace {
@@ -457,6 +458,127 @@ TEST(Module, ParamCountMatchesArchitecture) {
   Conv2d conv(3, 16, 3, rng);
   // 16 * (3*3*3) weights + 16 biases.
   EXPECT_EQ(conv.param_count(), 16u * 27u + 16u);
+}
+
+// The stateless contract: infer() must compute the exact same floats as
+// forward() — not merely close, bit-identical — for every layer type, since
+// the concurrent client paths rely on swapping one for the other.
+void expect_infer_matches_forward(Module& m, const Tensor& x) {
+  const Tensor from_forward = m.forward(x);
+  const Tensor from_infer = m.infer(x);
+  ASSERT_EQ(from_forward.shape(), from_infer.shape());
+  for (std::size_t i = 0; i < from_forward.size(); ++i)
+    EXPECT_EQ(from_forward[i], from_infer[i]) << "element " << i;
+}
+
+TEST(Infer, MatchesForwardBitwisePerLayer) {
+  Rng rng(31);
+  const Tensor x = Tensor::randn({2, 4, 6, 6}, rng);
+
+  Conv2d conv(4, 5, 3, rng);
+  expect_infer_matches_forward(conv, x);
+
+  Conv2d strided(4, 5, 3, rng, /*stride=*/2);
+  expect_infer_matches_forward(strided, x);
+
+  ReLU relu;
+  expect_infer_matches_forward(relu, x);
+  LeakyReLU leaky(0.1f);
+  expect_infer_matches_forward(leaky, x);
+  Sigmoid sigmoid;
+  expect_infer_matches_forward(sigmoid, x);
+  Tanh tanh_layer;
+  expect_infer_matches_forward(tanh_layer, x);
+
+  Linear linear(24, 7, rng);
+  const Tensor flat = Tensor::randn({3, 24}, rng);
+  expect_infer_matches_forward(linear, flat);
+
+  PixelShuffle shuffle(2);
+  expect_infer_matches_forward(shuffle, x);
+  BilinearUpsample bilinear(2);
+  expect_infer_matches_forward(bilinear, x);
+  UpsampleNearest nearest(2);
+  expect_infer_matches_forward(nearest, x);
+
+  ResBlock res(4, rng, 0.5f);
+  expect_infer_matches_forward(res, x);
+
+  Sequential seq;
+  seq.emplace<Conv2d>(4, 4, 3, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Conv2d>(4, 4, 3, rng);
+  expect_infer_matches_forward(seq, x);
+}
+
+TEST(Infer, IsConstAndLeavesNoBackwardState) {
+  Rng rng(32);
+  const Conv2d conv(3, 4, 3, rng);  // const: only infer() is callable
+  const Tensor x = Tensor::randn({1, 3, 5, 5}, rng);
+  const Tensor y = conv.infer(x);
+  EXPECT_EQ(y.dim(1), 4);
+
+  // infer() caches nothing, so a backward pass has nothing to consume.
+  Conv2d mutable_conv(3, 4, 3, rng);
+  mutable_conv.infer(x);
+  EXPECT_THROW(mutable_conv.backward(Tensor({1, 4, 5, 5})), std::logic_error);
+}
+
+TEST(Infer, ConcurrentCallsOnSharedModuleMatchSerial) {
+  Rng rng(33);
+  Sequential seq;
+  seq.emplace<Conv2d>(3, 6, 3, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Conv2d>(6, 3, 3, rng);
+
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 6; ++i)
+    inputs.push_back(Tensor::randn({1, 3, 8, 8}, rng));
+
+  std::vector<Tensor> serial;
+  for (const Tensor& in : inputs) serial.push_back(seq.infer(in));
+
+  const int saved_threads = default_thread_count();
+  set_default_pool_threads(4);
+  std::vector<Tensor> concurrent(inputs.size());
+  parallel_for(0, static_cast<std::int64_t>(inputs.size()), 1,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i)
+                   concurrent[static_cast<std::size_t>(i)] =
+                       seq.infer(inputs[static_cast<std::size_t>(i)]);
+               });
+  set_default_pool_threads(saved_threads);
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ASSERT_EQ(serial[i].shape(), concurrent[i].shape());
+    for (std::size_t j = 0; j < serial[i].size(); ++j)
+      EXPECT_EQ(serial[i][j], concurrent[i][j]) << "frame " << i;
+  }
+}
+
+TEST(TrainingModeGuard, RestoresModeWhenForwardThrows) {
+  Rng rng(34);
+  Conv2d conv(3, 4, 3, rng);
+  conv.set_training(false);
+
+  const Tensor bad_shape({1, 7, 5, 5});  // wrong channel count
+  EXPECT_THROW(
+      {
+        const TrainingModeGuard guard(conv, /*training=*/true);
+        EXPECT_TRUE(conv.training());
+        conv.forward(bad_shape);
+      },
+      std::invalid_argument);
+  // The guard's destructor ran during unwinding: eval mode is back.
+  EXPECT_FALSE(conv.training());
+
+  // And the trivial path: no throw, same restoration.
+  conv.set_training(true);
+  {
+    const TrainingModeGuard guard(conv, /*training=*/false);
+    EXPECT_FALSE(conv.training());
+  }
+  EXPECT_TRUE(conv.training());
 }
 
 }  // namespace

@@ -268,6 +268,89 @@ TEST(Trainer, BitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial.loss_curve[i], threaded.loss_curve[i]) << "iteration " << i;
 }
 
+TEST(Edsr, InferMatchesForwardBitwise) {
+  Rng rng(91);
+  Edsr model({.n_filters = 6, .n_resblocks = 2, .scale = 2}, rng);
+  const Tensor x = Tensor::randn({1, 3, 12, 10}, rng, 0.2f);
+  const Tensor from_forward = model.forward(x);
+  const Tensor from_infer = model.infer(x);
+  ASSERT_EQ(from_forward.shape(), from_infer.shape());
+  for (std::size_t i = 0; i < from_forward.size(); ++i)
+    EXPECT_EQ(from_forward[i], from_infer[i]) << "element " << i;
+}
+
+TEST(Edsr, EnhanceIsConstAndPreservesTrainingMode) {
+  Rng rng(92);
+  Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 1}, rng);
+  model.set_training(true);
+  const Edsr& view = model;  // enhance must be callable through const
+  const FrameRGB f = textured_frame(16, 16, 93);
+  const FrameRGB out = view.enhance(f);
+  EXPECT_EQ(out.width(), 16);
+  EXPECT_TRUE(model.training()) << "enhance must not flip train/eval state";
+}
+
+TEST(Edsr, ConcurrentEnhanceOnSharedModelMatchesSerial) {
+  // One trained-model instance, many frames in flight: the client's play_nas
+  // fan-out. Frame-for-frame the concurrent results must be bit-identical to
+  // enhancing serially.
+  Rng rng(94);
+  const Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 1}, rng);
+  std::vector<FrameRGB> frames;
+  for (int i = 0; i < 6; ++i)
+    frames.push_back(textured_frame(20, 14, 100 + static_cast<std::uint64_t>(i)));
+
+  std::vector<FrameRGB> serial;
+  for (const FrameRGB& f : frames) serial.push_back(model.enhance(f));
+
+  const int saved_threads = default_thread_count();
+  set_default_pool_threads(4);
+  std::vector<FrameRGB> concurrent(frames.size());
+  parallel_for(0, static_cast<std::int64_t>(frames.size()), 1,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i)
+                   concurrent[static_cast<std::size_t>(i)] =
+                       model.enhance(frames[static_cast<std::size_t>(i)]);
+               });
+  set_default_pool_threads(saved_threads);
+
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const Plane* a[3] = {&serial[i].r, &serial[i].g, &serial[i].b};
+    const Plane* b[3] = {&concurrent[i].r, &concurrent[i].g, &concurrent[i].b};
+    for (int c = 0; c < 3; ++c) {
+      ASSERT_EQ(a[c]->width(), b[c]->width());
+      for (int y = 0; y < a[c]->height(); ++y)
+        for (int x = 0; x < a[c]->width(); ++x)
+          EXPECT_EQ(a[c]->at(x, y), b[c]->at(x, y))
+              << "frame " << i << " plane " << c << " @(" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(Trainer, TrainRestoresCallerMode) {
+  Rng rng(95);
+  // Failure path: a bad sample throws and the caller's eval mode survives.
+  Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 2}, rng);
+  model.set_training(false);
+  TrainSample bad;
+  bad.lo = FrameRGB(16, 16);
+  bad.hi = FrameRGB(16, 16);  // wrong for scale 2
+  EXPECT_THROW(train_sr_model(model, {bad}, TrainOptions{}, rng),
+               std::invalid_argument);
+  EXPECT_FALSE(model.training());
+
+  // Success path: training runs in train mode, then eval mode is restored.
+  TrainSample good = degraded_pair(textured_frame(32, 32, 96));
+  Edsr scale1({.n_filters = 4, .n_resblocks = 1, .scale = 1}, rng);
+  scale1.set_training(false);
+  TrainOptions opts;
+  opts.iterations = 2;
+  opts.patch_size = 16;
+  opts.batch_size = 1;
+  train_sr_model(scale1, {good}, opts, rng);
+  EXPECT_FALSE(scale1.training());
+}
+
 TEST(Trainer, EvaluateSsimInUnitRange) {
   Rng rng(46);
   Edsr model({.n_filters = 4, .n_resblocks = 1}, rng);

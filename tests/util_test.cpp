@@ -271,6 +271,23 @@ TEST(Stats, ArgmaxArgmin) {
   EXPECT_EQ(argmin(xs), 2u);
 }
 
+TEST(Stats, ExtremaThrowOnEmptySpan) {
+  // Regression: these used to dereference end() of an empty span (UB that
+  // happened to return garbage); now they refuse.
+  const std::vector<double> empty;
+  EXPECT_THROW(min_of(empty), std::invalid_argument);
+  EXPECT_THROW(max_of(empty), std::invalid_argument);
+  EXPECT_THROW(argmax(empty), std::invalid_argument);
+  EXPECT_THROW(argmin(empty), std::invalid_argument);
+
+  // One element is the smallest valid input.
+  const std::vector<double> one{4.5};
+  EXPECT_EQ(min_of(one), 4.5);
+  EXPECT_EQ(max_of(one), 4.5);
+  EXPECT_EQ(argmax(one), 0u);
+  EXPECT_EQ(argmin(one), 0u);
+}
+
 TEST(Table, RendersAlignedRowsAndCsv) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});

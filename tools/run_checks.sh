@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and runs
+# the tier-1 test suite under it. A separate build directory keeps the
+# instrumented artifacts away from the regular build.
+# Usage: tools/run_checks.sh [extra ctest args...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${SAN_BUILD_DIR:-$ROOT/build-san}"
+
+cmake -B "$BUILD" -S "$ROOT" -DDCSR_SANITIZE=address,undefined
+cmake --build "$BUILD" -j
+
+# halt_on_error: UBSan already aborts via -fno-sanitize-recover; make ASan
+# leak/heap reports fail the run too instead of printing and continuing.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+ctest --test-dir "$BUILD" --output-on-failure -j "$@"
+echo "sanitizer checks passed"
