@@ -18,12 +18,18 @@ namespace {
 // follows stays serial and in display order.
 std::vector<FrameRGB> convert_segment(const std::vector<FrameYUV>& frames) {
   std::vector<FrameRGB> rgb(frames.size());
-  parallel_for(0, static_cast<std::int64_t>(frames.size()), 1,
-               [&](std::int64_t lo, std::int64_t hi) {
-                 for (std::int64_t i = lo; i < hi; ++i)
-                   rgb[static_cast<std::size_t>(i)] =
-                       yuv420_to_rgb(frames[static_cast<std::size_t>(i)]);
-               });
+  // Each chunk owns the FrameRGB slots [lo, hi) it assigns into.
+  parallel_for_writes(
+      0, static_cast<std::int64_t>(frames.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        return span_of(rgb.data() + lo, static_cast<std::size_t>(hi - lo));
+      },
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+          rgb[static_cast<std::size_t>(i)] =
+              yuv420_to_rgb(frames[static_cast<std::size_t>(i)]);
+      },
+      "core/client_pipeline.cpp:convert_segment");
   return rgb;
 }
 
@@ -166,12 +172,17 @@ PlaybackResult play_nas(const codec::EncodedVideo& encoded, const sr::Edsr& big_
     // serially in display order, keeping results bit-identical for any
     // DCSR_THREADS.
     std::vector<FrameRGB> enhanced(sampled.size());
-    parallel_for(0, static_cast<std::int64_t>(sampled.size()), 1,
-                 [&](std::int64_t lo, std::int64_t hi) {
-                   for (std::int64_t i = lo; i < hi; ++i)
-                     enhanced[static_cast<std::size_t>(i)] = big_model.enhance(
-                         yuv420_to_rgb(sampled[static_cast<std::size_t>(i)].second));
-                 });
+    parallel_for_writes(
+        0, static_cast<std::int64_t>(sampled.size()), 1,
+        [&](std::int64_t lo, std::int64_t hi) {
+          return span_of(enhanced.data() + lo, static_cast<std::size_t>(hi - lo));
+        },
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i)
+            enhanced[static_cast<std::size_t>(i)] = big_model.enhance(
+                yuv420_to_rgb(sampled[static_cast<std::size_t>(i)].second));
+        },
+        "core/client_pipeline.cpp:play_nas");
     for (std::size_t i = 0; i < sampled.size(); ++i)
       collector.measure_rgb(enhanced[i], sampled[i].first);
     frame_base += static_cast<int>(frames.size());

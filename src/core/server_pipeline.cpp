@@ -133,13 +133,21 @@ ServerResult run_server_pipeline(const VideoSource& video, const ServerConfig& c
       throw std::logic_error("run_server_pipeline: empty cluster");
     job.rng = rng.fork();
   }
-  parallel_for(0, result.k, 1, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t c = lo; c < hi; ++c) {
-      ClusterJob& job = jobs[static_cast<std::size_t>(c)];
-      job.model = std::make_unique<sr::Edsr>(cfg.micro, job.rng);
-      job.stats = sr::train_sr_model(*job.model, job.data, cfg.training, job.rng);
-    }
-  });
+  // Each chunk owns the ClusterJob slots [lo, hi) — model, stats and the
+  // pre-forked Rng it advances all live inside the claimed records.
+  parallel_for_writes(
+      0, result.k, 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        return span_of(jobs.data() + lo, static_cast<std::size_t>(hi - lo));
+      },
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t c = lo; c < hi; ++c) {
+          ClusterJob& job = jobs[static_cast<std::size_t>(c)];
+          job.model = std::make_unique<sr::Edsr>(cfg.micro, job.rng);
+          job.stats = sr::train_sr_model(*job.model, job.data, cfg.training, job.rng);
+        }
+      },
+      "core/server_pipeline.cpp:run_server_pipeline(train clusters)");
   result.micro_models.reserve(static_cast<std::size_t>(result.k));
   for (auto& job : jobs) {
     result.train_flops += job.stats.train_flops;

@@ -46,8 +46,16 @@ Tensor Conv2d::forward(const Tensor& x) {
     cached_cols_.assign(static_cast<std::size_t>(N), Tensor());
   else
     cached_cols_.clear();
-  // Batch items are independent and write disjoint output slices.
-  parallel_for(0, N, 1, [&](std::int64_t lo, std::int64_t hi) {
+  // Batch items are independent and write disjoint output slices; each chunk
+  // claims the NCHW output planes of its items [lo, hi). (The per-item
+  // cached_cols_ slots are distinct Tensor objects, also indexed by n.)
+  const std::size_t item_floats =
+      static_cast<std::size_t>(out_channels_) * oh * ow;
+  const auto claim = [&, item_floats](std::int64_t lo, std::int64_t hi) {
+    return span_of(out.data() + static_cast<std::size_t>(lo) * item_floats,
+                   static_cast<std::size_t>(hi - lo) * item_floats);
+  };
+  parallel_for_writes(0, N, 1, claim, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t n = lo; n < hi; ++n) {
       Tensor cols = im2col(x, static_cast<int>(n), kernel_, stride_, pad_);
       const Tensor y = matmul(weight_.value, cols);  // outC x (oh*ow)
@@ -62,7 +70,7 @@ Tensor Conv2d::forward(const Tensor& x) {
       }
       if (training()) cached_cols_[static_cast<std::size_t>(n)] = std::move(cols);
     }
-  });
+  }, "nn/conv.cpp:Conv2d::forward");
   return out;
 }
 
@@ -112,7 +120,16 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   // section: float accumulation order must not depend on the thread count.
   std::vector<Tensor> dw(static_cast<std::size_t>(N));
   std::vector<Tensor> db(static_cast<std::size_t>(N));
-  parallel_for(0, N, 1, [&](std::int64_t lo, std::int64_t hi) {
+  // Each chunk owns its items' grad_in planes (col2im_add only touches item
+  // n's slice) plus the per-item dw/db slots reduced serially afterwards.
+  const std::size_t in_floats = static_cast<std::size_t>(x.dim(1)) *
+                                static_cast<std::size_t>(x.dim(2)) *
+                                static_cast<std::size_t>(x.dim(3));
+  const auto claim = [&, in_floats](std::int64_t lo, std::int64_t hi) {
+    return span_of(grad_in.data() + static_cast<std::size_t>(lo) * in_floats,
+                   static_cast<std::size_t>(hi - lo) * in_floats);
+  };
+  parallel_for_writes(0, N, 1, claim, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t item = lo; item < hi; ++item) {
       const int n = static_cast<int>(item);
       // View this item's output gradient as an (outC) x (oh*ow) matrix.
@@ -144,7 +161,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
       const Tensor dcols = matmul_tn(weight_.value, go);
       col2im_add(dcols, grad_in, n, kernel_, stride_, pad_);
     }
-  });
+  }, "nn/conv.cpp:Conv2d::backward");
   for (int n = 0; n < N; ++n) {
     weight_.grad.add_(dw[static_cast<std::size_t>(n)]);
     bias_.grad.add_(db[static_cast<std::size_t>(n)]);

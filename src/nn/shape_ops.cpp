@@ -1,9 +1,24 @@
 #include "nn/shape_ops.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace dcsr::nn {
+
+namespace {
+
+// Grain for plane-parallel loops: keep small layers serial (the pool
+// dispatch would dominate), give big frames one chunk per thread.
+std::int64_t plane_grain(std::size_t plane_floats) {
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(32768 / std::max<std::size_t>(1, plane_floats)));
+}
+
+}  // namespace
 
 Tensor PixelShuffle::forward(const Tensor& x) { return infer(x); }
 
@@ -13,15 +28,30 @@ Tensor PixelShuffle::infer(const Tensor& x) const {
     throw std::invalid_argument("PixelShuffle: channels not divisible by r^2");
   const int N = x.dim(0), C = x.dim(1) / (r * r), H = x.dim(2), W = x.dim(3);
   Tensor out({N, C, H * r, W * r});
-  for (int n = 0; n < N; ++n)
-    for (int c = 0; c < C; ++c)
-      for (int dy = 0; dy < r; ++dy)
-        for (int dx = 0; dx < r; ++dx) {
-          const int ic = c * r * r + dy * r + dx;
-          for (int h = 0; h < H; ++h)
-            for (int w = 0; w < W; ++w)
-              out.at(n, c, h * r + dy, w * r + dx) = x.at(n, ic, h, w);
+  // Every output plane (n, c) is a pure gather from input planes — disjoint
+  // writes, no accumulation, so the plane fan-out is bit-identical for any
+  // thread count. Each chunk claims its contiguous run of output planes.
+  const std::size_t plane = static_cast<std::size_t>(H) * r * W * r;
+  const auto claim = [&, plane](std::int64_t lo, std::int64_t hi) {
+    return span_of(out.data() + static_cast<std::size_t>(lo) * plane,
+                   static_cast<std::size_t>(hi - lo) * plane);
+  };
+  parallel_for_writes(
+      0, static_cast<std::int64_t>(N) * C, plane_grain(plane), claim,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t p = lo; p < hi; ++p) {
+          const int n = static_cast<int>(p / C);
+          const int c = static_cast<int>(p % C);
+          for (int dy = 0; dy < r; ++dy)
+            for (int dx = 0; dx < r; ++dx) {
+              const int ic = c * r * r + dy * r + dx;
+              for (int h = 0; h < H; ++h)
+                for (int w = 0; w < W; ++w)
+                  out.at(n, c, h * r + dy, w * r + dx) = x.at(n, ic, h, w);
+            }
         }
+      },
+      "nn/shape_ops.cpp:PixelShuffle::infer");
   return out;
 }
 
@@ -124,11 +154,25 @@ Tensor UpsampleNearest::infer(const Tensor& x) const {
   const int r = scale_;
   const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
   Tensor out({N, C, H * r, W * r});
-  for (int n = 0; n < N; ++n)
-    for (int c = 0; c < C; ++c)
-      for (int h = 0; h < H * r; ++h)
-        for (int w = 0; w < W * r; ++w)
-          out.at(n, c, h, w) = x.at(n, c, h / r, w / r);
+  // Plane fan-out, same shape as PixelShuffle::infer: disjoint output
+  // planes, pure replication, each chunk claiming its plane run.
+  const std::size_t plane = static_cast<std::size_t>(H) * r * W * r;
+  const auto claim = [&, plane](std::int64_t lo, std::int64_t hi) {
+    return span_of(out.data() + static_cast<std::size_t>(lo) * plane,
+                   static_cast<std::size_t>(hi - lo) * plane);
+  };
+  parallel_for_writes(
+      0, static_cast<std::int64_t>(N) * C, plane_grain(plane), claim,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t p = lo; p < hi; ++p) {
+          const int n = static_cast<int>(p / C);
+          const int c = static_cast<int>(p % C);
+          for (int h = 0; h < H * r; ++h)
+            for (int w = 0; w < W * r; ++w)
+              out.at(n, c, h, w) = x.at(n, c, h / r, w / r);
+        }
+      },
+      "nn/shape_ops.cpp:UpsampleNearest::infer");
   return out;
 }
 

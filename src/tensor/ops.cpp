@@ -140,7 +140,14 @@ void gemm_strided(const float* A, std::size_t a_rs, std::size_t a_ks,
   const std::int64_t flops_per_row = 2LL * k * n;
   const std::int64_t grain =
       std::max<std::int64_t>(kMR, (1LL << 20) / std::max<std::int64_t>(1, flops_per_row) + 1);
-  parallel_for(0, m, grain, [&](std::int64_t ilo, std::int64_t ihi) {
+  // Each chunk owns C rows [ilo, ihi): from the start of row ilo to the last
+  // written element of row ihi-1 (rows are ldc apart but only n wide).
+  const auto claim = [&](std::int64_t ilo, std::int64_t ihi) {
+    return span_of(C + static_cast<std::size_t>(ilo) * ldc,
+                   static_cast<std::size_t>(ihi - ilo - 1) * ldc +
+                       static_cast<std::size_t>(n));
+  };
+  parallel_for_writes(0, m, grain, claim, [&](std::int64_t ilo, std::int64_t ihi) {
     for (int jc = 0; jc < n; jc += kNC) {
       const int jn = std::min(kNC, n - jc);
       for (int kc = 0; kc < k; kc += kKC) {
@@ -160,7 +167,7 @@ void gemm_strided(const float* A, std::size_t a_rs, std::size_t a_ks,
         }
       }
     }
-  });
+  }, "tensor/ops.cpp:gemm_strided");
 }
 
 // Dot-product tile for matmul_nt: kDR rows of A against kDC rows of B, each
@@ -260,7 +267,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const std::int64_t flops_per_row = 2LL * k * n;
   const std::int64_t grain =
       std::max<std::int64_t>(kDR, (1LL << 20) / std::max<std::int64_t>(1, flops_per_row) + 1);
-  parallel_for(0, m, grain, [&](std::int64_t ilo, std::int64_t ihi) {
+  // Each chunk owns the dense C rows [ilo, ihi).
+  const auto claim = [&](std::int64_t ilo, std::int64_t ihi) {
+    return span_of(C + static_cast<std::size_t>(ilo) * n,
+                   static_cast<std::size_t>(ihi - ilo) * n);
+  };
+  parallel_for_writes(0, m, grain, claim, [&](std::int64_t ilo, std::int64_t ihi) {
     for (std::int64_t i = ilo; i < ihi; i += kDR) {
       const int mr = static_cast<int>(std::min<std::int64_t>(kDR, ihi - i));
       const float* Ap = A + static_cast<std::size_t>(i) * k;
@@ -272,7 +284,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                  Cp + j, static_cast<std::size_t>(n), mr, nr, k);
       }
     }
-  });
+  }, "tensor/ops.cpp:matmul_nt");
   return out;
 }
 
@@ -375,8 +387,13 @@ void im2col_into(const Tensor& input, int n, int kernel, int stride, int pad,
   float* out = cols.data();
   // Each output row is filled from a read-only input, so rows tile across
   // the pool with no shared writes; inference convs (batch 1) get their
-  // parallelism here rather than from the batch axis.
-  parallel_for(0, rows, 1, [&](std::int64_t lo, std::int64_t hi) {
+  // parallelism here rather than from the batch axis. Each chunk claims the
+  // contiguous block of column-matrix rows [lo, hi).
+  const auto claim = [&](std::int64_t lo, std::int64_t hi) {
+    return span_of(out + static_cast<std::size_t>(lo) * oh * ow,
+                   static_cast<std::size_t>(hi - lo) * oh * ow);
+  };
+  parallel_for_writes(0, rows, 1, claim, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t row = lo; row < hi; ++row) {
       const int c = static_cast<int>(row) / (kernel * kernel);
       const int ky = (static_cast<int>(row) / kernel) % kernel;
@@ -392,7 +409,7 @@ void im2col_into(const Tensor& input, int n, int kernel, int stride, int pad,
         }
       }
     }
-  });
+  }, "tensor/ops.cpp:im2col_into");
 }
 
 void col2im_add(const Tensor& cols, Tensor& out, int n, int kernel, int stride,

@@ -1,11 +1,17 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <climits>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,7 +24,122 @@ namespace {
 // the pool: the outer loop already owns all the parallelism there is.
 thread_local bool tl_in_parallel_region = false;
 
+void validate_parallel_args(std::int64_t begin, std::int64_t end,
+                            std::int64_t grain) {
+  if (grain < 1)
+    throw std::invalid_argument("parallel_for: grain must be >= 1, got " +
+                                std::to_string(grain));
+  if (end < begin)
+    throw std::invalid_argument("parallel_for: end < begin (begin=" +
+                                std::to_string(begin) +
+                                ", end=" + std::to_string(end) + ")");
+}
+
+// Same floor-division policy everywhere: at most `threads` chunks, each of
+// at least `grain` indices. parallel_for_writes recomputes the decomposition
+// with this to claim exactly the chunks parallel_for will run.
+std::int64_t chunk_count(int threads, std::int64_t range, std::int64_t grain) {
+  return std::max<std::int64_t>(
+      1, std::min<std::int64_t>(threads, range / grain));
+}
+
+// ---------------------------------------------------------------------------
+// Write-claim checker. One global registry of the byte ranges every chunk of
+// every in-flight checked region has declared it will write. Claims are
+// registered for a whole region at once, *before* any chunk runs, so an
+// overlap is detected deterministically — unlike a data-race, which only
+// manifests if the scheduler happens to interleave the two writes. Claims
+// from different regions coexist in the registry only when the regions are
+// genuinely concurrent (parallel_for blocks its caller), which is exactly
+// the situation in which overlap would be a race.
+// ---------------------------------------------------------------------------
+
+struct ClaimRecord {
+  const char* site;
+  std::int64_t chunk;
+  const char* lo;
+  const char* hi;  // half-open byte range
+  std::uint64_t region;
+};
+
+std::mutex g_claims_mutex;
+std::vector<ClaimRecord> g_claims;
+std::uint64_t g_next_region_id = 1;  // guarded by g_claims_mutex
+
+[[noreturn]] void throw_overlap(const ClaimRecord& a, const ClaimRecord& b) {
+  std::ostringstream msg;
+  msg << "parallel_for_writes: overlapping write claims — " << a.site
+      << " (chunk " << a.chunk << ", bytes [" << static_cast<const void*>(a.lo)
+      << ", " << static_cast<const void*>(a.hi) << ")) overlaps " << b.site
+      << " (chunk " << b.chunk << ", bytes [" << static_cast<const void*>(b.lo)
+      << ", " << static_cast<const void*>(b.hi)
+      << ")); concurrent chunks must write disjoint outputs";
+  throw ParallelOverlapError(msg.str());
+}
+
+// Registers a region's claims on construction (throwing ParallelOverlapError
+// before inserting anything if any pair — within the region or against an
+// in-flight region — overlaps) and withdraws them on destruction.
+class RegionClaims {
+ public:
+  explicit RegionClaims(std::vector<ClaimRecord> records) {
+    std::lock_guard lk(g_claims_mutex);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      for (const auto& other : g_claims)
+        if (records[i].lo < other.hi && other.lo < records[i].hi)
+          throw_overlap(records[i], other);
+      for (std::size_t j = 0; j < i; ++j)
+        if (records[i].lo < records[j].hi && records[j].lo < records[i].hi)
+          throw_overlap(records[i], records[j]);
+    }
+    region_ = g_next_region_id++;
+    for (auto& r : records) {
+      r.region = region_;
+      g_claims.push_back(r);
+    }
+  }
+
+  ~RegionClaims() {
+    std::lock_guard lk(g_claims_mutex);
+    std::erase_if(g_claims,
+                  [this](const ClaimRecord& r) { return r.region == region_; });
+  }
+
+  RegionClaims(const RegionClaims&) = delete;
+  RegionClaims& operator=(const RegionClaims&) = delete;
+
+ private:
+  std::uint64_t region_ = 0;
+};
+
+// -1 = not yet resolved from the environment, 0 = off, 1 = on.
+std::atomic<int> g_check_state{-1};
+
 }  // namespace
+
+bool parallel_check_enabled() noexcept {
+  const int s = g_check_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s == 1;
+#ifdef DCSR_CHECKED
+  bool on = true;  // checked builds validate claims by default
+#else
+  bool on = false;
+#endif
+  if (const char* env = std::getenv("DCSR_CHECK_PARALLEL")) {
+    if (!std::strcmp(env, "1") || !std::strcmp(env, "on") ||
+        !std::strcmp(env, "true"))
+      on = true;
+    else if (!std::strcmp(env, "0") || !std::strcmp(env, "off") ||
+             !std::strcmp(env, "false"))
+      on = false;
+  }
+  g_check_state.store(on ? 1 : 0, std::memory_order_relaxed);
+  return on;
+}
+
+void set_parallel_check_enabled(bool enabled) noexcept {
+  g_check_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 struct ThreadPool::Impl {
   std::mutex mutex;
@@ -61,12 +182,10 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  if (end <= begin) return;
+  validate_parallel_args(begin, end, grain);
+  if (begin == end) return;
   const std::int64_t range = end - begin;
-  if (grain < 1) grain = 1;
-  // Floor division so every chunk carries at least `grain` indices.
-  const std::int64_t nchunks =
-      std::max<std::int64_t>(1, std::min<std::int64_t>(threads_, range / grain));
+  const std::int64_t nchunks = chunk_count(threads_, range, grain);
 
   if (nchunks <= 1 || tl_in_parallel_region || impl_->workers.empty()) {
     const bool was = tl_in_parallel_region;
@@ -133,6 +252,41 @@ void ThreadPool::parallel_for(
   if (region.error) std::rethrow_exception(region.error);
 }
 
+void ThreadPool::parallel_for_writes(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<WriteSpan(std::int64_t, std::int64_t)>& claim,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    const char* site) {
+  validate_parallel_args(begin, end, grain);
+  if (begin == end) return;
+  // Nested regions run inline inside one enclosing chunk: they introduce no
+  // concurrency, and their writes legitimately fall inside that chunk's own
+  // claim, so claiming here would only produce false overlaps.
+  if (!parallel_check_enabled() || tl_in_parallel_region) {
+    parallel_for(begin, end, grain, fn);
+    return;
+  }
+
+  const std::int64_t range = end - begin;
+  const std::int64_t nchunks = chunk_count(threads_, range, grain);
+  std::vector<ClaimRecord> records;
+  records.reserve(static_cast<std::size_t>(nchunks));
+  for (std::int64_t c = 0; c < nchunks; ++c) {
+    const std::int64_t lo = begin + range * c / nchunks;
+    const std::int64_t hi = begin + range * (c + 1) / nchunks;
+    if (hi <= lo) continue;
+    const WriteSpan span = claim(lo, hi);
+    if (span.lo == span.hi) continue;  // empty claim: nothing to track
+    if (span.lo > span.hi)
+      throw std::invalid_argument(
+          std::string("parallel_for_writes: inverted claim from ") + site);
+    records.push_back({site, c, static_cast<const char*>(span.lo),
+                       static_cast<const char*>(span.hi), 0});
+  }
+  RegionClaims guard(std::move(records));
+  parallel_for(begin, end, grain, fn);
+}
+
 namespace {
 
 std::mutex g_default_pool_mutex;
@@ -148,16 +302,28 @@ ThreadPool& default_pool() {
 }
 
 void set_default_pool_threads(int threads) {
+  // Build the replacement before taking the lock, and destroy the old pool
+  // (joining its workers) after releasing it: the lock only ever guards the
+  // pointer swap, so a worker of the outgoing pool can never find the lock
+  // held while it winds down.
   auto pool = std::make_unique<ThreadPool>(std::max(1, threads));
-  std::lock_guard lk(g_default_pool_mutex);
-  g_default_pool = std::move(pool);
+  {
+    std::lock_guard lk(g_default_pool_mutex);
+    g_default_pool.swap(pool);
+  }
 }
 
 int thread_count_from_env() {
   if (const char* env = std::getenv("DCSR_THREADS")) {
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0') return std::max(1, static_cast<int>(v));
+    const bool complete_parse = end != env && *end == '\0';
+    const bool fits_int = errno != ERANGE && v >= INT_MIN && v <= INT_MAX;
+    // Reject — never partially accept — trailing garbage ("4abc"), empty
+    // strings and out-of-range values ("999999999999"); a fully-parsed value
+    // below 1 clamps to 1 (the documented pure-serial escape hatch).
+    if (complete_parse && fits_int) return std::max(1, static_cast<int>(v));
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? static_cast<int>(hw) : 1;
@@ -171,6 +337,14 @@ int default_thread_count() {
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn) {
   default_pool().parallel_for(begin, end, grain, fn);
+}
+
+void parallel_for_writes(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<WriteSpan(std::int64_t, std::int64_t)>& claim,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    const char* site) {
+  default_pool().parallel_for_writes(begin, end, grain, claim, fn, site);
 }
 
 }  // namespace dcsr

@@ -3,8 +3,43 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 
 namespace dcsr {
+
+/// Byte range a parallel chunk declares it will write. Claims are half-open:
+/// [lo, hi). An empty claim (lo == hi, or both null) declares "this chunk
+/// writes nothing the checker should track".
+struct WriteSpan {
+  const void* lo = nullptr;
+  const void* hi = nullptr;
+};
+
+/// Claims the storage of `count` objects starting at `p` — the usual way a
+/// kernel maps a chunk [lo, hi) onto the output slice it owns:
+/// `span_of(out + lo * stride, (hi - lo) * stride)`.
+template <typename T>
+WriteSpan span_of(T* p, std::size_t count) noexcept {
+  return {static_cast<const void*>(p), static_cast<const void*>(p + count)};
+}
+
+/// Thrown by the claim checker when two concurrent chunks declare
+/// overlapping write ranges — a violation of the "disjoint outputs" rule the
+/// whole determinism contract rests on. The message names both call sites.
+class ParallelOverlapError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Whether write-claim checking is active. Resolved once from the
+/// environment on first use: `DCSR_CHECK_PARALLEL=1` (or `on`/`true`) turns
+/// it on, `=0` (or `off`/`false`) turns it off, unset defaults to on in a
+/// `-DDCSR_CHECKED=ON` build and off otherwise.
+bool parallel_check_enabled() noexcept;
+
+/// Force the checker on or off, overriding the environment. Test hook; also
+/// lets a long-lived server enable checking for a canary slice of traffic.
+void set_parallel_check_enabled(bool enabled) noexcept;
 
 /// Persistent worker pool behind `parallel_for`.
 ///
@@ -14,6 +49,8 @@ namespace dcsr {
 /// kernels only ever parallelise over *disjoint outputs* and reduce any
 /// shared accumulators in index order, so results are bit-identical no
 /// matter how many threads run — a pool of 1 is exactly the serial program.
+/// `parallel_for_writes` lets a kernel declare the output span each chunk
+/// owns so the disjointness half of that contract is machine-checked.
 class ThreadPool {
  public:
   /// Spawns `threads - 1` workers (the calling thread always participates);
@@ -32,8 +69,27 @@ class ThreadPool {
   /// Blocks until all chunks finish; the first exception thrown by any chunk
   /// is rethrown here. Nested calls (from inside a chunk) degrade to inline
   /// serial execution, so layered kernels never deadlock or oversubscribe.
+  /// `begin == end` is a no-op; `end < begin` and `grain < 1` throw
+  /// std::invalid_argument.
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// parallel_for with a declared write set: `claim(chunk_begin, chunk_end)`
+  /// returns the byte span that chunk will write. When the checker is active
+  /// (see parallel_check_enabled) the claims for *all* chunks of the region
+  /// are computed up front — so detection is deterministic, not a function
+  /// of scheduling luck — and validated for pairwise disjointness and
+  /// against every claim of every other region currently in flight; any
+  /// overlap throws ParallelOverlapError naming both sites. When the checker
+  /// is off the claim callback is never invoked and this is exactly
+  /// parallel_for. Nested (inline) regions skip claiming: they add no
+  /// concurrency, and their writes legitimately land inside the enclosing
+  /// chunk's claim.
+  void parallel_for_writes(
+      std::int64_t begin, std::int64_t end, std::int64_t grain,
+      const std::function<WriteSpan(std::int64_t, std::int64_t)>& claim,
+      const std::function<void(std::int64_t, std::int64_t)>& fn,
+      const char* site = "unnamed parallel_for_writes");
 
  private:
   struct Impl;
@@ -42,9 +98,8 @@ class ThreadPool {
 };
 
 /// Process-wide default pool, created on first use. Sized from the
-/// `DCSR_THREADS` environment variable when set (values < 1 clamp to 1, and
-/// 1 means pure serial execution — handy for debugging), otherwise from
-/// `std::thread::hardware_concurrency()`.
+/// `DCSR_THREADS` environment variable when set (see thread_count_from_env),
+/// otherwise from `std::thread::hardware_concurrency()`.
 ThreadPool& default_pool();
 
 /// Replaces the default pool with one of the given size. Intended for tests
@@ -56,13 +111,24 @@ void set_default_pool_threads(int threads);
 /// beyond reading the environment).
 int default_thread_count();
 
-/// Parses `DCSR_THREADS` (clamped to >= 1; non-numeric values are ignored)
-/// and falls back to hardware_concurrency(). This is what sizes the default
-/// pool on first use; exposed so the policy is testable.
+/// Parses `DCSR_THREADS` and falls back to hardware_concurrency(). The value
+/// must parse *completely* as an integer that fits in int — trailing garbage
+/// ("4abc"), overflow ("999999999999") and non-numeric strings are rejected
+/// outright (hardware fallback), never partially accepted. A fully-parsed
+/// value below 1 clamps to 1 (pure serial execution — handy for debugging).
+/// This is what sizes the default pool on first use; exposed so the policy
+/// is testable.
 int thread_count_from_env();
 
 /// `default_pool().parallel_for(...)` convenience wrapper.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// `default_pool().parallel_for_writes(...)` convenience wrapper.
+void parallel_for_writes(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<WriteSpan(std::int64_t, std::int64_t)>& claim,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    const char* site = "unnamed parallel_for_writes");
 
 }  // namespace dcsr

@@ -128,7 +128,45 @@ TEST(ThreadPool, EmptyRangeNeverInvokes) {
   ThreadPool pool(2);
   std::atomic<int> calls{0};
   pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
-  pool.parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ReversedRangeThrows) {
+  // end < begin used to flow silently into the chunk math; now it is a
+  // caller bug reported with the offending values.
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  try {
+    pool.parallel_for(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("begin=7"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("end=3"), std::string::npos);
+  }
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, GrainBelowOneThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  const auto fn = [&](std::int64_t, std::int64_t) { ++calls; };
+  EXPECT_THROW(pool.parallel_for(0, 10, 0, fn), std::invalid_argument);
+  EXPECT_THROW(pool.parallel_for(0, 10, -4, fn), std::invalid_argument);
+  try {
+    pool.parallel_for(0, 10, -4, fn);
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("-4"), std::string::npos);
+  }
+  EXPECT_EQ(calls.load(), 0);
+  // Validation applies to the checked overload too, before any claim runs.
+  EXPECT_THROW(pool.parallel_for_writes(
+                   0, 10, 0,
+                   [](std::int64_t, std::int64_t) { return WriteSpan{}; }, fn),
+               std::invalid_argument);
+  EXPECT_THROW(pool.parallel_for_writes(
+                   9, 2, 1,
+                   [](std::int64_t, std::int64_t) { return WriteSpan{}; }, fn),
+               std::invalid_argument);
   EXPECT_EQ(calls.load(), 0);
 }
 
@@ -180,6 +218,38 @@ TEST(ThreadPool, EnvVariableControlsDefaultSize) {
   EXPECT_GE(thread_count_from_env(), 1);
 }
 
+TEST(ThreadPool, EnvRejectsPartialAndOverflowValues) {
+  // The hardware fallback this process would use with no override at all.
+  ASSERT_EQ(unsetenv("DCSR_THREADS"), 0);
+  const int fallback = thread_count_from_env();
+
+  // Trailing garbage must be rejected outright, not parsed as its numeric
+  // prefix: "4abc" is a typo, and silently running 4 threads would hide it.
+  ASSERT_EQ(setenv("DCSR_THREADS", "4abc", 1), 0);
+  EXPECT_EQ(thread_count_from_env(), fallback);
+
+  // Values that overflow long/int must be rejected, not wrapped: the old
+  // parser cast LONG_MAX to int and ended up at 1 by accident.
+  ASSERT_EQ(setenv("DCSR_THREADS", "999999999999", 1), 0);
+  EXPECT_EQ(thread_count_from_env(), fallback);
+  ASSERT_EQ(setenv("DCSR_THREADS", "99999999999999999999999999", 1), 0);
+  EXPECT_EQ(thread_count_from_env(), fallback);
+  ASSERT_EQ(setenv("DCSR_THREADS", "2147483648", 1), 0);  // INT_MAX + 1
+  EXPECT_EQ(thread_count_from_env(), fallback);
+
+  // A fully-parsed negative value is valid input and clamps to the
+  // documented serial floor of 1, exactly like "0".
+  ASSERT_EQ(setenv("DCSR_THREADS", "-7", 1), 0);
+  EXPECT_EQ(thread_count_from_env(), 1);
+
+  // Empty string is not a number.
+  ASSERT_EQ(setenv("DCSR_THREADS", "", 1), 0);
+  EXPECT_EQ(thread_count_from_env(), fallback);
+
+  ASSERT_EQ(unsetenv("DCSR_THREADS"), 0);
+  EXPECT_EQ(thread_count_from_env(), fallback);
+}
+
 TEST(ThreadPool, DefaultPoolOverride) {
   const int saved = default_thread_count();
   set_default_pool_threads(3);
@@ -190,6 +260,196 @@ TEST(ThreadPool, DefaultPoolOverride) {
   });
   for (const int h : hits) EXPECT_EQ(h, 1);
   set_default_pool_threads(saved);
+}
+
+// RAII toggle for the write-claim checker so a failing assertion cannot leak
+// the forced state into later tests.
+class CheckGuard {
+ public:
+  explicit CheckGuard(bool on) : saved_(parallel_check_enabled()) {
+    set_parallel_check_enabled(on);
+  }
+  ~CheckGuard() { set_parallel_check_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(ParallelForWrites, DisjointClaimsRunClean) {
+  CheckGuard check(true);
+  ThreadPool pool(4);
+  std::vector<float> out(1024, 0.0f);
+  pool.parallel_for_writes(
+      0, 1024, 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        return span_of(out.data() + lo, static_cast<std::size_t>(hi - lo));
+      },
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+          out[static_cast<std::size_t>(i)] = static_cast<float>(i);
+      },
+      "util_test:disjoint");
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<float>(i));
+}
+
+TEST(ParallelForWrites, OverlappingClaimsAreDetected) {
+  CheckGuard check(true);
+  ThreadPool pool(4);
+  std::vector<float> out(1024, 0.0f);
+  // Deliberate contract violation: every chunk claims the WHOLE output. The
+  // detector must fire before any chunk runs, naming the site in its
+  // diagnostic — this is the negative test for the DCSR_CHECKED build.
+  std::atomic<int> calls{0};
+  try {
+    pool.parallel_for_writes(
+        0, 1024, 1,
+        [&](std::int64_t, std::int64_t) {
+          return span_of(out.data(), out.size());
+        },
+        [&](std::int64_t, std::int64_t) { ++calls; },
+        "util_test:deliberate_overlap");
+    FAIL() << "expected ParallelOverlapError";
+  } catch (const ParallelOverlapError& e) {
+    EXPECT_NE(std::string(e.what()).find("util_test:deliberate_overlap"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("disjoint"), std::string::npos);
+  }
+  EXPECT_EQ(calls.load(), 0) << "claims must be validated before dispatch";
+}
+
+TEST(ParallelForWrites, PartialOverlapBetweenNeighbouringChunksIsDetected) {
+  CheckGuard check(true);
+  ThreadPool pool(4);
+  std::vector<float> out(1024, 0.0f);
+  // Off-by-one span arithmetic: each chunk claims one element past its own
+  // slice — the classic fencepost race.
+  EXPECT_THROW(pool.parallel_for_writes(
+                   0, 1024, 1,
+                   [&](std::int64_t lo, std::int64_t hi) {
+                     const std::size_t n = std::min<std::size_t>(
+                         static_cast<std::size_t>(hi - lo) + 1,
+                         out.size() - static_cast<std::size_t>(lo));
+                     return span_of(out.data() + lo, n);
+                   },
+                   [](std::int64_t, std::int64_t) {},
+                   "util_test:fencepost"),
+               ParallelOverlapError);
+}
+
+TEST(ParallelForWrites, CheckerOffNeverCallsClaim) {
+  CheckGuard check(false);
+  ThreadPool pool(4);
+  std::vector<float> out(256, 0.0f);
+  std::atomic<int> claims{0};
+  pool.parallel_for_writes(
+      0, 256, 1,
+      [&](std::int64_t, std::int64_t) {
+        ++claims;
+        return span_of(out.data(), out.size());  // would overlap if checked
+      },
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+          out[static_cast<std::size_t>(i)] = 1.0f;
+      },
+      "util_test:unchecked");
+  EXPECT_EQ(claims.load(), 0);
+  for (const float v : out) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(ParallelForWrites, NestedRegionsDoNotFalsePositive) {
+  CheckGuard check(true);
+  ThreadPool pool(4);
+  std::vector<float> out(256, 0.0f);
+  // The nested region's claims fall entirely inside the enclosing chunk's
+  // claim — legal (same thread, no added concurrency) and must not trip the
+  // detector.
+  pool.parallel_for_writes(
+      0, 4, 1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        return span_of(out.data() + lo * 64, static_cast<std::size_t>(hi - lo) * 64);
+      },
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t item = lo; item < hi; ++item) {
+          float* base = out.data() + item * 64;
+          pool.parallel_for_writes(
+              0, 64, 1,
+              [&](std::int64_t l, std::int64_t h) {
+                return span_of(base + l, static_cast<std::size_t>(h - l));
+              },
+              [&](std::int64_t l, std::int64_t h) {
+                for (std::int64_t i = l; i < h; ++i) base[i] += 1.0f;
+              },
+              "util_test:nested_inner");
+        }
+      },
+      "util_test:nested_outer");
+  for (const float v : out) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(ParallelForWrites, ConcurrentRegionsFromDifferentThreadsCrossCheck) {
+  CheckGuard check(true);
+  std::vector<float> out(128, 0.0f);
+  ThreadPool holder_pool(1), intruder_pool(1);
+  std::atomic<bool> registered{false}, release{false};
+
+  // A region's claims stay registered for its whole lifetime, so a second
+  // region claiming the same bytes from another thread must be rejected
+  // while the first is still in flight — deterministically, because the
+  // holder blocks inside its chunk until released.
+  std::thread holder([&] {
+    holder_pool.parallel_for_writes(
+        0, 128, 1,
+        [&](std::int64_t, std::int64_t) {
+          return span_of(out.data(), out.size());
+        },
+        [&](std::int64_t, std::int64_t) {
+          registered.store(true);
+          while (!release.load()) std::this_thread::yield();
+        },
+        "util_test:holder");
+  });
+  while (!registered.load()) std::this_thread::yield();
+
+  EXPECT_THROW(intruder_pool.parallel_for_writes(
+                   0, 128, 1,
+                   [&](std::int64_t, std::int64_t) {
+                     return span_of(out.data(), out.size());
+                   },
+                   [](std::int64_t, std::int64_t) {},
+                   "util_test:intruder"),
+               ParallelOverlapError);
+
+  release.store(true);
+  holder.join();
+
+  // With the holder gone its claims are withdrawn; the same region is legal.
+  intruder_pool.parallel_for_writes(
+      0, 128, 1,
+      [&](std::int64_t, std::int64_t) {
+        return span_of(out.data(), out.size());
+      },
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+          out[static_cast<std::size_t>(i)] = 2.0f;
+      },
+      "util_test:after_release");
+  for (const float v : out) EXPECT_EQ(v, 2.0f);
+}
+
+TEST(ParallelForWrites, EmptyRangeNeverClaims) {
+  CheckGuard check(true);
+  ThreadPool pool(2);
+  std::atomic<int> claims{0}, calls{0};
+  pool.parallel_for_writes(
+      5, 5, 1,
+      [&](std::int64_t, std::int64_t) {
+        ++claims;
+        return WriteSpan{};
+      },
+      [&](std::int64_t, std::int64_t) { ++calls; }, "util_test:empty");
+  EXPECT_EQ(claims.load(), 0);
+  EXPECT_EQ(calls.load(), 0);
 }
 
 TEST(Serialize, RoundTripsScalars) {

@@ -1,0 +1,433 @@
+// dcsr_lint — repo-invariant linter for the dcSR tree (no libclang, just a
+// comment/literal-stripping scanner plus regex and brace matching).
+//
+// The concurrency and determinism contract (ROADMAP "Threading model") is
+// prose; this tool is the part of it that can be machine-checked at review
+// time. Enforced invariants:
+//
+//   [threads]       no raw std::thread / std::jthread / std::async outside
+//                   the sanctioned sites: the pool itself
+//                   (src/util/thread_pool.cpp may use std::thread) and the
+//                   segment-lookahead pipeline
+//                   (src/core/client_pipeline.cpp may use std::async).
+//   [atomic-float]  no std::atomic<float/double/long double> anywhere —
+//                   float atomics invite reduction-order races that break
+//                   bit-identical-across-thread-counts.
+//   [random]        no rand()/srand()/std::random_device outside
+//                   src/util/rng.* — all randomness flows through the
+//                   deterministic, forkable Rng.
+//   [module-infer]  every concrete nn::Module subclass declares
+//                   `infer(...) const` — the stateless, concurrency-safe
+//                   entry point PR 2 made mandatory.
+//   [const-forward] no forward( call inside a `const` member function —
+//                   forward() mutates layer caches; const paths must call
+//                   infer().
+//   [pragma-once]   every header starts its include guard with #pragma once.
+//
+// Usage:
+//   dcsr_lint <src-root>     scan every .hpp/.cpp under <src-root>
+//   dcsr_lint --self-test    run the embedded known-bad/known-good fixtures
+//
+// Exit status: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Source preparation.
+// ---------------------------------------------------------------------------
+
+// Replaces the contents of comments and string/char literals with spaces,
+// preserving every newline so byte offsets map to the original line numbers.
+// Handles line/block comments, escape sequences, and raw string literals.
+std::string strip_comments_and_literals(const std::string& src) {
+  std::string out(src.size(), ' ');
+  for (std::size_t i = 0; i < src.size(); ++i)
+    if (src[i] == '\n') out[i] = '\n';
+
+  std::size_t i = 0;
+  const auto copy = [&](std::size_t at) { out[at] = src[at]; };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;  // line comment
+    } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) ++i;
+      i = std::min(src.size(), i + 2);  // block comment
+    } else if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      // Raw string literal R"delim( ... )delim".
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < src.size() && src[p] != '(') delim += src[p++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = src.find(close, p);
+      i = (end == std::string::npos) ? src.size() : end + close.size();
+    } else if (c == '"' || c == '\'') {
+      // Skip the literal body; keep the delimiters so tokens stay separated.
+      copy(i);
+      const char q = c;
+      ++i;
+      while (i < src.size() && src[i] != q) {
+        if (src[i] == '\\') ++i;
+        ++i;
+      }
+      if (i < src.size()) copy(i++);
+    } else {
+      copy(i);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+}
+
+// Position one past the matching '}' for the '{' at `open`, or npos.
+std::size_t match_brace(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rules. Each takes the normalised path, the raw source and the stripped
+// source and appends findings.
+// ---------------------------------------------------------------------------
+
+void rule_threads(const std::string& path, const std::string& stripped,
+                  std::vector<Finding>& findings) {
+  static const std::regex re(R"(std::(thread|jthread|async)\b)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string token = (*it)[1].str();
+    const bool pool_file = path_ends_with(path, "util/thread_pool.cpp");
+    const bool pipeline_file = path_ends_with(path, "core/client_pipeline.cpp");
+    if (pool_file && (token == "thread" || token == "jthread")) continue;
+    if (pipeline_file && token == "async") continue;
+    findings.push_back(
+        {path, line_of(stripped, static_cast<std::size_t>(it->position())),
+         "threads",
+         "raw std::" + token +
+             " outside the sanctioned sites (util/thread_pool.cpp, "
+             "core/client_pipeline.cpp); use parallel_for"});
+  }
+}
+
+void rule_atomic_float(const std::string& path, const std::string& stripped,
+                       std::vector<Finding>& findings) {
+  static const std::regex re(
+      R"(std::atomic\s*<\s*(float|double|long\s+double)\b)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re);
+       it != std::sregex_iterator(); ++it)
+    findings.push_back(
+        {path, line_of(stripped, static_cast<std::size_t>(it->position())),
+         "atomic-float",
+         "std::atomic<" + (*it)[1].str() +
+             "> is banned: float atomics make accumulation order depend on "
+             "scheduling; reduce serially in index order instead"});
+}
+
+void rule_random(const std::string& path, const std::string& stripped,
+                 std::vector<Finding>& findings) {
+  if (path.find("util/rng.") != std::string::npos) return;
+  static const std::regex re_call(R"((^|[^\w:.>])(srand|rand)\s*\()");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re_call);
+       it != std::sregex_iterator(); ++it)
+    findings.push_back(
+        {path,
+         line_of(stripped,
+                 static_cast<std::size_t>(it->position() + it->length(1))),
+         "random",
+         (*it)[2].str() +
+             "() outside util/rng.*: all randomness must flow through the "
+             "deterministic dcsr::Rng"});
+  static const std::regex re_dev(R"(std::random_device\b)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re_dev);
+       it != std::sregex_iterator(); ++it)
+    findings.push_back(
+        {path, line_of(stripped, static_cast<std::size_t>(it->position())),
+         "random",
+         "std::random_device outside util/rng.*: non-deterministic seeding "
+         "breaks run-to-run reproducibility"});
+}
+
+void rule_module_infer(const std::string& path, const std::string& stripped,
+                       std::vector<Finding>& findings) {
+  static const std::regex re(
+      R"(class\s+(\w+)(\s+final)?\s*:\s*public\s+(?:nn::)?Module\b)");
+  static const std::regex re_infer(R"(\binfer\s*\([^;{)]*\)\s*const\b)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t pos = static_cast<std::size_t>(it->position());
+    const std::size_t open = stripped.find('{', pos);
+    if (open == std::string::npos) continue;  // forward declaration
+    const std::size_t close = match_brace(stripped, open);
+    if (close == std::string::npos) continue;
+    const std::string body = stripped.substr(open, close - open);
+    if (!std::regex_search(body, re_infer))
+      findings.push_back(
+          {path, line_of(stripped, pos), "module-infer",
+           "class " + (*it)[1].str() +
+               " derives from nn::Module but does not declare "
+               "`infer(...) const` — every concrete layer must provide the "
+               "stateless, thread-safe inference path"});
+  }
+}
+
+void rule_const_forward(const std::string& path, const std::string& stripped,
+                        std::vector<Finding>& findings) {
+  static const std::regex re_const_fn(
+      R"(\)\s*const\b(\s*(noexcept|override|final))*\s*\{)");
+  static const std::regex re_forward(R"(\bforward\s*\()");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), re_const_fn);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position() + it->length()) - 1;
+    const std::size_t close = match_brace(stripped, open);
+    if (close == std::string::npos) continue;
+    const std::string body = stripped.substr(open, close - open);
+    for (auto fw = std::sregex_iterator(body.begin(), body.end(), re_forward);
+         fw != std::sregex_iterator(); ++fw) {
+      // std::forward (perfect forwarding) is not Module::forward.
+      const std::size_t fpos = static_cast<std::size_t>(fw->position());
+      if (fpos >= 5 && body.compare(fpos - 5, 5, "std::") == 0) continue;
+      findings.push_back(
+          {path, line_of(stripped, open + fpos), "const-forward",
+           "forward( called inside a const member function: forward() "
+           "mutates layer caches — const paths must call infer()"});
+    }
+  }
+}
+
+void rule_pragma_once(const std::string& path, const std::string& raw,
+                      std::vector<Finding>& findings) {
+  if (!path_ends_with(path, ".hpp") && !path_ends_with(path, ".h")) return;
+  static const std::regex re(R"(#\s*pragma\s+once)");
+  if (!std::regex_search(raw, re))
+    findings.push_back({path, 1, "pragma-once",
+                        "header is missing #pragma once"});
+}
+
+std::vector<Finding> run_rules(const std::string& path, const std::string& raw) {
+  const std::string stripped = strip_comments_and_literals(raw);
+  std::vector<Finding> findings;
+  rule_threads(path, stripped, findings);
+  rule_atomic_float(path, stripped, findings);
+  rule_random(path, stripped, findings);
+  rule_module_infer(path, stripped, findings);
+  rule_const_forward(path, stripped, findings);
+  rule_pragma_once(path, raw, findings);
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Tree scan.
+// ---------------------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+int scan_tree(const fs::path& root) {
+  if (!fs::exists(root)) {
+    std::cerr << "dcsr_lint: no such directory: " << root << "\n";
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root))
+    if (entry.is_regular_file() && lintable(entry.path()))
+      files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "dcsr_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string path = file.generic_string();
+    for (auto& f : run_rules(path, ss.str())) findings.push_back(std::move(f));
+  }
+
+  for (const auto& f : findings)
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  if (!findings.empty()) {
+    std::cout << "dcsr_lint: " << findings.size() << " violation(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "dcsr_lint: " << files.size() << " files clean\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: every banned pattern must be caught, every sanctioned site must
+// pass. Fixtures exercise the allowlists with fake paths.
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  const char* name;
+  const char* path;
+  const char* source;
+  const char* rule;      // rule expected to fire (nullptr: expect clean)
+};
+
+const Fixture kFixtures[] = {
+    // [threads]
+    {"raw std::thread in a kernel", "src/codec/encoder.cpp",
+     "void f() { std::thread t([]{}); t.join(); }", "threads"},
+    {"raw std::async in a kernel", "src/sr/trainer.cpp",
+     "auto r = std::async(std::launch::async, []{});", "threads"},
+    {"std::jthread anywhere", "src/stream/session.cpp",
+     "std::jthread t([]{});", "threads"},
+    {"std::thread inside the pool", "src/util/thread_pool.cpp",
+     "std::vector<std::thread> workers; unsigned n = "
+     "std::thread::hardware_concurrency();",
+     nullptr},
+    {"std::async in the segment pipeline", "src/core/client_pipeline.cpp",
+     "next = std::async(std::launch::async, produce, s + 1);", nullptr},
+    {"std::async is not sanctioned in the pool", "src/util/thread_pool.cpp",
+     "auto r = std::async([]{});", "threads"},
+    {"std::this_thread is not std::thread", "src/device/latency.cpp",
+     "std::this_thread::yield();", nullptr},
+    {"std::thread in a comment", "src/codec/encoder.cpp",
+     "// std::thread is banned here\nint x;", nullptr},
+    // [atomic-float]
+    {"atomic float accumulator", "src/sr/trainer.cpp",
+     "std::atomic<float> loss{0.0f};", "atomic-float"},
+    {"atomic double accumulator", "src/sr/trainer.cpp",
+     "std::atomic<double> loss{0.0};", "atomic-float"},
+    {"atomic int is fine", "src/sr/trainer.cpp",
+     "std::atomic<int> counter{0};", nullptr},
+    // [random]
+    {"libc rand()", "src/video/noise.cpp", "int r = rand();", "random"},
+    {"libc srand()", "src/video/noise.cpp", "srand(42);", "random"},
+    {"std::random_device", "src/cluster/kmeans.cpp",
+     "std::random_device rd; auto s = rd();", "random"},
+    {"rand() inside util/rng.*", "src/util/rng.cpp", "int r = rand();",
+     nullptr},
+    {"identifier containing rand", "src/codec/motion.cpp",
+     "int strand(int x); int y = strand(3);", nullptr},
+    {"member named rand", "src/codec/motion.cpp", "int y = gen.rand();",
+     nullptr},
+    // [module-infer]
+    {"Module subclass without const infer", "src/nn/foo.hpp",
+     "#pragma once\nclass Foo final : public Module {\n"
+     " public:\n  Tensor forward(const Tensor& x) override;\n"
+     "  Tensor backward(const Tensor& g) override;\n};\n",
+     "module-infer"},
+    {"Module subclass with const infer", "src/nn/foo.hpp",
+     "#pragma once\nclass Foo final : public Module {\n"
+     " public:\n  Tensor forward(const Tensor& x) override;\n"
+     "  Tensor infer(const Tensor& x) const override;\n"
+     "  Tensor backward(const Tensor& g) override;\n};\n",
+     nullptr},
+    {"qualified nn::Module base without infer", "src/sr/bar.hpp",
+     "#pragma once\nclass Bar final : public nn::Module {\n"
+     "  int infer_count_;\n};\n",
+     "module-infer"},
+    // [const-forward]
+    {"forward() called from const method", "src/nn/foo.cpp",
+     "Tensor Foo::infer(const Tensor& x) const { return forward(x); }",
+     "const-forward"},
+    {"member forward() from const method", "src/sr/baz.cpp",
+     "Tensor Baz::infer(const Tensor& x) const { return head_.forward(x); }",
+     "const-forward"},
+    {"infer calling infer is fine", "src/nn/foo.cpp",
+     "Tensor Foo::infer(const Tensor& x) const { return inner_.infer(x); }",
+     nullptr},
+    {"std::forward is not Module::forward", "src/util/meta.hpp",
+     "#pragma once\ntemplate <class F> int call(F&& f) const_dummy();\n"
+     "struct S { template <class T> int g(T&& t) const {"
+     " return h(std::forward(t)); } };\n",
+     nullptr},
+    {"forward from non-const method is fine", "src/nn/foo.cpp",
+     "Tensor Foo::forward(const Tensor& x) { return inner_.forward(x); }",
+     nullptr},
+    // [pragma-once]
+    {"header without pragma once", "src/nn/foo.hpp",
+     "class Foo final : public Module { Tensor infer(const Tensor&) const; };",
+     "pragma-once"},
+    {"source file needs no pragma once", "src/nn/foo.cpp", "int x;", nullptr},
+};
+
+int self_test() {
+  int failures = 0;
+  for (const Fixture& fx : kFixtures) {
+    const auto findings = run_rules(fx.path, fx.source);
+    const bool fired =
+        fx.rule != nullptr &&
+        std::any_of(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == fx.rule; });
+    bool ok;
+    if (fx.rule == nullptr) {
+      ok = findings.empty();
+    } else {
+      // The expected rule must fire, and nothing else may (fixtures are
+      // minimal: one violation each).
+      ok = fired && findings.size() == 1;
+    }
+    if (!ok) {
+      ++failures;
+      std::cout << "FAIL: " << fx.name << " (expected "
+                << (fx.rule ? fx.rule : "clean") << ", got";
+      if (findings.empty()) std::cout << " clean";
+      for (const auto& f : findings) std::cout << " [" << f.rule << "]";
+      std::cout << ")\n";
+    } else {
+      std::cout << "ok:   " << fx.name << "\n";
+    }
+  }
+  const std::size_t total = sizeof(kFixtures) / sizeof(kFixtures[0]);
+  std::cout << "dcsr_lint self-test: " << (total - static_cast<std::size_t>(failures))
+            << "/" << total << " fixtures passed\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: dcsr_lint <src-root> | dcsr_lint --self-test\n";
+    return 2;
+  }
+  const std::string arg = argv[1];
+  if (arg == "--self-test") return self_test();
+  return scan_tree(arg);
+}

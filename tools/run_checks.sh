@@ -1,20 +1,88 @@
 #!/usr/bin/env bash
-# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer and runs
-# the tier-1 test suite under it. A separate build directory keeps the
-# instrumented artifacts away from the regular build.
-# Usage: tools/run_checks.sh [extra ctest args...]
-set -euo pipefail
+# Single verification gate for the tree. Runs four legs, each in its own
+# build directory so instrumented artifacts never mix:
+#
+#   default   RelWithDebInfo build + full ctest suite (includes the
+#             Lint.SelfTest / Lint.SrcTree invariant checks)
+#   checked   -DDCSR_CHECKED=ON: the parallel_for write-claim race detector
+#             validates every annotated region while the full suite runs
+#   asan      AddressSanitizer + UndefinedBehaviorSanitizer, full suite
+#   tsan      ThreadSanitizer, full suite forced to DCSR_THREADS=4 so the
+#             pool, the segment pipeline and the shared-model inference
+#             paths actually run multi-threaded under the detector
+#
+# Usage: tools/run_checks.sh [leg...]
+#   e.g. tools/run_checks.sh            # all four legs
+#        tools/run_checks.sh tsan       # just the TSan leg
+#        tools/run_checks.sh default checked
+#
+# Prints a per-leg summary and exits nonzero if any leg fails.
+set -uo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${SAN_BUILD_DIR:-$ROOT/build-san}"
 
-cmake -B "$BUILD" -S "$ROOT" -DDCSR_SANITIZE=address,undefined
-cmake --build "$BUILD" -j
+LEGS=("$@")
+if [ ${#LEGS[@]} -eq 0 ]; then
+  LEGS=(default checked asan tsan)
+fi
 
-# halt_on_error: UBSan already aborts via -fno-sanitize-recover; make ASan
-# leak/heap reports fail the run too instead of printing and continuing.
-export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+declare -A STATUS
 
-ctest --test-dir "$BUILD" --output-on-failure -j "$@"
-echo "sanitizer checks passed"
+run_leg() {
+  local leg="$1" build cmake_args=() env_prefix=()
+  case "$leg" in
+    default)
+      # Same configuration as the tier-1 build; reuses its directory.
+      build="${DEFAULT_BUILD_DIR:-$ROOT/build}"
+      ;;
+    checked)
+      build="${CHECKED_BUILD_DIR:-$ROOT/build-checked}"
+      cmake_args+=(-DDCSR_CHECKED=ON)
+      ;;
+    asan)
+      build="${SAN_BUILD_DIR:-$ROOT/build-san}"
+      cmake_args+=(-DDCSR_SANITIZE=address,undefined)
+      # halt_on_error: UBSan already aborts via -fno-sanitize-recover; make
+      # ASan leak/heap reports fail the run too instead of printing on.
+      export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+      export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+      ;;
+    tsan)
+      build="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+      cmake_args+=(-DDCSR_SANITIZE=thread)
+      export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+      env_prefix=(env DCSR_THREADS=4)
+      ;;
+    *)
+      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan)" >&2
+      return 2
+      ;;
+  esac
+
+  echo
+  echo "=== leg: $leg (build dir: $build) ==="
+  cmake -B "$build" -S "$ROOT" "${cmake_args[@]}" || return 1
+  cmake --build "$build" -j || return 1
+  "${env_prefix[@]}" ctest --test-dir "$build" --output-on-failure -j || return 1
+}
+
+FAILED=0
+for leg in "${LEGS[@]}"; do
+  if run_leg "$leg"; then
+    STATUS[$leg]=PASS
+  else
+    STATUS[$leg]=FAIL
+    FAILED=1
+  fi
+done
+
+echo
+echo "=== run_checks summary ==="
+for leg in "${LEGS[@]}"; do
+  printf '  %-8s %s\n' "$leg" "${STATUS[$leg]}"
+done
+if [ "$FAILED" -ne 0 ]; then
+  echo "run_checks: FAILED"
+  exit 1
+fi
+echo "run_checks: all legs passed"
