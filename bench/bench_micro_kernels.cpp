@@ -21,6 +21,7 @@
 #include "nn/conv.hpp"
 #include "sr/edsr.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 #include "util/thread_pool.hpp"
 #include "video/genres.hpp"
 
@@ -153,6 +154,35 @@ void BM_EdsrInference(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(model.forward(x));
 }
 BENCHMARK(BM_EdsrInference);
+
+// Steady-state playback: one persistent thread enhancing the same-sized
+// frame over and over into a warm output — the shape of the client's display
+// loop. After a 3-frame warm-up every workspace checkout must be a hit, so
+// ws_miss_per_frame reports 0.000 and the counter doubles as a regression
+// alarm for allocations sneaking back into the hot path.
+void BM_EdsrEnhanceSteadyState(benchmark::State& state) {
+  Rng rng(6);
+  const sr::Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 1}, rng);
+  const auto video = make_genre_video(Genre::kNews, 12, 96, 64, 1.0, 30.0);
+  const FrameRGB frame = video->frame(0);
+  FrameRGB out;
+  for (int i = 0; i < 3; ++i) model.enhance_into(frame, out);  // warm up
+  const Workspace::Stats before = Workspace::local().stats();
+  std::int64_t frames = 0;
+  for (auto _ : state) {
+    model.enhance_into(frame, out);
+    benchmark::DoNotOptimize(out);
+    ++frames;
+  }
+  const Workspace::Stats after = Workspace::local().stats();
+  state.SetItemsProcessed(frames);
+  const double n = frames > 0 ? static_cast<double>(frames) : 1.0;
+  state.counters["ws_miss_per_frame"] =
+      static_cast<double>(after.misses - before.misses) / n;
+  state.counters["ws_hit_per_frame"] =
+      static_cast<double>(after.hits - before.hits) / n;
+}
+BENCHMARK(BM_EdsrEnhanceSteadyState);
 
 // Whole-frame enhancement through the stateless infer path, one shared model
 // across the pool, swept over pool sizes — the play_nas fan-out in

@@ -1,5 +1,6 @@
 #include "core/client_pipeline.hpp"
 
+#include <array>
 #include <future>
 #include <stdexcept>
 #include <utility>
@@ -13,12 +14,15 @@ namespace dcsr::core {
 
 namespace {
 
-// Converts a decoded segment to RGB with one task per frame. Conversion is
-// pure per-frame work, so it overlaps freely; the metric accumulation that
-// follows stays serial and in display order.
-std::vector<FrameRGB> convert_segment(const std::vector<FrameYUV>& frames) {
-  std::vector<FrameRGB> rgb(frames.size());
-  // Each chunk owns the FrameRGB slots [lo, hi) it assigns into.
+// Converts a decoded segment to RGB with one task per frame, writing into a
+// caller-owned vector: warm slots keep their plane buffers, so converting
+// segment after segment of the same resolution stops touching the
+// allocator. Conversion is pure per-frame work, so it overlaps freely; the
+// metric accumulation that follows stays serial and in display order.
+void convert_segment_into(const std::vector<FrameYUV>& frames,
+                          std::vector<FrameRGB>& rgb) {
+  rgb.resize(frames.size());
+  // Each chunk owns the FrameRGB slots [lo, hi) it converts into.
   parallel_for_writes(
       0, static_cast<std::int64_t>(frames.size()), 1,
       [&](std::int64_t lo, std::int64_t hi) {
@@ -26,11 +30,10 @@ std::vector<FrameRGB> convert_segment(const std::vector<FrameYUV>& frames) {
       },
       [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t i = lo; i < hi; ++i)
-          rgb[static_cast<std::size_t>(i)] =
-              yuv420_to_rgb(frames[static_cast<std::size_t>(i)]);
+          yuv420_to_rgb_into(frames[static_cast<std::size_t>(i)],
+                             rgb[static_cast<std::size_t>(i)]);
       },
       "core/client_pipeline.cpp:convert_segment");
-  return rgb;
 }
 
 // Accumulates per-frame metrics against the pristine source. Strides are
@@ -92,6 +95,11 @@ PlaybackResult decode_and_measure(const codec::EncodedVideo& encoded,
   MetricsCollector collector(original, opts);
   codec::Decoder decoder(encoded.width, encoded.height, encoded.crf);
   decoder.set_deblock(encoded.deblock);
+  // Two rotating segment buffers: produce(s) refills buffer s%2 while the
+  // consumer still reads s-1's (the other one), so the single-lookahead
+  // pipeline reuses the same frame storage for the whole playback instead of
+  // allocating a fresh vector per segment.
+  std::array<std::vector<FrameRGB>, 2> rgb_bufs;
   const auto produce = [&](std::size_t s) {
     if (enhance_i) {
       decoder.set_reference_hook([&enhance_i, s](FrameYUV& f, codec::FrameType,
@@ -99,7 +107,9 @@ PlaybackResult decode_and_measure(const codec::EncodedVideo& encoded,
         enhance_i(f, static_cast<int>(s));
       });
     }
-    return convert_segment(decoder.decode_segment(encoded.segments[s]));
+    std::vector<FrameRGB>& buf = rgb_bufs[s % 2];
+    convert_segment_into(decoder.decode_segment(encoded.segments[s]), buf);
+    return &buf;
   };
 
   std::vector<int> frame_base(encoded.segments.size(), 0);
@@ -107,11 +117,11 @@ PlaybackResult decode_and_measure(const codec::EncodedVideo& encoded,
     frame_base[s] = frame_base[s - 1] +
                     static_cast<int>(encoded.segments[s - 1].frames.size());
 
-  pipeline_segments<std::vector<FrameRGB>>(
+  pipeline_segments<std::vector<FrameRGB>*>(
       encoded.segments.size(), produce,
-      [&](std::vector<FrameRGB> rgb, std::size_t s) {
-        for (std::size_t i = 0; i < rgb.size(); ++i)
-          collector.measure_rgb(rgb[i], frame_base[s] + static_cast<int>(i));
+      [&](std::vector<FrameRGB>* rgb, std::size_t s) {
+        for (std::size_t i = 0; i < rgb->size(); ++i)
+          collector.measure_rgb((*rgb)[i], frame_base[s] + static_cast<int>(i));
       });
   return collector.finish();
 }
@@ -123,10 +133,13 @@ void enhance_reference_frame(FrameYUV& frame, const sr::Edsr& model) {
     throw std::invalid_argument(
         "enhance_reference_frame: in-loop enhancement requires a scale-1 model "
         "(the enhanced picture must fit back into the DPB)");
-  // Steps 2-5 of Fig. 6.
-  const FrameRGB rgb = yuv420_to_rgb(frame);
-  const FrameRGB enhanced = model.enhance(rgb);
-  frame = rgb_to_yuv420(enhanced);
+  // Steps 2-5 of Fig. 6. The two RGB intermediates are per-thread and reused
+  // across calls — like the model's inference workspace — so steady-state
+  // in-loop enhancement stays off the allocator.
+  thread_local FrameRGB rgb, enhanced;
+  yuv420_to_rgb_into(frame, rgb);
+  model.enhance_into(rgb, enhanced);
+  rgb_to_yuv420_into(enhanced, frame);
 }
 
 PlaybackResult play_dcsr(const codec::EncodedVideo& encoded,
@@ -157,34 +170,50 @@ PlaybackResult play_nas(const codec::EncodedVideo& encoded, const sr::Edsr& big_
   MetricsCollector collector(original, opts);
   codec::Decoder decoder(encoded.width, encoded.height, encoded.crf);
   decoder.set_deblock(encoded.deblock);
+  // One slot per sampled frame, hoisted out of the segment loop so the
+  // conversion and enhancement buffers stay warm from segment to segment.
+  // Grouping a task's buffers in one struct keeps the parallel section's
+  // write claim a single contiguous span over the slots it owns.
+  struct NasSlot {
+    int display = 0;
+    const FrameYUV* yuv = nullptr;  // borrowed from this segment's decode
+    FrameRGB rgb;                   // YUV->RGB scratch
+    FrameRGB enhanced;              // model output
+  };
+  std::vector<NasSlot> slots;
   int frame_base = 0;
   for (const auto& seg : encoded.segments) {
     const auto frames = decoder.decode_segment(seg);
-    std::vector<std::pair<int, FrameYUV>> sampled;
+    std::size_t sampled = 0;
     for (std::size_t i = 0; i < frames.size(); ++i) {
       const int display = frame_base + static_cast<int>(i);
-      if (display % opts.nas_eval_stride == 0) sampled.emplace_back(display, frames[i]);
+      if (display % opts.nas_eval_stride != 0) continue;
+      if (sampled == slots.size()) slots.emplace_back();
+      slots[sampled].display = display;
+      slots[sampled].yuv = &frames[i];
+      ++sampled;
     }
     // Out-of-loop enhancement fans out across the pool: every sampled frame
     // is YUV->RGB converted and super-resolved independently against the one
     // shared model (infer touches no member state, so concurrent calls are
-    // safe), each task writing a disjoint slot. Metrics then accumulate
+    // safe), each task writing only its own slots. Metrics then accumulate
     // serially in display order, keeping results bit-identical for any
     // DCSR_THREADS.
-    std::vector<FrameRGB> enhanced(sampled.size());
     parallel_for_writes(
-        0, static_cast<std::int64_t>(sampled.size()), 1,
+        0, static_cast<std::int64_t>(sampled), 1,
         [&](std::int64_t lo, std::int64_t hi) {
-          return span_of(enhanced.data() + lo, static_cast<std::size_t>(hi - lo));
+          return span_of(slots.data() + lo, static_cast<std::size_t>(hi - lo));
         },
         [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i)
-            enhanced[static_cast<std::size_t>(i)] = big_model.enhance(
-                yuv420_to_rgb(sampled[static_cast<std::size_t>(i)].second));
+          for (std::int64_t i = lo; i < hi; ++i) {
+            NasSlot& slot = slots[static_cast<std::size_t>(i)];
+            yuv420_to_rgb_into(*slot.yuv, slot.rgb);
+            big_model.enhance_into(slot.rgb, slot.enhanced);
+          }
         },
         "core/client_pipeline.cpp:play_nas");
-    for (std::size_t i = 0; i < sampled.size(); ++i)
-      collector.measure_rgb(enhanced[i], sampled[i].first);
+    for (std::size_t i = 0; i < sampled; ++i)
+      collector.measure_rgb(slots[i].enhanced, slots[i].display);
     frame_base += static_cast<int>(frames.size());
   }
   return collector.finish();
@@ -216,8 +245,13 @@ AnchorPlaybackResult play_dcsr_anchors(
     std::vector<FrameRGB> rgb;
     int inferences = 0;
   };
+  // Rotating pair of segment outputs, same scheme as decode_and_measure:
+  // the producer refills s%2 while the consumer drains the other, and warm
+  // frame slots are rewritten in place segment after segment.
+  std::array<SegmentOut, 2> seg_bufs;
   const auto produce = [&](std::size_t s) {
-    SegmentOut out;
+    SegmentOut& out = seg_bufs[s % 2];
+    out.inferences = 0;
     const sr::Edsr& model = *models[static_cast<std::size_t>(labels[s])];
 
     // Anchors must be enhanced from the *vanilla* decode: the micro model
@@ -244,8 +278,9 @@ AnchorPlaybackResult play_dcsr_anchors(
           }
         },
         /*include_p_frames=*/anchor_period > 0);
-    out.rgb = convert_segment(enhanced_decoder.decode_segment(encoded.segments[s]));
-    return out;
+    convert_segment_into(enhanced_decoder.decode_segment(encoded.segments[s]),
+                         out.rgb);
+    return &out;
   };
 
   std::vector<int> frame_base(encoded.segments.size(), 0);
@@ -253,11 +288,11 @@ AnchorPlaybackResult play_dcsr_anchors(
     frame_base[s] = frame_base[s - 1] +
                     static_cast<int>(encoded.segments[s - 1].frames.size());
 
-  pipeline_segments<SegmentOut>(
-      encoded.segments.size(), produce, [&](SegmentOut seg, std::size_t s) {
-        result.inferences += seg.inferences;
-        for (std::size_t i = 0; i < seg.rgb.size(); ++i)
-          collector.measure_rgb(seg.rgb[i], frame_base[s] + static_cast<int>(i));
+  pipeline_segments<SegmentOut*>(
+      encoded.segments.size(), produce, [&](SegmentOut* seg, std::size_t s) {
+        result.inferences += seg->inferences;
+        for (std::size_t i = 0; i < seg->rgb.size(); ++i)
+          collector.measure_rgb(seg->rgb[i], frame_base[s] + static_cast<int>(i));
       });
   result.playback = collector.finish();
   return result;

@@ -17,10 +17,23 @@ float rgb_to_luma(float r, float g, float b) noexcept {
 }
 
 FrameYUV rgb_to_yuv420(const FrameRGB& rgb) {
+  FrameYUV out;
+  rgb_to_yuv420_into(rgb, out);
+  return out;
+}
+
+void rgb_to_yuv420_into(const FrameRGB& rgb, FrameYUV& out) {
   const int W = rgb.width(), H = rgb.height();
-  FrameYUV out(W, H);
-  // Full-resolution Y plus full-resolution U/V scratch for the box filter.
-  Plane uf(W, H), vf(W, H);
+  out.y.reset(W, H);
+  out.u.reset(W / 2, H / 2);
+  out.v.reset(W / 2, H / 2);
+  // Full-resolution U/V scratch for the box filter. Per-thread and reused
+  // across calls, like a Workspace checkout: the playback loops convert
+  // every frame, and this pass should not be the one allocation left in an
+  // otherwise allocation-free steady state.
+  thread_local Plane uf, vf;
+  uf.reset(W, H);
+  vf.reset(W, H);
   for (int y = 0; y < H; ++y) {
     for (int x = 0; x < W; ++x) {
       const float r = rgb.r.at(x, y), g = rgb.g.at(x, y), b = rgb.b.at(x, y);
@@ -38,12 +51,19 @@ FrameYUV rgb_to_yuv420(const FrameRGB& rgb) {
                                 vf.at(2 * x, 2 * y + 1) + vf.at(2 * x + 1, 2 * y + 1));
     }
   }
-  return out;
 }
 
 FrameRGB yuv420_to_rgb(const FrameYUV& yuv) {
+  FrameRGB out;
+  yuv420_to_rgb_into(yuv, out);
+  return out;
+}
+
+void yuv420_to_rgb_into(const FrameYUV& yuv, FrameRGB& out) {
   const int W = yuv.width(), H = yuv.height();
-  FrameRGB out(W, H);
+  out.r.reset(W, H);
+  out.g.reset(W, H);
+  out.b.reset(W, H);
   for (int y = 0; y < H; ++y) {
     for (int x = 0; x < W; ++x) {
       // Bilinear chroma upsample: sample the half-res plane at the pixel's
@@ -70,7 +90,6 @@ FrameRGB yuv420_to_rgb(const FrameYUV& yuv) {
       out.b.at(x, y) = std::clamp(b, 0.0f, 1.0f);
     }
   }
-  return out;
 }
 
 }  // namespace dcsr

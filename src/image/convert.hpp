@@ -14,6 +14,12 @@ FrameYUV rgb_to_yuv420(const FrameRGB& rgb);
 /// (step 2 of Fig. 6) and back after (step 5).
 FrameRGB yuv420_to_rgb(const FrameYUV& yuv);
 
+/// In-place variants: identical values, but the destination frame's planes
+/// are reshaped in place, so warm buffers make the conversion
+/// allocation-free. The playback hot loops call these with long-lived slots.
+void rgb_to_yuv420_into(const FrameRGB& rgb, FrameYUV& out);
+void yuv420_to_rgb_into(const FrameYUV& yuv, FrameRGB& out);
+
 /// Luma-only conversion of a single RGB pixel triple (used by metrics).
 float rgb_to_luma(float r, float g, float b) noexcept;
 

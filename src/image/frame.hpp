@@ -40,6 +40,15 @@ class Plane {
   float* data() noexcept { return data_.data(); }
   const float* data() const noexcept { return data_.data(); }
 
+  /// Resizes the plane in place, reusing the existing heap block whenever
+  /// its capacity suffices. Contents are unspecified afterwards — callers
+  /// fully overwrite. The warm-buffer path of the *_into converters below.
+  void reset(int width, int height) {
+    width_ = width;
+    height_ = height;
+    data_.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+  }
+
   void fill(float v) noexcept {
     for (auto& p : data_) p = v;
   }
@@ -90,5 +99,11 @@ Tensor frame_to_tensor(const FrameRGB& f);
 
 /// Unpacks a 1x3xHxW tensor into an RGB frame, clamping to [0,1].
 FrameRGB tensor_to_frame(const Tensor& t);
+
+/// In-place variants: identical values, but the destination is reshaped in
+/// place so a warm buffer (workspace checkout or long-lived frame slot) is
+/// reused instead of reallocated on every frame.
+void frame_to_tensor_into(const FrameRGB& f, Tensor& t);
+void tensor_to_frame_into(const Tensor& t, FrameRGB& f);
 
 }  // namespace dcsr

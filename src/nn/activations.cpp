@@ -3,7 +3,23 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/workspace.hpp"
+
 namespace dcsr::nn {
+
+namespace {
+
+// All four activations share the same shape-preserving elementwise pattern;
+// the workspace is unused because the transform needs no scratch at all.
+template <typename F>
+void map_into(const Tensor& x, Tensor& out, F&& f) {
+  out.reset(x.shape());
+  const float* src = x.data();
+  float* dst = out.data();
+  for (std::size_t i = 0; i < x.size(); ++i) dst[i] = f(src[i]);
+}
+
+}  // namespace
 
 Tensor ReLU::forward(const Tensor& x) {
   mask_ = Tensor(x.shape());
@@ -25,6 +41,11 @@ Tensor ReLU::infer(const Tensor& x) const {
   return out;
 }
 
+void ReLU::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  (void)ws;
+  map_into(x, out, [](float v) { return v < 0.0f ? 0.0f : v; });
+}
+
 Tensor ReLU::backward(const Tensor& grad_out) {
   if (mask_.empty()) throw std::logic_error("ReLU::backward before forward");
   Tensor grad = grad_out;
@@ -42,6 +63,12 @@ Tensor LeakyReLU::infer(const Tensor& x) const {
   for (std::size_t i = 0; i < out.size(); ++i)
     if (out[i] < 0.0f) out[i] *= slope_;
   return out;
+}
+
+void LeakyReLU::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  (void)ws;
+  const float slope = slope_;
+  map_into(x, out, [slope](float v) { return v < 0.0f ? v * slope : v; });
 }
 
 Tensor LeakyReLU::backward(const Tensor& grad_out) {
@@ -65,6 +92,11 @@ Tensor Sigmoid::infer(const Tensor& x) const {
   return out;
 }
 
+void Sigmoid::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  (void)ws;
+  map_into(x, out, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
 Tensor Sigmoid::backward(const Tensor& grad_out) {
   if (cached_output_.empty())
     throw std::logic_error("Sigmoid::backward before forward");
@@ -85,6 +117,11 @@ Tensor Tanh::infer(const Tensor& x) const {
   Tensor out = x;
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
   return out;
+}
+
+void Tanh::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  (void)ws;
+  map_into(x, out, [](float v) { return std::tanh(v); });
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {

@@ -10,6 +10,7 @@ class ReLU final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -23,6 +24,7 @@ class LeakyReLU final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   std::string name() const override { return "LeakyReLU"; }
 
  private:
@@ -37,6 +39,7 @@ class Sigmoid final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   std::string name() const override { return "Sigmoid"; }
 
  private:
@@ -49,6 +52,7 @@ class Tanh final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
   std::string name() const override { return "Tanh"; }
 
  private:

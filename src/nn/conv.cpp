@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr::nn {
@@ -34,13 +35,21 @@ void Conv2d::set_training(bool training) {
   if (!training) cached_cols_.clear();
 }
 
+std::vector<int> Conv2d::out_shape(const std::vector<int>& in) const {
+  if (in.size() != 4 || in[1] != in_channels_)
+    throw std::invalid_argument("Conv2d::out_shape: bad input shape");
+  return {in[0], out_channels_,
+          conv_out_size_checked(in[2], kernel_, stride_, pad_, "Conv2d"),
+          conv_out_size_checked(in[3], kernel_, stride_, pad_, "Conv2d")};
+}
+
 Tensor Conv2d::forward(const Tensor& x) {
   if (x.rank() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d: bad input shape " + x.shape_str());
   cached_input_ = x;
   const int N = x.dim(0);
-  const int oh = conv_out_size(x.dim(2), kernel_, stride_, pad_);
-  const int ow = conv_out_size(x.dim(3), kernel_, stride_, pad_);
+  const int oh = conv_out_size_checked(x.dim(2), kernel_, stride_, pad_, "Conv2d");
+  const int ow = conv_out_size_checked(x.dim(3), kernel_, stride_, pad_, "Conv2d");
   Tensor out({N, out_channels_, oh, ow});
   if (training())
     cached_cols_.assign(static_cast<std::size_t>(N), Tensor());
@@ -75,32 +84,38 @@ Tensor Conv2d::forward(const Tensor& x) {
 }
 
 Tensor Conv2d::infer(const Tensor& x) const {
+  Tensor out;
+  infer_into(x, out, Workspace::local());
+  return out;
+}
+
+void Conv2d::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  infer_into(x, out, ws, /*fuse_relu=*/false);
+}
+
+void Conv2d::infer_into(const Tensor& x, Tensor& out, Workspace& ws,
+                        bool fuse_relu) const {
   if (x.rank() != 4 || x.dim(1) != in_channels_)
     throw std::invalid_argument("Conv2d: bad input shape " + x.shape_str());
   const int N = x.dim(0);
-  const int oh = conv_out_size(x.dim(2), kernel_, stride_, pad_);
-  const int ow = conv_out_size(x.dim(3), kernel_, stride_, pad_);
-  Tensor out({N, out_channels_, oh, ow});
+  const int oh = conv_out_size_checked(x.dim(2), kernel_, stride_, pad_, "Conv2d");
+  const int ow = conv_out_size_checked(x.dim(3), kernel_, stride_, pad_, "Conv2d");
+  out.reset({N, out_channels_, oh, ow});
   // Same arithmetic as forward() — im2col then one GEMM per item, identical
-  // summation order, so the outputs are bit-identical — but all scratch is
-  // local to the call. Inference batches are almost always size 1, so the
-  // parallelism comes from inside im2col_into and matmul rather than from
-  // the batch axis.
-  Tensor cols({in_channels_ * kernel_ * kernel_, oh * ow});
+  // summation order, so the outputs are bit-identical — but all scratch
+  // comes from the caller's workspace and the GEMM writes each item's plane
+  // block in place with the bias (and optional ReLU) folded into its
+  // epilogue: a warm workspace makes the whole call allocation-free.
+  // Inference batches are almost always size 1, so the parallelism comes
+  // from inside im2col_into and the GEMM rather than from the batch axis.
+  WorkspaceTensor cols = ws.acquire({in_channels_ * kernel_ * kernel_, oh * ow});
   for (int n = 0; n < N; ++n) {
-    im2col_into(x, n, kernel_, stride_, pad_, cols);
-    const Tensor y = matmul(weight_.value, cols);  // outC x (oh*ow)
+    im2col_into(x, n, kernel_, stride_, pad_, *cols);
     float* dst =
         out.data() + static_cast<std::size_t>(n) * out_channels_ * oh * ow;
-    const float* src = y.data();
-    for (int c = 0; c < out_channels_; ++c) {
-      const float b = bias_.value[static_cast<std::size_t>(c)];
-      for (int i = 0; i < oh * ow; ++i)
-        dst[static_cast<std::size_t>(c) * oh * ow + i] =
-            src[static_cast<std::size_t>(c) * oh * ow + i] + b;
-    }
+    matmul_bias_into(weight_.value, *cols, bias_.value.data(),
+                     MutMat(dst, out_channels_, oh * ow), fuse_relu);
   }
-  return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
@@ -132,12 +147,11 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   parallel_for_writes(0, N, 1, claim, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t item = lo; item < hi; ++item) {
       const int n = static_cast<int>(item);
-      // View this item's output gradient as an (outC) x (oh*ow) matrix.
-      Tensor go({out_channels_, oh * ow});
+      // This item's slice of grad_out is already a contiguous
+      // (outC) x (oh*ow) matrix, so view it in place instead of copying.
       const float* src = grad_out.data() +
                          static_cast<std::size_t>(n) * out_channels_ * oh * ow;
-      std::copy(src, src + static_cast<std::size_t>(out_channels_) * oh * ow,
-                go.data());
+      const ConstMat go(src, out_channels_, oh * ow);
 
       // Reuse the columns built by forward; recompute only if a caller ran
       // forward in eval mode and then asked for gradients anyway.
@@ -149,16 +163,17 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
           have_cols ? cached_cols_[static_cast<std::size_t>(n)] : scratch;
 
       // dW_n = dY * cols^T ; db_n = rowsum(dY) ; dX_n = col2im(W^T * dY).
-      dw[static_cast<std::size_t>(n)] = matmul_nt(go, cols);
+      matmul_nt_into(go, cols, dw[static_cast<std::size_t>(n)]);
       Tensor dbn({out_channels_, 1});
       for (int c = 0; c < out_channels_; ++c) {
         float acc = 0.0f;
-        const float* row = go.data() + static_cast<std::size_t>(c) * oh * ow;
+        const float* row = src + static_cast<std::size_t>(c) * oh * ow;
         for (int i = 0; i < oh * ow; ++i) acc += row[i];
         dbn[static_cast<std::size_t>(c)] = acc;
       }
       db[static_cast<std::size_t>(n)] = std::move(dbn);
-      const Tensor dcols = matmul_tn(weight_.value, go);
+      Tensor dcols;
+      matmul_tn_into(weight_.value, go, dcols);
       col2im_add(dcols, grad_in, n, kernel_, stride_, pad_);
     }
   }, "nn/conv.cpp:Conv2d::backward");

@@ -17,6 +17,13 @@ class Conv2d final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
+  /// infer_into with the GEMM's fused epilogue extended to clamp at zero —
+  /// lets ResBlock fold its inner ReLU into conv1's bias pass. Bit-identical
+  /// to infer_into followed by a separate ReLU layer.
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws,
+                  bool fuse_relu) const;
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Conv2d"; }
   void set_training(bool training) override;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 
 namespace dcsr::nn {
 
@@ -22,14 +23,26 @@ Tensor Linear::forward(const Tensor& x) {
 }
 
 Tensor Linear::infer(const Tensor& x) const {
+  Tensor out;
+  infer_into(x, out, Workspace::local());
+  return out;
+}
+
+std::vector<int> Linear::out_shape(const std::vector<int>& in) const {
+  if (in.size() != 2 || in[1] != in_features_)
+    throw std::invalid_argument("Linear::out_shape: bad input shape");
+  return {in[0], out_features_};
+}
+
+void Linear::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  (void)ws;  // x * W^T writes straight into `out`; no intermediates needed
   if (x.rank() != 2 || x.dim(1) != in_features_)
     throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
-  Tensor out = matmul_nt(x, weight_.value);  // N x out
+  matmul_nt_into(x, weight_.value, out);  // N x out
   const int N = x.dim(0);
   for (int n = 0; n < N; ++n)
     for (int o = 0; o < out_features_; ++o)
       out.at(n, o) += bias_.value[static_cast<std::size_t>(o)];
-  return out;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {

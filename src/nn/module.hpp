@@ -6,6 +6,10 @@
 
 #include "tensor/tensor.hpp"
 
+namespace dcsr {
+class Workspace;
+}
+
 namespace dcsr::nn {
 
 /// A learnable parameter: value plus accumulated gradient of equal shape.
@@ -42,6 +46,26 @@ class Module {
   /// (the client pipeline's frame-level parallelism depends on this).
   /// backward() after infer() is a logic error: nothing was cached.
   virtual Tensor infer(const Tensor& x) const = 0;
+
+  /// Workspace-backed inference: computes the same function as infer() —
+  /// bit-identically — but writes the result into `out` (reshaped in place)
+  /// and draws every piece of scratch from `ws`, so a warm workspace makes
+  /// the call allocation-free. `ws` must be the calling thread's workspace
+  /// (see Workspace ownership rules in tensor/workspace.hpp); hot-path
+  /// layers override this, everything else falls back to infer().
+  virtual void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+    (void)ws;
+    out = infer(x);
+  }
+
+  /// Shape of the output this layer produces for an input of shape `in`,
+  /// without running it. Containers use it to size workspace checkouts with
+  /// the true shapes (sizing with placeholders would mis-count hits and
+  /// misses). Default: shape-preserving, which covers activations and
+  /// residual blocks.
+  virtual std::vector<int> out_shape(const std::vector<int>& in) const {
+    return in;
+  }
 
   /// Learnable parameters; default none.
   virtual std::vector<Param*> params() { return {}; }

@@ -1,5 +1,7 @@
 #include "nn/resblock.hpp"
 
+#include "tensor/workspace.hpp"
+
 namespace dcsr::nn {
 
 ResBlock::ResBlock(int channels, Rng& rng, float res_scale)
@@ -15,10 +17,20 @@ Tensor ResBlock::forward(const Tensor& x) {
 }
 
 Tensor ResBlock::infer(const Tensor& x) const {
-  Tensor y = conv2_.infer(relu_.infer(conv1_.infer(x)));
-  y.scale_(res_scale_);
-  y.add_(x);
-  return y;
+  Tensor out;
+  infer_into(x, out, Workspace::local());
+  return out;
+}
+
+void ResBlock::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  // conv1 with the ReLU folded into its GEMM epilogue (bit-identical to a
+  // separate ReLU layer — see matmul_bias_into), conv2 straight into the
+  // caller's buffer, then the residual scale and skip in place.
+  WorkspaceTensor mid = ws.acquire(conv1_.out_shape(x.shape()));
+  conv1_.infer_into(x, *mid, ws, /*fuse_relu=*/true);
+  conv2_.infer_into(*mid, out, ws);
+  out.scale_(res_scale_);
+  out.add_(x);
 }
 
 Tensor ResBlock::backward(const Tensor& grad_out) {

@@ -1,10 +1,12 @@
 #include "nn/shape_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 
+#include "tensor/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr::nn {
@@ -23,11 +25,25 @@ std::int64_t plane_grain(std::size_t plane_floats) {
 Tensor PixelShuffle::forward(const Tensor& x) { return infer(x); }
 
 Tensor PixelShuffle::infer(const Tensor& x) const {
+  Tensor out;
+  infer_into(x, out, Workspace::local());
+  return out;
+}
+
+std::vector<int> PixelShuffle::out_shape(const std::vector<int>& in) const {
+  const int r = scale_;
+  if (in.size() != 4 || in[1] % (r * r) != 0)
+    throw std::invalid_argument("PixelShuffle: channels not divisible by r^2");
+  return {in[0], in[1] / (r * r), in[2] * r, in[3] * r};
+}
+
+void PixelShuffle::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  (void)ws;  // pure gather, no scratch
   const int r = scale_;
   if (x.rank() != 4 || x.dim(1) % (r * r) != 0)
     throw std::invalid_argument("PixelShuffle: channels not divisible by r^2");
   const int N = x.dim(0), C = x.dim(1) / (r * r), H = x.dim(2), W = x.dim(3);
-  Tensor out({N, C, H * r, W * r});
+  out.reset({N, C, H * r, W * r});
   // Every output plane (n, c) is a pure gather from input planes — disjoint
   // writes, no accumulation, so the plane fan-out is bit-identical for any
   // thread count. Each chunk claims its contiguous run of output planes.
@@ -52,7 +68,6 @@ Tensor PixelShuffle::infer(const Tensor& x) const {
         }
       },
       "nn/shape_ops.cpp:PixelShuffle::infer");
-  return out;
 }
 
 Tensor PixelShuffle::backward(const Tensor& grad_out) {
@@ -104,10 +119,24 @@ Tap bilinear_tap(int o, int r, int in_size) noexcept {
 Tensor BilinearUpsample::forward(const Tensor& x) { return infer(x); }
 
 Tensor BilinearUpsample::infer(const Tensor& x) const {
+  Tensor out;
+  infer_into(x, out, Workspace::local());
+  return out;
+}
+
+std::vector<int> BilinearUpsample::out_shape(const std::vector<int>& in) const {
+  if (in.size() != 4)
+    throw std::invalid_argument("BilinearUpsample: expected NCHW");
+  return {in[0], in[1], in[2] * scale_, in[3] * scale_};
+}
+
+void BilinearUpsample::infer_into(const Tensor& x, Tensor& out,
+                                  Workspace& ws) const {
+  (void)ws;  // pure gather, no scratch
   if (x.rank() != 4) throw std::invalid_argument("BilinearUpsample: expected NCHW");
   const int r = scale_;
   const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
-  Tensor out({N, C, H * r, W * r});
+  out.reset({N, C, H * r, W * r});
   for (int oy = 0; oy < H * r; ++oy) {
     const Tap ty = bilinear_tap(oy, r, H);
     for (int ox = 0; ox < W * r; ++ox) {
@@ -122,7 +151,6 @@ Tensor BilinearUpsample::infer(const Tensor& x) const {
         }
     }
   }
-  return out;
 }
 
 Tensor BilinearUpsample::backward(const Tensor& grad_out) {
@@ -150,10 +178,24 @@ Tensor BilinearUpsample::backward(const Tensor& grad_out) {
 Tensor UpsampleNearest::forward(const Tensor& x) { return infer(x); }
 
 Tensor UpsampleNearest::infer(const Tensor& x) const {
+  Tensor out;
+  infer_into(x, out, Workspace::local());
+  return out;
+}
+
+std::vector<int> UpsampleNearest::out_shape(const std::vector<int>& in) const {
+  if (in.size() != 4)
+    throw std::invalid_argument("UpsampleNearest: expected NCHW");
+  return {in[0], in[1], in[2] * scale_, in[3] * scale_};
+}
+
+void UpsampleNearest::infer_into(const Tensor& x, Tensor& out,
+                                 Workspace& ws) const {
+  (void)ws;  // pure replication, no scratch
   if (x.rank() != 4) throw std::invalid_argument("UpsampleNearest: expected NCHW");
   const int r = scale_;
   const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
-  Tensor out({N, C, H * r, W * r});
+  out.reset({N, C, H * r, W * r});
   // Plane fan-out, same shape as PixelShuffle::infer: disjoint output
   // planes, pure replication, each chunk claiming its plane run.
   const std::size_t plane = static_cast<std::size_t>(H) * r * W * r;
@@ -173,7 +215,6 @@ Tensor UpsampleNearest::infer(const Tensor& x) const {
         }
       },
       "nn/shape_ops.cpp:UpsampleNearest::infer");
-  return out;
 }
 
 Tensor UpsampleNearest::backward(const Tensor& grad_out) {
@@ -200,6 +241,18 @@ Tensor Flatten::infer(const Tensor& x) const {
   return x.reshaped({x.dim(0), x.dim(1) * x.dim(2) * x.dim(3)});
 }
 
+std::vector<int> Flatten::out_shape(const std::vector<int>& in) const {
+  if (in.size() != 4) throw std::invalid_argument("Flatten: expected NCHW");
+  return {in[0], in[1] * in[2] * in[3]};
+}
+
+void Flatten::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  (void)ws;
+  if (x.rank() != 4) throw std::invalid_argument("Flatten: expected NCHW");
+  out.reset({x.dim(0), x.dim(1) * x.dim(2) * x.dim(3)});
+  std::copy(x.data(), x.data() + x.size(), out.data());
+}
+
 Tensor Flatten::backward(const Tensor& grad_out) {
   if (cached_shape_.empty())
     throw std::logic_error("Flatten::backward before forward");
@@ -211,6 +264,20 @@ Tensor Reshape4::forward(const Tensor& x) { return infer(x); }
 Tensor Reshape4::infer(const Tensor& x) const {
   if (x.rank() != 2) throw std::invalid_argument("Reshape4: expected 2-D input");
   return x.reshaped({x.dim(0), c_, h_, w_});
+}
+
+std::vector<int> Reshape4::out_shape(const std::vector<int>& in) const {
+  if (in.size() != 2) throw std::invalid_argument("Reshape4: expected 2-D input");
+  return {in[0], c_, h_, w_};
+}
+
+void Reshape4::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  (void)ws;
+  if (x.rank() != 2) throw std::invalid_argument("Reshape4: expected 2-D input");
+  if (x.size() != static_cast<std::size_t>(x.dim(0)) * c_ * h_ * w_)
+    throw std::invalid_argument("Reshape4: element count mismatch");
+  out.reset({x.dim(0), c_, h_, w_});
+  std::copy(x.data(), x.data() + x.size(), out.data());
 }
 
 Tensor Reshape4::backward(const Tensor& grad_out) {

@@ -13,6 +13,8 @@ class PixelShuffle final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
   std::string name() const override { return "PixelShuffle"; }
   int scale() const noexcept { return scale_; }
 
@@ -30,6 +32,8 @@ class BilinearUpsample final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
   std::string name() const override { return "BilinearUpsample"; }
 
  private:
@@ -43,6 +47,8 @@ class UpsampleNearest final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
   std::string name() const override { return "UpsampleNearest"; }
 
  private:
@@ -55,6 +61,8 @@ class Flatten final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
   std::string name() const override { return "Flatten"; }
 
  private:
@@ -69,6 +77,8 @@ class Reshape4 final : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
   std::string name() const override { return "Reshape4"; }
 
  private:

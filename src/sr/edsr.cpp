@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "tensor/workspace.hpp"
+
 namespace dcsr::sr {
 
 namespace {
@@ -65,20 +67,63 @@ Tensor Edsr::forward(const Tensor& x) {
 }
 
 Tensor Edsr::infer(const Tensor& x) const {
-  const Tensor h = head_.infer(x);
-  Tensor b = h;
-  for (const auto& rb : body_) b = rb->infer(b);
-  Tensor s = body_conv_.infer(b);
-  s.add_(h);
-  for (std::size_t i = 0; i < up_convs_.size(); ++i)
-    s = up_shuffles_[i]->infer(up_convs_[i]->infer(s));
-  Tensor y = tail_.infer(s);
-  if (cfg_.scale == 1) {
-    y.add_(x);
-  } else {
-    y.add_(input_upsample_->infer(x));
+  Tensor out;
+  infer_into(x, out, Workspace::local());
+  return out;
+}
+
+std::vector<int> Edsr::out_shape(const std::vector<int>& in) const {
+  if (in.size() != 4 || in[1] != 3)
+    throw std::invalid_argument("Edsr: expected Nx3xHxW input");
+  return {in[0], 3, in[2] * cfg_.scale, in[3] * cfg_.scale};
+}
+
+void Edsr::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
+  // Same chain and float order as forward()/the old allocating infer(), but
+  // every intermediate is a workspace checkout: the head activation stays
+  // live for the global skip, the residual body ping-pongs through two
+  // equal-shaped buffers (each freed before the next acquire, so at most
+  // two are outstanding), and the tail writes straight into `out`.
+  const std::vector<int> fshape = head_.out_shape(x.shape());
+  WorkspaceTensor h = ws.acquire(fshape);
+  head_.infer_into(x, *h, ws);
+  WorkspaceTensor bufs[2];
+  int slot = 0;
+  const Tensor* cur = &*h;
+  for (const auto& rb : body_) {
+    bufs[slot] = WorkspaceTensor();
+    WorkspaceTensor next = ws.acquire(fshape);
+    rb->infer_into(*cur, *next, ws);
+    bufs[slot] = std::move(next);
+    cur = &*bufs[slot];
+    slot ^= 1;
   }
-  return y;
+  bufs[slot] = WorkspaceTensor();
+  WorkspaceTensor s = ws.acquire(fshape);
+  body_conv_.infer_into(*cur, *s, ws);
+  s->add_(*h);  // global residual
+  bufs[0] = WorkspaceTensor();
+  bufs[1] = WorkspaceTensor();
+  h = WorkspaceTensor();  // skip consumed; buffer goes home
+  std::vector<int> shape = fshape;
+  for (std::size_t i = 0; i < up_convs_.size(); ++i) {
+    const std::vector<int> cshape = up_convs_[i]->out_shape(shape);
+    WorkspaceTensor expanded = ws.acquire(cshape);
+    up_convs_[i]->infer_into(*s, *expanded, ws);
+    shape = up_shuffles_[i]->out_shape(cshape);
+    s = WorkspaceTensor();  // conv input no longer needed
+    WorkspaceTensor shuffled = ws.acquire(shape);
+    up_shuffles_[i]->infer_into(*expanded, *shuffled, ws);
+    s = std::move(shuffled);
+  }
+  tail_.infer_into(*s, out, ws);
+  if (cfg_.scale == 1) {
+    out.add_(x);
+  } else {
+    WorkspaceTensor up = ws.acquire(input_upsample_->out_shape(x.shape()));
+    input_upsample_->infer_into(x, *up, ws);
+    out.add_(*up);
+  }
 }
 
 Tensor Edsr::backward(const Tensor& grad_out) {
@@ -121,7 +166,22 @@ void Edsr::set_training(bool training) {
 }
 
 FrameRGB Edsr::enhance(const FrameRGB& frame) const {
-  return tensor_to_frame(infer(frame_to_tensor(frame)));
+  FrameRGB out;
+  enhance_into(frame, out);
+  return out;
+}
+
+void Edsr::enhance_into(const FrameRGB& frame, FrameRGB& out) const {
+  // Both tensor endpoints come from this thread's workspace, so the only
+  // buffers that persist across calls are the caller's `out` planes — warm
+  // ones are rewritten in place.
+  Workspace& ws = Workspace::local();
+  WorkspaceTensor in = ws.acquire({1, 3, frame.height(), frame.width()});
+  frame_to_tensor_into(frame, *in);
+  WorkspaceTensor y = ws.acquire(out_shape(in->shape()));
+  infer_into(*in, *y, ws);
+  in = WorkspaceTensor();
+  tensor_to_frame_into(*y, out);
 }
 
 std::uint64_t Edsr::flops(int in_width, int in_height) const noexcept {

@@ -46,6 +46,13 @@ class Edsr final : public nn::Module {
   /// the client pipeline's frame-level inference parallelism relies on it.
   Tensor infer(const Tensor& x) const override;
 
+  /// Workspace-backed infer: bit-identical to infer(), all intermediates
+  /// drawn from `ws` (the calling thread's workspace). Steady-state playback
+  /// runs this with zero heap allocations once the workspace is warm.
+  void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
+
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
+
   std::vector<nn::Param*> params() override;
   std::string name() const override { return "Edsr"; }
   void set_training(bool training) override;
@@ -66,6 +73,12 @@ class Edsr final : public nn::Module {
   /// Enhances a single RGB frame (convenience around infer()). const and
   /// thread-safe: no train/eval toggling, no layer caches touched.
   FrameRGB enhance(const FrameRGB& frame) const;
+
+  /// enhance() writing into a caller-owned frame: with `out` warm (same
+  /// size as the last call) and this thread's workspace warmed up, the whole
+  /// enhance path — conversion, inference, conversion back — runs without
+  /// touching the allocator. Values identical to enhance().
+  void enhance_into(const FrameRGB& frame, FrameRGB& out) const;
 
  private:
   EdsrConfig cfg_;

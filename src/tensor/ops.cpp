@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/thread_pool.hpp"
@@ -134,7 +135,8 @@ void micro_tile_any(const float* A, std::size_t a_rs, std::size_t a_ks,
 
 void gemm_strided(const float* A, std::size_t a_rs, std::size_t a_ks,
                   const float* B, std::size_t ldb, float* C, std::size_t ldc,
-                  int m, int n, int k) {
+                  int m, int n, int k, const float* row_bias = nullptr,
+                  bool fuse_relu = false) {
   if (m == 0 || n == 0 || k == 0) return;
   // Size row chunks so each task carries at least ~1 MFLOP of work.
   const std::int64_t flops_per_row = 2LL * k * n;
@@ -164,6 +166,23 @@ void gemm_strided(const float* A, std::size_t a_rs, std::size_t a_ks,
               micro_tile(Ap, a_rs, a_ks, Bp + j, ldb, Cp + j, ldc, kn);
           if (j < jn)
             micro_tile_any(Ap, a_rs, a_ks, Bp + j, ldb, Cp + j, ldc, mr, jn - j, kn);
+        }
+      }
+      // Fused epilogue: once the kc loop above has finished, every element
+      // of the [ilo, ihi) x [jc, jc+jn) panel holds its fully accumulated
+      // dot product, so adding the bias here (and clamping afterwards) is
+      // the same float-op sequence as a separate bias pass followed by a
+      // separate ReLU — fused output is bit-identical to the unfused one.
+      // The panel sits inside this chunk's claimed rows, so no new claims.
+      if (row_bias != nullptr || fuse_relu) {
+        for (std::int64_t i = ilo; i < ihi; ++i) {
+          float* Cp = C + static_cast<std::size_t>(i) * ldc + jc;
+          if (row_bias != nullptr) {
+            const float b = row_bias[i];
+            for (int j = 0; j < jn; ++j) Cp[j] += b;
+          }
+          if (fuse_relu)
+            for (int j = 0; j < jn; ++j) Cp[j] = Cp[j] > 0.0f ? Cp[j] : 0.0f;
         }
       }
     }
@@ -204,6 +223,20 @@ void dot_tile(const float* A, std::size_t lda, const float* B, std::size_t ldb,
 
 }  // namespace
 
+ConstMat::ConstMat(const Tensor& t) {
+  require_2d(t, "ConstMat");
+  data = t.data();
+  rows = t.dim(0);
+  cols = t.dim(1);
+}
+
+MutMat::MutMat(Tensor& t) {
+  require_2d(t, "MutMat");
+  data = t.data();
+  rows = t.dim(0);
+  cols = t.dim(1);
+}
+
 Tensor add(const Tensor& a, const Tensor& b) {
   require_same(a, b, "add");
   Tensor out = a;
@@ -231,38 +264,63 @@ Tensor scaled(const Tensor& a, float s) {
   return out;
 }
 
+void matmul_into(ConstMat a, ConstMat b, Tensor& out) {
+  const int m = a.rows, k = a.cols, n = b.cols;
+  if (b.rows != k) throw std::invalid_argument("matmul_into: inner dim mismatch");
+  out.reset({m, n});
+  std::fill(out.data(), out.data() + out.size(), 0.0f);
+  gemm_strided(a.data, static_cast<std::size_t>(k), 1, b.data,
+               static_cast<std::size_t>(n), out.data(),
+               static_cast<std::size_t>(n), m, n, k);
+}
+
+void matmul_tn_into(ConstMat a, ConstMat b, Tensor& out) {
+  const int k = a.rows, m = a.cols, n = b.cols;
+  if (b.rows != k) throw std::invalid_argument("matmul_tn_into: inner dim mismatch");
+  out.reset({m, n});
+  std::fill(out.data(), out.data() + out.size(), 0.0f);
+  gemm_strided(a.data, 1, static_cast<std::size_t>(m), b.data,
+               static_cast<std::size_t>(n), out.data(),
+               static_cast<std::size_t>(n), m, n, k);
+}
+
+void matmul_bias_into(ConstMat a, ConstMat b, const float* row_bias, MutMat out,
+                      bool fuse_relu) {
+  const int m = a.rows, k = a.cols, n = b.cols;
+  if (b.rows != k)
+    throw std::invalid_argument("matmul_bias_into: inner dim mismatch");
+  if (out.rows != m || out.cols != n)
+    throw std::invalid_argument("matmul_bias_into: output shape mismatch");
+  std::fill(out.data, out.data + static_cast<std::size_t>(m) * n, 0.0f);
+  gemm_strided(a.data, static_cast<std::size_t>(k), 1, b.data,
+               static_cast<std::size_t>(n), out.data,
+               static_cast<std::size_t>(n), m, n, k, row_bias, fuse_relu);
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
   require_2d(a, "matmul");
   require_2d(b, "matmul");
-  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k) throw std::invalid_argument("matmul: inner dim mismatch");
-  Tensor out({m, n});
-  gemm_strided(a.data(), static_cast<std::size_t>(k), 1, b.data(),
-               static_cast<std::size_t>(n), out.data(),
-               static_cast<std::size_t>(n), m, n, k);
+  if (b.dim(0) != a.dim(1)) throw std::invalid_argument("matmul: inner dim mismatch");
+  Tensor out;
+  matmul_into(a, b, out);
   return out;
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   require_2d(a, "matmul_tn");
   require_2d(b, "matmul_tn");
-  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  if (b.dim(0) != k) throw std::invalid_argument("matmul_tn: inner dim mismatch");
-  Tensor out({m, n});
-  gemm_strided(a.data(), 1, static_cast<std::size_t>(m), b.data(),
-               static_cast<std::size_t>(n), out.data(),
-               static_cast<std::size_t>(n), m, n, k);
+  if (b.dim(0) != a.dim(0)) throw std::invalid_argument("matmul_tn: inner dim mismatch");
+  Tensor out;
+  matmul_tn_into(a, b, out);
   return out;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  require_2d(a, "matmul_nt");
-  require_2d(b, "matmul_nt");
-  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  if (b.dim(1) != k) throw std::invalid_argument("matmul_nt: inner dim mismatch");
-  Tensor out({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
+void matmul_nt_into(ConstMat a, ConstMat b, Tensor& out) {
+  const int m = a.rows, k = a.cols, n = b.rows;
+  if (b.cols != k) throw std::invalid_argument("matmul_nt_into: inner dim mismatch");
+  out.reset({m, n});
+  const float* A = a.data;
+  const float* B = b.data;
   float* C = out.data();
   const std::int64_t flops_per_row = 2LL * k * n;
   const std::int64_t grain =
@@ -285,6 +343,14 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
       }
     }
   }, "tensor/ops.cpp:matmul_nt");
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  require_2d(a, "matmul_nt");
+  require_2d(b, "matmul_nt");
+  if (b.dim(1) != a.dim(1)) throw std::invalid_argument("matmul_nt: inner dim mismatch");
+  Tensor out;
+  matmul_nt_into(a, b, out);
   return out;
 }
 
@@ -363,6 +429,21 @@ Tensor transpose(const Tensor& a) {
 
 int conv_out_size(int in, int kernel, int stride, int pad) noexcept {
   return (in + 2 * pad - kernel) / stride + 1;
+}
+
+int conv_out_size_checked(int in, int kernel, int stride, int pad,
+                          const char* what) {
+  const auto bad = [&](const char* reason) {
+    std::ostringstream os;
+    os << what << ": " << reason << " (in=" << in << ", kernel=" << kernel
+       << ", stride=" << stride << ", pad=" << pad << ")";
+    throw std::invalid_argument(os.str());
+  };
+  if (stride <= 0) bad("non-positive stride");
+  if (kernel <= 0) bad("non-positive kernel");
+  const int out = conv_out_size(in, kernel, stride, pad);
+  if (out <= 0) bad("non-positive conv output size");
+  return out;
 }
 
 Tensor im2col(const Tensor& input, int n, int kernel, int stride, int pad) {

@@ -10,6 +10,31 @@ Tensor sub(const Tensor& a, const Tensor& b);
 Tensor mul(const Tensor& a, const Tensor& b);
 Tensor scaled(const Tensor& a, float s);
 
+/// Non-owning view of a row-major 2-D matrix. The `*_into` GEMM entry points
+/// accept views so a kernel can multiply a slice of a larger buffer (e.g.
+/// one batch item's plane block inside an NCHW tensor) without first copying
+/// it into a fresh Tensor. Implicitly constructible from a rank-2 Tensor.
+struct ConstMat {
+  const float* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+
+  ConstMat() = default;
+  ConstMat(const float* d, int r, int c) noexcept : data(d), rows(r), cols(c) {}
+  ConstMat(const Tensor& t);  // throws std::invalid_argument unless rank 2
+};
+
+/// Mutable counterpart of ConstMat for caller-owned output memory.
+struct MutMat {
+  float* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+
+  MutMat() = default;
+  MutMat(float* d, int r, int c) noexcept : data(d), rows(r), cols(c) {}
+  MutMat(Tensor& t);  // throws std::invalid_argument unless rank 2
+};
+
 /// Matrix product of 2-D tensors: (m x k) * (k x n) -> (m x n).
 ///
 /// Cache-blocked (MC/KC/NC) with a register-tiled inner kernel, parallelised
@@ -27,6 +52,28 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 /// accumulation order differs from the naive reference (compare with a
 /// tolerance, not bitwise).
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// `*_into` variants of the three products: identical kernels and float
+/// order (bit-identical results), but the output is written into `out`,
+/// which is reshaped in place — a warm caller-owned buffer (typically a
+/// Workspace checkout) is reused instead of reallocated. The allocating
+/// entry points above are thin wrappers over these. `out` must not alias
+/// either input.
+void matmul_into(ConstMat a, ConstMat b, Tensor& out);
+void matmul_tn_into(ConstMat a, ConstMat b, Tensor& out);
+void matmul_nt_into(ConstMat a, ConstMat b, Tensor& out);
+
+/// Conv GEMM with a fused bias (and optionally ReLU) epilogue, written into
+/// caller memory: out = a * b, then out[r][j] += row_bias[r] for every
+/// element, then (if fuse_relu) out = max(0, out). The epilogue runs only
+/// after an element's k-summation has fully accumulated, so the float-op
+/// order is exactly "matmul, then a separate bias pass, then a separate
+/// ReLU pass" — fused results are bit-identical to the unfused sequence.
+/// `row_bias` (length a.rows) may be null for a pure product. `out` must be
+/// pre-sized to a.rows x b.cols by the caller (it is a slice of a larger
+/// tensor in the Conv2d hot path).
+void matmul_bias_into(ConstMat a, ConstMat b, const float* row_bias, MutMat out,
+                      bool fuse_relu = false);
 
 /// Scalar, unblocked, single-threaded reference implementations. Kept as the
 /// ground truth the blocked kernels are property-tested against.
@@ -57,6 +104,13 @@ void col2im_add(const Tensor& cols, Tensor& out, int n, int kernel, int stride,
 
 /// Output spatial size of a convolution: floor((in + 2*pad - kernel)/stride)+1.
 int conv_out_size(int in, int kernel, int stride, int pad) noexcept;
+
+/// conv_out_size that rejects degenerate geometry: a non-positive output
+/// extent throws std::invalid_argument naming `what` and the offending
+/// in/kernel/stride/pad combination instead of silently producing a 0- or
+/// negative-sized tensor downstream.
+int conv_out_size_checked(int in, int kernel, int stride, int pad,
+                          const char* what);
 
 /// Sum of all elements.
 double sum(const Tensor& a) noexcept;

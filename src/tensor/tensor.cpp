@@ -41,6 +41,14 @@ Tensor Tensor::reshaped(std::vector<int> shape) const {
   return t;
 }
 
+bool Tensor::reset(std::vector<int> shape) {
+  const std::size_t n = element_count(shape);
+  const bool reused = n <= data_.capacity();
+  data_.resize(n);
+  shape_ = std::move(shape);
+  return reused;
+}
+
 void Tensor::fill(float v) noexcept {
   for (auto& x : data_) x = v;
 }

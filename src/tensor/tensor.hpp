@@ -72,6 +72,16 @@ class Tensor {
   /// Returns a copy with a new shape of equal element count.
   Tensor reshaped(std::vector<int> shape) const;
 
+  /// Reshapes this tensor in place to `shape`, reusing the existing heap
+  /// block whenever its capacity suffices. Contents are unspecified
+  /// afterwards (callers must fully overwrite or zero() first). Returns true
+  /// when the storage was reused, false when the change of size forced a
+  /// reallocation — the signal the Workspace uses for hit/miss accounting.
+  bool reset(std::vector<int> shape);
+
+  /// Floats the underlying heap block can hold without reallocating.
+  std::size_t capacity() const noexcept { return data_.capacity(); }
+
   void fill(float v) noexcept;
   void zero() noexcept { fill(0.0f); }
 

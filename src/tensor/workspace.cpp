@@ -1,0 +1,133 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace dcsr {
+
+namespace {
+
+// Registry of live workspaces so aggregate_stats() can sum across threads.
+// Registration happens once per thread (workspace construction) and removal
+// at thread exit — never on the acquire/release hot path. Mutex and vector
+// are intentionally immortal (heap-allocated, never destroyed): the TLS
+// destructor of a `thread_local Workspace` on an async/pool thread can run
+// after the main thread's static destructors, so a destructible registry
+// would be a use-after-free at shutdown. Both stay reachable through the
+// static pointers, so leak checkers don't count them.
+std::mutex& registry_mutex() {
+  static std::mutex* const m = new std::mutex;
+  return *m;
+}
+std::vector<const Workspace*>& registry() {
+  static auto* const r = new std::vector<const Workspace*>;
+  return *r;
+}
+
+std::size_t element_count_of(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) n *= static_cast<std::size_t>(d > 0 ? d : 0);
+  return n;
+}
+
+}  // namespace
+
+WorkspaceTensor& WorkspaceTensor::operator=(WorkspaceTensor&& other) noexcept {
+  if (this != &other) {
+    release();
+    ws_ = std::exchange(other.ws_, nullptr);
+    tensor_ = std::move(other.tensor_);
+  }
+  return *this;
+}
+
+void WorkspaceTensor::release() noexcept {
+  if (ws_ == nullptr) return;
+  ws_->release(std::move(tensor_));
+  ws_ = nullptr;
+}
+
+Workspace::Workspace() {
+  std::lock_guard lk(registry_mutex());
+  registry().push_back(this);
+}
+
+Workspace::~Workspace() {
+  std::lock_guard lk(registry_mutex());
+  auto& r = registry();
+  r.erase(std::remove(r.begin(), r.end(), this), r.end());
+}
+
+WorkspaceTensor Workspace::acquire(std::vector<int> shape) {
+  const std::size_t need = element_count_of(shape);
+  // Smallest adequate cached buffer wins: free_ is sorted by capacity, so
+  // the first entry that fits is the tightest one. Identical acquire
+  // sequences therefore map to identical buffers frame after frame.
+  const auto it = std::find_if(free_.begin(), free_.end(), [need](const Tensor& t) {
+    return t.capacity() >= need;
+  });
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  if (it != free_.end()) {
+    Tensor t = std::move(*it);
+    free_.erase(it);
+    cached_.store(free_.size(), std::memory_order_relaxed);
+    t.reset(std::move(shape));
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return WorkspaceTensor(this, std::move(t));
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  bytes_allocated_.fetch_add(need * sizeof(float), std::memory_order_relaxed);
+  return WorkspaceTensor(this, Tensor(std::move(shape)));
+}
+
+WorkspaceTensor Workspace::acquire_zeroed(std::vector<int> shape) {
+  WorkspaceTensor t = acquire(std::move(shape));
+  t->zero();
+  return t;
+}
+
+void Workspace::release(Tensor&& t) noexcept {
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  if (t.capacity() == 0) return;  // nothing worth caching
+  const auto pos = std::lower_bound(
+      free_.begin(), free_.end(), t.capacity(),
+      [](const Tensor& a, std::size_t cap) { return a.capacity() < cap; });
+  free_.insert(pos, std::move(t));
+  cached_.store(free_.size(), std::memory_order_relaxed);
+}
+
+Workspace::Stats Workspace::stats() const noexcept {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
+  s.outstanding = outstanding_.load(std::memory_order_relaxed);
+  s.cached = cached_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Workspace::clear() noexcept {
+  free_.clear();
+  cached_.store(0, std::memory_order_relaxed);
+}
+
+Workspace& Workspace::local() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+Workspace::Stats Workspace::aggregate_stats() {
+  std::lock_guard lk(registry_mutex());
+  Stats total;
+  for (const Workspace* ws : registry()) {
+    const Stats s = ws->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.bytes_allocated += s.bytes_allocated;
+    total.outstanding += s.outstanding;
+    total.cached += s.cached;
+  }
+  return total;
+}
+
+}  // namespace dcsr

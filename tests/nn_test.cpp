@@ -556,6 +556,45 @@ TEST(Infer, ConcurrentCallsOnSharedModuleMatchSerial) {
   }
 }
 
+TEST(Infer, MatchesForwardBitwiseAcrossThreadCounts) {
+  // The workspace-backed infer path under different DCSR_THREADS settings
+  // must reproduce forward()'s floats exactly — same pin as the per-layer
+  // test, but exercising the pool-width axis the claim checker cares about.
+  const int saved_threads = default_thread_count();
+  Rng rng(35);
+  Sequential seq;
+  seq.emplace<Conv2d>(3, 6, 3, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Conv2d>(6, 3, 3, rng);
+  const Tensor x = Tensor::randn({1, 3, 9, 7}, rng);
+  const Tensor ref = seq.forward(x);
+  for (const int threads : {1, 4}) {
+    set_default_pool_threads(threads);
+    const Tensor y = seq.infer(x);
+    ASSERT_EQ(ref.shape(), y.shape());
+    for (std::size_t j = 0; j < ref.size(); ++j)
+      ASSERT_EQ(ref[j], y[j]) << "threads=" << threads << " element " << j;
+  }
+  set_default_pool_threads(saved_threads);
+}
+
+TEST(Conv2d, RejectsDegenerateOutputGeometry) {
+  Rng rng(36);
+  // 5x5 kernel, no padding, on a 2x2 image: the output extent would be -2.
+  Conv2d conv(1, 1, 5, rng, /*stride=*/1, /*pad=*/0);
+  const Tensor tiny = Tensor::randn({1, 1, 2, 2}, rng);
+  try {
+    conv.forward(tiny);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("kernel=5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pad=0"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(conv.infer(tiny), std::invalid_argument);
+  EXPECT_THROW(conv.out_shape(tiny.shape()), std::invalid_argument);
+}
+
 TEST(TrainingModeGuard, RestoresModeWhenForwardThrows) {
   Rng rng(34);
   Conv2d conv(3, 4, 3, rng);

@@ -12,6 +12,7 @@
 #include "sr/min_model.hpp"
 #include "sr/model_zoo.hpp"
 #include "sr/trainer.hpp"
+#include "tensor/workspace.hpp"
 #include "util/thread_pool.hpp"
 #include "video/scene.hpp"
 
@@ -277,6 +278,52 @@ TEST(Edsr, InferMatchesForwardBitwise) {
   ASSERT_EQ(from_forward.shape(), from_infer.shape());
   for (std::size_t i = 0; i < from_forward.size(); ++i)
     EXPECT_EQ(from_forward[i], from_infer[i]) << "element " << i;
+}
+
+TEST(Edsr, InferMatchesForwardBitwiseAcrossThreadCounts) {
+  // The workspace-backed infer path must stay on the PR-1 contract: the same
+  // floats as forward() regardless of DCSR_THREADS.
+  const int saved = default_thread_count();
+  Rng rng(97);
+  Edsr model({.n_filters = 6, .n_resblocks = 2, .scale = 2}, rng);
+  const Tensor x = Tensor::randn({1, 3, 12, 10}, rng, 0.2f);
+  const Tensor ref = model.forward(x);
+  for (const int threads : {1, 4}) {
+    set_default_pool_threads(threads);
+    const Tensor y = model.infer(x);
+    ASSERT_EQ(ref.shape(), y.shape());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      ASSERT_EQ(ref[i], y[i]) << "threads=" << threads << " element " << i;
+  }
+  set_default_pool_threads(saved);
+}
+
+TEST(Edsr, SteadyStateEnhanceHasZeroWorkspaceMisses) {
+  // The tentpole claim: after one warm-up frame, playback-style enhance runs
+  // entirely out of this thread's workspace — every checkout is a hit, no
+  // allocator traffic, and every buffer goes home between frames.
+  Rng rng(95);
+  const Edsr model({.n_filters = 4, .n_resblocks = 2, .scale = 1}, rng);
+  const Edsr model2x({.n_filters = 4, .n_resblocks = 1, .scale = 2}, rng);
+  const FrameRGB frame = textured_frame(24, 16, 96);
+  FrameRGB out, out2x;
+  model.enhance_into(frame, out);      // warm-up: misses allowed here only
+  model2x.enhance_into(frame, out2x);  // (scale-2 exercises the upsampler)
+
+  Workspace& ws = Workspace::local();
+  const Workspace::Stats warm = ws.stats();
+  for (int i = 0; i < 10; ++i) {
+    model.enhance_into(frame, out);
+    model2x.enhance_into(frame, out2x);
+  }
+  const Workspace::Stats after = ws.stats();
+  EXPECT_EQ(after.misses, warm.misses)
+      << "a warm workspace must serve every steady-state checkout";
+  EXPECT_EQ(after.bytes_allocated, warm.bytes_allocated);
+  EXPECT_EQ(after.outstanding, 0u) << "all checkouts return between frames";
+  EXPECT_EQ(after.cached, warm.cached)
+      << "zero-miss frames leave the free list exactly as found";
+  EXPECT_GT(after.hits, warm.hits);
 }
 
 TEST(Edsr, EnhanceIsConstAndPreservesTrainingMode) {

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "tensor/ops.hpp"
 #include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr {
@@ -218,6 +222,183 @@ TEST(Ops, SumAndMse) {
   Tensor b = Tensor::full({4}, 3.0f);
   EXPECT_DOUBLE_EQ(sum(a), 8.0);
   EXPECT_DOUBLE_EQ(mse(a, b), 1.0);
+}
+
+TEST(Ops, ConvOutSizeCheckedThrowsNamingGeometry) {
+  // The happy path agrees with the unchecked helper.
+  EXPECT_EQ(conv_out_size_checked(8, 3, 1, 1, "conv"), conv_out_size(8, 3, 1, 1));
+  // Kernel overhangs the padded input: output extent would be <= 0.
+  try {
+    conv_out_size_checked(2, 5, 1, 0, "Conv2d height");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("Conv2d height"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("in=2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("kernel=5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("stride=1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pad=0"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(conv_out_size_checked(8, 3, 0, 1, "s"), std::invalid_argument);
+  EXPECT_THROW(conv_out_size_checked(8, 0, 1, 1, "k"), std::invalid_argument);
+}
+
+// The *_into kernels are the allocation-free spellings of the allocating
+// entry points (which are now thin wrappers around them). Same floats, and a
+// warm destination of the wrong shape must be reshaped in place.
+TEST(Ops, IntoVariantsMatchAllocatingBitwise) {
+  Rng rng(29);
+  const Tensor a = Tensor::randn({13, 21}, rng);
+  const Tensor b = Tensor::randn({21, 17}, rng);
+  const Tensor at = Tensor::randn({21, 13}, rng);
+  const Tensor bt = Tensor::randn({17, 21}, rng);
+
+  Tensor out = Tensor::full({2, 2}, 9.0f);  // stale shape and contents
+  matmul_into(a, b, out);
+  const Tensor c = matmul(a, b);
+  ASSERT_TRUE(out.same_shape(c));
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(out[i], c[i]);
+
+  matmul_tn_into(at, b, out);
+  const Tensor ct = matmul_tn(at, b);
+  ASSERT_TRUE(out.same_shape(ct));
+  for (std::size_t i = 0; i < ct.size(); ++i) EXPECT_EQ(out[i], ct[i]);
+
+  matmul_nt_into(a, bt, out);
+  const Tensor cn = matmul_nt(a, bt);
+  ASSERT_TRUE(out.same_shape(cn));
+  for (std::size_t i = 0; i < cn.size(); ++i) EXPECT_EQ(out[i], cn[i]);
+
+  const Tensor x = Tensor::randn({1, 3, 6, 6}, rng);
+  const Tensor cols = im2col(x, 0, 3, 1, 1);
+  // im2col_into validates rather than reshapes: the caller owns the sizing
+  // (conv acquires the exact shape from its workspace).
+  Tensor cols_out = Tensor::full(cols.shape(), 5.0f);
+  im2col_into(x, 0, 3, 1, 1, cols_out);
+  EXPECT_THROW(im2col_into(x, 0, 3, 1, 1, out), std::invalid_argument);
+  ASSERT_TRUE(cols_out.same_shape(cols));
+  for (std::size_t i = 0; i < cols.size(); ++i) EXPECT_EQ(cols_out[i], cols[i]);
+}
+
+// The fused conv epilogue: bias (and optionally ReLU) applied inside the
+// GEMM after full k-accumulation must be bit-identical to the separate
+// passes — the PR-1/PR-2 determinism pins depend on it.
+TEST(Ops, FusedBiasEpilogueMatchesSeparatePassesBitwise) {
+  Rng rng(31);
+  const int m = 9, k = 27, n = 40;
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor bias = Tensor::randn({m}, rng);
+
+  Tensor ref = matmul(a, b);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j)
+      ref.at(i, j) += bias[static_cast<std::size_t>(i)];
+
+  Tensor fused({m, n});
+  matmul_bias_into(a, b, bias.data(), fused);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(fused[i], ref[i]);
+
+  Tensor relu_ref = ref;
+  for (std::size_t i = 0; i < relu_ref.size(); ++i)
+    relu_ref[i] = relu_ref[i] > 0.0f ? relu_ref[i] : 0.0f;
+  Tensor fused_relu({m, n});
+  matmul_bias_into(a, b, bias.data(), fused_relu, /*fuse_relu=*/true);
+  for (std::size_t i = 0; i < relu_ref.size(); ++i)
+    EXPECT_EQ(fused_relu[i], relu_ref[i]);
+
+  // Null bias with fused ReLU: epilogue is just the clamp.
+  Tensor no_bias = matmul(a, b);
+  for (std::size_t i = 0; i < no_bias.size(); ++i)
+    no_bias[i] = no_bias[i] > 0.0f ? no_bias[i] : 0.0f;
+  Tensor fused_nb({m, n});
+  matmul_bias_into(a, b, nullptr, fused_nb, /*fuse_relu=*/true);
+  for (std::size_t i = 0; i < no_bias.size(); ++i)
+    EXPECT_EQ(fused_nb[i], no_bias[i]);
+}
+
+TEST(Workspace, MissThenHitOnReacquire) {
+  Workspace ws;
+  const auto s0 = ws.stats();
+  EXPECT_EQ(s0.hits, 0u);
+  EXPECT_EQ(s0.misses, 0u);
+  {
+    WorkspaceTensor t = ws.acquire({4, 5});
+    EXPECT_EQ(t->shape(), (std::vector<int>{4, 5}));
+    const auto s1 = ws.stats();
+    EXPECT_EQ(s1.misses, 1u);
+    EXPECT_EQ(s1.outstanding, 1u);
+    EXPECT_EQ(s1.bytes_allocated, 4u * 5u * sizeof(float));
+  }
+  const auto s2 = ws.stats();
+  EXPECT_EQ(s2.outstanding, 0u);
+  EXPECT_EQ(s2.cached, 1u);
+  {
+    // Same capacity (different shape): must be served from the free list.
+    WorkspaceTensor t = ws.acquire({2, 10});
+    EXPECT_EQ(t->shape(), (std::vector<int>{2, 10}));
+    const auto s3 = ws.stats();
+    EXPECT_EQ(s3.hits, 1u);
+    EXPECT_EQ(s3.misses, 1u);
+    EXPECT_EQ(s3.bytes_allocated, s2.bytes_allocated) << "hit must not allocate";
+  }
+}
+
+TEST(Workspace, SmallestAdequateBufferWins) {
+  Workspace ws;
+  {
+    WorkspaceTensor big = ws.acquire({100});
+    WorkspaceTensor small = ws.acquire({10});
+  }
+  EXPECT_EQ(ws.stats().cached, 2u);
+  {
+    // A request fitting the small buffer must not burn the big one.
+    WorkspaceTensor t = ws.acquire({8});
+    EXPECT_EQ(t->capacity(), 10u);
+    WorkspaceTensor u = ws.acquire({60});
+    EXPECT_EQ(u->capacity(), 100u);
+  }
+  EXPECT_EQ(ws.stats().hits, 2u);
+  EXPECT_EQ(ws.stats().misses, 2u);
+}
+
+TEST(Workspace, ClearDropsCachedBuffers) {
+  Workspace ws;
+  { WorkspaceTensor t = ws.acquire({16}); }
+  EXPECT_EQ(ws.stats().cached, 1u);
+  ws.clear();
+  EXPECT_EQ(ws.stats().cached, 0u);
+  WorkspaceTensor t = ws.acquire({16});  // re-warms with a fresh miss
+  EXPECT_EQ(ws.stats().misses, 2u);
+}
+
+TEST(Workspace, AcquireZeroedIsZeroFilled) {
+  Workspace ws;
+  {
+    WorkspaceTensor t = ws.acquire({8});
+    for (std::size_t i = 0; i < t->size(); ++i) (*t)[i] = 7.0f;  // dirty it
+  }
+  WorkspaceTensor z = ws.acquire_zeroed({8});
+  for (std::size_t i = 0; i < z->size(); ++i) EXPECT_EQ((*z)[i], 0.0f);
+}
+
+TEST(Workspace, MovedFromCheckoutDoesNotDoubleRelease) {
+  Workspace ws;
+  {
+    WorkspaceTensor a = ws.acquire({4});
+    WorkspaceTensor b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_EQ(ws.stats().outstanding, 1u);
+  }
+  EXPECT_EQ(ws.stats().outstanding, 0u);
+  EXPECT_EQ(ws.stats().cached, 1u);
+}
+
+TEST(Workspace, LocalIsPerThreadAndStable) {
+  Workspace& a = Workspace::local();
+  Workspace& b = Workspace::local();
+  EXPECT_EQ(&a, &b);
 }
 
 }  // namespace

@@ -22,6 +22,12 @@
 //   [const-forward] no forward( call inside a `const` member function —
 //                   forward() mutates layer caches; const paths must call
 //                   infer().
+//   [infer-alloc]   no allocating kernel spellings (matmul(, matmul_tn(,
+//                   matmul_nt(, matmul*_naive(, im2col() inside an
+//                   `infer(...) const` / `infer_into(...) const` body under
+//                   src/nn/ — the inference hot path must use the *_into
+//                   variants so steady-state playback stays allocation-free
+//                   (PR 4's workspace contract).
 //   [pragma-once]   every header starts its include guard with #pragma once.
 //
 // Usage:
@@ -230,6 +236,40 @@ void rule_const_forward(const std::string& path, const std::string& stripped,
   }
 }
 
+void rule_infer_alloc(const std::string& path, const std::string& stripped,
+                      std::vector<Finding>& findings) {
+  // Scoped to the layer library: src/nn/ is where the workspace contract is
+  // mandatory. (src/sr orchestrates through the same infer_into path but is
+  // covered transitively — its intermediates are workspace checkouts.)
+  if (path.find("src/nn/") == std::string::npos) return;
+  static const std::regex re_infer_fn(
+      R"(\binfer(_into)?\s*\([^;{)]*\)\s*const\b(\s*(noexcept|override|final))*\s*\{)");
+  // The `(?=\()`-style guard is spelled as a trailing `\(` in the match: the
+  // *_into spellings do not match because '(' does not directly follow the
+  // banned token.
+  static const std::regex re_alloc(
+      R"(\b(matmul(_tn|_nt)?(_naive)?|im2col)\s*\()");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), re_infer_fn);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open =
+        static_cast<std::size_t>(it->position() + it->length()) - 1;
+    const std::size_t close = match_brace(stripped, open);
+    if (close == std::string::npos) continue;
+    const std::string body = stripped.substr(open, close - open);
+    for (auto al = std::sregex_iterator(body.begin(), body.end(), re_alloc);
+         al != std::sregex_iterator(); ++al)
+      findings.push_back(
+          {path,
+           line_of(stripped, open + static_cast<std::size_t>(al->position())),
+           "infer-alloc",
+           (*al)[1].str() +
+               "( allocates a fresh Tensor inside an infer path: the "
+               "inference hot loop must stay allocation-free — use the "
+               "*_into variant with a caller/workspace-owned destination"});
+  }
+}
+
 void rule_pragma_once(const std::string& path, const std::string& raw,
                       std::vector<Finding>& findings) {
   if (!path_ends_with(path, ".hpp") && !path_ends_with(path, ".h")) return;
@@ -247,6 +287,7 @@ std::vector<Finding> run_rules(const std::string& path, const std::string& raw) 
   rule_random(path, stripped, findings);
   rule_module_infer(path, stripped, findings);
   rule_const_forward(path, stripped, findings);
+  rule_infer_alloc(path, stripped, findings);
   rule_pragma_once(path, raw, findings);
   return findings;
 }
@@ -379,6 +420,33 @@ const Fixture kFixtures[] = {
      nullptr},
     {"forward from non-const method is fine", "src/nn/foo.cpp",
      "Tensor Foo::forward(const Tensor& x) { return inner_.forward(x); }",
+     nullptr},
+    // [infer-alloc]
+    {"allocating im2col in an infer body", "src/nn/conv.cpp",
+     "Tensor Conv2d::infer(const Tensor& x) const {\n"
+     "  Tensor cols = im2col(x, 0, kernel_, stride_, pad_);\n"
+     "  return cols;\n}\n",
+     "infer-alloc"},
+    {"allocating matmul in an infer_into body", "src/nn/linear.cpp",
+     "void Linear::infer_into(const Tensor& x, Tensor& out, Workspace& ws) "
+     "const {\n  out = matmul(x, weight_.value);\n}\n",
+     "infer-alloc"},
+    {"naive matmul in an infer body", "src/nn/linear.cpp",
+     "Tensor Linear::infer(const Tensor& x) const {\n"
+     "  return matmul_tn_naive(x, weight_.value);\n}\n",
+     "infer-alloc"},
+    {"*_into spellings in infer_into are fine", "src/nn/linear.cpp",
+     "void Linear::infer_into(const Tensor& x, Tensor& out, Workspace& ws) "
+     "const {\n  matmul_nt_into(x, weight_.value, out);\n"
+     "  im2col_into(x, 0, 3, 1, 1, out);\n}\n",
+     nullptr},
+    {"allocating matmul in forward is fine", "src/nn/linear.cpp",
+     "Tensor Linear::forward(const Tensor& x) {\n"
+     "  return matmul_nt(x, weight_.value);\n}\n",
+     nullptr},
+    {"allocating matmul in infer outside src/nn", "src/sr/patchnet.cpp",
+     "Tensor PatchNet::infer(const Tensor& x) const {\n"
+     "  return matmul(x, proj_);\n}\n",
      nullptr},
     // [pragma-once]
     {"header without pragma once", "src/nn/foo.hpp",

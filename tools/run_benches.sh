@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs the micro-kernel benchmarks and records the results as
 # BENCH_kernels.json at the repo root, giving future PRs a perf trajectory
-# to diff against. Usage: tools/run_benches.sh [extra benchmark args...]
+# to diff against. Includes the steady-state playback bench
+# (BM_EdsrEnhanceSteadyState), whose ws_miss_per_frame / ws_hit_per_frame
+# counters land in the JSON — ws_miss_per_frame must read 0.
+# Usage: tools/run_benches.sh [extra benchmark args...]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"

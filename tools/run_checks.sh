@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
-# Single verification gate for the tree. Runs four legs, each in its own
-# build directory so instrumented artifacts never mix:
+# Single verification gate for the tree. Runs five legs, each test leg in
+# its own build directory so instrumented artifacts never mix:
 #
-#   default   RelWithDebInfo build + full ctest suite (includes the
-#             Lint.SelfTest / Lint.SrcTree invariant checks)
-#   checked   -DDCSR_CHECKED=ON: the parallel_for write-claim race detector
-#             validates every annotated region while the full suite runs
-#   asan      AddressSanitizer + UndefinedBehaviorSanitizer, full suite
-#   tsan      ThreadSanitizer, full suite forced to DCSR_THREADS=4 so the
-#             pool, the segment pipeline and the shared-model inference
-#             paths actually run multi-threaded under the detector
+#   default     RelWithDebInfo build + full ctest suite (includes the
+#               Lint.SelfTest / Lint.SrcTree invariant checks)
+#   checked     -DDCSR_CHECKED=ON: the parallel_for write-claim race detector
+#               validates every annotated region while the full suite runs
+#   asan        AddressSanitizer + UndefinedBehaviorSanitizer, full suite
+#   tsan        ThreadSanitizer, full suite forced to DCSR_THREADS=4 so the
+#               pool, the segment pipeline and the shared-model inference
+#               paths actually run multi-threaded under the detector
+#   bench-smoke every microbenchmark for a single iteration in the default
+#               build — catches bench bit-rot (and exercises the
+#               steady-state workspace counters) without a timed run
 #
 # Usage: tools/run_checks.sh [leg...]
-#   e.g. tools/run_checks.sh            # all four legs
+#   e.g. tools/run_checks.sh            # all five legs
 #        tools/run_checks.sh tsan       # just the TSan leg
 #        tools/run_checks.sh default checked
 #
@@ -23,7 +26,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default checked asan tsan)
+  LEGS=(default checked asan tsan bench-smoke)
 fi
 
 declare -A STATUS
@@ -53,8 +56,19 @@ run_leg() {
       export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
       env_prefix=(env DCSR_THREADS=4)
       ;;
+    bench-smoke)
+      # Every benchmark, one iteration each, in the default build. Not a
+      # perf measurement — a does-it-still-run gate for the bench binary.
+      build="${DEFAULT_BUILD_DIR:-$ROOT/build}"
+      echo
+      echo "=== leg: $leg (build dir: $build) ==="
+      cmake -B "$build" -S "$ROOT" || return 1
+      cmake --build "$build" -j --target bench_micro_kernels || return 1
+      "$build/bench/bench_micro_kernels" --benchmark_min_time=0 || return 1
+      return 0
+      ;;
     *)
-      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan)" >&2
+      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|bench-smoke)" >&2
       return 2
       ;;
   esac
