@@ -1,5 +1,11 @@
 #include "codec/bits.hpp"
 
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "codec/errors.hpp"
+
 namespace dcsr::codec {
 
 void BitWriter::put_bit(bool b) {
@@ -18,7 +24,11 @@ void BitWriter::put_bits(std::uint32_t value, int count) {
 
 void BitWriter::put_ue(std::uint32_t v) {
   // code number v -> (leading zeros) 1 (info bits); codeword length 2k+1
-  // where k = floor(log2(v+1)).
+  // where k = floor(log2(v+1)). v = 0xffffffff would need code 2^32, which
+  // overflows the 32-bit codeword; without this guard it silently encodes
+  // as ue(0) and the stream decodes to the wrong value.
+  if (v == 0xffffffffu)
+    throw std::invalid_argument("BitWriter::put_ue: 0xffffffff not encodable");
   const std::uint32_t code = v + 1;
   int len = 0;
   for (std::uint32_t c = code; c > 1; c >>= 1) ++len;
@@ -27,8 +37,11 @@ void BitWriter::put_ue(std::uint32_t v) {
 }
 
 void BitWriter::put_se(std::int32_t v) {
+  // INT32_MIN maps to 2^32, one past the largest encodable ue code number.
+  if (v == std::numeric_limits<std::int32_t>::min())
+    throw std::invalid_argument("BitWriter::put_se: INT32_MIN not encodable");
   const std::uint32_t mapped =
-      v > 0 ? static_cast<std::uint32_t>(2 * v - 1)
+      v > 0 ? static_cast<std::uint32_t>(2 * static_cast<std::int64_t>(v) - 1)
             : static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(v));
   put_ue(mapped);
 }
@@ -45,7 +58,10 @@ std::vector<std::uint8_t> BitWriter::finish() {
 
 bool BitReader::get_bit() {
   const std::size_t byte = pos_ >> 3;
-  if (byte >= buf_.size()) throw std::out_of_range("BitReader: over-read");
+  if (byte >= buf_.size())
+    throw BitstreamError("BitReader: over-read past " +
+                             std::to_string(buf_.size()) + "-byte payload",
+                         pos_);
   const int shift = 7 - static_cast<int>(pos_ & 7);
   ++pos_;
   return (buf_[byte] >> shift) & 1;
@@ -58,9 +74,14 @@ std::uint32_t BitReader::get_bits(int count) {
 }
 
 std::uint32_t BitReader::get_ue() {
+  const std::size_t start = pos_;
   int zeros = 0;
   while (!get_bit()) {
-    if (++zeros > 32) throw std::out_of_range("BitReader: bad ue code");
+    // 31 leading zeros is the longest prefix whose code number still fits in
+    // 32 bits (max ue value 2^32 - 2). The old guard admitted zeros == 32,
+    // and `1u << 32` below is undefined behaviour.
+    if (++zeros > 31)
+      throw BitstreamError("BitReader: bad ue code (prefix > 31 zeros)", start);
   }
   std::uint32_t info = 0;
   for (int i = 0; i < zeros; ++i) info = (info << 1) | (get_bit() ? 1u : 0u);

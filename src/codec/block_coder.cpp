@@ -1,5 +1,7 @@
 #include "codec/block_coder.hpp"
 
+#include "codec/errors.hpp"
+
 namespace dcsr::codec {
 
 namespace {
@@ -70,10 +72,12 @@ Levels8 read_levels(BitReader& br, std::int32_t* dc_pred) {
     pos = 1;
   }
   while (true) {
+    const std::size_t run_at = br.bits_consumed();
     const std::uint32_t run = br.get_ue();
     if (run >= kEob) break;
     pos += static_cast<int>(run);
-    if (pos >= 64) throw std::out_of_range("read_levels: run past block end");
+    if (pos >= 64)
+      throw BitstreamError("read_levels: run past block end", run_at);
     levels[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(pos)])] = br.get_se();
     ++pos;
   }

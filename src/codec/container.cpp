@@ -3,6 +3,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "codec/errors.hpp"
+
 namespace dcsr::codec {
 
 namespace {
@@ -62,14 +64,17 @@ EncodedVideo read_container(ByteReader& in) {
   // The CRC covers everything except itself; recompute while consuming.
   // ByteReader has no random access, so re-serialise the parsed body and
   // verify — simpler than two-phase reads and still O(n).
+  const std::size_t magic_at = in.position();
   const std::uint32_t magic = in.read_u32();
   if (magic == 0x64635631)
-    throw std::invalid_argument(
-        "read_container: v1 container (this build reads v2; re-encode)");
+    throw ContainerError(
+        "read_container: v1 container (this build reads v2; re-encode)",
+        magic_at);
   if (magic != kMagic)
-    throw std::invalid_argument("read_container: bad magic");
+    throw ContainerError("read_container: bad magic", magic_at);
 
   EncodedVideo video;
+  const std::size_t dims_at = in.position();
   video.width = static_cast<int>(in.read_u32());
   video.height = static_cast<int>(in.read_u32());
   video.fps = in.read_f64();
@@ -77,31 +82,39 @@ EncodedVideo read_container(ByteReader& in) {
   video.deblock = in.read_u8() != 0;
   if (video.width <= 0 || video.height <= 0 || video.width > 16384 ||
       video.height > 16384)
-    throw std::invalid_argument("read_container: implausible dimensions");
+    throw ContainerError("read_container: implausible dimensions", dims_at);
 
+  const std::size_t n_segments_at = in.position();
   const std::uint32_t n_segments = in.read_u32();
   if (n_segments > 1u << 20)
-    throw std::invalid_argument("read_container: implausible segment count");
+    throw ContainerError("read_container: implausible segment count",
+                         n_segments_at);
   video.segments.reserve(n_segments);
   for (std::uint32_t s = 0; s < n_segments; ++s) {
     EncodedSegment seg;
     seg.first_frame = static_cast<int>(in.read_u32());
+    const std::size_t crf_at = in.position();
     seg.crf = in.read_i32();
     if (seg.crf < -1 || seg.crf > 51)
-      throw std::invalid_argument("read_container: bad segment crf");
+      throw ContainerError("read_container: bad segment crf", crf_at);
+    const std::size_t n_frames_at = in.position();
     const std::uint32_t n_frames = in.read_u32();
     if (n_frames > 1u << 20)
-      throw std::invalid_argument("read_container: implausible frame count");
+      throw ContainerError("read_container: implausible frame count",
+                           n_frames_at);
     seg.frames.reserve(n_frames);
     for (std::uint32_t f = 0; f < n_frames; ++f) {
       EncodedFrame frame;
+      const std::size_t type_at = in.position();
       const std::uint8_t type = in.read_u8();
-      if (type > 2) throw std::invalid_argument("read_container: bad frame type");
+      if (type > 2)
+        throw ContainerError("read_container: bad frame type", type_at);
       frame.type = static_cast<FrameType>(type);
       frame.display_index = static_cast<int>(in.read_u32());
+      const std::size_t size_at = in.position();
       const std::uint32_t size = in.read_u32();
       if (size > in.remaining())
-        throw std::invalid_argument("read_container: truncated payload");
+        throw ContainerError("read_container: truncated payload", size_at);
       frame.payload.resize(size);
       for (auto& b : frame.payload) b = in.read_u8();
       seg.frames.push_back(std::move(frame));
@@ -109,6 +122,7 @@ EncodedVideo read_container(ByteReader& in) {
     video.segments.push_back(std::move(seg));
   }
 
+  const std::size_t crc_at = in.position();
   const std::uint32_t stored_crc = in.read_u32();
   // write_container appends its own CRC; re-serialise the parsed stream and
   // compare the recomputed CRC at its tail against the stored one.
@@ -120,7 +134,7 @@ EncodedVideo read_container(ByteReader& in) {
     recomputed |= static_cast<std::uint32_t>(re[re.size() - 4 + static_cast<std::size_t>(i)])
                   << (8 * i);
   if (recomputed != stored_crc)
-    throw std::invalid_argument("read_container: CRC mismatch");
+    throw ContainerError("read_container: CRC mismatch", crc_at);
   return video;
 }
 

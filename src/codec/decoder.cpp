@@ -1,6 +1,7 @@
 #include "codec/decoder.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "codec/bits.hpp"
 #include "codec/deblock.hpp"
@@ -10,7 +11,16 @@
 namespace dcsr::codec {
 
 Decoder::Decoder(int width, int height, int crf)
-    : width_(width), height_(height), crf_(crf) {}
+    : width_(width), height_(height), crf_(crf) {
+  // Reject impossible geometry up front: every decoded frame is allocated
+  // from these two numbers, so a hostile header must not reach the per-frame
+  // loops (FrameYUV requires even dimensions for 4:2:0 chroma).
+  if (width <= 0 || height <= 0 || width > 16384 || height > 16384 ||
+      width % 2 != 0 || height % 2 != 0)
+    throw std::invalid_argument("Decoder: implausible frame geometry " +
+                                std::to_string(width) + "x" +
+                                std::to_string(height));
+}
 
 std::vector<FrameYUV> Decoder::decode_segment(const EncodedSegment& seg) {
   const Quantizer q(seg.crf >= 0 ? seg.crf : crf_);

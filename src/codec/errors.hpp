@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace dcsr::codec {
+
+/// Thrown when an entropy-coded payload is truncated or malformed: bit-level
+/// over-reads, impossible exp-Golomb prefixes, out-of-range symbols. Derives
+/// std::out_of_range so existing callers that caught the untyped BitReader
+/// errors keep working; `bit_offset()` pinpoints where in the payload the
+/// decode went off the rails.
+class BitstreamError : public std::out_of_range {
+ public:
+  BitstreamError(const std::string& what, std::size_t bit_offset)
+      : std::out_of_range(what + " (bit offset " + std::to_string(bit_offset) +
+                          ")"),
+        bit_offset_(bit_offset) {}
+
+  std::size_t bit_offset() const noexcept { return bit_offset_; }
+
+ private:
+  std::size_t bit_offset_;
+};
+
+/// Thrown when a container stream fails structural validation: bad magic,
+/// implausible header fields, truncated payloads, CRC mismatch. Derives
+/// std::invalid_argument (the type read_container historically threw);
+/// `byte_offset()` names the position of the offending field.
+class ContainerError : public std::invalid_argument {
+ public:
+  ContainerError(const std::string& what, std::size_t byte_offset)
+      : std::invalid_argument(what + " (byte offset " +
+                              std::to_string(byte_offset) + ")"),
+        byte_offset_(byte_offset) {}
+
+  std::size_t byte_offset() const noexcept { return byte_offset_; }
+
+ private:
+  std::size_t byte_offset_;
+};
+
+}  // namespace dcsr::codec

@@ -6,11 +6,23 @@
 #include <stdexcept>
 
 #include "codec/block_coder.hpp"
+#include "codec/errors.hpp"
 #include "codec/motion.hpp"
 
 namespace dcsr::codec {
 
 namespace {
+
+// Largest half-pel motion-vector magnitude a decoder will accept. Real
+// streams stay within 2 * search_range (tens of pels); this bound only
+// exists so an adversarial get_se value cannot drive `2 * (bx + x) + mv.x`
+// into signed-integer overflow inside the prediction loops.
+constexpr std::int32_t kMaxMv = 1 << 18;
+
+void check_mv(MotionVector mv, std::size_t bit_offset) {
+  if (mv.x < -kMaxMv || mv.x > kMaxMv || mv.y < -kMaxMv || mv.y > kMaxMv)
+    throw BitstreamError("decode: motion vector out of range", bit_offset);
+}
 
 void require_mb_aligned(const FrameYUV& f) {
   if (f.width() % 16 != 0 || f.height() % 16 != 0)
@@ -116,7 +128,18 @@ void encode_plane_intra(const Plane& src, Plane& recon, const Quantizer& q,
 void decode_plane_intra(Plane& out, const Quantizer& q, BitReader& br) {
   for (int by = 0; by < out.height(); by += 8) {
     for (int bx = 0; bx < out.width(); bx += 8) {
-      const auto mode = static_cast<IntraMode>(br.get_bits(2));
+      const std::size_t mode_at = br.bits_consumed();
+      const std::uint32_t mode_bits = br.get_bits(2);
+      if (mode_bits > 2)
+        throw BitstreamError("decode: bad intra prediction mode", mode_at);
+      const auto mode = static_cast<IntraMode>(mode_bits);
+      // The encoder only signals a directional mode when the neighbour it
+      // reads exists; a corrupted stream can claim one anyway, which would
+      // read past the plane's edge (row -1 / column -1).
+      if ((mode == IntraMode::kVertical && by == 0) ||
+          (mode == IntraMode::kHorizontal && bx == 0))
+        throw BitstreamError(
+            "decode: intra mode references a missing neighbour", mode_at);
       const Block8 pred = predict_intra(out, bx, by, mode);
       const Levels8 levels = read_levels(br, nullptr);
       Block8 rec = reconstruct_block(levels, q, /*intra=*/true);
@@ -324,8 +347,10 @@ FrameYUV decode_p_frame(const FrameYUV& ref, const Quantizer& q, BitReader& br) 
         const MbPred pred = predict_mb(ref, mbx, mby, mv);
         reconstruct_mb_skip(out, pred, mbx, mby);
       } else {
+        const std::size_t mv_at = br.bits_consumed();
         mv.x = pred_mv.x + br.get_se();
         mv.y = pred_mv.y + br.get_se();
+        check_mv(mv, mv_at);
         const MbPred pred = predict_mb(ref, mbx, mby, mv);
         const MbLevels levels = read_mb_levels(br);
         reconstruct_mb(out, pred, levels, mbx, mby, q);
@@ -421,15 +446,25 @@ FrameYUV decode_b_frame(const FrameYUV& ref_past, const FrameYUV& ref_future,
         reconstruct_mb_skip(out, pred, mbx, mby);
         continue;
       }
-      const auto mode = static_cast<BMode>(br.get_bits(2));
+      const std::size_t mode_at = br.bits_consumed();
+      const std::uint32_t mode_bits = br.get_bits(2);
+      // Mode 3 has no meaning; before this guard it fell through the switch
+      // below and reconstructed from an uninitialised MbPred.
+      if (mode_bits > 2)
+        throw BitstreamError("decode: bad B-frame prediction mode", mode_at);
+      const auto mode = static_cast<BMode>(mode_bits);
       MotionVector mv0{0, 0}, mv1{0, 0};
       if (mode != BMode::kBackward) {
+        const std::size_t mv_at = br.bits_consumed();
         mv0.x = br.get_se();
         mv0.y = br.get_se();
+        check_mv(mv0, mv_at);
       }
       if (mode != BMode::kForward) {
+        const std::size_t mv_at = br.bits_consumed();
         mv1.x = br.get_se();
         mv1.y = br.get_se();
+        check_mv(mv1, mv_at);
       }
       MbPred pred;
       switch (mode) {

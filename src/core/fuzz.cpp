@@ -1,0 +1,538 @@
+#include "core/fuzz.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "codec/bits.hpp"
+#include "codec/container.hpp"
+#include "codec/decoder.hpp"
+#include "codec/encoder.hpp"
+#include "codec/errors.hpp"
+#include "stream/errors.hpp"
+#include "stream/manifest.hpp"
+#include "stream/model_bundle.hpp"
+#include "stream/playlist.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "video/genres.hpp"
+
+namespace dcsr::core::fuzz {
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Per-iteration generator: independent of every other iteration, so any
+// finding reproduces from (seed, iteration) without replaying the prefix.
+Rng iteration_rng(std::uint64_t seed, std::uint64_t iteration) {
+  return Rng(seed ^ (0x9e3779b97f4a7c15ULL * (iteration + 1)));
+}
+
+// ---- Mutation --------------------------------------------------------------
+
+Bytes mutate(Bytes b, Rng& rng) {
+  const int ops = static_cast<int>(rng.uniform_int(1, 4));
+  for (int op = 0; op < ops; ++op) {
+    switch (rng.uniform_int(0, 5)) {
+      case 0:  // flip one bit
+        if (!b.empty()) {
+          const auto i = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1));
+          b[i] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+        }
+        break;
+      case 1:  // overwrite one byte
+        if (!b.empty()) {
+          const auto i = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1));
+          b[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        }
+        break;
+      case 2:  // truncate
+        b.resize(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(b.size()))));
+        break;
+      case 3: {  // insert a few random bytes
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(b.size())));
+        const int n = static_cast<int>(rng.uniform_int(1, 8));
+        Bytes extra;
+        for (int i = 0; i < n; ++i)
+          extra.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+        b.insert(b.begin() + static_cast<std::ptrdiff_t>(at), extra.begin(),
+                 extra.end());
+        break;
+      }
+      case 4:  // zero a range
+        if (!b.empty()) {
+          const auto lo = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1));
+          const auto hi = std::min(
+              b.size(), lo + static_cast<std::size_t>(rng.uniform_int(1, 16)));
+          std::fill(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                    b.begin() + static_cast<std::ptrdiff_t>(hi), 0);
+        }
+        break;
+      case 5:  // duplicate a slice into a random position
+        if (!b.empty()) {
+          const auto lo = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(b.size()) - 1));
+          const auto len = std::min(
+              b.size() - lo, static_cast<std::size_t>(rng.uniform_int(1, 16)));
+          const Bytes slice(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                            b.begin() + static_cast<std::ptrdiff_t>(lo + len));
+          const auto at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(b.size())));
+          b.insert(b.begin() + static_cast<std::ptrdiff_t>(at), slice.begin(),
+                   slice.end());
+        }
+        break;
+    }
+  }
+  return b;
+}
+
+// ---- Valid base artefacts --------------------------------------------------
+//
+// Each harness mutates a *valid* serialised artefact: random bytes die at the
+// magic check, but a flipped bit inside a valid stream walks the deep parse
+// paths the hardening actually protects.
+
+codec::EncodedVideo base_video(std::uint64_t seed) {
+  Rng rng(seed);
+  codec::EncodedVideo v;
+  v.width = 32;
+  v.height = 32;
+  v.fps = 30.0;
+  v.crf = 30;
+  v.deblock = true;
+  for (int s = 0; s < 2; ++s) {
+    codec::EncodedSegment seg;
+    seg.first_frame = s * 3;
+    seg.crf = 28 + s;
+    for (int f = 0; f < 3; ++f) {
+      codec::EncodedFrame frame;
+      frame.type = f == 0 ? codec::FrameType::kI : codec::FrameType::kP;
+      frame.display_index = f;
+      const int n = static_cast<int>(rng.uniform_int(5, 25));
+      for (int i = 0; i < n; ++i)
+        frame.payload.push_back(
+            static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      seg.frames.push_back(std::move(frame));
+    }
+    v.segments.push_back(std::move(seg));
+  }
+  return v;
+}
+
+stream::Manifest base_manifest() {
+  stream::Manifest m;
+  m.model_bytes = {12000, 34000, 56000};
+  for (int i = 0; i < 4; ++i)
+    m.segments.push_back(
+        {i, 30, static_cast<std::uint64_t>(1000 + 37 * i),
+         i == 3 ? stream::kNoModel : i % 3});
+  return m;
+}
+
+stream::ModelBundle base_bundle(std::uint64_t seed) {
+  Rng rng(seed);
+  stream::ModelBundle b;
+  for (int label = 0; label < 3; ++label) {
+    Bytes payload;
+    const int n = static_cast<int>(rng.uniform_int(8, 64));
+    for (int i = 0; i < n; ++i)
+      payload.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    b.add(label, std::move(payload));
+  }
+  return b;
+}
+
+}  // namespace
+
+Bytes valid_input(Harness h, std::uint64_t seed) {
+  switch (h) {
+    case Harness::kBits: {
+      // A valid exp-Golomb stream; mutations then shift code boundaries.
+      Rng rng(seed);
+      codec::BitWriter bw;
+      for (int i = 0; i < 24; ++i) {
+        bw.put_ue(static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20)));
+        bw.put_se(static_cast<std::int32_t>(rng.uniform_int(-(1 << 16), 1 << 16)));
+      }
+      return bw.finish();
+    }
+    case Harness::kContainer: {
+      ByteWriter w;
+      codec::write_container(base_video(seed), w);
+      return w.bytes();
+    }
+    case Harness::kDecoder:
+      return {};  // the decoder harness mutates a real encode; see run()
+    case Harness::kManifest: {
+      ByteWriter w;
+      stream::write_manifest(base_manifest(), w);
+      return w.bytes();
+    }
+    case Harness::kPlaylist: {
+      const std::string text = stream::write_playlist(base_manifest());
+      return Bytes(text.begin(), text.end());
+    }
+    case Harness::kBundle: {
+      ByteWriter w;
+      base_bundle(seed).serialize(w);
+      return w.bytes();
+    }
+  }
+  return {};
+}
+
+namespace {
+
+// ---- Bits writer/reader roundtrip property ---------------------------------
+
+void bits_roundtrip_check(Harness h, std::uint64_t iteration, Rng& rng) {
+  struct Op {
+    int kind;  // 0 = ue, 1 = se, 2 = raw bits
+    std::uint32_t value;
+    int width;
+  };
+  std::vector<Op> ops;
+  codec::BitWriter bw;
+  const int n = static_cast<int>(rng.uniform_int(1, 32));
+  for (int i = 0; i < n; ++i) {
+    Op op;
+    op.kind = static_cast<int>(rng.uniform_int(0, 2));
+    switch (op.kind) {
+      case 0:
+        op.value = static_cast<std::uint32_t>(rng.next_u64());
+        if (op.value == 0xffffffffu) op.value = 0;  // the one unencodable ue
+        op.width = 0;
+        bw.put_ue(op.value);
+        break;
+      case 1: {
+        auto v = static_cast<std::int32_t>(rng.next_u64());
+        if (v == std::numeric_limits<std::int32_t>::min()) v = 0;
+        op.value = static_cast<std::uint32_t>(v);
+        op.width = 0;
+        bw.put_se(v);
+        break;
+      }
+      default:
+        op.width = static_cast<int>(rng.uniform_int(1, 32));
+        op.value = static_cast<std::uint32_t>(rng.next_u64());
+        if (op.width < 32) op.value &= (1u << op.width) - 1;
+        bw.put_bits(op.value, op.width);
+        break;
+    }
+    ops.push_back(op);
+  }
+  const Bytes bytes = bw.finish();
+  codec::BitReader br(bytes);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    std::uint32_t got = 0;
+    switch (ops[i].kind) {
+      case 0: got = br.get_ue(); break;
+      case 1: got = static_cast<std::uint32_t>(br.get_se()); break;
+      default: got = br.get_bits(ops[i].width); break;
+    }
+    if (got != ops[i].value)
+      throw FuzzFailure(h, iteration, bytes,
+                        "roundtrip mismatch at op " + std::to_string(i) +
+                            ": wrote " + std::to_string(ops[i].value) +
+                            ", read " + std::to_string(got));
+  }
+}
+
+// ---- Decoder harness -------------------------------------------------------
+
+codec::EncodedVideo encode_base_video(std::uint64_t seed) {
+  const auto video = make_genre_video(Genre::kNews, seed, 32, 32, 0.2);
+  codec::CodecConfig cfg;
+  cfg.crf = 30;
+  cfg.use_b_frames = true;
+  const codec::Encoder enc(cfg);
+  return enc.encode(*video, {{0, video->frame_count()}});
+}
+
+}  // namespace
+
+std::vector<Harness> all_harnesses() {
+  return {Harness::kBits,     Harness::kContainer, Harness::kDecoder,
+          Harness::kManifest, Harness::kPlaylist,  Harness::kBundle};
+}
+
+const char* harness_name(Harness h) {
+  switch (h) {
+    case Harness::kBits: return "bits";
+    case Harness::kContainer: return "container";
+    case Harness::kDecoder: return "decoder";
+    case Harness::kManifest: return "manifest";
+    case Harness::kPlaylist: return "playlist";
+    case Harness::kBundle: return "bundle";
+  }
+  return "?";
+}
+
+std::optional<Harness> harness_from_name(std::string_view name) {
+  for (const Harness h : all_harnesses())
+    if (name == harness_name(h)) return h;
+  return std::nullopt;
+}
+
+ReplayOutcome replay(Harness h, const Bytes& bytes) {
+  switch (h) {
+    case Harness::kBits: {
+      // Rotate through the read primitives until the payload is exhausted;
+      // a malformed or truncated code must surface as BitstreamError.
+      codec::BitReader br(bytes);
+      try {
+        for (int op = 0;; op = (op + 1) % 4) {
+          if (br.bits_consumed() >= 8 * bytes.size()) return ReplayOutcome::kParsed;
+          switch (op) {
+            case 0: br.get_ue(); break;
+            case 1: br.get_se(); break;
+            case 2: br.get_bits(13); break;
+            default: br.get_bit(); break;
+          }
+        }
+      } catch (const codec::BitstreamError&) {
+        return ReplayOutcome::kTypedError;
+      }
+    }
+    case Harness::kContainer:
+      try {
+        ByteReader r(bytes);
+        (void)codec::read_container(r);
+        return ReplayOutcome::kParsed;
+      } catch (const codec::ContainerError&) {
+        return ReplayOutcome::kTypedError;
+      } catch (const std::out_of_range&) {
+        return ReplayOutcome::kSafeError;  // ByteReader truncation guard
+      }
+    case Harness::kDecoder:
+      // Single-payload form (the corpus shape): the bytes are one I-frame
+      // payload. run() additionally mutates whole real segments.
+      try {
+        codec::EncodedSegment seg;
+        seg.crf = 28;
+        codec::EncodedFrame frame;
+        frame.type = codec::FrameType::kI;
+        frame.payload = bytes;
+        seg.frames.push_back(std::move(frame));
+        codec::Decoder dec(32, 32, 28);
+        (void)dec.decode_segment(seg);
+        return ReplayOutcome::kParsed;
+      } catch (const codec::BitstreamError&) {
+        return ReplayOutcome::kTypedError;
+      } catch (const std::invalid_argument&) {
+        return ReplayOutcome::kSafeError;  // reference/display-structure guard
+      }
+    case Harness::kManifest:
+      try {
+        ByteReader r(bytes);
+        (void)stream::read_manifest(r);
+        return ReplayOutcome::kParsed;
+      } catch (const stream::ManifestError&) {
+        return ReplayOutcome::kTypedError;
+      } catch (const std::out_of_range&) {
+        return ReplayOutcome::kSafeError;
+      }
+    case Harness::kPlaylist:
+      try {
+        (void)stream::parse_playlist(std::string(bytes.begin(), bytes.end()));
+        return ReplayOutcome::kParsed;
+      } catch (const stream::ManifestError&) {
+        return ReplayOutcome::kTypedError;
+      }
+    case Harness::kBundle:
+      try {
+        ByteReader r(bytes);
+        (void)stream::ModelBundle::deserialize(r);
+        return ReplayOutcome::kParsed;
+      } catch (const stream::BundleError&) {
+        return ReplayOutcome::kTypedError;
+      } catch (const std::out_of_range&) {
+        return ReplayOutcome::kSafeError;
+      }
+  }
+  return ReplayOutcome::kParsed;
+}
+
+FuzzStats run(Harness h, std::uint64_t seed, std::uint64_t iters,
+              std::uint64_t start) {
+  FuzzStats stats;
+  const Bytes base = valid_input(h, seed);
+  codec::EncodedVideo encoded;
+  if (h == Harness::kDecoder) encoded = encode_base_video(seed);
+
+  for (std::uint64_t i = start; i < start + iters; ++i) {
+    Rng rng = iteration_rng(seed, i);
+    ++stats.iterations;
+
+    if (h == Harness::kBits) bits_roundtrip_check(h, i, rng);
+
+    Bytes input;
+    ReplayOutcome outcome;
+    try {
+      if (h == Harness::kDecoder) {
+        // Mutate the payloads of one real segment in memory: the container
+        // CRC would reject nearly every mutation, so the harness aims past
+        // it, straight at the entropy-decode loops.
+        const auto s = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(encoded.segments.size()) - 1));
+        codec::EncodedSegment seg = encoded.segments[s];
+        const int n_mut = static_cast<int>(
+            rng.uniform_int(1, static_cast<std::int64_t>(seg.frames.size())));
+        for (int m = 0; m < n_mut; ++m) {
+          const auto f = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(seg.frames.size()) - 1));
+          seg.frames[f].payload = mutate(seg.frames[f].payload, rng);
+          if (input.empty()) input = seg.frames[f].payload;
+        }
+        try {
+          codec::Decoder dec(encoded.width, encoded.height, encoded.crf);
+          (void)dec.decode_segment(seg);
+          outcome = ReplayOutcome::kParsed;
+        } catch (const codec::BitstreamError&) {
+          outcome = ReplayOutcome::kTypedError;
+        } catch (const std::invalid_argument&) {
+          outcome = ReplayOutcome::kSafeError;
+        }
+      } else {
+        input = mutate(base, rng);
+        outcome = replay(h, input);
+      }
+    } catch (const FuzzFailure&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw FuzzFailure(h, i, input,
+                        std::string("unexpected exception: ") + e.what());
+    }
+
+    switch (outcome) {
+      case ReplayOutcome::kParsed: ++stats.parsed; break;
+      case ReplayOutcome::kTypedError: ++stats.typed_errors; break;
+      case ReplayOutcome::kSafeError: ++stats.safe_errors; break;
+    }
+  }
+  return stats;
+}
+
+std::vector<std::pair<std::string, Bytes>> regression_corpus() {
+  std::vector<std::pair<std::string, Bytes>> out;
+
+  // codec/bits: an all-zero prefix longer than 31 bits is not a valid ue
+  // code (pre-hardening this reached `1u << 32`, undefined behaviour).
+  out.emplace_back("bits-bad-ue-prefix.bin", Bytes(5, 0x00));
+  // codec/bits: a stream that ends mid-codeword must throw, not read past.
+  out.emplace_back("bits-over-read.bin", Bytes{0x80});
+
+  {  // codec/container: wrong magic.
+    ByteWriter w;
+    w.write_u32(0x21212121);
+    w.write_u32(0);
+    out.emplace_back("container-bad-magic.bin", w.bytes());
+  }
+  {  // codec/container: declared payload larger than the remaining bytes.
+    ByteWriter w;
+    w.write_u32(0x64635632);  // "dcV2"
+    w.write_u32(16);          // width
+    w.write_u32(16);          // height
+    w.write_f64(30.0);
+    w.write_u32(28);  // crf
+    w.write_u8(0);    // deblock
+    w.write_u32(1);   // segment count
+    w.write_u32(0);   // first_frame
+    w.write_i32(-1);  // segment crf
+    w.write_u32(1);   // frame count
+    w.write_u8(0);    // frame type I
+    w.write_u32(0);   // display index
+    w.write_u32(0xffffff);  // payload size, far past the end
+    out.emplace_back("container-truncated-payload.bin", w.bytes());
+  }
+  {  // codec/container: valid stream with its trailing CRC corrupted.
+    codec::EncodedVideo v;
+    v.width = 16;
+    v.height = 16;
+    ByteWriter w;
+    codec::write_container(v, w);
+    Bytes b = w.bytes();
+    b.back() ^= 0xff;
+    out.emplace_back("container-crc-mismatch.bin", std::move(b));
+  }
+
+  // codec/decoder: intra prediction mode 3 does not exist (pre-hardening it
+  // silently produced a garbage prediction block).
+  out.emplace_back("decoder-bad-intra-mode.bin", Bytes{0xc0});
+  // codec/decoder: vertical prediction signalled for the top-left block,
+  // whose "row above" is row -1 — an ASan-caught heap over-read this PR's
+  // fuzz-smoke leg found (the encoder never emits a directional mode when
+  // the neighbour is missing; only a corrupted stream can).
+  out.emplace_back("decoder-mode-needs-missing-neighbour.bin", Bytes{0x40});
+  {  // codec/decoder: zig-zag run pointing past the 64-coefficient block.
+    codec::BitWriter bw;
+    bw.put_bits(0, 2);  // intra mode DC
+    bw.put_ue(63);      // run to the last coefficient
+    bw.put_se(1);       // its level
+    bw.put_ue(0);       // one more (run 0) — lands at position 64
+    out.emplace_back("decoder-run-past-block.bin", bw.finish());
+  }
+
+  {  // stream/manifest: wrong magic.
+    ByteWriter w;
+    w.write_u32(0x21212121);
+    out.emplace_back("manifest-bad-magic.bin", w.bytes());
+  }
+  {  // stream/manifest: valid stream with its trailing CRC corrupted.
+    ByteWriter w;
+    stream::Manifest m;
+    m.model_bytes = {123};
+    m.segments.push_back({0, 30, 1000, 0});
+    stream::write_manifest(m, w);
+    Bytes b = w.bytes();
+    b.back() ^= 0xff;
+    out.emplace_back("manifest-crc-mismatch.bin", std::move(b));
+  }
+  {  // stream/manifest: segment referencing a model that is not declared.
+    ByteWriter w;
+    w.write_u32(0x64634d46);  // "dcMF"
+    w.write_u32(0);           // model count
+    w.write_u32(1);           // segment count
+    w.write_u32(0);           // segment index
+    w.write_u32(5);           // frame count
+    w.write_u64(100);         // video bytes
+    w.write_i32(7);           // dangling model label
+    out.emplace_back("manifest-unknown-model.bin", w.bytes());
+  }
+
+  {  // stream/playlist: unknown directive.
+    const std::string text = "#DCSR-PLAYLIST:1\n#MODELS:0\n#BOGUS:1\n#END\n";
+    out.emplace_back("playlist-bad-directive.txt", Bytes(text.begin(), text.end()));
+  }
+  {  // stream/playlist: non-numeric field.
+    const std::string text = "#DCSR-PLAYLIST:1\n#MODELS:abc\n#END\n";
+    out.emplace_back("playlist-bad-number.txt", Bytes(text.begin(), text.end()));
+  }
+
+  {  // stream/model_bundle: wrong magic.
+    ByteWriter w;
+    w.write_u32(0x21212121);
+    out.emplace_back("bundle-bad-magic.bin", w.bytes());
+  }
+  {  // stream/model_bundle: payload byte flipped under a valid per-entry CRC.
+    stream::ModelBundle b;
+    b.add(0, Bytes{1, 2, 3, 4});
+    ByteWriter w;
+    b.serialize(w);
+    Bytes bytes = w.bytes();
+    bytes.back() ^= 0xff;
+    out.emplace_back("bundle-crc-mismatch.bin", std::move(bytes));
+  }
+
+  return out;
+}
+
+}  // namespace dcsr::core::fuzz

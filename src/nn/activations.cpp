@@ -44,6 +44,7 @@ Tensor ReLU::infer(const Tensor& x) const {
 void ReLU::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   (void)ws;
   map_into(x, out, [](float v) { return v < 0.0f ? 0.0f : v; });
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
@@ -69,6 +70,7 @@ void LeakyReLU::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   (void)ws;
   const float slope = slope_;
   map_into(x, out, [slope](float v) { return v < 0.0f ? v * slope : v; });
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor LeakyReLU::backward(const Tensor& grad_out) {
@@ -95,6 +97,7 @@ Tensor Sigmoid::infer(const Tensor& x) const {
 void Sigmoid::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   (void)ws;
   map_into(x, out, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_out) {
@@ -122,6 +125,7 @@ Tensor Tanh::infer(const Tensor& x) const {
 void Tanh::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   (void)ws;
   map_into(x, out, [](float v) { return std::tanh(v); });
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {

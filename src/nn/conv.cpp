@@ -80,6 +80,7 @@ Tensor Conv2d::forward(const Tensor& x) {
       if (training()) cached_cols_[static_cast<std::size_t>(n)] = std::move(cols);
     }
   }, "nn/conv.cpp:Conv2d::forward");
+  FiniteCheckGuard{*this, out};
   return out;
 }
 
@@ -116,6 +117,7 @@ void Conv2d::infer_into(const Tensor& x, Tensor& out, Workspace& ws,
     matmul_bias_into(weight_.value, *cols, bias_.value.data(),
                      MutMat(dst, out_channels_, oh * ow), fuse_relu);
   }
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {

@@ -43,6 +43,7 @@ void Linear::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   for (int n = 0; n < N; ++n)
     for (int o = 0; o < out_features_; ++o)
       out.at(n, o) += bias_.value[static_cast<std::size_t>(o)];
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {

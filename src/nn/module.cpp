@@ -1,6 +1,23 @@
 #include "nn/module.hpp"
 
+#include <cmath>
+#include <sstream>
+
 namespace dcsr::nn {
+
+void FiniteCheckGuard::verify(const Module& layer, const Tensor& out) {
+  const std::span<const float> vals = out.span();
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (std::isfinite(vals[i])) continue;
+    const std::string name = layer.name();
+    std::ostringstream os;
+    os << "FiniteCheckGuard: layer " << name << " produced "
+       << (std::isnan(vals[i]) ? "NaN" : "Inf") << " at element " << i
+       << " of " << vals.size() << " (output shape " << out.shape_str()
+       << ") — uninitialized/stale workspace read or numeric blow-up";
+    throw NonFiniteError(name, os.str());
+  }
+}
 
 void Module::zero_grad() {
   for (Param* p : params()) p->grad.zero();

@@ -1,16 +1,60 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "util/checked.hpp"
 
 namespace dcsr {
 class Workspace;
 }
 
 namespace dcsr::nn {
+
+class Module;
+
+/// Thrown by FiniteCheckGuard when a layer output contains NaN or Inf in a
+/// DCSR_FINITE_CHECK build. Names the offending layer so a poisoned
+/// workspace read or a numerically exploding weight is attributed at the
+/// layer that produced it, not wherever the NaN finally surfaces.
+class NonFiniteError : public std::runtime_error {
+ public:
+  NonFiniteError(std::string layer, const std::string& what)
+      : std::runtime_error(what), layer_(std::move(layer)) {}
+  const std::string& layer() const noexcept { return layer_; }
+
+ private:
+  std::string layer_;
+};
+
+/// Scans a layer output for NaN/Inf in checked builds and throws
+/// NonFiniteError naming the layer. Constructed as the last statement of
+/// every infer/infer_into/forward implementation:
+///
+///   FiniteCheckGuard{*this, out};
+///
+/// A pure observer: it reads the tensor and never alters a value, so the
+/// bitwise output pins hold with the guard active. In release builds the
+/// constructor is an empty inline — the scan (and the name() call) compiles
+/// out entirely.
+class FiniteCheckGuard {
+ public:
+  FiniteCheckGuard(const Module& layer, const Tensor& out) {
+#if DCSR_FINITE_CHECK
+    verify(layer, out);
+#else
+    (void)layer;
+    (void)out;
+#endif
+  }
+
+  /// The scan itself (always compiled, for tests and explicit call sites):
+  /// throws NonFiniteError on the first non-finite element.
+  static void verify(const Module& layer, const Tensor& out);
+};
 
 /// A learnable parameter: value plus accumulated gradient of equal shape.
 struct Param {

@@ -13,6 +13,7 @@ Tensor ResBlock::forward(const Tensor& x) {
   Tensor y = conv2_.forward(relu_.forward(conv1_.forward(x)));
   y.scale_(res_scale_);
   y.add_(x);
+  FiniteCheckGuard{*this, y};
   return y;
 }
 
@@ -31,6 +32,7 @@ void ResBlock::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   conv2_.infer_into(*mid, out, ws);
   out.scale_(res_scale_);
   out.add_(x);
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor ResBlock::backward(const Tensor& grad_out) {

@@ -6,7 +6,10 @@ namespace dcsr::nn {
 
 Tensor Sequential::forward(const Tensor& x) {
   Tensor y = x;
-  for (auto& layer : layers_) y = layer->forward(y);
+  for (auto& layer : layers_) {
+    y = layer->forward(y);
+    FiniteCheckGuard{*layer, y};
+  }
   return y;
 }
 

@@ -68,6 +68,7 @@ void PixelShuffle::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const
         }
       },
       "nn/shape_ops.cpp:PixelShuffle::infer");
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor PixelShuffle::backward(const Tensor& grad_out) {
@@ -151,6 +152,7 @@ void BilinearUpsample::infer_into(const Tensor& x, Tensor& out,
         }
     }
   }
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor BilinearUpsample::backward(const Tensor& grad_out) {
@@ -215,6 +217,7 @@ void UpsampleNearest::infer_into(const Tensor& x, Tensor& out,
         }
       },
       "nn/shape_ops.cpp:UpsampleNearest::infer");
+  FiniteCheckGuard{*this, out};
 }
 
 Tensor UpsampleNearest::backward(const Tensor& grad_out) {

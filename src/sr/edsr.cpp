@@ -1,6 +1,7 @@
 #include "sr/edsr.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "tensor/workspace.hpp"
 
@@ -63,6 +64,7 @@ Tensor Edsr::forward(const Tensor& x) {
   } else {
     y.add_(input_upsample_->forward(x));
   }
+  nn::FiniteCheckGuard{*this, y};
   return y;
 }
 
@@ -124,6 +126,7 @@ void Edsr::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
     input_upsample_->infer_into(x, *up, ws);
     out.add_(*up);
   }
+  nn::FiniteCheckGuard{*this, out};
 }
 
 Tensor Edsr::backward(const Tensor& grad_out) {
@@ -172,6 +175,20 @@ FrameRGB Edsr::enhance(const FrameRGB& frame) const {
 }
 
 void Edsr::enhance_into(const FrameRGB& frame, FrameRGB& out) const {
+  // Validate the caller's frame geometry up front, before any workspace
+  // checkout: a partially-filled FrameRGB (e.g. planes reset to different
+  // sizes) would otherwise surface as an opaque tensor-shape error deep in
+  // the model, or worse, an out-of-bounds plane read.
+  if (frame.empty())
+    throw std::invalid_argument("Edsr::enhance_into: empty input frame");
+  if (!frame.r.same_size(frame.g) || !frame.r.same_size(frame.b))
+    throw std::invalid_argument(
+        "Edsr::enhance_into: inconsistent plane geometry (r " +
+        std::to_string(frame.r.width()) + "x" + std::to_string(frame.r.height()) +
+        ", g " + std::to_string(frame.g.width()) + "x" +
+        std::to_string(frame.g.height()) + ", b " +
+        std::to_string(frame.b.width()) + "x" +
+        std::to_string(frame.b.height()) + ")");
   // Both tensor endpoints come from this thread's workspace, so the only
   // buffers that persist across calls are the caller's `out` planes — warm
   // ones are rewritten in place.

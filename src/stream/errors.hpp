@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace dcsr::stream {
+
+/// Thrown when a manifest fails to parse — the binary form or the text
+/// playlist. Derives std::invalid_argument (what parse_playlist historically
+/// threw). `where()` is a byte offset for the binary manifest and a 1-based
+/// line number for the text playlist; the what() string says which.
+class ManifestError : public std::invalid_argument {
+ public:
+  ManifestError(const std::string& what, std::size_t where,
+                const char* unit = "byte offset")
+      : std::invalid_argument(what + " (" + unit + " " + std::to_string(where) +
+                              ")"),
+        where_(where) {}
+
+  std::size_t where() const noexcept { return where_; }
+
+ private:
+  std::size_t where_;
+};
+
+/// Thrown when a model bundle fails structural validation: bad magic,
+/// implausible entry count, truncated or corrupt payload. Derives
+/// std::invalid_argument; `byte_offset()` names the offending field.
+class BundleError : public std::invalid_argument {
+ public:
+  BundleError(const std::string& what, std::size_t byte_offset)
+      : std::invalid_argument(what + " (byte offset " +
+                              std::to_string(byte_offset) + ")"),
+        byte_offset_(byte_offset) {}
+
+  std::size_t byte_offset() const noexcept { return byte_offset_; }
+
+ private:
+  std::size_t byte_offset_;
+};
+
+}  // namespace dcsr::stream

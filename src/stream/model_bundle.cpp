@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "codec/container.hpp"  // crc32
+#include "stream/errors.hpp"
 
 namespace dcsr::stream {
 
@@ -46,22 +47,27 @@ void ModelBundle::serialize(ByteWriter& out) const {
 }
 
 ModelBundle ModelBundle::deserialize(ByteReader& in) {
+  const std::size_t magic_at = in.position();
   if (in.read_u32() != kMagic)
-    throw std::invalid_argument("ModelBundle: bad magic");
+    throw BundleError("ModelBundle: bad magic", magic_at);
+  const std::size_t count_at = in.position();
   const std::uint32_t count = in.read_u32();
   if (count > 1u << 16)
-    throw std::invalid_argument("ModelBundle: implausible entry count");
+    throw BundleError("ModelBundle: implausible entry count", count_at);
   ModelBundle bundle;
   for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t entry_at = in.position();
     const int label = static_cast<int>(in.read_u32());
     const std::uint32_t size = in.read_u32();
     const std::uint32_t crc = in.read_u32();
     if (size > in.remaining())
-      throw std::invalid_argument("ModelBundle: truncated payload");
+      throw BundleError("ModelBundle: truncated payload", entry_at);
     std::vector<std::uint8_t> payload(size);
     for (auto& b : payload) b = in.read_u8();
     if (codec::crc32(payload.data(), payload.size()) != crc)
-      throw std::invalid_argument("ModelBundle: CRC mismatch");
+      throw BundleError("ModelBundle: payload CRC mismatch", entry_at);
+    if (bundle.contains(label))
+      throw BundleError("ModelBundle: duplicate label", entry_at);
     bundle.add(label, std::move(payload));
   }
   return bundle;

@@ -5,12 +5,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include "stream/errors.hpp"
+
 namespace dcsr::stream {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& why) {
-  throw std::invalid_argument("parse_playlist: " + why);
+[[noreturn]] void fail(const std::string& why, std::size_t line_no = 0) {
+  throw ManifestError("parse_playlist: " + why, line_no, "line");
 }
 
 // Splits "a:b:c" after a known prefix into fields.
@@ -31,11 +33,11 @@ std::vector<std::string> fields_after(const std::string& line,
   return out;
 }
 
-std::uint64_t to_u64(const std::string& s) {
+std::uint64_t to_u64(const std::string& s, std::size_t line_no) {
   std::uint64_t v = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc() || ptr != s.data() + s.size())
-    fail("bad number '" + s + "'");
+    fail("bad number '" + s + "'", line_no);
   return v;
 }
 
@@ -64,51 +66,59 @@ std::string write_playlist(const Manifest& manifest) {
 Manifest parse_playlist(const std::string& text) {
   std::istringstream is(text);
   std::string line;
+  std::size_t line_no = 0;
+  const auto next_line = [&]() -> bool {
+    if (!std::getline(is, line)) return false;
+    ++line_no;
+    return true;
+  };
 
-  if (!std::getline(is, line) || line != "#DCSR-PLAYLIST:1")
-    fail("missing or unsupported header");
+  if (!next_line() || line != "#DCSR-PLAYLIST:1")
+    fail("missing or unsupported header", line_no);
 
   Manifest manifest;
-  if (!std::getline(is, line) || line.rfind("#MODELS:", 0) != 0)
-    fail("missing #MODELS");
-  const auto n_models = to_u64(line.substr(8));
-  if (n_models > 1u << 20) fail("implausible model count");
+  if (!next_line() || line.rfind("#MODELS:", 0) != 0)
+    fail("missing #MODELS", line_no);
+  const auto n_models = to_u64(line.substr(8), line_no);
+  if (n_models > 1u << 20) fail("implausible model count", line_no);
 
   for (std::uint64_t m = 0; m < n_models; ++m) {
-    if (!std::getline(is, line) || line.rfind("#MODEL:", 0) != 0)
-      fail("missing #MODEL line");
+    if (!next_line() || line.rfind("#MODEL:", 0) != 0)
+      fail("missing #MODEL line", line_no);
     const auto f = fields_after(line, "#MODEL:");
-    if (f.size() != 2) fail("malformed #MODEL");
-    if (to_u64(f[0]) != m) fail("model labels must be dense and ordered");
-    manifest.model_bytes.push_back(to_u64(f[1]));
+    if (f.size() != 2) fail("malformed #MODEL", line_no);
+    if (to_u64(f[0], line_no) != m)
+      fail("model labels must be dense and ordered", line_no);
+    manifest.model_bytes.push_back(to_u64(f[1], line_no));
   }
 
   bool ended = false;
-  while (std::getline(is, line)) {
+  while (next_line()) {
     if (line.empty()) continue;
     if (line == "#END") {
       ended = true;
       break;
     }
-    if (line.rfind("#SEGMENT:", 0) != 0) fail("unknown directive: " + line);
+    if (line.rfind("#SEGMENT:", 0) != 0)
+      fail("unknown directive: " + line, line_no);
     const auto f = fields_after(line, "#SEGMENT:");
-    if (f.size() != 4) fail("malformed #SEGMENT");
+    if (f.size() != 4) fail("malformed #SEGMENT", line_no);
     SegmentEntry seg;
-    seg.segment_index = static_cast<int>(to_u64(f[0]));
-    seg.frame_count = static_cast<int>(to_u64(f[1]));
-    seg.video_bytes = to_u64(f[2]);
+    seg.segment_index = static_cast<int>(to_u64(f[0], line_no));
+    seg.frame_count = static_cast<int>(to_u64(f[1], line_no));
+    seg.video_bytes = to_u64(f[2], line_no);
     if (f[3] == "-") {
       seg.model_label = kNoModel;
     } else {
-      seg.model_label = static_cast<int>(to_u64(f[3]));
+      seg.model_label = static_cast<int>(to_u64(f[3], line_no));
       if (static_cast<std::size_t>(seg.model_label) >= manifest.model_bytes.size())
-        fail("segment references unknown model");
+        fail("segment references unknown model", line_no);
     }
     if (seg.segment_index != static_cast<int>(manifest.segments.size()))
-      fail("segments must be dense and ordered");
+      fail("segments must be dense and ordered", line_no);
     manifest.segments.push_back(seg);
   }
-  if (!ended) fail("missing #END");
+  if (!ended) fail("missing #END", line_no);
   return manifest;
 }
 

@@ -5,6 +5,27 @@
 #include <stdexcept>
 
 namespace dcsr {
+
+namespace detail {
+
+void throw_tensor_bounds(const char* site, const std::vector<int>& shape,
+                         const std::string& detail) {
+  std::ostringstream os;
+  os << site << ": " << detail << " (tensor shape ";
+  if (shape.empty()) {
+    os << "<scalar>";
+  } else {
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+      if (i) os << 'x';
+      os << shape[i];
+    }
+  }
+  os << ')';
+  throw TensorBoundsError(os.str());
+}
+
+}  // namespace detail
+
 namespace {
 
 std::size_t element_count(const std::vector<int>& shape) {

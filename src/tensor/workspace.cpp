@@ -1,7 +1,9 @@
 #include "tensor/workspace.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <mutex>
+#include <stdexcept>
 
 namespace dcsr {
 
@@ -24,10 +26,31 @@ std::vector<const Workspace*>& registry() {
   return *r;
 }
 
+// Validates the shape before any workspace state changes: a bad shape must
+// reject the acquire outright, not throw from Tensor::reset after a buffer
+// has already left the free list and `outstanding` has been bumped (the
+// counter-leak bug this replaced).
 std::size_t element_count_of(const std::vector<int>& shape) {
   std::size_t n = 1;
-  for (int d : shape) n *= static_cast<std::size_t>(d > 0 ? d : 0);
+  for (int d : shape) {
+    if (d <= 0)
+      throw std::invalid_argument("Workspace::acquire: non-positive dimension");
+    n *= static_cast<std::size_t>(d);
+  }
   return n;
+}
+
+// Checked builds fill every acquired and released buffer with signaling
+// NaNs; see kWorkspacePoisonBits. No-op (compiled out) in release.
+void poison(Tensor& t) noexcept {
+#if DCSR_POISON_WORKSPACE
+  float p;
+  static_assert(sizeof p == sizeof kWorkspacePoisonBits);
+  std::memcpy(&p, &kWorkspacePoisonBits, sizeof p);
+  for (float& v : t.span()) v = p;
+#else
+  (void)t;
+#endif
 }
 
 }  // namespace
@@ -59,25 +82,42 @@ Workspace::~Workspace() {
 }
 
 WorkspaceTensor Workspace::acquire(std::vector<int> shape) {
-  const std::size_t need = element_count_of(shape);
+  const std::size_t need = element_count_of(shape);  // throws before any state moves
   // Smallest adequate cached buffer wins: free_ is sorted by capacity, so
   // the first entry that fits is the tightest one. Identical acquire
   // sequences therefore map to identical buffers frame after frame.
   const auto it = std::find_if(free_.begin(), free_.end(), [need](const Tensor& t) {
     return t.capacity() >= need;
   });
-  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  // Exception safety: `outstanding` is bumped only once the checkout tensor
+  // exists, right before it is handed to RAII ownership — so a throw from
+  // reset()/allocation (bad_alloc) leaves the counters balanced, and a throw
+  // later between acquire and release (e.g. a FiniteCheckGuard trip) is
+  // unwound by ~WorkspaceTensor returning the buffer to the free list.
   if (it != free_.end()) {
     Tensor t = std::move(*it);
     free_.erase(it);
     cached_.store(free_.size(), std::memory_order_relaxed);
-    t.reset(std::move(shape));
+    try {
+      t.reset(std::move(shape));
+    } catch (...) {
+      // Pre-balance the decrement inside release(), then park the buffer
+      // again: the failed acquire leaves counters and free list untouched.
+      outstanding_.fetch_add(1, std::memory_order_relaxed);
+      release(std::move(t));
+      throw;
+    }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    poison(t);
     return WorkspaceTensor(this, std::move(t));
   }
+  Tensor t(std::move(shape));  // may throw bad_alloc; no state changed yet
   misses_.fetch_add(1, std::memory_order_relaxed);
   bytes_allocated_.fetch_add(need * sizeof(float), std::memory_order_relaxed);
-  return WorkspaceTensor(this, Tensor(std::move(shape)));
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  poison(t);
+  return WorkspaceTensor(this, std::move(t));
 }
 
 WorkspaceTensor Workspace::acquire_zeroed(std::vector<int> shape) {
@@ -89,6 +129,7 @@ WorkspaceTensor Workspace::acquire_zeroed(std::vector<int> shape) {
 void Workspace::release(Tensor&& t) noexcept {
   outstanding_.fetch_sub(1, std::memory_order_relaxed);
   if (t.capacity() == 0) return;  // nothing worth caching
+  poison(t);  // checked builds: stale reads through the old checkout go NaN
   const auto pos = std::lower_bound(
       free_.begin(), free_.end(), t.capacity(),
       [](const Tensor& a, std::size_t cap) { return a.capacity() < cap; });

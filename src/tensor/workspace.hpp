@@ -6,10 +6,20 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "util/checked.hpp"
 
 namespace dcsr {
 
 class Workspace;
+
+/// Bit pattern checked builds (DCSR_POISON_WORKSPACE) fill workspace buffers
+/// with on acquire *and* on release: a signaling NaN, so any arithmetic on a
+/// value the caller never wrote — an uninitialized checkout or a stale read
+/// through a released buffer — yields NaN and trips the FiniteCheckGuard /
+/// output comparisons immediately instead of silently reusing old frame
+/// data. Release builds never touch buffer contents (acquire's "contents are
+/// unspecified" contract is what makes the poison a pure observation).
+inline constexpr std::uint32_t kWorkspacePoisonBits = 0x7fa00000u;
 
 /// RAII checkout of a scratch tensor from a Workspace. Move-only; the
 /// destructor returns the buffer (with whatever capacity it grew to) to the
@@ -81,8 +91,13 @@ class Workspace {
   Workspace& operator=(const Workspace&) = delete;
 
   /// Checks out a tensor of the given shape. Contents are unspecified —
-  /// callers fully overwrite (or zero()) it. Counts a hit when a cached
-  /// buffer's capacity covered the request, a miss otherwise.
+  /// callers fully overwrite (or zero()) it; checked builds poison them with
+  /// kWorkspacePoisonBits to enforce that. Counts a hit when a cached
+  /// buffer's capacity covered the request, a miss otherwise. Throws
+  /// std::invalid_argument on a non-positive dimension — before any counter
+  /// moves or any buffer leaves the free list, so a failed acquire never
+  /// leaks a checkout (outstanding is incremented only once the checkout
+  /// exists and is owned by RAII).
   WorkspaceTensor acquire(std::vector<int> shape);
 
   /// acquire() + zero-fill, for kernels that accumulate into their output.

@@ -1,0 +1,47 @@
+#pragma once
+
+// Central switches for the checked-invariant layer. Each check is a
+// compile-time gate: in a -DDCSR_CHECKED=ON build (tools/run_checks.sh leg
+// `checked`) all of them default on; in a release build the guarded code
+// compiles out entirely, so the hot path pays nothing — the same contract the
+// parallel_for write-claim detector established in PR 3. Individual checks
+// can be forced on in any build by defining the macro to 1 on the compile
+// line (e.g. -DDCSR_BOUNDS_CHECK=1).
+//
+//   DCSR_BOUNDS_CHECK      every Tensor element/view/slice access and shape
+//                          precondition is validated; violations throw
+//                          TensorBoundsError (tensor/tensor.hpp).
+//   DCSR_POISON_WORKSPACE  Workspace::acquire/release fill buffers with a
+//                          signaling-NaN pattern so reads of stale or
+//                          uninitialized scratch surface as NaN immediately
+//                          (tensor/workspace.hpp).
+//   DCSR_FINITE_CHECK      FiniteCheckGuard scans layer outputs for NaN/Inf
+//                          and throws NonFiniteError naming the layer
+//                          (nn/module.hpp).
+//
+// All three observe and never alter defined values, so the PR-2/PR-4 bitwise
+// pins (Infer.*, Edsr.Infer*) hold in checked builds too.
+
+#ifndef DCSR_BOUNDS_CHECK
+#ifdef DCSR_CHECKED
+#define DCSR_BOUNDS_CHECK 1
+#else
+#define DCSR_BOUNDS_CHECK 0
+#endif
+#endif
+
+#ifndef DCSR_POISON_WORKSPACE
+#ifdef DCSR_CHECKED
+#define DCSR_POISON_WORKSPACE 1
+#else
+#define DCSR_POISON_WORKSPACE 0
+#endif
+#endif
+
+#ifndef DCSR_FINITE_CHECK
+#ifdef DCSR_CHECKED
+#define DCSR_FINITE_CHECK 1
+#else
+#define DCSR_FINITE_CHECK 0
+#endif
+#endif

@@ -121,6 +121,10 @@ class ByteReader {
   std::size_t remaining() const noexcept { return buf_.size() - pos_; }
   bool done() const noexcept { return pos_ == buf_.size(); }
 
+  /// Byte offset of the next read — lets parsers report *where* a stream
+  /// went bad, not just that it did.
+  std::size_t position() const noexcept { return pos_; }
+
  private:
   void require(std::size_t n) const {
     if (pos_ + n > buf_.size())

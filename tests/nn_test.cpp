@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
+#include <memory>
+#include <string>
 
 #include "nn/activations.hpp"
 #include "nn/conv.hpp"
@@ -14,6 +17,7 @@
 #include "nn/serialize.hpp"
 #include "nn/shape_ops.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr::nn {
@@ -619,6 +623,61 @@ TEST(TrainingModeGuard, RestoresModeWhenForwardThrows) {
   }
   EXPECT_TRUE(conv.training());
 }
+
+// ---------------------------------------------------------------------------
+// Checked-build negative tests for the finiteness scan: FiniteCheckGuard
+// must fire, naming the layer, the moment a non-finite value crosses a layer
+// boundary. Compiled out of release builds (tools/run_checks.sh's `checked`
+// leg runs them with every check on).
+// ---------------------------------------------------------------------------
+
+#if DCSR_FINITE_CHECK
+TEST(CheckedFinite, NanWeightTripsGuardNamingLayer) {
+  Rng rng(11);
+  Linear lin(4, 3, rng);
+  lin.params()[0]->value[0] = std::numeric_limits<float>::quiet_NaN();
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  try {
+    (void)lin.infer(x);
+    FAIL() << "expected NonFiniteError";
+  } catch (const NonFiniteError& e) {
+    EXPECT_NE(std::string(e.what()).find("Linear"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckedFinite, InfInputTripsGuardInsideSequential) {
+  Rng rng(12);
+  Sequential net;
+  net.add(std::make_unique<Linear>(4, 4, rng));
+  net.add(std::make_unique<ReLU>());
+  Tensor x = Tensor::randn({1, 4}, rng);
+  x[2] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW((void)net.infer(x), NonFiniteError);
+}
+
+TEST(CheckedFinite, FiniteInferencePassesUnchanged) {
+  // The guard is a pure observer: a healthy model must be untouched by it.
+  Rng rng(13);
+  Linear lin(4, 3, rng);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  EXPECT_NO_THROW((void)lin.infer(x));
+}
+
+#if DCSR_POISON_WORKSPACE
+TEST(CheckedFinite, StaleWorkspaceReadTripsGuard) {
+  // The two checks compose: a kernel that forgets to write part of its
+  // workspace checkout reads signalling NaN (poison), and the finiteness
+  // scan converts that into a typed error naming the layer instead of
+  // letting garbage propagate downstream.
+  Rng rng(14);
+  const Linear lin(4, 3, rng);
+  Workspace ws;
+  WorkspaceTensor stale = ws.acquire({2, 3});  // never written: all poison
+  EXPECT_THROW(FiniteCheckGuard::verify(lin, *stale), NonFiniteError);
+}
+#endif  // DCSR_POISON_WORKSPACE
+#endif  // DCSR_FINITE_CHECK
 
 }  // namespace
 }  // namespace dcsr::nn

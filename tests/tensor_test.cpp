@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -400,6 +402,107 @@ TEST(Workspace, LocalIsPerThreadAndStable) {
   Workspace& b = Workspace::local();
   EXPECT_EQ(&a, &b);
 }
+
+TEST(Workspace, FailedAcquireLeavesCountersUntouched) {
+  // acquire() validates the shape before any counter moves or any buffer
+  // leaves the free list, so a failed checkout can never leak `outstanding`
+  // (the exception-safety fix this PR's workspace audit landed).
+  Workspace ws;
+  { WorkspaceTensor warm = ws.acquire({8}); }
+  const Workspace::Stats before = ws.stats();
+  EXPECT_THROW(ws.acquire({0, 3}), std::invalid_argument);
+  EXPECT_THROW(ws.acquire({-2}), std::invalid_argument);
+  EXPECT_THROW(ws.acquire_zeroed({4, -1}), std::invalid_argument);
+  const Workspace::Stats after = ws.stats();
+  EXPECT_EQ(after.outstanding, before.outstanding);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.cached, before.cached);
+  // The workspace still works after the failures.
+  WorkspaceTensor ok = ws.acquire({8});
+  EXPECT_EQ(ws.stats().outstanding, before.outstanding + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Checked-build negative tests: each detector must FIRE on the violation it
+// guards. The blocks compile out of release builds, where the same accesses
+// are the caller's contract to keep in range (tools/run_checks.sh's `checked`
+// leg runs them with every check on).
+// ---------------------------------------------------------------------------
+
+#if DCSR_BOUNDS_CHECK
+TEST(CheckedBounds, FlatIndexPastEndThrowsNamingSiteAndShape) {
+  Tensor t({2, 3});
+  try {
+    (void)t[6];
+    FAIL() << "expected TensorBoundsError";
+  } catch (const TensorBoundsError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("Tensor::operator[]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("6"), std::string::npos) << msg;
+  }
+  // TensorBoundsError slots into std::out_of_range, matching the codec's
+  // BitstreamError hierarchy, so generic catch sites keep working.
+  EXPECT_THROW((void)t[100], std::out_of_range);
+}
+
+TEST(CheckedBounds, At4dOutOfRangeThrows) {
+  Tensor t({1, 2, 4, 4});
+  EXPECT_NO_THROW(t.at(0, 1, 3, 3));
+  EXPECT_THROW(t.at(1, 0, 0, 0), TensorBoundsError);
+  EXPECT_THROW(t.at(0, 2, 0, 0), TensorBoundsError);
+  EXPECT_THROW(t.at(0, 0, 4, 0), TensorBoundsError);
+  EXPECT_THROW(t.at(0, 0, 0, -1), TensorBoundsError);
+}
+
+TEST(CheckedBounds, ViewPastEndThrows) {
+  Tensor t({8});
+  EXPECT_NO_THROW(t.view(0, 8));
+  EXPECT_NO_THROW(t.view(8, 0));
+  EXPECT_THROW(t.view(1, 8), TensorBoundsError);
+  EXPECT_THROW(t.view(9, 0), TensorBoundsError);
+}
+
+TEST(CheckedBounds, SliceOutOfRangeThrows) {
+  Tensor t({3, 4});
+  EXPECT_NO_THROW(t.slice(2));
+  EXPECT_THROW(t.slice(3), TensorBoundsError);
+  EXPECT_THROW(t.slice(-1), TensorBoundsError);
+}
+#endif  // DCSR_BOUNDS_CHECK
+
+#if DCSR_POISON_WORKSPACE
+TEST(CheckedPoison, AcquireHandsOutSignallingNaNBits) {
+  Workspace ws;
+  WorkspaceTensor t = ws.acquire({16});
+  for (std::size_t i = 0; i < t->size(); ++i) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &(*t)[i], sizeof bits);
+    ASSERT_EQ(bits, kWorkspacePoisonBits) << "element " << i;
+  }
+}
+
+TEST(CheckedPoison, ReleaseRepoisonsTheBuffer) {
+  // A stale read through a recycled buffer must see NaN, not the previous
+  // checkout's data — release() re-poisons before parking on the free list.
+  Workspace ws;
+  {
+    WorkspaceTensor t = ws.acquire({16});
+    for (std::size_t i = 0; i < t->size(); ++i) (*t)[i] = 7.0f;
+  }
+  WorkspaceTensor again = ws.acquire({16});
+  EXPECT_EQ(ws.stats().hits, 1u);  // same buffer came back
+  for (std::size_t i = 0; i < again->size(); ++i)
+    ASSERT_TRUE(std::isnan((*again)[i])) << "element " << i;
+}
+
+TEST(CheckedPoison, AcquireZeroedOverridesThePoison) {
+  Workspace ws;
+  { WorkspaceTensor dirty = ws.acquire({8}); }
+  WorkspaceTensor z = ws.acquire_zeroed({8});
+  for (std::size_t i = 0; i < z->size(); ++i) EXPECT_EQ((*z)[i], 0.0f);
+}
+#endif  // DCSR_POISON_WORKSPACE
 
 }  // namespace
 }  // namespace dcsr

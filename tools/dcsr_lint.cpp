@@ -28,6 +28,15 @@
 //                   src/nn/ — the inference hot path must use the *_into
 //                   variants so steady-state playback stays allocation-free
 //                   (PR 4's workspace contract).
+//   [raw-index]     no raw `.data()[` element access outside src/tensor/ —
+//                   pointer arithmetic on the backing store bypasses the
+//                   DCSR_BOUNDS_CHECK accessors (PR 5's checked-view
+//                   contract). A kernel that has been audited can opt a line
+//                   out with a `// dcsr-lint: allow(raw-index)` annotation.
+//   [reinterpret]   no reinterpret_cast outside the serialisation boundary
+//                   (src/codec/bits.*, src/stream/model_bundle.*,
+//                   src/util/file.cpp) — type punning anywhere else defeats
+//                   the typed-error hardening of the parse surfaces.
 //   [pragma-once]   every header starts its include guard with #pragma once.
 //
 // Usage:
@@ -270,6 +279,57 @@ void rule_infer_alloc(const std::string& path, const std::string& stripped,
   }
 }
 
+// The raw line of source containing byte `pos` (stripped and raw share byte
+// offsets, so a position found in the stripped text indexes the same line).
+std::string raw_line_at(const std::string& raw, std::size_t pos) {
+  const std::size_t begin = raw.rfind('\n', pos);
+  const std::size_t start = (begin == std::string::npos) ? 0 : begin + 1;
+  std::size_t end = raw.find('\n', pos);
+  if (end == std::string::npos) end = raw.size();
+  return raw.substr(start, end - start);
+}
+
+void rule_raw_index(const std::string& path, const std::string& raw,
+                    const std::string& stripped,
+                    std::vector<Finding>& findings) {
+  // The tensor library itself implements the checked accessors on top of the
+  // backing store; everywhere else must go through them.
+  if (path.find("src/tensor/") != std::string::npos) return;
+  static const std::regex re(R"(\.data\s*\(\s*\)\s*\[)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t pos = static_cast<std::size_t>(it->position());
+    if (raw_line_at(raw, pos).find("dcsr-lint: allow(raw-index)") !=
+        std::string::npos)
+      continue;  // audited kernel line, explicitly annotated
+    findings.push_back(
+        {path, line_of(stripped, pos), "raw-index",
+         "raw .data()[ indexing outside src/tensor/ bypasses the "
+         "DCSR_BOUNDS_CHECK accessors — use at()/view()/slice(), or "
+         "annotate an audited kernel line with "
+         "`// dcsr-lint: allow(raw-index)`"});
+  }
+}
+
+void rule_reinterpret(const std::string& path, const std::string& stripped,
+                      std::vector<Finding>& findings) {
+  // Type punning is confined to the byte-oriented serialisation boundary.
+  const bool sanctioned = path.find("codec/bits.") != std::string::npos ||
+                          path.find("stream/model_bundle.") !=
+                              std::string::npos ||
+                          path_ends_with(path, "util/file.cpp");
+  if (sanctioned) return;
+  static const std::regex re(R"(\breinterpret_cast\b)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re);
+       it != std::sregex_iterator(); ++it)
+    findings.push_back(
+        {path, line_of(stripped, static_cast<std::size_t>(it->position())),
+         "reinterpret",
+         "reinterpret_cast outside the serialisation boundary (codec/bits.*, "
+         "stream/model_bundle.*, util/file.cpp): type punning elsewhere "
+         "defeats the typed-error parse contract"});
+}
+
 void rule_pragma_once(const std::string& path, const std::string& raw,
                       std::vector<Finding>& findings) {
   if (!path_ends_with(path, ".hpp") && !path_ends_with(path, ".h")) return;
@@ -288,6 +348,8 @@ std::vector<Finding> run_rules(const std::string& path, const std::string& raw) 
   rule_module_infer(path, stripped, findings);
   rule_const_forward(path, stripped, findings);
   rule_infer_alloc(path, stripped, findings);
+  rule_raw_index(path, raw, stripped, findings);
+  rule_reinterpret(path, stripped, findings);
   rule_pragma_once(path, raw, findings);
   return findings;
 }
@@ -448,6 +510,30 @@ const Fixture kFixtures[] = {
      "Tensor PatchNet::infer(const Tensor& x) const {\n"
      "  return matmul(x, proj_);\n}\n",
      nullptr},
+    // [raw-index]
+    {"raw .data()[ in a layer", "src/nn/foo.cpp",
+     "void f(const Tensor& t) { float y = t.data()[0]; (void)y; }",
+     "raw-index"},
+    {"raw .data()[ with spacing", "src/codec/residual.cpp",
+     "float y = t.data () [i];", "raw-index"},
+    {".data()[ inside src/tensor is fine", "src/tensor/ops.cpp",
+     "float y = t.data()[0];", nullptr},
+    {"annotated audited kernel line is fine", "src/nn/conv_kernels.cpp",
+     "float y = t.data()[0];  // dcsr-lint: allow(raw-index)", nullptr},
+    {".data() without indexing is fine", "src/stream/manifest.cpp",
+     "const std::uint8_t* p = buf.data(); use(p, buf.size());", nullptr},
+    // [reinterpret]
+    {"reinterpret_cast in a kernel", "src/nn/conv.cpp",
+     "auto* p = reinterpret_cast<const char*>(src);", "reinterpret"},
+    {"reinterpret_cast in the bit packer is fine", "src/codec/bits.cpp",
+     "auto* p = reinterpret_cast<const char*>(src);", nullptr},
+    {"reinterpret_cast in the bundle codec is fine",
+     "src/stream/model_bundle.cpp",
+     "auto* p = reinterpret_cast<const std::uint8_t*>(src);", nullptr},
+    {"reinterpret_cast in file I/O is fine", "src/util/file.cpp",
+     "out.write(reinterpret_cast<const char*>(buf.data()), n);", nullptr},
+    {"reinterpret_cast in a comment is fine", "src/core/session.cpp",
+     "// reinterpret_cast is banned here\nint x;", nullptr},
     // [pragma-once]
     {"header without pragma once", "src/nn/foo.hpp",
      "class Foo final : public Module { Tensor infer(const Tensor&) const; };",

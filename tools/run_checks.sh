@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Single verification gate for the tree. Runs five legs, each test leg in
+# Single verification gate for the tree. Runs six legs, each test leg in
 # its own build directory so instrumented artifacts never mix:
 #
 #   default     RelWithDebInfo build + full ctest suite (includes the
-#               Lint.SelfTest / Lint.SrcTree invariant checks)
-#   checked     -DDCSR_CHECKED=ON: the parallel_for write-claim race detector
-#               validates every annotated region while the full suite runs
+#               Lint.SelfTest / Lint.SrcTree invariant checks and the
+#               Fuzz.*Smoke / FuzzCorpus.* deterministic-fuzz gates)
+#   checked     -DDCSR_CHECKED=ON: every runtime invariant checker on —
+#               the parallel_for write-claim race detector, bounds-checked
+#               tensor access, workspace NaN poisoning and per-layer
+#               finiteness scans — while the full suite (including the
+#               checked-build negative tests) runs
 #   asan        AddressSanitizer + UndefinedBehaviorSanitizer, full suite
 #   tsan        ThreadSanitizer, full suite forced to DCSR_THREADS=4 so the
 #               pool, the segment pipeline and the shared-model inference
@@ -13,11 +17,14 @@
 #   bench-smoke every microbenchmark for a single iteration in the default
 #               build — catches bench bit-rot (and exercises the
 #               steady-state workspace counters) without a timed run
+#   fuzz-smoke  dcsr_fuzz all harnesses, 10k seeded iterations each, in the
+#               ASan/UBSan build — any contract escape (UB, crash, untyped
+#               exception) fails the leg and prints the repro command
 #
 # Usage: tools/run_checks.sh [leg...]
-#   e.g. tools/run_checks.sh            # all five legs
+#   e.g. tools/run_checks.sh            # all six legs
 #        tools/run_checks.sh tsan       # just the TSan leg
-#        tools/run_checks.sh default checked
+#        tools/run_checks.sh default checked fuzz-smoke
 #
 # Prints a per-leg summary and exits nonzero if any leg fails.
 set -uo pipefail
@@ -26,7 +33,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default checked asan tsan bench-smoke)
+  LEGS=(default checked asan tsan bench-smoke fuzz-smoke)
 fi
 
 declare -A STATUS
@@ -67,8 +74,22 @@ run_leg() {
       "$build/bench/bench_micro_kernels" --benchmark_min_time=0 || return 1
       return 0
       ;;
+    fuzz-smoke)
+      # Long deterministic fuzz pass under ASan/UBSan (shares the asan leg's
+      # build directory). The ctest Fuzz.*Smoke gates run a short slice of
+      # the same loops in every build; this leg is the deeper sweep.
+      build="${SAN_BUILD_DIR:-$ROOT/build-san}"
+      export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+      export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+      echo
+      echo "=== leg: $leg (build dir: $build) ==="
+      cmake -B "$build" -S "$ROOT" -DDCSR_SANITIZE=address,undefined || return 1
+      cmake --build "$build" -j --target dcsr_fuzz || return 1
+      "$build/tools/dcsr_fuzz" all --iters 10000 --seed 1 || return 1
+      return 0
+      ;;
     *)
-      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|bench-smoke)" >&2
+      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|bench-smoke|fuzz-smoke)" >&2
       return 2
       ;;
   esac
