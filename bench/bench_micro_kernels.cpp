@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
 #include <thread>
 
 #include "codec/bits.hpp"
@@ -19,6 +21,7 @@
 #include "image/metrics.hpp"
 #include "image/resize.hpp"
 #include "nn/conv.hpp"
+#include "simd/dispatch.hpp"
 #include "sr/edsr.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/workspace.hpp"
@@ -71,6 +74,31 @@ void BM_QuantizeBlock(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(q.quantize(b, true));
 }
 BENCHMARK(BM_QuantizeBlock);
+
+// The decoder's per-block hot loop: fused dequantise + inverse transform.
+void BM_DequantIdct8x8(benchmark::State& state) {
+  Rng rng(3);
+  const Block8 b = random_block(rng);
+  const codec::Quantizer q(28);
+  const codec::Levels8 lv = q.quantize(b, true);
+  for (auto _ : state) benchmark::DoNotOptimize(q.dequantize_idct(lv, true));
+}
+BENCHMARK(BM_DequantIdct8x8);
+
+// im2col on an inference-shaped conv (c=8, 48x48, 3x3, stride 1, pad 1):
+// ~80% of a small conv's wall time, and the biggest single SIMD lever in
+// BM_EdsrEnhanceSteadyState.
+void BM_Im2col(benchmark::State& state) {
+  const int c = static_cast<int>(state.range(0));
+  Rng rng(5);
+  const Tensor x = Tensor::randn({1, c, 48, 48}, rng);
+  Tensor cols({c * 9, 48 * 48});
+  for (auto _ : state) {
+    im2col_into(x, 0, 3, 1, 1, cols);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2col)->Arg(8)->Arg(32);
 
 void BM_Matmul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -286,4 +314,29 @@ BENCHMARK(BM_YuvRoundTrip);
 }  // namespace
 }  // namespace dcsr
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): report the SIMD dispatch decision
+// up front and stamp it (plus this binary's build type) into the JSON
+// context, so a recorded BENCH_kernels.json is attributable to a backend and
+// a non-Release run is visible in the artifact itself.
+int main(int argc, char** argv) {
+  std::string dispatch;
+  try {
+    dispatch = dcsr::simd::report();
+  } catch (const dcsr::simd::SimdDispatchError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << dispatch << "\n";
+  benchmark::AddCustomContext(
+      "dcsr_simd_backend",
+      dcsr::simd::backend_name(dcsr::simd::active_backend()));
+  benchmark::AddCustomContext("dcsr_simd_dispatch", dispatch);
+#ifdef DCSR_BENCH_BUILD_TYPE
+  benchmark::AddCustomContext("dcsr_build_type", DCSR_BENCH_BUILD_TYPE);
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

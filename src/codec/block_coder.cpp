@@ -31,7 +31,9 @@ Levels8 forward_block(const Block8& spatial, const Quantizer& q, bool intra) noe
 }
 
 Block8 reconstruct_block(const Levels8& levels, const Quantizer& q, bool intra) noexcept {
-  return idct8x8(q.dequantize(levels, intra));
+  // Fused dequant + inverse DCT: one pass over the block, pinned bitwise
+  // against idct8x8(dequantize(...)) by the Simd.* suite.
+  return q.dequantize_idct(levels, intra);
 }
 
 bool all_zero(const Levels8& levels) noexcept {

@@ -1,60 +1,22 @@
 #include "codec/dct.hpp"
 
-#include <cmath>
+#include "simd/dispatch.hpp"
 
 namespace dcsr::codec {
 
-namespace {
-
-// Precomputed orthonormal DCT-II basis: kBasis[k][n] = c(k) * cos((2n+1)k*pi/16).
-struct DctBasis {
-  float m[8][8];
-  DctBasis() noexcept {
-    const double pi = 3.14159265358979323846;
-    for (int k = 0; k < 8; ++k) {
-      const double ck = k == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
-      for (int n = 0; n < 8; ++n)
-        m[k][n] = static_cast<float>(
-            ck * std::cos((2.0 * n + 1.0) * k * pi / 16.0));
-    }
-  }
-};
-const DctBasis kB;
-
-}  // namespace
+// The separable orthonormal DCT-II/III loops live in src/simd/ as the scalar
+// reference kernels (kernels_scalar.cpp), with AVX2 replays pinned bitwise
+// against them; these wrappers just route through the active backend.
 
 Block8 dct8x8(const Block8& samples) noexcept {
-  // Separable: rows then columns.
-  Block8 tmp{}, out{};
-  for (int y = 0; y < 8; ++y)
-    for (int k = 0; k < 8; ++k) {
-      float acc = 0.0f;
-      for (int n = 0; n < 8; ++n) acc += kB.m[k][n] * samples[static_cast<std::size_t>(y * 8 + n)];
-      tmp[static_cast<std::size_t>(y * 8 + k)] = acc;
-    }
-  for (int x = 0; x < 8; ++x)
-    for (int k = 0; k < 8; ++k) {
-      float acc = 0.0f;
-      for (int n = 0; n < 8; ++n) acc += kB.m[k][n] * tmp[static_cast<std::size_t>(n * 8 + x)];
-      out[static_cast<std::size_t>(k * 8 + x)] = acc;
-    }
+  Block8 out{};
+  simd::active().dct8x8(samples.data(), out.data());
   return out;
 }
 
 Block8 idct8x8(const Block8& coeffs) noexcept {
-  Block8 tmp{}, out{};
-  for (int x = 0; x < 8; ++x)
-    for (int n = 0; n < 8; ++n) {
-      float acc = 0.0f;
-      for (int k = 0; k < 8; ++k) acc += kB.m[k][n] * coeffs[static_cast<std::size_t>(k * 8 + x)];
-      tmp[static_cast<std::size_t>(n * 8 + x)] = acc;
-    }
-  for (int y = 0; y < 8; ++y)
-    for (int n = 0; n < 8; ++n) {
-      float acc = 0.0f;
-      for (int k = 0; k < 8; ++k) acc += kB.m[k][n] * tmp[static_cast<std::size_t>(y * 8 + k)];
-      out[static_cast<std::size_t>(y * 8 + n)] = acc;
-    }
+  Block8 out{};
+  simd::active().idct8x8(coeffs.data(), out.data());
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/dispatch.hpp"
+
 namespace dcsr::codec {
 
 namespace {
@@ -18,34 +20,45 @@ Quantizer::Quantizer(int crf)
       // Calibrated so CRF ~18 is visually transparent on the synthetic
       // content and CRF 51 is severely degraded (~20 dB luma PSNR), matching
       // the paper's "worst quality" setting.
-      base_step_(0.012f * std::exp2(static_cast<float>(crf_ - 18) / 6.0f)) {}
+      base_step_(0.012f * std::exp2(static_cast<float>(crf_ - 18) / 6.0f)) {
+  // Per-coefficient step tables, computed once so the quantise/dequantise
+  // kernels are pure table-driven loops. This is also what makes the two
+  // directions use the *same* step bit-for-bit: historically each call site
+  // re-derived base*weight*mode inline and the compiler's per-site FMA
+  // contraction choices could disagree by an ulp.
+  for (int i = 0; i < 64; ++i) {
+    const float w = freq_weight(i);
+    // Inter residuals tolerate slightly coarser quantisation than intra
+    // samples (they are already small); H.264 behaves similarly via lambda
+    // scaling. Factor kept mild.
+    steps_[0][i] = base_step_ * w * 1.0f;   // intra
+    steps_[1][i] = base_step_ * w * 1.15f;  // inter
+  }
+}
 
 float Quantizer::step_at(int idx, bool intra) const noexcept {
-  // Inter residuals tolerate slightly coarser quantisation than intra
-  // samples (they are already small); H.264 behaves similarly via lambda
-  // scaling. Factor kept mild.
-  const float mode = intra ? 1.0f : 1.15f;
-  return base_step_ * freq_weight(idx) * mode;
+  return steps(intra)[idx];
 }
 
 std::array<std::int32_t, 64> Quantizer::quantize(const Block8& coeffs,
                                                  bool intra) const noexcept {
   std::array<std::int32_t, 64> levels{};
-  for (int i = 0; i < 64; ++i) {
-    const float step = step_at(i, intra);
-    levels[static_cast<std::size_t>(i)] =
-        static_cast<std::int32_t>(std::lround(coeffs[static_cast<std::size_t>(i)] / step));
-  }
+  simd::active().quantize_block(coeffs.data(), steps(intra), levels.data());
   return levels;
 }
 
 Block8 Quantizer::dequantize(const std::array<std::int32_t, 64>& levels,
                              bool intra) const noexcept {
   Block8 coeffs{};
-  for (int i = 0; i < 64; ++i)
-    coeffs[static_cast<std::size_t>(i)] =
-        static_cast<float>(levels[static_cast<std::size_t>(i)]) * step_at(i, intra);
+  simd::active().dequantize_block(levels.data(), steps(intra), coeffs.data());
   return coeffs;
+}
+
+Block8 Quantizer::dequantize_idct(const std::array<std::int32_t, 64>& levels,
+                                  bool intra) const noexcept {
+  Block8 out{};
+  simd::active().dequant_idct8x8(levels.data(), steps(intra), out.data());
+  return out;
 }
 
 }  // namespace dcsr::codec

@@ -1,19 +1,15 @@
 #include "image/convert.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <cstddef>
+
+#include "simd/dispatch.hpp"
+#include "simd/kernels_inline.hpp"
 
 namespace dcsr {
 
-namespace {
-// BT.601 full-range coefficients.
-constexpr float kWr = 0.299f;
-constexpr float kWg = 0.587f;
-constexpr float kWb = 0.114f;
-}  // namespace
-
 float rgb_to_luma(float r, float g, float b) noexcept {
-  return kWr * r + kWg * g + kWb * b;
+  return simd::kWr * r + simd::kWg * g + simd::kWb * b;
 }
 
 FrameYUV rgb_to_yuv420(const FrameRGB& rgb) {
@@ -34,22 +30,20 @@ void rgb_to_yuv420_into(const FrameRGB& rgb, FrameYUV& out) {
   thread_local Plane uf, vf;
   uf.reset(W, H);
   vf.reset(W, H);
+  const simd::KernelTable& kt = simd::active();
   for (int y = 0; y < H; ++y) {
-    for (int x = 0; x < W; ++x) {
-      const float r = rgb.r.at(x, y), g = rgb.g.at(x, y), b = rgb.b.at(x, y);
-      const float luma = rgb_to_luma(r, g, b);
-      out.y.at(x, y) = luma;
-      uf.at(x, y) = 0.5f + 0.5f * (b - luma) / (1.0f - kWb);
-      vf.at(x, y) = 0.5f + 0.5f * (r - luma) / (1.0f - kWr);
-    }
+    const std::size_t off = static_cast<std::size_t>(y) * W;
+    kt.rgb_to_yuv_row(rgb.r.data() + off, rgb.g.data() + off,
+                      rgb.b.data() + off, W, out.y.data() + off,
+                      uf.data() + off, vf.data() + off);
   }
+  const int cw = W / 2;
   for (int y = 0; y < H / 2; ++y) {
-    for (int x = 0; x < W / 2; ++x) {
-      out.u.at(x, y) = 0.25f * (uf.at(2 * x, 2 * y) + uf.at(2 * x + 1, 2 * y) +
-                                uf.at(2 * x, 2 * y + 1) + uf.at(2 * x + 1, 2 * y + 1));
-      out.v.at(x, y) = 0.25f * (vf.at(2 * x, 2 * y) + vf.at(2 * x + 1, 2 * y) +
-                                vf.at(2 * x, 2 * y + 1) + vf.at(2 * x + 1, 2 * y + 1));
-    }
+    const std::size_t r0 = static_cast<std::size_t>(2 * y) * W;
+    const std::size_t r1 = static_cast<std::size_t>(2 * y + 1) * W;
+    const std::size_t co = static_cast<std::size_t>(y) * cw;
+    kt.chroma_box_row(uf.data() + r0, uf.data() + r1, W, out.u.data() + co);
+    kt.chroma_box_row(vf.data() + r0, vf.data() + r1, W, out.v.data() + co);
   }
 }
 
@@ -64,31 +58,26 @@ void yuv420_to_rgb_into(const FrameYUV& yuv, FrameRGB& out) {
   out.r.reset(W, H);
   out.g.reset(W, H);
   out.b.reset(W, H);
+  const int cw = W / 2, ch = H / 2;
+  const simd::KernelTable& kt = simd::active();
   for (int y = 0; y < H; ++y) {
-    for (int x = 0; x < W; ++x) {
-      // Bilinear chroma upsample: sample the half-res plane at the pixel's
-      // chroma-space position (co-sited with the 2x2 block centre).
-      const float cx = (static_cast<float>(x) - 0.5f) / 2.0f;
-      const float cy = (static_cast<float>(y) - 0.5f) / 2.0f;
-      const int x0 = static_cast<int>(std::floor(cx));
-      const int y0 = static_cast<int>(std::floor(cy));
-      const float fx = cx - static_cast<float>(x0);
-      const float fy = cy - static_cast<float>(y0);
-      auto sample = [&](const Plane& p) {
-        const float a = p.at_clamped(x0, y0) * (1 - fx) + p.at_clamped(x0 + 1, y0) * fx;
-        const float b = p.at_clamped(x0, y0 + 1) * (1 - fx) + p.at_clamped(x0 + 1, y0 + 1) * fx;
-        return a * (1 - fy) + b * fy;
-      };
-      const float luma = yuv.y.at(x, y);
-      const float u = (sample(yuv.u) - 0.5f) * 2.0f * (1.0f - kWb);
-      const float v = (sample(yuv.v) - 0.5f) * 2.0f * (1.0f - kWr);
-      const float r = luma + v;
-      const float b = luma + u;
-      const float g = (luma - kWr * r - kWb * b) / kWg;
-      out.r.at(x, y) = std::clamp(r, 0.0f, 1.0f);
-      out.g.at(x, y) = std::clamp(g, 0.0f, 1.0f);
-      out.b.at(x, y) = std::clamp(b, 0.0f, 1.0f);
-    }
+    // Bilinear chroma upsample: each output row blends the two chroma rows
+    // bracketing the pixel's chroma-space position (co-sited with the 2x2
+    // block centre). Vertical clamping happens here; the row kernel handles
+    // the horizontal taps.
+    const float cy = (static_cast<float>(y) - 0.5f) / 2.0f;
+    const int y0 = static_cast<int>(std::floor(cy));
+    const float fy = cy - static_cast<float>(y0);
+    const int yc0 = simd::clamp_idx(y0, ch);
+    const int yc1 = simd::clamp_idx(y0 + 1, ch);
+    const std::size_t off = static_cast<std::size_t>(y) * W;
+    kt.yuv_to_rgb_row(yuv.y.data() + off,
+                      yuv.u.data() + static_cast<std::size_t>(yc0) * cw,
+                      yuv.u.data() + static_cast<std::size_t>(yc1) * cw,
+                      yuv.v.data() + static_cast<std::size_t>(yc0) * cw,
+                      yuv.v.data() + static_cast<std::size_t>(yc1) * cw, fy, W,
+                      cw, out.r.data() + off, out.g.data() + off,
+                      out.b.data() + off);
   }
 }
 

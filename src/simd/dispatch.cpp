@@ -1,0 +1,169 @@
+#include "simd/dispatch.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace dcsr::simd {
+
+namespace {
+
+bool cpu_supports_sse2() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("sse2");
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx2_fma() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  // The AVX2 backend leans on vfmadd for the contracted families, so it
+  // needs both feature bits (paired on every real AVX2 part, but checking
+  // is free).
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_neon() noexcept {
+#if defined(__aarch64__)
+  return true;  // NEON is architectural on AArch64.
+#else
+  return false;
+#endif
+}
+
+// All backend tables, built once. Tables are layered: sse2 overlays the
+// scalar oracle, avx2 overlays sse2 (so a family avx2 doesn't override
+// keeps the best lower implementation). Building a table never executes
+// that backend's instructions — populate_* only stores function pointers —
+// so constructing unsupported tables is safe; host gating happens in
+// table_for().
+struct Tables {
+  KernelTable scalar, sse2, avx2, neon;
+  bool compiled_sse2, compiled_avx2, compiled_neon;
+  Tables() noexcept
+      : scalar(scalar_table()), sse2(scalar), neon(scalar) {
+    compiled_sse2 = populate_sse2(sse2);
+    avx2 = sse2;
+    compiled_avx2 = populate_avx2(avx2);
+    compiled_neon = populate_neon(neon);
+  }
+};
+
+const Tables& tables() noexcept {
+  static const Tables t;
+  return t;
+}
+
+const KernelTable* resolve_from_env() {
+  const char* env = std::getenv("DCSR_SIMD");
+  if (env != nullptr && *env != '\0') {
+    const Backend b = parse_backend(env);
+    const KernelTable* t = table_for(b);
+    if (t == nullptr) {
+      std::ostringstream os;
+      os << "DCSR_SIMD=" << backend_name(b)
+         << ": backend not supported on this host";
+      throw SimdDispatchError(os.str());
+    }
+    return t;
+  }
+  // Best supported backend, avx2 > sse2 > neon > scalar.
+  if (const KernelTable* t = table_for(Backend::kAvx2)) return t;
+  if (const KernelTable* t = table_for(Backend::kSse2)) return t;
+  if (const KernelTable* t = table_for(Backend::kNeon)) return t;
+  return &tables().scalar;
+}
+
+// The active-table slot. Resolved lazily (so the error for a bad DCSR_SIMD
+// surfaces on first kernel use, catchable by CLI mains) and swappable by
+// ScopedBackendForTest from a quiescent main thread.
+const KernelTable*& active_slot() {
+  static const KernelTable* slot = resolve_from_env();
+  return slot;
+}
+
+}  // namespace
+
+const char* family_name(int family) noexcept {
+  switch (family) {
+    case kFamDct: return "dct";
+    case kFamIdct: return "idct";
+    case kFamDequantIdct: return "dequant_idct";
+    case kFamQuant: return "quant";
+    case kFamDequant: return "dequant";
+    case kFamGemm: return "gemm";
+    case kFamIm2col: return "im2col";
+    case kFamYuvToRgb: return "yuv2rgb";
+    case kFamRgbToYuv: return "rgb2yuv";
+    case kFamMc: return "mc";
+    default: return "?";
+  }
+}
+
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kSse2: return "sse2";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kNeon: return "neon";
+  }
+  return "?";
+}
+
+Backend parse_backend(const std::string& value) {
+  for (const Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2,
+                          Backend::kNeon})
+    if (value == backend_name(b)) return b;
+  throw SimdDispatchError("DCSR_SIMD: unknown backend '" + value +
+                          "' (expected scalar|sse2|avx2|neon)");
+}
+
+bool host_supports(Backend b) noexcept {
+  switch (b) {
+    case Backend::kScalar: return true;
+    case Backend::kSse2: return tables().compiled_sse2 && cpu_supports_sse2();
+    case Backend::kAvx2:
+      return tables().compiled_avx2 && cpu_supports_avx2_fma();
+    case Backend::kNeon: return tables().compiled_neon && cpu_supports_neon();
+  }
+  return false;
+}
+
+const KernelTable* table_for(Backend b) noexcept {
+  if (!host_supports(b)) return nullptr;
+  switch (b) {
+    case Backend::kScalar: return &tables().scalar;
+    case Backend::kSse2: return &tables().sse2;
+    case Backend::kAvx2: return &tables().avx2;
+    case Backend::kNeon: return &tables().neon;
+  }
+  return nullptr;
+}
+
+const KernelTable& active() { return *active_slot(); }
+
+Backend active_backend() { return active().id; }
+
+std::string report() {
+  const KernelTable& t = active();
+  std::ostringstream os;
+  os << "dcsr-simd: backend=" << backend_name(t.id);
+  for (int f = 0; f < kNumFamilies; ++f)
+    os << ' ' << family_name(f) << '=' << backend_name(t.origin[f]);
+  return os.str();
+}
+
+ScopedBackendForTest::ScopedBackendForTest(Backend b) : saved_(active_slot()) {
+  const KernelTable* t = table_for(b);
+  if (t == nullptr)
+    throw SimdDispatchError(std::string("ScopedBackendForTest: backend '") +
+                            backend_name(b) + "' not supported on this host");
+  active_slot() = t;
+}
+
+ScopedBackendForTest::~ScopedBackendForTest() { active_slot() = saved_; }
+
+}  // namespace dcsr::simd

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcsr::simd {
+
+enum class Backend : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+inline constexpr int kNumBackends = 4;
+
+/// Kernel families, for per-family provenance in report(). A backend may
+/// override any subset; unoverridden families inherit the scalar oracle (or
+/// the next-lower backend's override — tables are layered scalar → sse2 →
+/// avx2).
+enum Family : int {
+  kFamDct = 0,
+  kFamIdct,
+  kFamDequantIdct,
+  kFamQuant,
+  kFamDequant,
+  kFamGemm,
+  kFamIm2col,
+  kFamYuvToRgb,
+  kFamRgbToYuv,
+  kFamMc,
+  kNumFamilies,
+};
+const char* family_name(int family) noexcept;
+
+/// Function-pointer table for the dispatched inner loops. Raw-pointer
+/// signatures only: src/simd sits below tensor/codec/image in the layering
+/// and must not see their types. Callers keep ownership of all buffers and
+/// guarantee the documented extents; kernels never allocate.
+///
+/// Bit-exactness contract per family (enforced by tests/simd_test.cpp):
+/// every entry must produce byte-identical output to the scalar oracle for
+/// all finite inputs in the documented domain. For the float-accumulating
+/// families (dct/idct/dequant_idct/gemm/yuv) the oracle's semantics on this
+/// toolchain are fused multiply-add chains in ascending index order (GCC
+/// contracts `acc += a*b` at -O3), so overriding backends must use FMA
+/// intrinsics in the same order — which is why SSE2 (no FMA) only overrides
+/// the families whose math is exact without it (quant/dequant/im2col/mc).
+struct KernelTable {
+  // 8x8 forward / inverse DCT on raster-order 64-float blocks. in/out must
+  // not alias.
+  void (*dct8x8)(const float* in, float* out);
+  void (*idct8x8)(const float* in, float* out);
+
+  // Fused dequantise + inverse DCT: out = idct8x8(levels[i] * steps[i]).
+  // The decoder's reconstruct_block hot loop.
+  void (*dequant_idct8x8)(const std::int32_t* levels, const float* steps,
+                          float* out);
+
+  // levels[i] = lround(coeffs[i] / steps[i]) with exact lround (round half
+  // away from zero) semantics; |coeffs[i]/steps[i]| must stay < 2^31.
+  void (*quantize_block)(const float* coeffs, const float* steps,
+                         std::int32_t* levels);
+  // coeffs[i] = float(levels[i]) * steps[i].
+  void (*dequantize_block)(const std::int32_t* levels, const float* steps,
+                           float* coeffs);
+
+  // GEMM register tile: C (6 rows x 16 cols, row stride ldc) +=
+  // A-panel (6 x kn, element stride a_ks, row stride a_rs) * B-panel
+  // (kn x 16, row stride ldb). The full-tile fast path of gemm_strided in
+  // tensor/ops.cpp; edge tiles stay scalar there.
+  void (*gemm_tile_6x16)(const float* a, std::size_t a_rs, std::size_t a_ks,
+                         const float* b, std::size_t ldb, float* c,
+                         std::size_t ldc, int kn);
+
+  // One im2col output row: dst[y*ow + x] = src[sy*w + sx] where
+  // sy = y*stride + ky - pad, sx = x*stride + kx - pad, else 0 when out of
+  // bounds. src is one (n, c) input plane of extent h x w; dst has
+  // oh*ow floats.
+  void (*im2col_row)(const float* src, int h, int w, int oh, int ow,
+                     int stride, int pad, int ky, int kx, float* dst);
+
+  // One output row of YUV420 -> RGB with bilinear chroma upsampling.
+  // yrow: w lumas; u0/u1 (v0/v1): the two vertically-neighbouring chroma
+  // rows already selected and clamped by the caller, cw = (w+1)/2 samples
+  // each; fy: vertical interpolation weight toward u1/v1.
+  void (*yuv_to_rgb_row)(const float* yrow, const float* u0, const float* u1,
+                         const float* v0, const float* v1, float fy, int w,
+                         int cw, float* r, float* g, float* b);
+
+  // One row of RGB -> luma + full-resolution chroma offsets
+  // (uf/vf in [0,1], 0.5 = neutral), w pixels.
+  void (*rgb_to_yuv_row)(const float* r, const float* g, const float* b,
+                         int w, float* yrow, float* uf, float* vf);
+  // 2x2 box downsample of two full-resolution chroma rows (each w floats,
+  // w even) into one cw = w/2 row: out[x] = 0.25 * (f0[2x] + f0[2x+1] +
+  // f1[2x] + f1[2x+1]) in the scalar oracle's association order.
+  void (*chroma_box_row)(const float* f0, const float* f1, int w, float* out);
+
+  // Motion compensation: copy (or average, for bidirectional) a size x size
+  // block from reference plane(s) of extent w x h at displaced, edge-clamped
+  // coordinates into the same-extent dst plane at (bx, by). Blocks may
+  // overhang the right/bottom frame edge; writes are clipped to the plane.
+  void (*mc_copy_block)(const float* ref, float* dst, int w, int h, int bx,
+                        int by, int size, int mvx, int mvy);
+  void (*mc_bi_block)(const float* ref0, int mv0x, int mv0y, const float* ref1,
+                      int mv1x, int mv1y, float* dst, int w, int h, int bx,
+                      int by, int size);
+
+  /// Backend this table dispatches as (the topmost populate layer applied).
+  Backend id;
+  Backend origin[kNumFamilies];
+};
+
+/// The scalar reference oracle (always valid, every entry non-null).
+const KernelTable& scalar_table() noexcept;
+
+/// Whether the oracle TU was compiled with FMA contraction available
+/// (__FMA__), i.e. whether its `acc += a * b` chains are fused. Backends
+/// mirror those chains with FMA intrinsics, so the dispatcher only installs
+/// a backend's FMA-dependent families (dct/idct/dequant_idct/gemm/yuv) when
+/// this is true; the exact families (quant/dequant/im2col/mc) are
+/// unconditional.
+bool scalar_fma_contraction() noexcept;
+
+/// Backend TUs overlay their entries onto a copy of a lower table. Each
+/// populate_* is a no-op when the TU was compiled for a different target
+/// architecture, and returns whether it installed anything.
+bool populate_sse2(KernelTable& t) noexcept;
+bool populate_avx2(KernelTable& t) noexcept;
+bool populate_neon(KernelTable& t) noexcept;
+
+/// Shared 8x8 DCT-II basis, computed once: basis()[k*8+n] = ck *
+/// cos((2n+1) k pi / 16) with c0 = sqrt(1/8), ck>0 = sqrt(2/8) — identical
+/// to the decoder's historical DctBasis. basis_t() is its transpose
+/// (basis_t()[n*8+k] == basis()[k*8+n]), kept contiguous for kernels that
+/// broadcast along the other axis.
+const float* dct_basis() noexcept;
+const float* dct_basis_t() noexcept;
+
+}  // namespace dcsr::simd

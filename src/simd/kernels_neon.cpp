@@ -1,0 +1,31 @@
+// NEON backend stub. Deliberately installs nothing yet: selecting
+// DCSR_SIMD=neon on an AArch64 host dispatches as "neon" but every family
+// falls back to the scalar oracle, which GCC already lowers to NEON vector
+// code where it can. To add real kernels:
+//   1. implement the family here with vld1q/vfmaq intrinsics, mirroring the
+//      oracle's accumulation order (AArch64 has FMA, so the FMA-contracted
+//      families are expressible exactly — gate them on
+//      scalar_fma_contraction() like kernels_avx2.cpp does);
+//   2. install it in populate_neon and set t.origin[family];
+//   3. the Simd.* suite and the run_checks.sh `simd` leg pick the backend
+//      up automatically from host_supports().
+#include "simd/kernels.hpp"
+
+#if defined(__aarch64__) || defined(__ARM_NEON)
+
+namespace dcsr::simd {
+
+bool populate_neon(KernelTable& t) noexcept {
+  t.id = Backend::kNeon;
+  return true;
+}
+
+}  // namespace dcsr::simd
+
+#else  // non-ARM: the backend does not exist on this target.
+
+namespace dcsr::simd {
+bool populate_neon(KernelTable&) noexcept { return false; }
+}  // namespace dcsr::simd
+
+#endif

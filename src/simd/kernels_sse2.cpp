@@ -1,0 +1,199 @@
+// SSE2 backend. SSE2 has no FMA, so it only overrides the families whose
+// math is exactly replicable without it: the quantiser (division + an exact
+// round-half-away-from-zero emulation), the dequantiser (one multiply per
+// lane), im2col row fills and motion-compensation block copies (pure moves,
+// plus one add+mul for the bidirectional average — `0.5f * (a + b)` has no
+// contractible mul-add, so addps/mulps match the scalar oracle bitwise).
+// The FMA-contracted families (DCT/IDCT, GEMM, YUV) inherit the scalar
+// oracle, which 64-bit compilers already lower to SSE2 vector code anyway.
+//
+// This TU is compiled with -msse2 only (see src/simd/CMakeLists.txt); keep
+// anything newer out of it.
+#include "simd/kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <emmintrin.h>
+
+#include "simd/kernels_inline.hpp"
+
+namespace dcsr::simd {
+namespace {
+
+// levels[i] = lround(coeffs[i] / steps[i]), vectorised with exact lround
+// (round half away from zero) semantics for |t| < 2^31:
+//   r = trunc(t); f = t - r (exact: f is the fraction already stored in t's
+//   mantissa); |f| >= 0.5 steps r one unit away from zero.
+inline __m128i lround_ps(__m128 t) {
+  const __m128i r = _mm_cvttps_epi32(t);
+  const __m128 f = _mm_sub_ps(t, _mm_cvtepi32_ps(r));
+  const __m128i up =
+      _mm_and_si128(_mm_castps_si128(_mm_cmpge_ps(f, _mm_set1_ps(0.5f))),
+                    _mm_set1_epi32(1));
+  const __m128i down =
+      _mm_and_si128(_mm_castps_si128(_mm_cmple_ps(f, _mm_set1_ps(-0.5f))),
+                    _mm_set1_epi32(1));
+  return _mm_sub_epi32(_mm_add_epi32(r, up), down);
+}
+
+// Unaligned integer vector load/store via memcpy: same movdqu as the
+// *_si128 intrinsics, without the pointer cast the repo lint forbids.
+inline __m128i load_epi32(const std::int32_t* p) {
+  __m128i v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store_epi32(std::int32_t* p, __m128i v) {
+  __builtin_memcpy(p, &v, sizeof(v));
+}
+
+void quantize_block_sse2(const float* coeffs, const float* steps,
+                         std::int32_t* levels) {
+  for (int i = 0; i < 64; i += 4) {
+    const __m128 t = _mm_div_ps(_mm_loadu_ps(coeffs + i), _mm_loadu_ps(steps + i));
+    store_epi32(levels + i, lround_ps(t));
+  }
+}
+
+void dequantize_block_sse2(const std::int32_t* levels, const float* steps,
+                           float* coeffs) {
+  for (int i = 0; i < 64; i += 4) {
+    const __m128 l = _mm_cvtepi32_ps(load_epi32(levels + i));
+    _mm_storeu_ps(coeffs + i, _mm_mul_ps(l, _mm_loadu_ps(steps + i)));
+  }
+}
+
+// Copies src[0..n) to dst — lanes of 4 plus scalar tail. Exact by
+// construction; the SIMD content of the im2col/mc kernels.
+inline void copy_row(const float* src, float* dst, int n) {
+  int x = 0;
+  for (; x + 4 <= n; x += 4) _mm_storeu_ps(dst + x, _mm_loadu_ps(src + x));
+  for (; x < n; ++x) dst[x] = src[x];
+}
+
+inline void zero_row(float* dst, int n) {
+  int x = 0;
+  const __m128 z = _mm_setzero_ps();
+  for (; x + 4 <= n; x += 4) _mm_storeu_ps(dst + x, z);
+  for (; x < n; ++x) dst[x] = 0.0f;
+}
+
+void im2col_row_sse2(const float* src, int H, int W, int oh, int ow,
+                     int stride, int pad, int ky, int kx, float* dst) {
+  if (stride == 1) {
+    // sx = x + kx - pad: the in-bounds x range is one contiguous span, so
+    // each output row is zeros | row copy | zeros.
+    const int x_lo = std::max(0, pad - kx);
+    const int x_hi = std::min(ow, W - kx + pad);
+    for (int y = 0; y < oh; ++y) {
+      const int sy = y * stride + ky - pad;
+      float* d = dst + y * ow;
+      if (sy < 0 || sy >= H || x_lo >= x_hi) {
+        zero_row(d, ow);
+        continue;
+      }
+      zero_row(d, x_lo);
+      copy_row(src + sy * W + (x_lo + kx - pad), d + x_lo, x_hi - x_lo);
+      zero_row(d + x_hi, ow - x_hi);
+    }
+    return;
+  }
+  // Strided convs gather non-contiguous columns; keep the oracle's loop.
+  for (int y = 0; y < oh; ++y) {
+    const int sy = y * stride + ky - pad;
+    for (int x = 0; x < ow; ++x) {
+      const int sx = x * stride + kx - pad;
+      dst[y * ow + x] =
+          (sy >= 0 && sy < H && sx >= 0 && sx < W) ? src[sy * W + sx] : 0.0f;
+    }
+  }
+}
+
+// Shared MC row structure: each destination row [bx, bx+xn) reads the
+// clamped reference row at sy; horizontally the read splits into a
+// left-clamped run (all ref[sy*w]), an interior copy, and a right-clamped
+// run (all ref[sy*w + w-1]).
+struct McRowSpan {
+  int left;      // pixels reading the x=0 sample
+  int interior;  // pixels copied from sx = bx+left+mvx onward
+  int right;     // pixels reading the x=w-1 sample
+};
+
+inline McRowSpan mc_row_span(int bx, int xn, int mvx, int w) {
+  const int sx0 = bx + mvx;
+  const int left = std::min(xn, std::max(0, -sx0));
+  const int interior = std::min(xn, std::max(0, w - sx0)) - left;
+  return {left, interior, xn - left - interior};
+}
+
+void mc_copy_block_sse2(const float* ref, float* dst, int w, int h, int bx,
+                        int by, int size, int mvx, int mvy) {
+  const int xn = std::min(size, w - bx);
+  const int yn = std::min(size, h - by);
+  if (xn <= 0) return;
+  const McRowSpan sp = mc_row_span(bx, xn, mvx, w);
+  for (int y = 0; y < yn; ++y) {
+    const int py = by + y;
+    const float* s = ref + clamp_idx(py + mvy, h) * w;
+    float* d = dst + py * w + bx;
+    for (int x = 0; x < sp.left; ++x) d[x] = s[0];
+    copy_row(s + bx + sp.left + mvx, d + sp.left, sp.interior);
+    for (int x = 0; x < sp.right; ++x) d[sp.left + sp.interior + x] = s[w - 1];
+  }
+}
+
+void mc_bi_block_sse2(const float* ref0, int mv0x, int mv0y, const float* ref1,
+                      int mv1x, int mv1y, float* dst, int w, int h, int bx,
+                      int by, int size) {
+  const int xn = std::min(size, w - bx);
+  const int yn = std::min(size, h - by);
+  if (xn <= 0) return;
+  const __m128 half = _mm_set1_ps(0.5f);
+  for (int y = 0; y < yn; ++y) {
+    const int py = by + y;
+    const float* s0 = ref0 + clamp_idx(py + mv0y, h) * w;
+    const float* s1 = ref1 + clamp_idx(py + mv1y, h) * w;
+    float* d = dst + py * w + bx;
+    const int sx0 = bx + mv0x, sx1 = bx + mv1x;
+    if (sx0 >= 0 && sx0 + xn <= w && sx1 >= 0 && sx1 + xn <= w) {
+      int x = 0;
+      for (; x + 4 <= xn; x += 4) {
+        const __m128 a = _mm_loadu_ps(s0 + sx0 + x);
+        const __m128 b = _mm_loadu_ps(s1 + sx1 + x);
+        _mm_storeu_ps(d + x, _mm_mul_ps(half, _mm_add_ps(a, b)));
+      }
+      for (; x < xn; ++x) d[x] = 0.5f * (s0[sx0 + x] + s1[sx1 + x]);
+    } else {
+      for (int x = 0; x < xn; ++x)
+        d[x] = 0.5f * (s0[clamp_idx(bx + x + mv0x, w)] +
+                       s1[clamp_idx(bx + x + mv1x, w)]);
+    }
+  }
+}
+
+}  // namespace
+
+bool populate_sse2(KernelTable& t) noexcept {
+  t.id = Backend::kSse2;
+  t.quantize_block = &quantize_block_sse2;
+  t.origin[kFamQuant] = Backend::kSse2;
+  t.dequantize_block = &dequantize_block_sse2;
+  t.origin[kFamDequant] = Backend::kSse2;
+  t.im2col_row = &im2col_row_sse2;
+  t.origin[kFamIm2col] = Backend::kSse2;
+  t.mc_copy_block = &mc_copy_block_sse2;
+  t.mc_bi_block = &mc_bi_block_sse2;
+  t.origin[kFamMc] = Backend::kSse2;
+  return true;
+}
+
+}  // namespace dcsr::simd
+
+#else  // non-x86: nothing to install.
+
+namespace dcsr::simd {
+bool populate_sse2(KernelTable&) noexcept { return false; }
+}  // namespace dcsr::simd
+
+#endif

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr {
@@ -40,84 +41,10 @@ constexpr int kNR = 16;   // register tile columns (two AVX2 vectors)
 constexpr int kKC = 256;  // k block: A panel kMR*kKC floats stays in L1
 constexpr int kNC = 512;  // column block: B panel kKC*kNC floats stays in L2
 
-#if defined(__GNUC__) && !defined(DCSR_NO_VECTOR_EXT)
-
-// 8-lane float vector (one AVX/NEON-pair register when available; GCC/Clang
-// lower it to whatever the target has). Named vector variables — unlike a
-// local float[4][16] — are reliably register-allocated, which is the whole
-// game: the C tile must live in registers across the k loop.
-typedef float Vec8 __attribute__((vector_size(32)));
-
-inline Vec8 load8(const float* p) {
-  Vec8 v;
-  __builtin_memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-inline void store8(float* p, Vec8 v) { __builtin_memcpy(p, &v, sizeof(v)); }
-
-inline Vec8 splat8(float x) { return Vec8{x, x, x, x, x, x, x, x}; }
-
-// Full kMR x kNR tile held in registers across the k block: 12 accumulator
-// vectors plus two B vectors and one broadcast fit the 16 AVX2 registers.
-void micro_tile(const float* A, std::size_t a_rs, std::size_t a_ks,
-                const float* B, std::size_t ldb, float* C, std::size_t ldc,
-                int kn) {
-  Vec8 acc[kMR][2];
-  for (int r = 0; r < kMR; ++r) {
-    acc[r][0] = load8(C + r * ldc);
-    acc[r][1] = load8(C + r * ldc + 8);
-  }
-  for (int kk = 0; kk < kn; ++kk) {
-    const float* b = B + static_cast<std::size_t>(kk) * ldb;
-    const Vec8 b0 = load8(b), b1 = load8(b + 8);
-    const std::size_t ak = static_cast<std::size_t>(kk) * a_ks;
-    const Vec8 a0 = splat8(A[ak]);
-    acc[0][0] += a0 * b0;
-    acc[0][1] += a0 * b1;
-    const Vec8 a1 = splat8(A[a_rs + ak]);
-    acc[1][0] += a1 * b0;
-    acc[1][1] += a1 * b1;
-    const Vec8 a2 = splat8(A[2 * a_rs + ak]);
-    acc[2][0] += a2 * b0;
-    acc[2][1] += a2 * b1;
-    const Vec8 a3 = splat8(A[3 * a_rs + ak]);
-    acc[3][0] += a3 * b0;
-    acc[3][1] += a3 * b1;
-    const Vec8 a4 = splat8(A[4 * a_rs + ak]);
-    acc[4][0] += a4 * b0;
-    acc[4][1] += a4 * b1;
-    const Vec8 a5 = splat8(A[5 * a_rs + ak]);
-    acc[5][0] += a5 * b0;
-    acc[5][1] += a5 * b1;
-  }
-  for (int r = 0; r < kMR; ++r) {
-    store8(C + r * ldc, acc[r][0]);
-    store8(C + r * ldc + 8, acc[r][1]);
-  }
-}
-
-#else
-
-// Portable fallback: same tile, array accumulators.
-void micro_tile(const float* A, std::size_t a_rs, std::size_t a_ks,
-                const float* B, std::size_t ldb, float* C, std::size_t ldc,
-                int kn) {
-  float acc[kMR][kNR];
-  for (int r = 0; r < kMR; ++r)
-    for (int c = 0; c < kNR; ++c) acc[r][c] = C[r * ldc + c];
-  for (int kk = 0; kk < kn; ++kk) {
-    const float* b = B + static_cast<std::size_t>(kk) * ldb;
-    for (int r = 0; r < kMR; ++r) {
-      const float a = A[r * a_rs + static_cast<std::size_t>(kk) * a_ks];
-      for (int c = 0; c < kNR; ++c) acc[r][c] += a * b[c];
-    }
-  }
-  for (int r = 0; r < kMR; ++r)
-    for (int c = 0; c < kNR; ++c) C[r * ldc + c] = acc[r][c];
-}
-
-#endif
+// The kMR x kNR register micro-kernel lives in src/simd/ (gemm_tile_6x16):
+// scalar reference in kernels_scalar.cpp, AVX2 replay pinned bitwise against
+// it. gemm_strided resolves the active backend once, outside the parallel
+// region, so a bad DCSR_SIMD surfaces as an exception on the calling thread.
 
 // Edge tile with runtime extents; accumulates straight into C.
 void micro_tile_any(const float* A, std::size_t a_rs, std::size_t a_ks,
@@ -138,6 +65,7 @@ void gemm_strided(const float* A, std::size_t a_rs, std::size_t a_ks,
                   int m, int n, int k, const float* row_bias = nullptr,
                   bool fuse_relu = false) {
   if (m == 0 || n == 0 || k == 0) return;
+  const simd::KernelTable& kt = simd::active();
   // Size row chunks so each task carries at least ~1 MFLOP of work.
   const std::int64_t flops_per_row = 2LL * k * n;
   const std::int64_t grain =
@@ -163,7 +91,7 @@ void gemm_strided(const float* A, std::size_t a_rs, std::size_t a_ks,
           int j = 0;
           if (mr == kMR)
             for (; j + kNR <= jn; j += kNR)
-              micro_tile(Ap, a_rs, a_ks, Bp + j, ldb, Cp + j, ldc, kn);
+              kt.gemm_tile_6x16(Ap, a_rs, a_ks, Bp + j, ldb, Cp + j, ldc, kn);
           if (j < jn)
             micro_tile_any(Ap, a_rs, a_ks, Bp + j, ldb, Cp + j, ldc, mr, jn - j, kn);
         }
@@ -466,6 +394,9 @@ void im2col_into(const Tensor& input, int n, int kernel, int stride, int pad,
   if (cols.rank() != 2 || cols.dim(0) != rows || cols.dim(1) != oh * ow)
     throw std::invalid_argument("im2col_into: column shape mismatch");
   float* out = cols.data();
+  const float* in = input.data() +
+                    static_cast<std::size_t>(n) * C * H * W;
+  const simd::KernelTable& kt = simd::active();
   // Each output row is filled from a read-only input, so rows tile across
   // the pool with no shared writes; inference convs (batch 1) get their
   // parallelism here rather than from the batch axis. Each chunk claims the
@@ -480,15 +411,8 @@ void im2col_into(const Tensor& input, int n, int kernel, int stride, int pad,
       const int ky = (static_cast<int>(row) / kernel) % kernel;
       const int kx = static_cast<int>(row) % kernel;
       float* dst = out + static_cast<std::size_t>(row) * oh * ow;
-      for (int y = 0; y < oh; ++y) {
-        const int sy = y * stride + ky - pad;
-        for (int x = 0; x < ow; ++x) {
-          const int sx = x * stride + kx - pad;
-          dst[y * ow + x] = (sy >= 0 && sy < H && sx >= 0 && sx < W)
-                                ? input.at(n, c, sy, sx)
-                                : 0.0f;
-        }
-      }
+      kt.im2col_row(in + static_cast<std::size_t>(c) * H * W, H, W, oh, ow,
+                    stride, pad, ky, kx, dst);
     }
   }, "tensor/ops.cpp:im2col_into");
 }

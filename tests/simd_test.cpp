@@ -1,0 +1,502 @@
+// Simd.*: pins every SIMD kernel bitwise against the scalar reference
+// oracle, per available backend. These are the tests that make the backends
+// interchangeable: if any of them fails, runtime dispatch would make results
+// depend on the host CPU, which breaks the repo's determinism contract.
+//
+// The whole suite also runs once per backend at the ctest level —
+// tools/run_checks.sh's `simd` leg sets DCSR_SIMD and re-runs tier-1 — so
+// the cross-kernel tests here focus on per-family pins and the dispatcher
+// surface itself.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "codec/block_coder.hpp"
+#include "codec/dct.hpp"
+#include "codec/motion.hpp"
+#include "codec/quant.hpp"
+#include "image/convert.hpp"
+#include "image/frame.hpp"
+#include "simd/dispatch.hpp"
+
+namespace dcsr {
+namespace {
+
+using simd::Backend;
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (Backend b :
+       {Backend::kScalar, Backend::kSse2, Backend::kAvx2, Backend::kNeon})
+    if (simd::table_for(b) != nullptr) out.push_back(b);
+  return out;
+}
+
+std::vector<Backend> simd_backends() {
+  std::vector<Backend> out;
+  for (Backend b : available_backends())
+    if (b != Backend::kScalar) out.push_back(b);
+  return out;
+}
+
+template <typename T>
+::testing::AssertionResult BitsEq(const T* a, const T* b, std::size_t n,
+                                  const char* what, Backend backend) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::memcmp(&a[i], &b[i], sizeof(T)) != 0)
+      return ::testing::AssertionFailure()
+             << what << " differs from scalar oracle on backend "
+             << simd::backend_name(backend) << " at element " << i;
+  return ::testing::AssertionSuccess();
+}
+
+// --- dispatcher surface -----------------------------------------------------
+
+TEST(Simd, ParseBackendAcceptsExactNamesOnly) {
+  EXPECT_EQ(simd::parse_backend("scalar"), Backend::kScalar);
+  EXPECT_EQ(simd::parse_backend("sse2"), Backend::kSse2);
+  EXPECT_EQ(simd::parse_backend("avx2"), Backend::kAvx2);
+  EXPECT_EQ(simd::parse_backend("neon"), Backend::kNeon);
+  EXPECT_THROW(simd::parse_backend(""), simd::SimdDispatchError);
+  EXPECT_THROW(simd::parse_backend("AVX2"), simd::SimdDispatchError);
+  EXPECT_THROW(simd::parse_backend("avx2 "), simd::SimdDispatchError);
+  EXPECT_THROW(simd::parse_backend("avx512"), simd::SimdDispatchError);
+}
+
+TEST(Simd, BackendNamesRoundTrip) {
+  for (Backend b :
+       {Backend::kScalar, Backend::kSse2, Backend::kAvx2, Backend::kNeon})
+    EXPECT_EQ(simd::parse_backend(simd::backend_name(b)), b);
+}
+
+TEST(Simd, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(simd::host_supports(Backend::kScalar));
+  ASSERT_NE(simd::table_for(Backend::kScalar), nullptr);
+  EXPECT_EQ(simd::table_for(Backend::kScalar)->id, Backend::kScalar);
+}
+
+TEST(Simd, TableMatchesHostSupport) {
+  for (Backend b :
+       {Backend::kScalar, Backend::kSse2, Backend::kAvx2, Backend::kNeon})
+    EXPECT_EQ(simd::table_for(b) != nullptr, simd::host_supports(b))
+        << simd::backend_name(b);
+}
+
+TEST(Simd, UnsupportedBackendScopedSwapThrows) {
+  for (Backend b : {Backend::kSse2, Backend::kAvx2, Backend::kNeon}) {
+    if (!simd::host_supports(b)) {
+      EXPECT_THROW(simd::ScopedBackendForTest guard(b),
+                   simd::SimdDispatchError);
+    }
+  }
+}
+
+TEST(Simd, ScopedSwapChangesAndRestoresActiveBackend) {
+  const Backend before = simd::active_backend();
+  {
+    simd::ScopedBackendForTest guard(Backend::kScalar);
+    EXPECT_EQ(simd::active_backend(), Backend::kScalar);
+  }
+  EXPECT_EQ(simd::active_backend(), before);
+}
+
+TEST(Simd, ReportNamesActiveBackendAndEveryFamily) {
+  const std::string r = simd::report();
+  EXPECT_NE(r.find("dcsr-simd: backend="), std::string::npos) << r;
+  for (const char* fam : {"dct=", "idct=", "dequant_idct=", "quant=",
+                          "gemm=", "im2col=", "yuv2rgb=", "mc="})
+    EXPECT_NE(r.find(fam), std::string::npos) << r;
+}
+
+TEST(Simd, EveryFamilyOriginIsInstalled) {
+  for (Backend b : available_backends()) {
+    const simd::KernelTable* t = simd::table_for(b);
+    for (int f = 0; f < simd::kNumFamilies; ++f) {
+      // Origins are real backends, and never "faster" than the table's own
+      // id (a scalar table must not claim avx2 kernels).
+      EXPECT_NE(simd::family_name(f), nullptr);
+      if (b == Backend::kScalar) {
+        EXPECT_EQ(t->origin[f], Backend::kScalar) << simd::family_name(f);
+      }
+    }
+  }
+}
+
+// --- 8x8 transforms: exhaustive impulses + random sweeps --------------------
+
+TEST(Simd, DctIdctImpulsesBitwise) {
+  const auto& sc = simd::scalar_table();
+  for (Backend b : simd_backends()) {
+    const simd::KernelTable* t = simd::table_for(b);
+    for (int i = 0; i < 64; ++i) {
+      float in[64] = {};
+      in[i] = 1.0f;
+      float ref[64], got[64];
+      sc.dct8x8(in, ref);
+      t->dct8x8(in, got);
+      ASSERT_TRUE(BitsEq(ref, got, 64, "dct8x8 impulse", b)) << "i=" << i;
+      sc.idct8x8(in, ref);
+      t->idct8x8(in, got);
+      ASSERT_TRUE(BitsEq(ref, got, 64, "idct8x8 impulse", b)) << "i=" << i;
+    }
+  }
+}
+
+TEST(Simd, DctIdctRandomSweepBitwise) {
+  const auto& sc = simd::scalar_table();
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int it = 0; it < 2000; ++it) {
+    float in[64];
+    for (auto& v : in) v = dist(rng);
+    float ref_d[64], ref_i[64];
+    sc.dct8x8(in, ref_d);
+    sc.idct8x8(in, ref_i);
+    for (Backend b : simd_backends()) {
+      const simd::KernelTable* t = simd::table_for(b);
+      float got[64];
+      t->dct8x8(in, got);
+      ASSERT_TRUE(BitsEq(ref_d, got, 64, "dct8x8", b));
+      t->idct8x8(in, got);
+      ASSERT_TRUE(BitsEq(ref_i, got, 64, "idct8x8", b));
+    }
+  }
+}
+
+TEST(Simd, FusedDequantIdctMatchesTwoStepBitwise) {
+  const auto& sc = simd::scalar_table();
+  std::mt19937 rng(11);
+  codec::Quantizer q(38);
+  for (int it = 0; it < 2000; ++it) {
+    std::int32_t levels[64];
+    for (auto& l : levels) l = static_cast<std::int32_t>(rng() % 201) - 100;
+    const float* steps = q.steps(it % 2 == 0);
+    // Scalar fused == scalar two-step: the fusion must be a pure call-count
+    // optimisation, not a numeric change.
+    float deq[64], two[64], fused[64];
+    sc.dequantize_block(levels, steps, deq);
+    sc.idct8x8(deq, two);
+    sc.dequant_idct8x8(levels, steps, fused);
+    ASSERT_TRUE(
+        BitsEq(two, fused, 64, "fused dequant_idct", Backend::kScalar));
+    for (Backend b : simd_backends()) {
+      const simd::KernelTable* t = simd::table_for(b);
+      float got[64];
+      t->dequant_idct8x8(levels, steps, got);
+      ASSERT_TRUE(BitsEq(fused, got, 64, "dequant_idct8x8", b));
+    }
+  }
+}
+
+// --- quantiser: exhaustive near-tie inputs ----------------------------------
+
+TEST(Simd, QuantizeHalfTiesBitwise) {
+  const auto& sc = simd::scalar_table();
+  codec::Quantizer q(38);
+  const float* steps = q.steps(true);
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<float> dist(-4.0f, 4.0f);
+  for (int it = 0; it < 4000; ++it) {
+    float coeffs[64];
+    for (int i = 0; i < 64; ++i) {
+      if (it % 3 == 0) {
+        // Exact n+0.5 multiples of the step and their ulp neighbours: the
+        // round-half-away-from-zero boundary where an inexact SIMD rounding
+        // emulation would first diverge.
+        float t = static_cast<float>(static_cast<int>(rng() % 2001) - 1000) +
+                  0.5f;
+        if (it % 9 == 0) t = std::nextafter(t, 0.0f);
+        if (it % 9 == 3) t = std::nextafter(t, t * 4.0f + 10.0f);
+        coeffs[i] = t * steps[i];
+      } else {
+        coeffs[i] = dist(rng);
+      }
+    }
+    std::int32_t ref[64];
+    sc.quantize_block(coeffs, steps, ref);
+    float ref_deq[64];
+    sc.dequantize_block(ref, steps, ref_deq);
+    for (Backend b : simd_backends()) {
+      const simd::KernelTable* t = simd::table_for(b);
+      std::int32_t got[64];
+      t->quantize_block(coeffs, steps, got);
+      ASSERT_TRUE(BitsEq(ref, got, 64, "quantize_block", b));
+      float got_deq[64];
+      t->dequantize_block(ref, steps, got_deq);
+      ASSERT_TRUE(BitsEq(ref_deq, got_deq, 64, "dequantize_block", b));
+    }
+  }
+}
+
+TEST(Simd, QuantizeMatchesLroundReference) {
+  // The scalar oracle itself must implement round-half-away-from-zero.
+  const auto& sc = simd::scalar_table();
+  float coeffs[64];
+  float steps[64];
+  for (int i = 0; i < 64; ++i) steps[i] = 1.0f;
+  const float cases[] = {0.0f, 0.49f, 0.5f, 0.51f, -0.49f, -0.5f, -0.51f,
+                         1.5f, -1.5f, 2.5f, -2.5f, 100.5f, -100.5f};
+  for (int i = 0; i < 64; ++i) coeffs[i] = cases[i % 13];
+  std::int32_t got[64];
+  sc.quantize_block(coeffs, steps, got);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(got[i], std::lround(coeffs[i])) << coeffs[i];
+}
+
+// --- GEMM tile: seeded sweeps over both A layouts ---------------------------
+
+TEST(Simd, GemmTileSeededSweepBitwise) {
+  const auto& sc = simd::scalar_table();
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  for (int it = 0; it < 300; ++it) {
+    // Odd k values cover the tail of the accumulation chain; ldb/ldc wider
+    // than 16 cover strided panels.
+    const int kn = 1 + static_cast<int>(rng() % 300);
+    const std::size_t ldb = 16 + (rng() % 3) * 8, ldc = 16 + (rng() % 3) * 8;
+    // a_rs/a_ks: row-major (matmul) and transposed (matmul_tn) layouts.
+    const bool tn = (it % 2) != 0;
+    const std::size_t a_rs = tn ? 1 : static_cast<std::size_t>(kn);
+    const std::size_t a_ks = tn ? 6 : 1;
+    std::vector<float> A(static_cast<std::size_t>(6) * kn);
+    std::vector<float> B(static_cast<std::size_t>(kn) * ldb);
+    std::vector<float> C0(6 * ldc), C1(6 * ldc);
+    for (auto& v : A) v = dist(rng);
+    for (auto& v : B) v = dist(rng);
+    for (std::size_t i = 0; i < C0.size(); ++i) C0[i] = C1[i] = dist(rng);
+    sc.gemm_tile_6x16(A.data(), a_rs, a_ks, B.data(), ldb, C0.data(), ldc, kn);
+    for (Backend b : simd_backends()) {
+      const simd::KernelTable* t = simd::table_for(b);
+      std::vector<float> C2(C1);
+      t->gemm_tile_6x16(A.data(), a_rs, a_ks, B.data(), ldb, C2.data(), ldc,
+                        kn);
+      ASSERT_TRUE(BitsEq(C0.data(), C2.data(), C0.size(), "gemm_tile", b));
+    }
+  }
+}
+
+// --- im2col rows: odd sizes, strides, padding -------------------------------
+
+TEST(Simd, Im2colRowOddSizesBitwise) {
+  const auto& sc = simd::scalar_table();
+  std::mt19937 rng(19);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int H : {1, 3, 7, 16, 33})
+    for (int W : {1, 5, 8, 17, 40})
+      for (int kern : {1, 3})
+        for (int stride : {1, 2})
+          for (int pad : {0, kern / 2}) {
+            const int oh = (H + 2 * pad - kern) / stride + 1;
+            const int ow = (W + 2 * pad - kern) / stride + 1;
+            if (oh <= 0 || ow <= 0) continue;
+            std::vector<float> src(static_cast<std::size_t>(H) * W);
+            for (auto& v : src) v = dist(rng);
+            std::vector<float> ref(static_cast<std::size_t>(oh) * ow);
+            for (int ky = 0; ky < kern; ++ky)
+              for (int kx = 0; kx < kern; ++kx) {
+                sc.im2col_row(src.data(), H, W, oh, ow, stride, pad, ky, kx,
+                              ref.data());
+                for (Backend b : simd_backends()) {
+                  std::vector<float> got(ref.size(), -99.0f);
+                  simd::table_for(b)->im2col_row(src.data(), H, W, oh, ow,
+                                                 stride, pad, ky, kx,
+                                                 got.data());
+                  ASSERT_TRUE(BitsEq(ref.data(), got.data(), ref.size(),
+                                     "im2col_row", b))
+                      << "H=" << H << " W=" << W << " k=" << kern
+                      << " s=" << stride << " p=" << pad;
+                }
+              }
+          }
+}
+
+// --- YUV rows: width sweep including tails ----------------------------------
+
+TEST(Simd, YuvRowsWidthSweepBitwise) {
+  const auto& sc = simd::scalar_table();
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<float> dist(-0.2f, 1.2f);
+  for (int W : {2, 4, 6, 8, 10, 14, 16, 18, 26, 34, 64, 66, 126}) {
+    const int cw = W / 2;
+    for (int rep = 0; rep < 8; ++rep) {
+      std::vector<float> yrow(W), u0(cw), u1(cw), v0(cw), v1(cw);
+      for (auto* p : {&yrow, &u0, &u1, &v0, &v1})
+        for (auto& v : *p) v = dist(rng);
+      const float fy = (rep % 2) ? 0.25f : 0.75f;
+      std::vector<float> r0(W), g0(W), b0(W);
+      sc.yuv_to_rgb_row(yrow.data(), u0.data(), u1.data(), v0.data(),
+                        v1.data(), fy, W, cw, r0.data(), g0.data(), b0.data());
+      std::vector<float> yo0(W), uf0(W), vf0(W), box0(cw);
+      sc.rgb_to_yuv_row(r0.data(), g0.data(), b0.data(), W, yo0.data(),
+                        uf0.data(), vf0.data());
+      sc.chroma_box_row(uf0.data(), vf0.data(), W, box0.data());
+      for (Backend b : simd_backends()) {
+        const simd::KernelTable* t = simd::table_for(b);
+        std::vector<float> r1(W), g1(W), b1(W);
+        t->yuv_to_rgb_row(yrow.data(), u0.data(), u1.data(), v0.data(),
+                          v1.data(), fy, W, cw, r1.data(), g1.data(),
+                          b1.data());
+        ASSERT_TRUE(BitsEq(r0.data(), r1.data(), W, "yuv_to_rgb_row r", b))
+            << "W=" << W;
+        ASSERT_TRUE(BitsEq(g0.data(), g1.data(), W, "yuv_to_rgb_row g", b))
+            << "W=" << W;
+        ASSERT_TRUE(BitsEq(b0.data(), b1.data(), W, "yuv_to_rgb_row b", b))
+            << "W=" << W;
+        std::vector<float> yo1(W), uf1(W), vf1(W), box1(cw);
+        t->rgb_to_yuv_row(r0.data(), g0.data(), b0.data(), W, yo1.data(),
+                          uf1.data(), vf1.data());
+        ASSERT_TRUE(BitsEq(yo0.data(), yo1.data(), W, "rgb_to_yuv_row y", b));
+        ASSERT_TRUE(BitsEq(uf0.data(), uf1.data(), W, "rgb_to_yuv_row u", b));
+        ASSERT_TRUE(BitsEq(vf0.data(), vf1.data(), W, "rgb_to_yuv_row v", b));
+        t->chroma_box_row(uf0.data(), vf0.data(), W, box1.data());
+        ASSERT_TRUE(
+            BitsEq(box0.data(), box1.data(), cw, "chroma_box_row", b));
+      }
+    }
+  }
+}
+
+// --- motion compensation: edge clamps and partial blocks --------------------
+
+TEST(Simd, McBlocksEdgeClampsBitwise) {
+  const auto& sc = simd::scalar_table();
+  std::mt19937 rng(29);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  for (int it = 0; it < 200; ++it) {
+    const int W = 5 + static_cast<int>(rng() % 40);
+    const int H = 5 + static_cast<int>(rng() % 40);
+    std::vector<float> ref0(static_cast<std::size_t>(W) * H);
+    std::vector<float> ref1(ref0.size());
+    for (auto& v : ref0) v = dist(rng);
+    for (auto& v : ref1) v = dist(rng);
+    const int size = 4 + static_cast<int>(rng() % 13);
+    // Blocks deliberately straddle the right/bottom border, and vectors
+    // reach far outside the plane so every clamp path fires.
+    const int bx = static_cast<int>(rng() % W);
+    const int by = static_cast<int>(rng() % H);
+    const int mvx = static_cast<int>(rng() % (2 * W + 21)) - (W + 10);
+    const int mvy = static_cast<int>(rng() % (2 * H + 21)) - (H + 10);
+    std::vector<float> d0(ref0.size(), 0.0f);
+    sc.mc_copy_block(ref0.data(), d0.data(), W, H, bx, by, size, mvx, mvy);
+    std::vector<float> e0(ref0.size(), 0.0f);
+    sc.mc_bi_block(ref0.data(), mvx, mvy, ref1.data(), -mvx, -mvy, e0.data(),
+                   W, H, bx, by, size);
+    for (Backend b : simd_backends()) {
+      const simd::KernelTable* t = simd::table_for(b);
+      std::vector<float> d1(ref0.size(), 0.0f);
+      t->mc_copy_block(ref0.data(), d1.data(), W, H, bx, by, size, mvx, mvy);
+      ASSERT_TRUE(
+          BitsEq(d0.data(), d1.data(), d0.size(), "mc_copy_block", b));
+      std::vector<float> e1(ref0.size(), 0.0f);
+      t->mc_bi_block(ref0.data(), mvx, mvy, ref1.data(), -mvx, -mvy, e1.data(),
+                     W, H, bx, by, size);
+      ASSERT_TRUE(BitsEq(e0.data(), e1.data(), e0.size(), "mc_bi_block", b));
+    }
+  }
+}
+
+// --- end-to-end: public API under a scoped backend swap ---------------------
+
+TEST(Simd, ConvertRoundTripIdenticalAcrossBackends) {
+  const int W = 70, H = 38;  // not multiples of 8: exercises row tails
+  FrameRGB rgb(W, H);
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  for (Plane* p : {&rgb.r, &rgb.g, &rgb.b})
+    for (int y = 0; y < H; ++y)
+      for (int x = 0; x < W; ++x) p->at(x, y) = dist(rng);
+
+  FrameYUV yuv_ref;
+  FrameRGB rgb_ref;
+  {
+    simd::ScopedBackendForTest guard(Backend::kScalar);
+    yuv_ref = rgb_to_yuv420(rgb);
+    rgb_ref = yuv420_to_rgb(yuv_ref);
+  }
+  for (Backend b : simd_backends()) {
+    simd::ScopedBackendForTest guard(b);
+    const FrameYUV yuv = rgb_to_yuv420(rgb);
+    ASSERT_TRUE(BitsEq(yuv.y.data(), yuv_ref.y.data(), yuv.y.size(),
+                       "rgb_to_yuv420 y", b));
+    ASSERT_TRUE(BitsEq(yuv.u.data(), yuv_ref.u.data(), yuv.u.size(),
+                       "rgb_to_yuv420 u", b));
+    ASSERT_TRUE(BitsEq(yuv.v.data(), yuv_ref.v.data(), yuv.v.size(),
+                       "rgb_to_yuv420 v", b));
+    const FrameRGB back = yuv420_to_rgb(yuv);
+    ASSERT_TRUE(BitsEq(back.r.data(), rgb_ref.r.data(), back.r.size(),
+                       "yuv420_to_rgb r", b));
+    ASSERT_TRUE(BitsEq(back.g.data(), rgb_ref.g.data(), back.g.size(),
+                       "yuv420_to_rgb g", b));
+    ASSERT_TRUE(BitsEq(back.b.data(), rgb_ref.b.data(), back.b.size(),
+                       "yuv420_to_rgb b", b));
+  }
+}
+
+TEST(Simd, CodecBlockPathIdenticalAcrossBackends) {
+  std::mt19937 rng(37);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  codec::Quantizer q(32);
+  for (int it = 0; it < 200; ++it) {
+    codec::Block8 spatial{};
+    for (auto& v : spatial) v = dist(rng);
+    const bool intra = (it % 2) == 0;
+    codec::Levels8 lv_ref{};
+    codec::Block8 rec_ref{};
+    {
+      simd::ScopedBackendForTest guard(Backend::kScalar);
+      lv_ref = codec::forward_block(spatial, q, intra);
+      rec_ref = codec::reconstruct_block(lv_ref, q, intra);
+    }
+    for (Backend b : simd_backends()) {
+      simd::ScopedBackendForTest guard(b);
+      const codec::Levels8 lv = codec::forward_block(spatial, q, intra);
+      ASSERT_EQ(lv, lv_ref) << simd::backend_name(b);
+      const codec::Block8 rec = codec::reconstruct_block(lv, q, intra);
+      ASSERT_TRUE(
+          BitsEq(rec.data(), rec_ref.data(), 64, "reconstruct_block", b));
+    }
+  }
+}
+
+TEST(Simd, MotionCompensateIdenticalAcrossBackends) {
+  std::mt19937 rng(41);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  Plane ref(37, 23), ref2(37, 23);
+  for (int y = 0; y < 23; ++y)
+    for (int x = 0; x < 37; ++x) {
+      ref.at(x, y) = dist(rng);
+      ref2.at(x, y) = dist(rng);
+    }
+  for (int it = 0; it < 100; ++it) {
+    const int size = 4 + static_cast<int>(rng() % 13);
+    const int bx = static_cast<int>(rng() % 37);
+    const int by = static_cast<int>(rng() % 23);
+    const codec::MotionVector mv{static_cast<int>(rng() % 31) - 15,
+                                 static_cast<int>(rng() % 31) - 15};
+    Plane d_ref(37, 23);
+    {
+      simd::ScopedBackendForTest guard(Backend::kScalar);
+      codec::motion_compensate(ref, d_ref, bx, by, size, mv);
+      codec::motion_compensate_bi(ref, mv, ref2, {-mv.x, -mv.y}, d_ref, bx,
+                                  by, size);
+    }
+    for (Backend b : simd_backends()) {
+      simd::ScopedBackendForTest guard(b);
+      Plane d(37, 23);
+      codec::motion_compensate(ref, d, bx, by, size, mv);
+      codec::motion_compensate_bi(ref, mv, ref2, {-mv.x, -mv.y}, d, bx, by,
+                                  size);
+      ASSERT_TRUE(
+          BitsEq(d.data(), d_ref.data(), d.size(), "motion_compensate", b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcsr

@@ -35,6 +35,7 @@
 #include "codec/encoder.hpp"
 #include "image/convert.hpp"
 #include "image/metrics.hpp"
+#include "simd/dispatch.hpp"
 #include "split/segmenter.hpp"
 #include "util/file.hpp"
 #include "util/table.hpp"
@@ -199,6 +200,7 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
+    std::fprintf(stderr, "%s\n", simd::report().c_str());
     if (cmd == "synth") return cmd_synth(argc - 2, argv + 2);
     if (cmd == "info") return cmd_info(argc - 2, argv + 2);
     if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/fuzz.hpp"
+#include "simd/dispatch.hpp"
 
 namespace {
 
@@ -87,6 +88,12 @@ int usage() {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
+  try {
+    std::fprintf(stderr, "%s\n", dcsr::simd::report().c_str());
+  } catch (const dcsr::simd::SimdDispatchError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   std::uint64_t iters = 10000, seed = 1, start = 0;
   std::string target, replay_path, corpus_dir, harness_override;

@@ -37,6 +37,14 @@
 //                   (src/codec/bits.*, src/stream/model_bundle.*,
 //                   src/util/file.cpp) — type punning anywhere else defeats
 //                   the typed-error hardening of the parse surfaces.
+//   [raw-intrinsics] no SIMD intrinsics outside src/simd/ — neither the
+//                   vendor headers (<immintrin.h>, <emmintrin.h>,
+//                   <x86intrin.h>, <arm_neon.h>, ...) nor the intrinsic
+//                   identifiers themselves (_mm_*/_mm256_*/vld1*/vst1*).
+//                   Per-ISA code lives behind the dispatch table
+//                   (simd/dispatch.hpp) where every kernel is pinned bitwise
+//                   against the scalar oracle; an intrinsic anywhere else is
+//                   an unpinned, unported fast path.
 //   [pragma-once]   every header starts its include guard with #pragma once.
 //
 // Usage:
@@ -330,6 +338,22 @@ void rule_reinterpret(const std::string& path, const std::string& stripped,
          "defeats the typed-error parse contract"});
 }
 
+void rule_raw_intrinsics(const std::string& path, const std::string& stripped,
+                         std::vector<Finding>& findings) {
+  // Per-ISA code is confined to src/simd/, behind the dispatch table.
+  if (path.find("src/simd/") != std::string::npos) return;
+  static const std::regex re(
+      R"(#\s*include\s*<\w*intrin\.h>|#\s*include\s*<arm_neon\.h>|\b_mm\d*_\w+|\bvld\d\w*|\bvst\d\w*)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re);
+       it != std::sregex_iterator(); ++it)
+    findings.push_back(
+        {path, line_of(stripped, static_cast<std::size_t>(it->position())),
+         "raw-intrinsics",
+         "SIMD intrinsics outside src/simd/: per-ISA kernels must live "
+         "behind the dispatch table (simd/dispatch.hpp), where they are "
+         "pinned bitwise against the scalar oracle"});
+}
+
 void rule_pragma_once(const std::string& path, const std::string& raw,
                       std::vector<Finding>& findings) {
   if (!path_ends_with(path, ".hpp") && !path_ends_with(path, ".h")) return;
@@ -350,6 +374,7 @@ std::vector<Finding> run_rules(const std::string& path, const std::string& raw) 
   rule_infer_alloc(path, stripped, findings);
   rule_raw_index(path, raw, stripped, findings);
   rule_reinterpret(path, stripped, findings);
+  rule_raw_intrinsics(path, stripped, findings);
   rule_pragma_once(path, raw, findings);
   return findings;
 }
@@ -534,6 +559,23 @@ const Fixture kFixtures[] = {
      "out.write(reinterpret_cast<const char*>(buf.data()), n);", nullptr},
     {"reinterpret_cast in a comment is fine", "src/core/session.cpp",
      "// reinterpret_cast is banned here\nint x;", nullptr},
+    // [raw-intrinsics]
+    {"immintrin include outside src/simd", "src/tensor/ops.cpp",
+     "#include <immintrin.h>", "raw-intrinsics"},
+    {"emmintrin include outside src/simd", "src/codec/dct.cpp",
+     "#include <emmintrin.h>", "raw-intrinsics"},
+    {"arm_neon include outside src/simd", "src/image/convert.cpp",
+     "#include <arm_neon.h>", "raw-intrinsics"},
+    {"_mm256_ intrinsic outside src/simd", "src/nn/conv.cpp",
+     "auto v = _mm256_loadu_ps(p);", "raw-intrinsics"},
+    {"_mm_ intrinsic outside src/simd", "src/codec/quant.cpp",
+     "auto v = _mm_add_ps(a, b);", "raw-intrinsics"},
+    {"NEON vld1 outside src/simd", "src/image/resize.cpp",
+     "auto v = vld1q_f32(p);", "raw-intrinsics"},
+    {"intrinsics inside src/simd are fine", "src/simd/kernels_avx2.cpp",
+     "#include <immintrin.h>\nauto v = _mm256_loadu_ps(p);", nullptr},
+    {"intrinsic named in a comment is fine", "src/tensor/ops.cpp",
+     "// the avx2 backend uses _mm256_fmadd_ps here\nint x;", nullptr},
     // [pragma-once]
     {"header without pragma once", "src/nn/foo.hpp",
      "class Foo final : public Module { Tensor infer(const Tensor&) const; };",

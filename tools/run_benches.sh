@@ -4,6 +4,16 @@
 # to diff against. Includes the steady-state playback bench
 # (BM_EdsrEnhanceSteadyState), whose ws_miss_per_frame / ws_hit_per_frame
 # counters land in the JSON — ws_miss_per_frame must read 0.
+#
+# Refuses to record numbers from a non-Release build: an -O0 run looks like
+# a 10-30x regression and would poison the trajectory. Set
+# DCSR_BENCH_ALLOW_DEBUG=1 to override; the run then proceeds but the JSON
+# still self-identifies via its dcsr_build_type context field (stamped into
+# the binary from CMAKE_BUILD_TYPE), so the artifact cannot masquerade as a
+# Release measurement.
+#
+# The bench binary also stamps dcsr_simd_backend / dcsr_simd_dispatch into
+# the JSON context; select a backend with DCSR_SIMD=scalar|sse2|avx2.
 # Usage: tools/run_benches.sh [extra benchmark args...]
 set -euo pipefail
 
@@ -14,6 +24,25 @@ if [ ! -x "$BUILD/bench/bench_micro_kernels" ]; then
   cmake -B "$BUILD" -S "$ROOT"
   cmake --build "$BUILD" -j --target bench_micro_kernels
 fi
+
+build_type=""
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+  build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+fi
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    if [ "${DCSR_BENCH_ALLOW_DEBUG:-0}" != "1" ]; then
+      echo "run_benches.sh: refusing to benchmark a '${build_type:-unknown}'" \
+           "build at $BUILD" >&2
+      echo "  configure with -DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo)," \
+           "or set DCSR_BENCH_ALLOW_DEBUG=1 to record anyway" >&2
+      exit 1
+    fi
+    echo "run_benches.sh: WARNING recording from a '${build_type:-unknown}'" \
+         "build — numbers are NOT comparable to Release runs" >&2
+    ;;
+esac
 
 "$BUILD/bench/bench_micro_kernels" \
   --benchmark_format=json \

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Single verification gate for the tree. Runs six legs, each test leg in
+# Single verification gate for the tree. Runs seven legs, each test leg in
 # its own build directory so instrumented artifacts never mix:
 #
 #   default     RelWithDebInfo build + full ctest suite (includes the
@@ -14,6 +14,11 @@
 #   tsan        ThreadSanitizer, full suite forced to DCSR_THREADS=4 so the
 #               pool, the segment pipeline and the shared-model inference
 #               paths actually run multi-threaded under the detector
+#   simd        full ctest suite once per SIMD backend the host supports
+#               (DCSR_SIMD=scalar/sse2/avx2 in the default build), so every
+#               kernel backend — not just the one the dispatcher would pick
+#               — passes the whole tree. Also asserts the negative path:
+#               requesting an unknown backend name must fail loudly.
 #   bench-smoke every microbenchmark for a single iteration in the default
 #               build — catches bench bit-rot (and exercises the
 #               steady-state workspace counters) without a timed run
@@ -22,7 +27,7 @@
 #               exception) fails the leg and prints the repro command
 #
 # Usage: tools/run_checks.sh [leg...]
-#   e.g. tools/run_checks.sh            # all six legs
+#   e.g. tools/run_checks.sh            # all seven legs
 #        tools/run_checks.sh tsan       # just the TSan leg
 #        tools/run_checks.sh default checked fuzz-smoke
 #
@@ -33,7 +38,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default checked asan tsan bench-smoke fuzz-smoke)
+  LEGS=(default checked asan tsan simd bench-smoke fuzz-smoke)
 fi
 
 declare -A STATUS
@@ -63,6 +68,38 @@ run_leg() {
       export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
       env_prefix=(env DCSR_THREADS=4)
       ;;
+    simd)
+      # Tier-1 suite once per SIMD backend. The bench binary validates
+      # DCSR_SIMD in main() before running anything, so it doubles as a
+      # cheap support probe: exit 0 = backend available on this host.
+      build="${DEFAULT_BUILD_DIR:-$ROOT/build}"
+      echo
+      echo "=== leg: $leg (build dir: $build) ==="
+      cmake -B "$build" -S "$ROOT" || return 1
+      cmake --build "$build" -j || return 1
+      local probe="$build/bench/bench_micro_kernels"
+      if env DCSR_SIMD=definitely-not-a-backend \
+          "$probe" --benchmark_list_tests=true >/dev/null 2>&1; then
+        echo "simd leg: unknown DCSR_SIMD value was silently accepted" >&2
+        return 1
+      fi
+      local b ran=0
+      for b in scalar sse2 avx2; do
+        if env DCSR_SIMD="$b" \
+            "$probe" --benchmark_list_tests=true >/dev/null 2>&1; then
+          echo "--- simd leg: full suite with DCSR_SIMD=$b ---"
+          env DCSR_SIMD="$b" \
+            ctest --test-dir "$build" --output-on-failure -j || return 1
+          ran=$((ran + 1))
+        else
+          echo "--- simd leg: backend '$b' unsupported on this host," \
+               "dispatcher refused it (expected) ---"
+        fi
+      done
+      # scalar is always compiled in; zero passes means the probe is broken.
+      [ "$ran" -ge 1 ] || { echo "simd leg: no backend ran" >&2; return 1; }
+      return 0
+      ;;
     bench-smoke)
       # Every benchmark, one iteration each, in the default build. Not a
       # perf measurement — a does-it-still-run gate for the bench binary.
@@ -89,7 +126,7 @@ run_leg() {
       return 0
       ;;
     *)
-      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|bench-smoke|fuzz-smoke)" >&2
+      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|simd|bench-smoke|fuzz-smoke)" >&2
       return 2
       ;;
   esac
