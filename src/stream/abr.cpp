@@ -6,13 +6,36 @@
 
 namespace dcsr::stream {
 
+namespace {
+
+// Trace slot for a (possibly negative, possibly huge) time. Negative clocks
+// clamp to slot 0 and times beyond the trace clamp to the last slot — both
+// previously went through a raw double→size_t cast, which is UB for negative
+// or out-of-range values.
+std::size_t trace_slot(double t, std::size_t n) noexcept {
+  if (!(t > 0.0)) return 0;  // negative, zero, NaN
+  if (t >= static_cast<double>(n)) return n - 1;
+  return static_cast<std::size_t>(t);
+}
+
+}  // namespace
+
 double ThroughputTrace::bytes_between(double t0, double t1) const noexcept {
+  t0 = std::max(t0, 0.0);
+  t1 = std::max(t1, 0.0);
   if (bytes_per_second.empty() || t1 <= t0) return 0.0;
+  const auto n = static_cast<double>(bytes_per_second.size());
   double total = 0.0;
   double t = t0;
   while (t < t1) {
-    const auto idx = std::min<std::size_t>(
-        static_cast<std::size_t>(t), bytes_per_second.size() - 1);
+    // Beyond the trace the last value repeats forever: close the form
+    // instead of iterating (for t large enough that floor(t)+1 == t the
+    // second-by-second loop would never advance).
+    if (t >= n) {
+      total += bytes_per_second.back() * (t1 - t);
+      break;
+    }
+    const auto idx = trace_slot(t, bytes_per_second.size());
     const double slice_end = std::min(t1, std::floor(t) + 1.0);
     total += bytes_per_second[idx] * (slice_end - t);
     t = slice_end;
@@ -21,21 +44,153 @@ double ThroughputTrace::bytes_between(double t0, double t1) const noexcept {
 }
 
 double ThroughputTrace::seconds_to_download(double t0, double bytes) const noexcept {
+  t0 = std::max(t0, 0.0);
   if (bytes <= 0.0) return 0.0;
-  if (bytes_per_second.empty()) return 1e18;
+  if (bytes_per_second.empty()) return kDeadNetworkSeconds;
+  const auto n = static_cast<double>(bytes_per_second.size());
   double remaining = bytes;
   double t = t0;
   while (true) {
-    const auto idx = std::min<std::size_t>(
-        static_cast<std::size_t>(t), bytes_per_second.size() - 1);
+    // Past the trace end the rate is constant (last value repeats): either
+    // it delivers the rest in closed form or the link is dead. This also
+    // avoids the non-terminating loop at times where floor(t)+1 == t.
+    if (t >= n) {
+      const double rate = bytes_per_second.back();
+      // (t - t0) first: at huge t0 the remainder term would cancel out of
+      // (t + remaining/rate) - t0 entirely.
+      const double total = rate > 0.0 ? (t - t0) + remaining / rate
+                                      : kDeadNetworkSeconds;
+      // Keep the historical horizon: a link that needs more than 1e7 s is
+      // as good as dead, whatever its nominal rate.
+      return total > 1e7 ? kDeadNetworkSeconds : total;
+    }
+    const auto idx = trace_slot(t, bytes_per_second.size());
     const double rate = bytes_per_second[idx];
     const double slice_end = std::floor(t) + 1.0;
     const double slice = slice_end - t;
     if (rate > 0.0 && remaining <= rate * slice) return (t + remaining / rate) - t0;
     remaining -= rate * slice;
     t = slice_end;
-    if (t - t0 > 1e7) return 1e18;  // dead network
+    if (t - t0 > 1e7) return kDeadNetworkSeconds;  // dead network
   }
+}
+
+AbrSession::AbrSession(const std::vector<Rung>& ladder, const AbrConfig& cfg,
+                       double start_clock)
+    : ladder_(&ladder), cfg_(cfg), clock_(start_clock) {
+  if (ladder.empty() || ladder[0].segment_bytes.empty())
+    throw std::invalid_argument("AbrSession: empty ladder");
+  n_segments_ = ladder[0].segment_bytes.size();
+  for (const auto& rung : ladder)
+    if (rung.segment_bytes.size() != n_segments_)
+      throw std::invalid_argument("AbrSession: ladder rungs disagree on segments");
+}
+
+int AbrSession::choose_rung(std::size_t segment) const {
+  const std::vector<Rung>& ladder = *ladder_;
+  int rung = 0;
+  if (cfg_.policy == AbrPolicy::kBufferBased) {
+    // Linear map from buffer occupancy: lowest rung inside the reservoir,
+    // top rung when the buffer approaches its cap.
+    const double cushion =
+        std::max(1e-9, cfg_.max_buffer_seconds - cfg_.reservoir_seconds -
+                           cfg_.segment_seconds);
+    const double level =
+        std::clamp((buffer_ - cfg_.reservoir_seconds) / cushion, 0.0, 1.0);
+    rung = static_cast<int>(
+        std::floor(level * static_cast<double>(ladder.size() - 1) + 0.5));
+  } else if (est_throughput_ > 0.0) {
+    for (int r = static_cast<int>(ladder.size()) - 1; r >= 0; --r) {
+      const double rate_needed =
+          static_cast<double>(
+              ladder[static_cast<std::size_t>(r)].segment_bytes[segment]) /
+          cfg_.segment_seconds;
+      if (rate_needed <= cfg_.safety * est_throughput_) {
+        rung = r;
+        break;
+      }
+    }
+  }
+  if (cfg_.dcsr_aware) {
+    // Stop climbing once enhancement already reaches the target quality:
+    // take the LOWEST rung that satisfies the target (subject to the
+    // throughput cap chosen above).
+    for (int r = 0; r <= rung; ++r) {
+      if (ladder[static_cast<std::size_t>(r)].enhanced_quality_db >=
+          cfg_.target_quality_db) {
+        rung = r;
+        break;
+      }
+    }
+  }
+  return rung;
+}
+
+AbrSegmentLog AbrSession::step(std::size_t segment, int rung, double model_bytes,
+                               double extra_seconds,
+                               const ThroughputTrace& network) {
+  const std::vector<Rung>& ladder = *ladder_;
+  const double bytes =
+      static_cast<double>(
+          ladder[static_cast<std::size_t>(rung)].segment_bytes[segment]) +
+      model_bytes;
+  const double net_dl = network.seconds_to_download(clock_, bytes);
+
+  AbrSegmentLog log;
+  log.segment = static_cast<int>(segment);
+  log.rung = rung;
+  log.download_seconds = net_dl;
+  log.bytes = static_cast<std::uint64_t>(bytes);
+  const auto& chosen = ladder[static_cast<std::size_t>(rung)];
+  log.quality_db =
+      cfg_.dcsr_aware ? chosen.enhanced_quality_db : chosen.base_quality_db;
+
+  if (net_dl >= kDeadNetworkSeconds) {
+    // The link will never deliver this segment. Do NOT fold the sentinel
+    // into the clock, the buffer or the EWMA — flag the stall and freeze
+    // all accounting at this point.
+    dead_network_ = true;
+    return log;
+  }
+  const double dl = net_dl + extra_seconds;
+  log.download_seconds = dl;
+
+  // --- buffer dynamics ------------------------------------------------------
+  // Playback drains the buffer while we download (after startup). Before
+  // playback starts, the same wall time is startup delay: it was previously
+  // dropped on the floor, under-reporting slow starts.
+  if (started_) {
+    if (buffer_ >= dl) {
+      buffer_ -= dl;
+    } else {
+      log.rebuffer_seconds = dl - buffer_;
+      buffer_ = 0.0;
+    }
+  } else {
+    log.startup_seconds = dl;
+    startup_seconds_ += dl;
+  }
+  clock_ += dl;
+  buffer_ += cfg_.segment_seconds;
+  if (!started_ && buffer_ >= cfg_.startup_buffer_seconds) started_ = true;
+  // Respect the buffer cap: wait (playing) before requesting more.
+  if (buffer_ > cfg_.max_buffer_seconds) {
+    const double wait = buffer_ - cfg_.max_buffer_seconds;
+    clock_ += wait;
+    buffer_ = cfg_.max_buffer_seconds;
+  }
+
+  // --- state updates --------------------------------------------------------
+  // The EWMA samples the network's actual delivery rate, so cache-tier
+  // latency (extra_seconds) is excluded: it does not reflect link capacity.
+  if (net_dl > 0.0) {
+    const double sample = bytes / net_dl;
+    est_throughput_ = est_throughput_ == 0.0
+                          ? sample
+                          : cfg_.ewma_alpha * sample +
+                                (1.0 - cfg_.ewma_alpha) * est_throughput_;
+  }
+  return log;
 }
 
 AbrResult simulate_abr(const std::vector<Rung>& ladder,
@@ -51,107 +206,34 @@ AbrResult simulate_abr(const std::vector<Rung>& ladder,
       model_bytes_per_segment.size() != n_segments)
     throw std::invalid_argument("simulate_abr: model byte vector length mismatch");
 
+  AbrSession session(ladder, cfg);
   AbrResult result;
-  double clock = 0.0;           // wall time
-  double buffer = 0.0;          // seconds of video buffered
-  double est_throughput = 0.0;  // EWMA, bytes/s (0 = no sample yet)
-  bool started = false;
-
   for (std::size_t i = 0; i < n_segments; ++i) {
-    // --- rung selection -----------------------------------------------------
-    int rung = 0;
-    if (cfg.policy == AbrPolicy::kBufferBased) {
-      // Linear map from buffer occupancy: lowest rung inside the reservoir,
-      // top rung when the buffer approaches its cap.
-      const double cushion =
-          std::max(1e-9, cfg.max_buffer_seconds - cfg.reservoir_seconds -
-                             cfg.segment_seconds);
-      const double level =
-          std::clamp((buffer - cfg.reservoir_seconds) / cushion, 0.0, 1.0);
-      rung = static_cast<int>(
-          std::floor(level * static_cast<double>(ladder.size() - 1) + 0.5));
-    } else if (est_throughput > 0.0) {
-      for (int r = static_cast<int>(ladder.size()) - 1; r >= 0; --r) {
-        const double rate_needed =
-            static_cast<double>(ladder[static_cast<std::size_t>(r)].segment_bytes[i]) /
-            cfg.segment_seconds;
-        if (rate_needed <= cfg.safety * est_throughput) {
-          rung = r;
-          break;
-        }
-      }
-    }
-    if (cfg.dcsr_aware) {
-      // Stop climbing once enhancement already reaches the target quality:
-      // take the LOWEST rung that satisfies the target (subject to the
-      // throughput cap chosen above).
-      for (int r = 0; r <= rung; ++r) {
-        if (ladder[static_cast<std::size_t>(r)].enhanced_quality_db >=
-            cfg.target_quality_db) {
-          rung = r;
-          break;
-        }
-      }
-    }
-
-    // --- download -------------------------------------------------------------
+    const int rung = session.choose_rung(i);
     const double model_bytes =
         model_bytes_per_segment.empty()
             ? 0.0
             : static_cast<double>(model_bytes_per_segment[i]);
-    const double bytes =
-        static_cast<double>(ladder[static_cast<std::size_t>(rung)].segment_bytes[i]) +
-        model_bytes;
-    const double dl = network.seconds_to_download(clock, bytes);
-
-    AbrSegmentLog log;
-    log.segment = static_cast<int>(i);
-    log.rung = rung;
-    log.download_seconds = dl;
-    log.bytes = static_cast<std::uint64_t>(bytes);
-
-    // --- buffer dynamics --------------------------------------------------------
-    // Playback drains the buffer while we download (after startup).
-    if (started) {
-      if (buffer >= dl) {
-        buffer -= dl;
-      } else {
-        log.rebuffer_seconds = dl - buffer;
-        buffer = 0.0;
-      }
+    const AbrSegmentLog log = session.step(i, rung, model_bytes, 0.0, network);
+    if (session.dead_network()) {
+      result.aborted_dead_network = true;
+      break;
     }
-    clock += dl;
-    buffer += cfg.segment_seconds;
-    if (!started && buffer >= cfg.startup_buffer_seconds) started = true;
-    // Respect the buffer cap: wait (playing) before requesting more.
-    if (buffer > cfg.max_buffer_seconds) {
-      const double wait = buffer - cfg.max_buffer_seconds;
-      clock += wait;
-      buffer = cfg.max_buffer_seconds;
-    }
-
-    // --- state updates -----------------------------------------------------------
-    if (dl > 0.0) {
-      const double sample = bytes / dl;
-      est_throughput = est_throughput == 0.0
-                           ? sample
-                           : cfg.ewma_alpha * sample +
-                                 (1.0 - cfg.ewma_alpha) * est_throughput;
-    }
-    const auto& chosen = ladder[static_cast<std::size_t>(rung)];
-    log.quality_db =
-        cfg.dcsr_aware ? chosen.enhanced_quality_db : chosen.base_quality_db;
-
     result.rebuffer_seconds += log.rebuffer_seconds;
     result.total_bytes += log.bytes;
     result.mean_quality_db += log.quality_db;
     result.mean_rung += rung;
     result.log.push_back(log);
   }
+  result.startup_seconds = session.startup_seconds();
 
-  const auto n = static_cast<double>(n_segments);
-  result.mean_quality_db /= n;
-  result.mean_rung /= n;
+  // Means are over the segments actually delivered — an aborted session must
+  // not divide by segments it never played (or by zero).
+  if (!result.log.empty()) {
+    const auto n = static_cast<double>(result.log.size());
+    result.mean_quality_db /= n;
+    result.mean_rung /= n;
+  }
   return result;
 }
 
@@ -162,7 +244,8 @@ double qoe_score(const AbrResult& result, const QoeWeights& weights) {
     switches += std::abs(result.log[i].quality_db - result.log[i - 1].quality_db);
   const auto n = static_cast<double>(result.log.size());
   return result.mean_quality_db - weights.switch_penalty * switches / n -
-         weights.rebuffer_penalty * result.rebuffer_seconds / n;
+         weights.rebuffer_penalty * result.rebuffer_seconds / n -
+         weights.startup_penalty * result.startup_seconds / n;
 }
 
 }  // namespace dcsr::stream

@@ -13,15 +13,24 @@ struct Rung {
   double enhanced_quality_db = 0.0;  // quality after dcSR enhancement
 };
 
+/// Sentinel returned by ThroughputTrace::seconds_to_download when the link
+/// cannot deliver the requested bytes within any plausible horizon (an
+/// all-zero trace, for instance). Callers must treat any value >= this as
+/// "the network is dead", never feed it into clock/buffer arithmetic —
+/// AbrSession::step does exactly that and raises dead_network() instead.
+inline constexpr double kDeadNetworkSeconds = 1e18;
+
 /// Per-second available network throughput (bytes/s).
 struct ThroughputTrace {
   std::vector<double> bytes_per_second;
 
   /// Total bytes deliverable in [t0, t1) (seconds, fractional ok); the trace
-  /// repeats its last value beyond its end.
+  /// repeats its last value beyond its end. Negative times clamp to 0 (the
+  /// trace has no past).
   double bytes_between(double t0, double t1) const noexcept;
 
-  /// Seconds needed from time t0 to deliver `bytes`.
+  /// Seconds needed from time t0 to deliver `bytes`; negative t0 clamps to
+  /// 0. Returns kDeadNetworkSeconds when the link never delivers them.
   double seconds_to_download(double t0, double bytes) const noexcept;
 };
 
@@ -61,6 +70,7 @@ struct AbrSegmentLog {
   int rung = 0;
   double download_seconds = 0.0;
   double rebuffer_seconds = 0.0;
+  double startup_seconds = 0.0;  // pre-playback wait charged to this segment
   double quality_db = 0.0;   // delivered quality (enhanced when dcsr_aware)
   std::uint64_t bytes = 0;   // video + model bytes fetched for this segment
 };
@@ -68,9 +78,69 @@ struct AbrSegmentLog {
 struct AbrResult {
   std::vector<AbrSegmentLog> log;
   double rebuffer_seconds = 0.0;
+  double startup_seconds = 0.0;  // wall time before playback first started
   double mean_quality_db = 0.0;
   double mean_rung = 0.0;
   std::uint64_t total_bytes = 0;
+  /// True when the network went dead mid-session (seconds_to_download hit
+  /// kDeadNetworkSeconds): accounting stops at the stall point — the log
+  /// holds only the segments actually delivered, and no sentinel value ever
+  /// enters the totals.
+  bool aborted_dead_network = false;
+};
+
+/// Stepwise form of the ABR simulation: one playback session advanced a
+/// segment at a time, so a caller that owns the clock (the fleet simulator's
+/// event queue) can interleave many sessions and charge cache-tier latency
+/// onto individual downloads. `simulate_abr` below is exactly a loop over
+/// this class — they cannot drift apart.
+///
+/// Protocol per segment i: `choose_rung(i)` (pure, from current state), then
+/// `step(i, rung, model_bytes, extra_seconds, network)` which downloads,
+/// drains/fills the buffer and updates the throughput EWMA. After any step,
+/// `dead_network()` must be checked: when it is set the step performed no
+/// accounting and the session is over.
+class AbrSession {
+ public:
+  /// Validates the ladder (non-empty, rungs agree on segment count) like
+  /// simulate_abr always has; throws std::invalid_argument. The ladder must
+  /// outlive the session. `start_clock` offsets the session's local clock —
+  /// the fleet uses wall-clock arrival times so all sessions share one
+  /// diurnal trace timeline.
+  AbrSession(const std::vector<Rung>& ladder, const AbrConfig& cfg,
+             double start_clock = 0.0);
+
+  /// Rung the policy picks for segment i given the current buffer /
+  /// throughput state (includes the dcSR-aware lowering).
+  int choose_rung(std::size_t segment) const;
+
+  /// Advances through segment i: downloads the chosen rung's bytes plus
+  /// `model_bytes` over `network` starting at clock(), with `extra_seconds`
+  /// of cache/CDN fetch latency charged like download time (it drains the
+  /// buffer the same way). Returns the per-segment log entry. If the
+  /// download hits kDeadNetworkSeconds the session flips dead_network(),
+  /// performs NO state update, and the returned log carries the sentinel in
+  /// download_seconds purely for diagnosis.
+  AbrSegmentLog step(std::size_t segment, int rung, double model_bytes,
+                     double extra_seconds, const ThroughputTrace& network);
+
+  std::size_t segment_count() const noexcept { return n_segments_; }
+  double clock() const noexcept { return clock_; }
+  double buffer_seconds() const noexcept { return buffer_; }
+  bool started() const noexcept { return started_; }
+  bool dead_network() const noexcept { return dead_network_; }
+  double startup_seconds() const noexcept { return startup_seconds_; }
+
+ private:
+  const std::vector<Rung>* ladder_;
+  AbrConfig cfg_;
+  std::size_t n_segments_ = 0;
+  double clock_ = 0.0;           // wall time
+  double buffer_ = 0.0;          // seconds of video buffered
+  double est_throughput_ = 0.0;  // EWMA, bytes/s (0 = no sample yet)
+  double startup_seconds_ = 0.0;
+  bool started_ = false;
+  bool dead_network_ = false;
 };
 
 /// Simulates one playback session over the ladder. `model_bytes_per_segment`
@@ -83,11 +153,15 @@ AbrResult simulate_abr(const std::vector<Rung>& ladder,
 
 /// Standard linear QoE model from the ABR literature (Pensieve/BOLA-style):
 ///   QoE = mean quality − switch_penalty * mean |quality change|
-///                      − rebuffer_penalty * (rebuffer seconds / segment).
-/// Quality is the per-segment delivered dB from the AbrResult log.
+///                      − rebuffer_penalty * (rebuffer seconds / segment)
+///                      − startup_penalty * (startup seconds / segment).
+/// Quality is the per-segment delivered dB from the AbrResult log. Startup
+/// delay is penalised like rebuffering but with its own (customarily
+/// milder) weight, as in the MPC/Pensieve QoE variants.
 struct QoeWeights {
   double switch_penalty = 1.0;
   double rebuffer_penalty = 4.3;  // the customary Pensieve weight (dB/s)
+  double startup_penalty = 1.0;   // startup hurts less than a mid-stream stall
 };
 double qoe_score(const AbrResult& result, const QoeWeights& weights = {});
 

@@ -1,5 +1,7 @@
 #include "stream/session.hpp"
 
+#include "stream/errors.hpp"
+
 namespace dcsr::stream {
 
 SessionResult simulate_session(const Manifest& manifest, const SessionConfig& cfg) {
@@ -14,6 +16,14 @@ SessionResult simulate_session(const Manifest& manifest, const SessionConfig& cf
 
   for (std::size_t i = 0; i < limit; ++i) {
     const SegmentEntry& seg = manifest.segments[i];
+    // make_manifest/read_manifest validate labels, but a directly
+    // constructed Manifest arrives unchecked — indexing model_bytes with a
+    // dangling label was a silent out-of-bounds read.
+    if (seg.model_label != kNoModel &&
+        (seg.model_label < 0 ||
+         static_cast<std::size_t>(seg.model_label) >= manifest.model_bytes.size()))
+      throw ManifestError("simulate_session: segment references unknown model",
+                          i, "segment index");
     SegmentLog log;
     log.segment_index = seg.segment_index;
     log.video_bytes = seg.video_bytes;

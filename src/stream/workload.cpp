@@ -1,0 +1,202 @@
+#include "stream/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dcsr::stream {
+
+ZipfSampler::ZipfSampler(int n, double skew) {
+  if (n <= 0) throw std::invalid_argument("ZipfSampler: need at least one rank");
+  if (skew < 0.0) throw std::invalid_argument("ZipfSampler: negative skew");
+  cdf_.resize(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  for (int k = 0; k < n; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -skew);
+    cdf_[static_cast<std::size_t>(k)] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail unreachable
+}
+
+int ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin());
+}
+
+double DiurnalPattern::rate(double t_seconds) const noexcept {
+  const double phase =
+      2.0 * 3.14159265358979323846 *
+      (t_seconds / period_seconds - peak_hour * 3600.0 / period_seconds);
+  return 1.0 + amplitude * std::cos(phase);
+}
+
+std::vector<DeviceClass> default_device_mix() {
+  return {
+      {device::jetson_xavier_nx(), 0.25, 0.5},
+      {device::laptop_gtx1060(), 0.45, 1.0},
+      {device::desktop_rtx2070(), 0.30, 2.0},
+  };
+}
+
+namespace {
+
+// Piecewise-constant inverse CDF over the diurnal rate, one bin per
+// 15 simulated minutes: arrival times are drawn by inverting a uniform
+// sample through the cumulative rate table, giving a deterministic
+// non-homogeneous process without thinning (whose rejection loop would make
+// the draw count data-dependent).
+class ArrivalSampler {
+ public:
+  ArrivalSampler(const DiurnalPattern& diurnal, double horizon) {
+    const int bins = std::max(1, static_cast<int>(horizon / 900.0));
+    cum_.resize(static_cast<std::size_t>(bins) + 1, 0.0);
+    bin_seconds_ = horizon / static_cast<double>(bins);
+    for (int b = 0; b < bins; ++b) {
+      const double mid = (static_cast<double>(b) + 0.5) * bin_seconds_;
+      cum_[static_cast<std::size_t>(b) + 1] =
+          cum_[static_cast<std::size_t>(b)] +
+          std::max(diurnal.rate(mid), 1e-9) * bin_seconds_;
+    }
+  }
+
+  double sample(Rng& rng) const noexcept {
+    const double u = rng.uniform() * cum_.back();
+    const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+    const auto hi = std::min<std::size_t>(
+        static_cast<std::size_t>(it - cum_.begin()), cum_.size() - 1);
+    const std::size_t lo = hi - 1;
+    const double frac = (u - cum_[lo]) / std::max(cum_[hi] - cum_[lo], 1e-30);
+    return (static_cast<double>(lo) + frac) * bin_seconds_;
+  }
+
+ private:
+  std::vector<double> cum_;
+  double bin_seconds_ = 0.0;
+};
+
+}  // namespace
+
+Workload generate_workload(const WorkloadConfig& cfg, std::uint64_t seed) {
+  if (cfg.sessions == 0) throw std::invalid_argument("generate_workload: no sessions");
+  if (cfg.videos <= 0) throw std::invalid_argument("generate_workload: no videos");
+  if (cfg.global_clusters <= 0 || cfg.clusters_per_video <= 0)
+    throw std::invalid_argument("generate_workload: empty cluster pool");
+  if (cfg.ladder_rungs <= 0)
+    throw std::invalid_argument("generate_workload: empty ladder");
+  if (cfg.segments_min <= 0 || cfg.segments_max < cfg.segments_min)
+    throw std::invalid_argument("generate_workload: bad segment range");
+  if (cfg.horizon_seconds <= 0.0)
+    throw std::invalid_argument("generate_workload: bad horizon");
+  if (cfg.model_bytes_max < cfg.model_bytes_min)
+    throw std::invalid_argument("generate_workload: bad model byte range");
+
+  Workload w;
+  w.device_mix = default_device_mix();
+  Rng root(seed);
+  Rng catalog_rng = root.fork();
+  Rng session_rng = root.fork();
+
+  // --- per-cluster model sizes ---------------------------------------------
+  w.cluster_model_bytes.reserve(static_cast<std::size_t>(cfg.global_clusters));
+  for (int c = 0; c < cfg.global_clusters; ++c)
+    w.cluster_model_bytes.push_back(static_cast<std::uint64_t>(
+        catalog_rng.uniform_int(static_cast<std::int64_t>(cfg.model_bytes_min),
+                                static_cast<std::int64_t>(cfg.model_bytes_max))));
+
+  // --- catalog ---------------------------------------------------------------
+  // Each video owns a small set of clusters drawn (without replacement) from
+  // the global Zipf pool, then revisits them segment by segment — the
+  // long-term temporal correlation Algorithm 1 exploits, now shared across
+  // the catalog so popular clusters recur in many videos.
+  const ZipfSampler cluster_pool(cfg.global_clusters, cfg.cluster_zipf_skew);
+  w.catalog.reserve(static_cast<std::size_t>(cfg.videos));
+  for (int v = 0; v < cfg.videos; ++v) {
+    VideoMeta meta;
+    const int n_segments = static_cast<int>(catalog_rng.uniform_int(
+        cfg.segments_min, cfg.segments_max));
+
+    std::vector<int> local;
+    const int want = std::min(cfg.clusters_per_video, cfg.global_clusters);
+    while (static_cast<int>(local.size()) < want) {
+      const int c = cluster_pool.sample(catalog_rng);
+      if (std::find(local.begin(), local.end(), c) == local.end())
+        local.push_back(c);
+    }
+
+    meta.segment_cluster.reserve(static_cast<std::size_t>(n_segments));
+    for (int s = 0; s < n_segments; ++s) {
+      const auto pick = static_cast<std::size_t>(catalog_rng.uniform_int(
+          0, static_cast<std::int64_t>(local.size()) - 1));
+      meta.segment_cluster.push_back(local[pick]);
+    }
+
+    meta.ladder.resize(static_cast<std::size_t>(cfg.ladder_rungs));
+    for (int r = 0; r < cfg.ladder_rungs; ++r) {
+      Rung& rung = meta.ladder[static_cast<std::size_t>(r)];
+      rung.crf = 51 - 8 * r;
+      const double base =
+          static_cast<double>(cfg.segment_bytes_base) * std::pow(2.0, r);
+      rung.base_quality_db = 24.0 + 4.0 * r;
+      rung.enhanced_quality_db = rung.base_quality_db + 4.0 / (1.0 + r);
+      rung.segment_bytes.reserve(static_cast<std::size_t>(n_segments));
+      for (int s = 0; s < n_segments; ++s)
+        rung.segment_bytes.push_back(static_cast<std::uint64_t>(
+            base * catalog_rng.uniform(0.8, 1.2)));
+    }
+    w.catalog.push_back(std::move(meta));
+  }
+
+  // --- sessions --------------------------------------------------------------
+  const ZipfSampler popularity(cfg.videos, cfg.video_zipf_skew);
+  const ArrivalSampler arrivals(cfg.diurnal, cfg.horizon_seconds);
+  double mix_total = 0.0;
+  for (const auto& d : w.device_mix) mix_total += d.weight;
+
+  w.sessions.reserve(cfg.sessions);
+  for (std::size_t i = 0; i < cfg.sessions; ++i) {
+    SessionSpec s;
+    s.arrival_seconds = arrivals.sample(session_rng);
+    s.video = popularity.sample(session_rng);
+
+    double pick = session_rng.uniform() * mix_total;
+    s.device_class = 0;
+    for (std::size_t d = 0; d < w.device_mix.size(); ++d) {
+      pick -= w.device_mix[d].weight;
+      if (pick <= 0.0) {
+        s.device_class = static_cast<int>(d);
+        break;
+      }
+    }
+
+    // Geometric watch time with the configured mean, clamped to the video.
+    const auto video_segments = static_cast<int>(
+        w.catalog[static_cast<std::size_t>(s.video)].segment_cluster.size());
+    const double p = 1.0 / std::max(cfg.mean_watch_segments, 1.0);
+    int watched = 1;
+    while (watched < video_segments && session_rng.uniform() > p) ++watched;
+    s.watch_segments = watched;
+
+    s.rng_seed = session_rng.next_u64();
+    w.sessions.push_back(s);
+  }
+
+  // The event loop consumes sessions in arrival order; sort with a
+  // deterministic tie-break so equal arrival times cannot reorder between
+  // runs (std::sort is not stable).
+  std::vector<std::size_t> order(w.sessions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (w.sessions[a].arrival_seconds != w.sessions[b].arrival_seconds)
+      return w.sessions[a].arrival_seconds < w.sessions[b].arrival_seconds;
+    return a < b;
+  });
+  std::vector<SessionSpec> sorted;
+  sorted.reserve(w.sessions.size());
+  for (const std::size_t i : order) sorted.push_back(w.sessions[i]);
+  w.sessions = std::move(sorted);
+  return w;
+}
+
+}  // namespace dcsr::stream

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/profiles.hpp"
+#include "stream/abr.hpp"
+#include "util/rng.hpp"
+
+namespace dcsr::stream {
+
+/// Deterministic Zipf(s) sampler over ranks 0..n-1: P(rank k) ∝ (k+1)^-s.
+/// The inverse CDF is precomputed once, so sampling is a binary search —
+/// cheap enough to draw per-segment cluster labels for millions of sessions.
+/// s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double skew);
+
+  int sample(Rng& rng) const noexcept;
+
+  /// P(rank <= k), exposed for distribution sanity tests.
+  double cdf(int k) const noexcept { return cdf_[static_cast<std::size_t>(k)]; }
+  int size() const noexcept { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Sinusoidal diurnal arrival-rate profile: rate(t) peaks at `peak_hour`
+/// and bottoms out 12 h later. amplitude = 0 is a homogeneous process;
+/// amplitude in [0, 1) keeps the rate strictly positive.
+struct DiurnalPattern {
+  double amplitude = 0.6;
+  double peak_hour = 20.0;           // 8 pm — the evening streaming peak
+  double period_seconds = 86400.0;
+
+  /// Relative arrival intensity at wall time t (mean 1 over a full period).
+  double rate(double t_seconds) const noexcept;
+};
+
+/// Device classes in the fleet, mirroring the paper's three measured
+/// devices (src/device). The network multiplier scales the shared base
+/// throughput trace per class: mobile SoCs sit on slower links.
+struct DeviceClass {
+  device::DeviceProfile profile;
+  double weight = 1.0;            // mix share (normalised internally)
+  double network_scale = 1.0;     // multiplier on the base trace
+};
+
+/// Default three-class mix: Jetson (mobile, slow link), laptop, desktop.
+std::vector<DeviceClass> default_device_mix();
+
+/// Everything that parameterises the synthetic fleet workload. All
+/// randomness flows from one seed through util/rng, so a config + seed pair
+/// reproduces the exact same catalog and session list.
+struct WorkloadConfig {
+  std::size_t sessions = 100000;
+  int videos = 1000;
+  double video_zipf_skew = 0.8;   // popularity skew across the catalog
+
+  double horizon_seconds = 86400.0;  // one simulated day
+  DiurnalPattern diurnal;
+
+  // Catalog shape. Videos draw their per-segment cluster labels from a
+  // GLOBAL cluster pool (the paper's key asset: micro models are
+  // per-cluster, not per-video, so popular clusters recur across videos and
+  // hit a shared edge cache). cluster_zipf_skew controls how concentrated
+  // that sharing is.
+  int segments_min = 12;
+  int segments_max = 45;
+  int global_clusters = 512;
+  int clusters_per_video = 8;
+  double cluster_zipf_skew = 1.1;
+
+  // Micro-model sizes (bytes), uniform in [min, max] per global cluster —
+  // the repo's fp16 micro models are ~100 KB.
+  std::uint64_t model_bytes_min = 80000;
+  std::uint64_t model_bytes_max = 160000;
+
+  // Three-rung ladder byte scale: rung r's per-segment bytes are
+  // segment_bytes_base << r, jittered ±20% per segment.
+  std::uint64_t segment_bytes_base = 40000;
+  int ladder_rungs = 3;
+
+  // Mean watch time in segments (geometric abandonment, clamped to the
+  // video length) — early abandonment is the scenario where per-cluster
+  // caching beats download-everything-up-front.
+  double mean_watch_segments = 18.0;
+};
+
+/// One video in the synthetic catalog: a bitrate ladder plus the global
+/// cluster id enhancing each segment.
+struct VideoMeta {
+  std::vector<Rung> ladder;
+  std::vector<int> segment_cluster;  // global cluster id per segment
+};
+
+/// One viewer: when they arrive, what they watch, on what device, for how
+/// long, and the private RNG stream their session consumes.
+struct SessionSpec {
+  double arrival_seconds = 0.0;
+  int video = 0;
+  int device_class = 0;
+  int watch_segments = 0;
+  std::uint64_t rng_seed = 0;
+};
+
+/// A fully materialised fleet workload: catalog + per-cluster model sizes +
+/// the arrival-ordered session list.
+struct Workload {
+  std::vector<VideoMeta> catalog;
+  std::vector<std::uint64_t> cluster_model_bytes;  // by global cluster id
+  std::vector<DeviceClass> device_mix;
+  std::vector<SessionSpec> sessions;  // sorted by arrival time
+};
+
+/// Generates the workload deterministically from (cfg, seed): Zipf video
+/// popularity, diurnal arrivals (inverse-CDF over a piecewise-constant rate
+/// table), device mix, geometric watch times. Throws std::invalid_argument
+/// on nonsensical configs (no sessions, no videos, empty ladder...).
+Workload generate_workload(const WorkloadConfig& cfg, std::uint64_t seed);
+
+}  // namespace dcsr::stream

@@ -44,6 +44,136 @@ TEST(ThroughputTrace, SecondsToDownloadInvertsBytes) {
   EXPECT_DOUBLE_EQ(t.seconds_to_download(0.0, 0.0), 0.0);
 }
 
+TEST(ThroughputTrace, NegativeTimesClampToZero) {
+  // A negative clock used to be cast straight to std::size_t (UB); the trace
+  // has no past, so negative times clamp to 0.
+  ThroughputTrace t{{100.0, 200.0, 400.0}};
+  EXPECT_DOUBLE_EQ(t.bytes_between(-2.0, 1.0), t.bytes_between(0.0, 1.0));
+  EXPECT_DOUBLE_EQ(t.bytes_between(-5.0, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.seconds_to_download(-3.0, 100.0),
+                   t.seconds_to_download(0.0, 100.0));
+  EXPECT_DOUBLE_EQ(t.seconds_to_download(-0.5, 50.0), 0.5);
+}
+
+TEST(ThroughputTrace, FractionalAndBeyondTraceTimes) {
+  ThroughputTrace t{{100.0, 200.0}};
+  // Fractional start inside a slice.
+  EXPECT_DOUBLE_EQ(t.seconds_to_download(0.25, 25.0), 0.25);
+  EXPECT_DOUBLE_EQ(t.seconds_to_download(0.5, 150.0), 1.0);
+  // Past the trace end the last value repeats.
+  EXPECT_DOUBLE_EQ(t.seconds_to_download(10.5, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.bytes_between(10.0, 12.5), 500.0);
+  // Times far beyond double's integer precision (floor(t)+1 == t) must not
+  // hang or misindex: the repeated-tail closed form takes over.
+  EXPECT_DOUBLE_EQ(t.bytes_between(1e16, 1e16 + 2.0), 400.0);
+  EXPECT_DOUBLE_EQ(t.seconds_to_download(1e16, 200.0), 1.0);
+}
+
+TEST(ThroughputTrace, DeadLinkReturnsSentinel) {
+  ThroughputTrace dead{std::vector<double>(10, 0.0)};
+  EXPECT_GE(dead.seconds_to_download(0.0, 1.0), kDeadNetworkSeconds);
+  EXPECT_GE(ThroughputTrace{}.seconds_to_download(0.0, 1.0), kDeadNetworkSeconds);
+  // A link that would take > 1e7 s is as good as dead.
+  ThroughputTrace glacial{{1e-6}};
+  EXPECT_GE(glacial.seconds_to_download(0.0, 1e6), kDeadNetworkSeconds);
+}
+
+TEST(Abr, DeadNetworkFromStartAbortsWithCleanAccounting) {
+  // An all-zero trace used to leak the 1e18 sentinel into clock/rebuffer/
+  // EWMA arithmetic, yielding nonsense totals; now the session aborts with
+  // an explicit flag and zero accounted traffic.
+  const auto ladder = test_ladder(8);
+  const ThroughputTrace dead{std::vector<double>(20, 0.0)};
+  const AbrResult r = simulate_abr(ladder, {}, dead, AbrConfig{});
+  EXPECT_TRUE(r.aborted_dead_network);
+  EXPECT_TRUE(r.log.empty());
+  EXPECT_EQ(r.total_bytes, 0u);
+  EXPECT_DOUBLE_EQ(r.rebuffer_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.startup_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_quality_db, 0.0);  // no divide-by-zero either
+}
+
+TEST(Abr, DeadNetworkMidSessionStopsAccountingAtStall) {
+  const auto ladder = test_ladder(8);
+  // One good second delivers segment 0; then the link dies for good.
+  ThroughputTrace trace{std::vector<double>(30, 0.0)};
+  trace.bytes_per_second[0] = 200.0;
+  const AbrResult r = simulate_abr(ladder, {}, trace, AbrConfig{});
+  EXPECT_TRUE(r.aborted_dead_network);
+  ASSERT_EQ(r.log.size(), 1u);
+  EXPECT_EQ(r.total_bytes, r.log[0].bytes);
+  // The sentinel never reached the totals.
+  EXPECT_LT(r.rebuffer_seconds, 1e6);
+  EXPECT_GT(r.mean_quality_db, 0.0);
+}
+
+TEST(Abr, HealthySessionsNeverAbort) {
+  const auto ladder = test_ladder(20);
+  const AbrResult r = simulate_abr(ladder, {}, constant_trace(4000.0), AbrConfig{});
+  EXPECT_FALSE(r.aborted_dead_network);
+  EXPECT_EQ(r.log.size(), 20u);
+}
+
+TEST(Abr, StartupStallIsReportedSeparately) {
+  // Bottom rung: 100 B over 25 B/s = 4 s per segment; startup buffer of 8 s
+  // means two segments (8 s of wall clock) pass before playback starts.
+  // That time was previously counted nowhere.
+  const auto ladder = test_ladder(10);
+  AbrConfig cfg;
+  cfg.startup_buffer_seconds = 8.0;
+  const AbrResult r = simulate_abr(ladder, {}, constant_trace(25.0), cfg);
+  EXPECT_DOUBLE_EQ(r.startup_seconds, 8.0);
+  EXPECT_DOUBLE_EQ(r.log[0].startup_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(r.log[1].startup_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(r.log[2].startup_seconds, 0.0);
+  // Steady state after startup: downloads exactly keep pace, no rebuffer.
+  EXPECT_DOUBLE_EQ(r.rebuffer_seconds, 0.0);
+  // The startup wait lowers QoE through its own weighted term.
+  QoeWeights no_startup;
+  no_startup.startup_penalty = 0.0;
+  EXPECT_LT(qoe_score(r), qoe_score(r, no_startup));
+  EXPECT_NEAR(qoe_score(r, no_startup) - qoe_score(r),
+              QoeWeights{}.startup_penalty * 8.0 /
+                  static_cast<double>(r.log.size()),
+              1e-12);
+}
+
+TEST(Abr, StepwiseSessionMatchesSimulateAbr) {
+  // simulate_abr is now a loop over AbrSession — drive the stepper by hand
+  // and require bit-identical results, so the two forms cannot drift.
+  const auto ladder = test_ladder(25);
+  ThroughputTrace trace = constant_trace(900.0, 300);
+  for (std::size_t s = 40; s < 70; ++s) trace.bytes_per_second[s] = 80.0;
+  const std::vector<std::uint64_t> model_bytes(25, 300);
+
+  AbrConfig cfg;
+  const AbrResult whole = simulate_abr(ladder, model_bytes, trace, cfg);
+
+  AbrSession session(ladder, cfg);
+  AbrResult manual;
+  for (std::size_t i = 0; i < session.segment_count(); ++i) {
+    const int rung = session.choose_rung(i);
+    const AbrSegmentLog log = session.step(
+        i, rung, static_cast<double>(model_bytes[i]), 0.0, trace);
+    ASSERT_FALSE(session.dead_network());
+    manual.rebuffer_seconds += log.rebuffer_seconds;
+    manual.total_bytes += log.bytes;
+    manual.log.push_back(log);
+  }
+  ASSERT_EQ(manual.log.size(), whole.log.size());
+  for (std::size_t i = 0; i < whole.log.size(); ++i) {
+    EXPECT_EQ(manual.log[i].rung, whole.log[i].rung);
+    EXPECT_EQ(manual.log[i].bytes, whole.log[i].bytes);
+    EXPECT_DOUBLE_EQ(manual.log[i].download_seconds,
+                     whole.log[i].download_seconds);
+    EXPECT_DOUBLE_EQ(manual.log[i].rebuffer_seconds,
+                     whole.log[i].rebuffer_seconds);
+  }
+  EXPECT_DOUBLE_EQ(manual.rebuffer_seconds, whole.rebuffer_seconds);
+  EXPECT_DOUBLE_EQ(session.startup_seconds(), whole.startup_seconds);
+  EXPECT_EQ(manual.total_bytes, whole.total_bytes);
+}
+
 TEST(Abr, FastNetworkClimbsToTopRung) {
   const auto ladder = test_ladder(20);
   AbrConfig cfg;

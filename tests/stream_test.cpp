@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "stream/errors.hpp"
 #include "stream/manifest.hpp"
 #include "stream/model_cache.hpp"
 #include "stream/session.hpp"
@@ -70,6 +71,31 @@ TEST(Manifest, SingleModelAndPlainVariants) {
   const Manifest low = make_plain_manifest(video);
   EXPECT_EQ(low.segments[0].model_label, kNoModel);
   EXPECT_TRUE(low.model_bytes.empty());
+}
+
+TEST(Session, DirectlyConstructedManifestWithDanglingLabelThrows) {
+  // make_manifest/read_manifest validate labels, but nothing used to stop a
+  // hand-built Manifest from indexing model_bytes out of bounds.
+  Manifest m;
+  m.model_bytes = {500};
+  m.segments.push_back({0, 30, 1000, 0});  // fine
+  m.segments.push_back({1, 30, 1000, 3});  // dangling label
+  EXPECT_THROW(simulate_session(m), ManifestError);
+
+  Manifest negative = m;
+  negative.segments[1].model_label = -7;  // negative but not kNoModel
+  EXPECT_THROW(simulate_session(negative), ManifestError);
+
+  // kNoModel stays valid, and the error carries the offending segment index.
+  m.segments[1].model_label = kNoModel;
+  EXPECT_NO_THROW(simulate_session(m));
+  m.segments[1].model_label = 3;
+  try {
+    simulate_session(m);
+    FAIL() << "expected ManifestError";
+  } catch (const ManifestError& e) {
+    EXPECT_EQ(e.where(), 1u);
+  }
 }
 
 TEST(Session, DcsrDownloadsEachModelOnce) {

@@ -1,0 +1,261 @@
+// dcsr_fleet — event-driven fleet-scale serving simulator.
+//
+// Drives 1e5..1e7 synthetic streaming sessions (Zipf video popularity,
+// diurnal arrivals, three-device mix) through per-client model caches
+// backed by a shared byte-budget LRU edge tier, and reports per-tier
+// hit rates, byte totals, latency percentiles and sessions/sec — the
+// paper's Fig. 10 network-usage claim restated at fleet scale.
+//
+//   dcsr_fleet [--sessions N[,N...]] [--videos V] [--skew Z] [--seed S]
+//              [--edge-mb M] [--sweep-skew "0.2,0.6,1.0"] [--reps R]
+//              [--json out.json]
+//
+//   --sessions   comma list of fleet sizes to run (default 100000)
+//   --videos     catalog size (default 1000)
+//   --skew       Zipf popularity exponent for videos (default 0.8)
+//   --seed       workload seed (default 1)
+//   --edge-mb    shared edge cache budget in MiB (default 16)
+//   --sweep-skew run one fleet per skew value, in parallel via
+//                run_fleet_sweep, and print hit rate vs skew
+//   --reps       replications per configuration (seeds seed..seed+R-1),
+//                also through run_fleet_sweep (default 1)
+//   --json       write machine-readable results (BENCH_fleet.json format)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "stream/fleet.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace dcsr;
+using namespace dcsr::stream;
+
+namespace {
+
+std::vector<double> parse_list(const char* arg) {
+  std::vector<double> out;
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(std::atof(s.substr(pos, next - pos).c_str()));
+    pos = next + 1;
+  }
+  return out;
+}
+
+struct TimedRun {
+  FleetConfig cfg;
+  FleetSummary summary;
+  double wall_seconds = 0.0;
+
+  double sessions_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(summary.sessions) / wall_seconds
+               : 0.0;
+  }
+};
+
+// Runs a batch of configs through the parallel sweep, timing the whole
+// batch and attributing wall time pro rata by session count (individual
+// runs overlap, so per-run wall clocks would double-count).
+std::vector<TimedRun> run_batch(const std::vector<FleetConfig>& configs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<FleetSummary> summaries = run_fleet_sweep(configs);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+
+  std::uint64_t total_sessions = 0;
+  for (const auto& s : summaries) total_sessions += s.sessions;
+  std::vector<TimedRun> out;
+  out.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    TimedRun r;
+    r.cfg = configs[i];
+    r.summary = summaries[i];
+    r.wall_seconds =
+        total_sessions
+            ? wall * static_cast<double>(summaries[i].sessions) /
+                  static_cast<double>(total_sessions)
+            : wall;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void print_runs(const char* title, const std::vector<TimedRun>& runs) {
+  std::printf("\n%s\n", title);
+  Table t({"sessions", "skew", "edge MiB", "client hit", "edge hit",
+           "model KB/user", "fetch p50/p99 ms", "startup p50/p99 s",
+           "rebuf p99 s", "sessions/s"});
+  for (const auto& r : runs) {
+    const auto& s = r.summary;
+    t.add_row({std::to_string(s.sessions),
+               fmt(r.cfg.workload.video_zipf_skew, 2),
+               fmt(static_cast<double>(r.cfg.edge_budget_bytes) / (1 << 20), 0),
+               fmt(100.0 * s.client_hit_rate(), 1) + "%",
+               fmt(100.0 * s.edge_hit_rate(), 1) + "%",
+               fmt(s.model_bytes_per_session() / 1e3, 1),
+               fmt(s.fetch_latency_p50_s * 1e3, 1) + "/" +
+                   fmt(s.fetch_latency_p99_s * 1e3, 1),
+               fmt(s.startup_p50_s, 2) + "/" + fmt(s.startup_p99_s, 2),
+               fmt(s.rebuffer_p99_s, 2), fmt(r.sessions_per_second(), 0)});
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+void write_json(const char* path, const std::vector<TimedRun>& runs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "dcsr_fleet: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    const auto& s = r.summary;
+    std::fprintf(
+        f,
+        "    {\n"
+        "      \"sessions\": %llu,\n"
+        "      \"videos\": %d,\n"
+        "      \"zipf_skew\": %.4f,\n"
+        "      \"seed\": %llu,\n"
+        "      \"edge_budget_bytes\": %llu,\n"
+        "      \"segments\": %llu,\n"
+        "      \"aborted_dead_network\": %llu,\n"
+        "      \"client_hit_rate\": %.6f,\n"
+        "      \"edge_hit_rate\": %.6f,\n"
+        "      \"edge_evictions\": %llu,\n"
+        "      \"edge_resident_bytes\": %llu,\n"
+        "      \"video_bytes\": %llu,\n"
+        "      \"model_bytes_last_mile\": %llu,\n"
+        "      \"model_bytes_origin\": %llu,\n"
+        "      \"model_bytes_per_user\": %.1f,\n"
+        "      \"fetch_latency_p50_s\": %.6f,\n"
+        "      \"fetch_latency_p99_s\": %.6f,\n"
+        "      \"startup_p50_s\": %.4f,\n"
+        "      \"startup_p99_s\": %.4f,\n"
+        "      \"rebuffer_p50_s\": %.4f,\n"
+        "      \"rebuffer_p99_s\": %.4f,\n"
+        "      \"mean_quality_db\": %.4f,\n"
+        "      \"wall_seconds\": %.4f,\n"
+        "      \"sessions_per_second\": %.1f\n"
+        "    }%s\n",
+        static_cast<unsigned long long>(s.sessions), r.cfg.workload.videos,
+        r.cfg.workload.video_zipf_skew,
+        static_cast<unsigned long long>(r.cfg.seed),
+        static_cast<unsigned long long>(r.cfg.edge_budget_bytes),
+        static_cast<unsigned long long>(s.segments),
+        static_cast<unsigned long long>(s.aborted_dead_network),
+        s.client_hit_rate(), s.edge_hit_rate(),
+        static_cast<unsigned long long>(s.edge_evictions),
+        static_cast<unsigned long long>(s.edge_resident_bytes),
+        static_cast<unsigned long long>(s.video_bytes),
+        static_cast<unsigned long long>(s.model_bytes_last_mile),
+        static_cast<unsigned long long>(s.model_bytes_origin),
+        s.model_bytes_per_session(), s.fetch_latency_p50_s,
+        s.fetch_latency_p99_s, s.startup_p50_s, s.startup_p99_s,
+        s.rebuffer_p50_s, s.rebuffer_p99_s, s.mean_quality_db, r.wall_seconds,
+        r.sessions_per_second(), i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<double> session_counts{100000};
+  std::vector<double> skew_sweep;
+  int videos = 1000;
+  double skew = 0.8;
+  std::uint64_t seed = 1;
+  double edge_mb = 16.0;
+  int reps = 1;
+  const char* json_path = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dcsr_fleet: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--sessions"))
+      session_counts = parse_list(need("--sessions"));
+    else if (!std::strcmp(argv[i], "--videos"))
+      videos = std::atoi(need("--videos"));
+    else if (!std::strcmp(argv[i], "--skew"))
+      skew = std::atof(need("--skew"));
+    else if (!std::strcmp(argv[i], "--seed"))
+      seed = static_cast<std::uint64_t>(std::atoll(need("--seed")));
+    else if (!std::strcmp(argv[i], "--edge-mb"))
+      edge_mb = std::atof(need("--edge-mb"));
+    else if (!std::strcmp(argv[i], "--sweep-skew"))
+      skew_sweep = parse_list(need("--sweep-skew"));
+    else if (!std::strcmp(argv[i], "--reps"))
+      reps = std::atoi(need("--reps"));
+    else if (!std::strcmp(argv[i], "--json"))
+      json_path = need("--json");
+    else {
+      std::fprintf(stderr, "dcsr_fleet: unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (session_counts.empty() || reps < 1) {
+    std::fprintf(stderr, "dcsr_fleet: nothing to run\n");
+    return 2;
+  }
+
+  try {
+    std::printf("fleet simulator: %d videos, edge budget %.0f MiB, %d thread(s)\n",
+                videos, edge_mb, default_thread_count());
+
+    FleetConfig base;
+    base.workload.videos = videos;
+    base.workload.video_zipf_skew = skew;
+    base.edge_budget_bytes =
+        static_cast<std::uint64_t>(edge_mb * (1 << 20));
+    base.seed = seed;
+
+    std::vector<FleetConfig> configs;
+    for (const double n : session_counts) {
+      for (int r = 0; r < reps; ++r) {
+        FleetConfig c = base;
+        c.workload.sessions = static_cast<std::size_t>(n);
+        c.seed = seed + static_cast<std::uint64_t>(r);
+        configs.push_back(c);
+      }
+    }
+    std::vector<TimedRun> runs = run_batch(configs);
+    print_runs("fleet scale trajectory", runs);
+
+    if (!skew_sweep.empty()) {
+      std::vector<FleetConfig> sweep;
+      for (const double z : skew_sweep) {
+        FleetConfig c = base;
+        c.workload.sessions = static_cast<std::size_t>(session_counts.front());
+        c.workload.video_zipf_skew = z;
+        sweep.push_back(c);
+      }
+      const std::vector<TimedRun> sweep_runs = run_batch(sweep);
+      print_runs("edge hit rate vs popularity skew", sweep_runs);
+      runs.insert(runs.end(), sweep_runs.begin(), sweep_runs.end());
+    }
+
+    if (json_path) write_json(json_path, runs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dcsr_fleet: error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

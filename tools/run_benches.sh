@@ -5,6 +5,11 @@
 # (BM_EdsrEnhanceSteadyState), whose ws_miss_per_frame / ws_hit_per_frame
 # counters land in the JSON — ws_miss_per_frame must read 0.
 #
+# Also runs the fleet-scale serving simulator (dcsr_fleet) at 1e5 and 1e6
+# sessions plus a popularity-skew sweep and records BENCH_fleet.json:
+# sessions/sec, per-tier hit rates and model bytes/user — the fleet
+# trajectory the ROADMAP's "millions of users" item asks for.
+#
 # Refuses to record numbers from a non-Release build: an -O0 run looks like
 # a 10-30x regression and would poison the trajectory. Set
 # DCSR_BENCH_ALLOW_DEBUG=1 to override; the run then proceeds but the JSON
@@ -51,3 +56,12 @@ esac
   "$@" >/dev/null
 
 echo "wrote $ROOT/BENCH_kernels.json"
+
+if [ ! -x "$BUILD/tools/dcsr_fleet" ]; then
+  cmake --build "$BUILD" -j --target dcsr_fleet
+fi
+"$BUILD/tools/dcsr_fleet" \
+  --sessions 100000,1000000 \
+  --videos 2000 --skew 0.8 --seed 1 --edge-mb 16 \
+  --sweep-skew "0.2,0.6,1.0,1.4" \
+  --json "$ROOT/BENCH_fleet.json"

@@ -25,9 +25,14 @@
 #   fuzz-smoke  dcsr_fuzz all harnesses, 10k seeded iterations each, in the
 #               ASan/UBSan build — any contract escape (UB, crash, untyped
 #               exception) fails the leg and prints the repro command
+#   fleet-smoke dcsr_fleet at a small session count in the checked build
+#               (every invariant checker on), run once under DCSR_THREADS=1
+#               and once under DCSR_THREADS=4 — the two JSON artifacts must
+#               be byte-identical, pinning the fleet determinism contract
+#               end to end through the CLI
 #
 # Usage: tools/run_checks.sh [leg...]
-#   e.g. tools/run_checks.sh            # all seven legs
+#   e.g. tools/run_checks.sh            # all eight legs
 #        tools/run_checks.sh tsan       # just the TSan leg
 #        tools/run_checks.sh default checked fuzz-smoke
 #
@@ -38,7 +43,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default checked asan tsan simd bench-smoke fuzz-smoke)
+  LEGS=(default checked asan tsan simd bench-smoke fuzz-smoke fleet-smoke)
 fi
 
 declare -A STATUS
@@ -125,8 +130,37 @@ run_leg() {
       "$build/tools/dcsr_fuzz" all --iters 10000 --seed 1 || return 1
       return 0
       ;;
+    fleet-smoke)
+      # Fleet simulator end-to-end through the CLI, small session count,
+      # checked build (shares the checked leg's directory). Two runs at
+      # different thread counts must emit byte-identical JSON: the sweep's
+      # parallel_for_writes claims plus the serial per-run event loop make
+      # the summary independent of DCSR_THREADS by construction, and this
+      # leg holds the CLI to it.
+      build="${CHECKED_BUILD_DIR:-$ROOT/build-checked}"
+      echo
+      echo "=== leg: $leg (build dir: $build) ==="
+      cmake -B "$build" -S "$ROOT" -DDCSR_CHECKED=ON || return 1
+      cmake --build "$build" -j --target dcsr_fleet || return 1
+      local fa="$build/fleet-smoke-t1.json" fb="$build/fleet-smoke-t4.json"
+      env DCSR_THREADS=1 "$build/tools/dcsr_fleet" \
+        --sessions 5000 --videos 200 --sweep-skew "0.4,1.2" \
+        --json "$fa" || return 1
+      env DCSR_THREADS=4 "$build/tools/dcsr_fleet" \
+        --sessions 5000 --videos 200 --sweep-skew "0.4,1.2" \
+        --json "$fb" || return 1
+      # Strip throughput fields before diffing: wall-clock timing is the one
+      # part of the artifact that legitimately varies between runs.
+      if ! diff <(grep -v -e '"wall_seconds"' -e '"sessions_per_second"' "$fa") \
+                <(grep -v -e '"wall_seconds"' -e '"sessions_per_second"' "$fb"); then
+        echo "fleet-smoke: DCSR_THREADS=1 and =4 runs disagree" >&2
+        return 1
+      fi
+      echo "fleet-smoke: summaries bit-identical across thread counts"
+      return 0
+      ;;
     *)
-      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|simd|bench-smoke|fuzz-smoke)" >&2
+      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|simd|bench-smoke|fuzz-smoke|fleet-smoke)" >&2
       return 2
       ;;
   esac
