@@ -25,6 +25,7 @@
 #include "sr/edsr.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/workspace.hpp"
+#include "util/alloc_check.hpp"
 #include "util/thread_pool.hpp"
 #include "video/genres.hpp"
 
@@ -196,12 +197,14 @@ void BM_EdsrEnhanceSteadyState(benchmark::State& state) {
   FrameRGB out;
   for (int i = 0; i < 3; ++i) model.enhance_into(frame, out);  // warm up
   const Workspace::Stats before = Workspace::local().stats();
+  const AllocStats alloc_before = thread_alloc_stats();
   std::int64_t frames = 0;
   for (auto _ : state) {
     model.enhance_into(frame, out);
     benchmark::DoNotOptimize(out);
     ++frames;
   }
+  const AllocStats alloc_after = thread_alloc_stats();
   const Workspace::Stats after = Workspace::local().stats();
   state.SetItemsProcessed(frames);
   const double n = frames > 0 ? static_cast<double>(frames) : 1.0;
@@ -209,6 +212,11 @@ void BM_EdsrEnhanceSteadyState(benchmark::State& state) {
       static_cast<double>(after.misses - before.misses) / n;
   state.counters["ws_hit_per_frame"] =
       static_cast<double>(after.hits - before.hits) / n;
+  // Raw operator-new calls per steady-state frame — 0 by contract. Only a
+  // DCSR_ALLOC_CHECK build carries the interposer; without it the counter
+  // reads 0 vacuously, and the checked leg is what enforces the pin.
+  state.counters["allocs_per_frame"] =
+      static_cast<double>(alloc_after.allocs - alloc_before.allocs) / n;
 }
 BENCHMARK(BM_EdsrEnhanceSteadyState);
 

@@ -7,12 +7,28 @@
 
 #include "image/convert.hpp"
 #include "image/metrics.hpp"
+#include "util/alloc_check.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr::core {
 
 namespace {
+
+// Runs `fn` under a hot-path guard once playback is past its warm-up
+// segment: segment 0 legitimately grows frame slots, workspace tensors and
+// pool scratch, but every later segment of the same resolution must be
+// heap-silent (sanctioned growth aside), and the guard makes a regression
+// throw instead of silently costing a malloc per frame.
+template <typename Fn>
+void guarded_after_warmup(bool warm, const char* site, Fn&& fn) {
+  if (warm) {
+    HotPathGuard alloc_guard(site);
+    fn();
+  } else {
+    fn();
+  }
+}
 
 // Converts a decoded segment to RGB with one task per frame, writing into a
 // caller-owned vector: warm slots keep their plane buffers, so converting
@@ -182,6 +198,7 @@ PlaybackResult play_nas(const codec::EncodedVideo& encoded, const sr::Edsr& big_
   };
   std::vector<NasSlot> slots;
   int frame_base = 0;
+  std::size_t seg_index = 0;
   for (const auto& seg : encoded.segments) {
     const auto frames = decoder.decode_segment(seg);
     std::size_t sampled = 0;
@@ -199,22 +216,27 @@ PlaybackResult play_nas(const codec::EncodedVideo& encoded, const sr::Edsr& big_
     // safe), each task writing only its own slots. Metrics then accumulate
     // serially in display order, keeping results bit-identical for any
     // DCSR_THREADS.
-    parallel_for_writes(
-        0, static_cast<std::int64_t>(sampled), 1,
-        [&](std::int64_t lo, std::int64_t hi) {
-          return span_of(slots.data() + lo, static_cast<std::size_t>(hi - lo));
-        },
-        [&](std::int64_t lo, std::int64_t hi) {
-          for (std::int64_t i = lo; i < hi; ++i) {
-            NasSlot& slot = slots[static_cast<std::size_t>(i)];
-            yuv420_to_rgb_into(*slot.yuv, slot.rgb);
-            big_model.enhance_into(slot.rgb, slot.enhanced);
-          }
-        },
-        "core/client_pipeline.cpp:play_nas");
+    guarded_after_warmup(
+        seg_index > 0, "core/client_pipeline.cpp:play_nas(warm)", [&] {
+          parallel_for_writes(
+              0, static_cast<std::int64_t>(sampled), 1,
+              [&](std::int64_t lo, std::int64_t hi) {
+                return span_of(slots.data() + lo,
+                               static_cast<std::size_t>(hi - lo));
+              },
+              [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) {
+                  NasSlot& slot = slots[static_cast<std::size_t>(i)];
+                  yuv420_to_rgb_into(*slot.yuv, slot.rgb);
+                  big_model.enhance_into(slot.rgb, slot.enhanced);
+                }
+              },
+              "core/client_pipeline.cpp:play_nas");
+        });
     for (std::size_t i = 0; i < sampled; ++i)
       collector.measure_rgb(slots[i].enhanced, slots[i].display);
     frame_base += static_cast<int>(frames.size());
+    ++seg_index;
   }
   return collector.finish();
 }
@@ -263,19 +285,22 @@ AnchorPlaybackResult play_dcsr_anchors(
     enhanced_decoder.set_reference_hook(
         [&, s](FrameYUV& f, codec::FrameType type, int display_index) {
           const int local = display_index - encoded.segments[s].first_frame;
-          if (type == codec::FrameType::kI) {
-            enhance_reference_frame(f, model);
-            ++out.inferences;
-            return;
-          }
-          // P anchor: replace the drifted reference with the enhanced
-          // vanilla reconstruction — an I-refresh that costs an inference
-          // instead of bits.
-          if (anchor_period > 0 && local % anchor_period == 0) {
-            f = vanilla[static_cast<std::size_t>(local)];
-            enhance_reference_frame(f, model);
-            ++out.inferences;
-          }
+          guarded_after_warmup(
+              s > 0, "core/client_pipeline.cpp:play_dcsr_anchors(warm)", [&] {
+                if (type == codec::FrameType::kI) {
+                  enhance_reference_frame(f, model);
+                  ++out.inferences;
+                  return;
+                }
+                // P anchor: replace the drifted reference with the enhanced
+                // vanilla reconstruction — an I-refresh that costs an
+                // inference instead of bits.
+                if (anchor_period > 0 && local % anchor_period == 0) {
+                  f = vanilla[static_cast<std::size_t>(local)];
+                  enhance_reference_frame(f, model);
+                  ++out.inferences;
+                }
+              });
         },
         /*include_p_frames=*/anchor_period > 0);
     convert_segment_into(enhanced_decoder.decode_segment(encoded.segments[s]),

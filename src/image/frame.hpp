@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "util/alloc_check.hpp"
 
 namespace dcsr {
 
@@ -46,7 +47,16 @@ class Plane {
   void reset(int width, int height) {
     width_ = width;
     height_ = height;
-    data_.resize(static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+    const std::size_t n =
+        static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+    if (n <= data_.capacity()) {
+      data_.resize(n);
+    } else {
+      // First-use growth is sanctioned warm-up; warm frames stay on the
+      // capacity-reuse branch above and never touch the heap.
+      AllocAllowScope allow;
+      data_.resize(n);
+    }
   }
 
   void fill(float v) noexcept {

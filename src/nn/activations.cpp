@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/workspace.hpp"
+#include "util/alloc_check.hpp"
 
 namespace dcsr::nn {
 
@@ -13,6 +14,7 @@ namespace {
 // the workspace is unused because the transform needs no scratch at all.
 template <typename F>
 void map_into(const Tensor& x, Tensor& out, F&& f) {
+  HotPathGuard alloc_guard("nn/activations.cpp:map_into");
   out.reset(x.shape());
   const float* src = x.data();
   float* dst = out.data();

@@ -6,6 +6,7 @@
 
 #include "tensor/ops.hpp"
 #include "tensor/workspace.hpp"
+#include "util/alloc_check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr::nn {
@@ -35,9 +36,11 @@ void Conv2d::set_training(bool training) {
   if (!training) cached_cols_.clear();
 }
 
-std::vector<int> Conv2d::out_shape(const std::vector<int>& in) const {
-  if (in.size() != 4 || in[1] != in_channels_)
+Shape Conv2d::out_shape(const Shape& in) const {
+  if (in.size() != 4 || in[1] != in_channels_) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
     throw std::invalid_argument("Conv2d::out_shape: bad input shape");
+  }
   return {in[0], out_channels_,
           conv_out_size_checked(in[2], kernel_, stride_, pad_, "Conv2d"),
           conv_out_size_checked(in[3], kernel_, stride_, pad_, "Conv2d")};
@@ -96,8 +99,11 @@ void Conv2d::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
 
 void Conv2d::infer_into(const Tensor& x, Tensor& out, Workspace& ws,
                         bool fuse_relu) const {
-  if (x.rank() != 4 || x.dim(1) != in_channels_)
+  if (x.rank() != 4 || x.dim(1) != in_channels_) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
     throw std::invalid_argument("Conv2d: bad input shape " + x.shape_str());
+  }
+  HotPathGuard alloc_guard("nn/conv.cpp:Conv2d::infer_into");
   const int N = x.dim(0);
   const int oh = conv_out_size_checked(x.dim(2), kernel_, stride_, pad_, "Conv2d");
   const int ow = conv_out_size_checked(x.dim(3), kernel_, stride_, pad_, "Conv2d");

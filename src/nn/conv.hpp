@@ -23,7 +23,7 @@ class Conv2d final : public Module {
   /// to infer_into followed by a separate ReLU layer.
   void infer_into(const Tensor& x, Tensor& out, Workspace& ws,
                   bool fuse_relu) const;
-  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  Shape out_shape(const Shape& in) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Conv2d"; }
   void set_training(bool training) override;

@@ -5,6 +5,7 @@
 
 #include "tensor/ops.hpp"
 #include "tensor/workspace.hpp"
+#include "util/alloc_check.hpp"
 
 namespace dcsr::nn {
 
@@ -28,7 +29,7 @@ Tensor Linear::infer(const Tensor& x) const {
   return out;
 }
 
-std::vector<int> Linear::out_shape(const std::vector<int>& in) const {
+Shape Linear::out_shape(const Shape& in) const {
   if (in.size() != 2 || in[1] != in_features_)
     throw std::invalid_argument("Linear::out_shape: bad input shape");
   return {in[0], out_features_};
@@ -36,8 +37,11 @@ std::vector<int> Linear::out_shape(const std::vector<int>& in) const {
 
 void Linear::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   (void)ws;  // x * W^T writes straight into `out`; no intermediates needed
-  if (x.rank() != 2 || x.dim(1) != in_features_)
+  if (x.rank() != 2 || x.dim(1) != in_features_) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
     throw std::invalid_argument("Linear: bad input shape " + x.shape_str());
+  }
+  HotPathGuard alloc_guard("nn/linear.cpp:Linear::infer_into");
   matmul_nt_into(x, weight_.value, out);  // N x out
   const int N = x.dim(0);
   for (int n = 0; n < N; ++n)

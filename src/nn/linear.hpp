@@ -15,7 +15,7 @@ class Linear final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
   void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
-  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  Shape out_shape(const Shape& in) const override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "Linear"; }
 

@@ -3,12 +3,18 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/alloc_check.hpp"
+
 namespace dcsr::nn {
 
 void FiniteCheckGuard::verify(const Module& layer, const Tensor& out) {
   const std::span<const float> vals = out.span();
   for (std::size_t i = 0; i < vals.size(); ++i) {
     if (std::isfinite(vals[i])) continue;
+    // The guard fires from inside hot-path regions; sanction the message
+    // build so NonFiniteError is what the caller sees, not a masking
+    // HotPathAllocError from the diagnostic itself.
+    AllocAllowScope allow;
     const std::string name = layer.name();
     std::ostringstream os;
     os << "FiniteCheckGuard: layer " << name << " produced "

@@ -106,10 +106,10 @@ class Module {
   /// without running it. Containers use it to size workspace checkouts with
   /// the true shapes (sizing with placeholders would mis-count hits and
   /// misses). Default: shape-preserving, which covers activations and
-  /// residual blocks.
-  virtual std::vector<int> out_shape(const std::vector<int>& in) const {
-    return in;
-  }
+  /// residual blocks. Shapes are inline values (tensor/shape.hpp), so
+  /// chaining out_shape calls per frame costs no heap allocation — required
+  /// for infer_into to run under a DCSR_ALLOC_CHECK hot-path guard.
+  virtual Shape out_shape(const Shape& in) const { return in; }
 
   /// Learnable parameters; default none.
   virtual std::vector<Param*> params() { return {}; }

@@ -1,6 +1,7 @@
 #include "nn/resblock.hpp"
 
 #include "tensor/workspace.hpp"
+#include "util/alloc_check.hpp"
 
 namespace dcsr::nn {
 
@@ -27,6 +28,7 @@ void ResBlock::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   // conv1 with the ReLU folded into its GEMM epilogue (bit-identical to a
   // separate ReLU layer — see matmul_bias_into), conv2 straight into the
   // caller's buffer, then the residual scale and skip in place.
+  HotPathGuard alloc_guard("nn/resblock.cpp:ResBlock::infer_into");
   WorkspaceTensor mid = ws.acquire(conv1_.out_shape(x.shape()));
   conv1_.infer_into(x, *mid, ws, /*fuse_relu=*/true);
   conv2_.infer_into(*mid, out, ws);

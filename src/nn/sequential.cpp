@@ -1,6 +1,7 @@
 #include "nn/sequential.hpp"
 
 #include "tensor/workspace.hpp"
+#include "util/alloc_check.hpp"
 
 namespace dcsr::nn {
 
@@ -19,8 +20,8 @@ Tensor Sequential::infer(const Tensor& x) const {
   return out;
 }
 
-std::vector<int> Sequential::out_shape(const std::vector<int>& in) const {
-  std::vector<int> s = in;
+Shape Sequential::out_shape(const Shape& in) const {
+  Shape s = in;
   for (const auto& layer : layers_) s = layer->out_shape(s);
   return s;
 }
@@ -39,10 +40,11 @@ void Sequential::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   // layers back goes home before each acquire, so at most two intermediates
   // are ever outstanding no matter how deep the stack is. The last layer
   // writes straight into the caller's `out`.
+  HotPathGuard alloc_guard("nn/sequential.cpp:Sequential::infer_into");
   WorkspaceTensor bufs[2];
   int slot = 0;
   const Tensor* cur = &x;
-  std::vector<int> shape = x.shape();
+  Shape shape = x.shape();
   for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
     shape = layers_[i]->out_shape(shape);
     bufs[slot] = WorkspaceTensor();  // release before acquiring, not after

@@ -28,7 +28,7 @@ class Sequential final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
   void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
-  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  Shape out_shape(const Shape& in) const override;
   std::vector<Param*> params() override;
   std::string name() const override { return "Sequential"; }
   void set_training(bool training) override {

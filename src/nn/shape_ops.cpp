@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "tensor/workspace.hpp"
+#include "util/alloc_check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr::nn {
@@ -30,7 +31,7 @@ Tensor PixelShuffle::infer(const Tensor& x) const {
   return out;
 }
 
-std::vector<int> PixelShuffle::out_shape(const std::vector<int>& in) const {
+Shape PixelShuffle::out_shape(const Shape& in) const {
   const int r = scale_;
   if (in.size() != 4 || in[1] % (r * r) != 0)
     throw std::invalid_argument("PixelShuffle: channels not divisible by r^2");
@@ -40,8 +41,11 @@ std::vector<int> PixelShuffle::out_shape(const std::vector<int>& in) const {
 void PixelShuffle::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   (void)ws;  // pure gather, no scratch
   const int r = scale_;
-  if (x.rank() != 4 || x.dim(1) % (r * r) != 0)
+  if (x.rank() != 4 || x.dim(1) % (r * r) != 0) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
     throw std::invalid_argument("PixelShuffle: channels not divisible by r^2");
+  }
+  HotPathGuard alloc_guard("nn/shape_ops.cpp:PixelShuffle::infer_into");
   const int N = x.dim(0), C = x.dim(1) / (r * r), H = x.dim(2), W = x.dim(3);
   out.reset({N, C, H * r, W * r});
   // Every output plane (n, c) is a pure gather from input planes — disjoint
@@ -125,7 +129,7 @@ Tensor BilinearUpsample::infer(const Tensor& x) const {
   return out;
 }
 
-std::vector<int> BilinearUpsample::out_shape(const std::vector<int>& in) const {
+Shape BilinearUpsample::out_shape(const Shape& in) const {
   if (in.size() != 4)
     throw std::invalid_argument("BilinearUpsample: expected NCHW");
   return {in[0], in[1], in[2] * scale_, in[3] * scale_};
@@ -134,7 +138,11 @@ std::vector<int> BilinearUpsample::out_shape(const std::vector<int>& in) const {
 void BilinearUpsample::infer_into(const Tensor& x, Tensor& out,
                                   Workspace& ws) const {
   (void)ws;  // pure gather, no scratch
-  if (x.rank() != 4) throw std::invalid_argument("BilinearUpsample: expected NCHW");
+  if (x.rank() != 4) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
+    throw std::invalid_argument("BilinearUpsample: expected NCHW");
+  }
+  HotPathGuard alloc_guard("nn/shape_ops.cpp:BilinearUpsample::infer_into");
   const int r = scale_;
   const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
   out.reset({N, C, H * r, W * r});
@@ -185,7 +193,7 @@ Tensor UpsampleNearest::infer(const Tensor& x) const {
   return out;
 }
 
-std::vector<int> UpsampleNearest::out_shape(const std::vector<int>& in) const {
+Shape UpsampleNearest::out_shape(const Shape& in) const {
   if (in.size() != 4)
     throw std::invalid_argument("UpsampleNearest: expected NCHW");
   return {in[0], in[1], in[2] * scale_, in[3] * scale_};
@@ -194,7 +202,11 @@ std::vector<int> UpsampleNearest::out_shape(const std::vector<int>& in) const {
 void UpsampleNearest::infer_into(const Tensor& x, Tensor& out,
                                  Workspace& ws) const {
   (void)ws;  // pure replication, no scratch
-  if (x.rank() != 4) throw std::invalid_argument("UpsampleNearest: expected NCHW");
+  if (x.rank() != 4) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
+    throw std::invalid_argument("UpsampleNearest: expected NCHW");
+  }
+  HotPathGuard alloc_guard("nn/shape_ops.cpp:UpsampleNearest::infer_into");
   const int r = scale_;
   const int N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
   out.reset({N, C, H * r, W * r});
@@ -244,14 +256,18 @@ Tensor Flatten::infer(const Tensor& x) const {
   return x.reshaped({x.dim(0), x.dim(1) * x.dim(2) * x.dim(3)});
 }
 
-std::vector<int> Flatten::out_shape(const std::vector<int>& in) const {
+Shape Flatten::out_shape(const Shape& in) const {
   if (in.size() != 4) throw std::invalid_argument("Flatten: expected NCHW");
   return {in[0], in[1] * in[2] * in[3]};
 }
 
 void Flatten::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   (void)ws;
-  if (x.rank() != 4) throw std::invalid_argument("Flatten: expected NCHW");
+  if (x.rank() != 4) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
+    throw std::invalid_argument("Flatten: expected NCHW");
+  }
+  HotPathGuard alloc_guard("nn/shape_ops.cpp:Flatten::infer_into");
   out.reset({x.dim(0), x.dim(1) * x.dim(2) * x.dim(3)});
   std::copy(x.data(), x.data() + x.size(), out.data());
 }
@@ -269,16 +285,22 @@ Tensor Reshape4::infer(const Tensor& x) const {
   return x.reshaped({x.dim(0), c_, h_, w_});
 }
 
-std::vector<int> Reshape4::out_shape(const std::vector<int>& in) const {
+Shape Reshape4::out_shape(const Shape& in) const {
   if (in.size() != 2) throw std::invalid_argument("Reshape4: expected 2-D input");
   return {in[0], c_, h_, w_};
 }
 
 void Reshape4::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   (void)ws;
-  if (x.rank() != 2) throw std::invalid_argument("Reshape4: expected 2-D input");
-  if (x.size() != static_cast<std::size_t>(x.dim(0)) * c_ * h_ * w_)
+  if (x.rank() != 2) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
+    throw std::invalid_argument("Reshape4: expected 2-D input");
+  }
+  if (x.size() != static_cast<std::size_t>(x.dim(0)) * c_ * h_ * w_) {
+    AllocAllowScope allow;
     throw std::invalid_argument("Reshape4: element count mismatch");
+  }
+  HotPathGuard alloc_guard("nn/shape_ops.cpp:Reshape4::infer_into");
   out.reset({x.dim(0), c_, h_, w_});
   std::copy(x.data(), x.data() + x.size(), out.data());
 }

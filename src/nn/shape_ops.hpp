@@ -14,7 +14,7 @@ class PixelShuffle final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
   void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
-  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  Shape out_shape(const Shape& in) const override;
   std::string name() const override { return "PixelShuffle"; }
   int scale() const noexcept { return scale_; }
 
@@ -33,7 +33,7 @@ class BilinearUpsample final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
   void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
-  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  Shape out_shape(const Shape& in) const override;
   std::string name() const override { return "BilinearUpsample"; }
 
  private:
@@ -48,7 +48,7 @@ class UpsampleNearest final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
   void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
-  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  Shape out_shape(const Shape& in) const override;
   std::string name() const override { return "UpsampleNearest"; }
 
  private:
@@ -62,7 +62,7 @@ class Flatten final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
   void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
-  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  Shape out_shape(const Shape& in) const override;
   std::string name() const override { return "Flatten"; }
 
  private:
@@ -78,7 +78,7 @@ class Reshape4 final : public Module {
   Tensor backward(const Tensor& grad_out) override;
   Tensor infer(const Tensor& x) const override;
   void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
-  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  Shape out_shape(const Shape& in) const override;
   std::string name() const override { return "Reshape4"; }
 
  private:

@@ -1,7 +1,9 @@
 #include "simd/dispatch.hpp"
 
-#include <cstdlib>
 #include <sstream>
+
+#include "util/alloc_check.hpp"
+#include "util/env.hpp"
 
 namespace dcsr::simd {
 
@@ -58,7 +60,10 @@ const Tables& tables() noexcept {
 }
 
 const KernelTable* resolve_from_env() {
-  const char* env = std::getenv("DCSR_SIMD");
+  // One-time lazy resolution, possibly triggered from a guarded kernel's
+  // first call: the parse (and any diagnostic) is sanctioned warm-up.
+  AllocAllowScope allow;
+  const char* env = env_raw("DCSR_SIMD");
   if (env != nullptr && *env != '\0') {
     const Backend b = parse_backend(env);
     const KernelTable* t = table_for(b);

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "tensor/workspace.hpp"
+#include "util/alloc_check.hpp"
 
 namespace dcsr::sr {
 
@@ -74,9 +75,11 @@ Tensor Edsr::infer(const Tensor& x) const {
   return out;
 }
 
-std::vector<int> Edsr::out_shape(const std::vector<int>& in) const {
-  if (in.size() != 4 || in[1] != 3)
+Shape Edsr::out_shape(const Shape& in) const {
+  if (in.size() != 4 || in[1] != 3) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
     throw std::invalid_argument("Edsr: expected Nx3xHxW input");
+  }
   return {in[0], 3, in[2] * cfg_.scale, in[3] * cfg_.scale};
 }
 
@@ -86,7 +89,12 @@ void Edsr::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   // live for the global skip, the residual body ping-pongs through two
   // equal-shaped buffers (each freed before the next acquire, so at most
   // two are outstanding), and the tail writes straight into `out`.
-  const std::vector<int> fshape = head_.out_shape(x.shape());
+  //
+  // The whole chain runs under an allocation guard: once the workspace is
+  // warm, a frame must not touch the heap at all. Warm-up traffic (workspace
+  // misses, buffer growth) is sanctioned at its source.
+  HotPathGuard alloc_guard("sr/edsr.cpp:Edsr::infer_into");
+  const Shape fshape = head_.out_shape(x.shape());
   WorkspaceTensor h = ws.acquire(fshape);
   head_.infer_into(x, *h, ws);
   WorkspaceTensor bufs[2];
@@ -107,9 +115,9 @@ void Edsr::infer_into(const Tensor& x, Tensor& out, Workspace& ws) const {
   bufs[0] = WorkspaceTensor();
   bufs[1] = WorkspaceTensor();
   h = WorkspaceTensor();  // skip consumed; buffer goes home
-  std::vector<int> shape = fshape;
+  Shape shape = fshape;
   for (std::size_t i = 0; i < up_convs_.size(); ++i) {
-    const std::vector<int> cshape = up_convs_[i]->out_shape(shape);
+    const Shape cshape = up_convs_[i]->out_shape(shape);
     WorkspaceTensor expanded = ws.acquire(cshape);
     up_convs_[i]->infer_into(*s, *expanded, ws);
     shape = up_shuffles_[i]->out_shape(cshape);
@@ -179,9 +187,12 @@ void Edsr::enhance_into(const FrameRGB& frame, FrameRGB& out) const {
   // checkout: a partially-filled FrameRGB (e.g. planes reset to different
   // sizes) would otherwise surface as an opaque tensor-shape error deep in
   // the model, or worse, an out-of-bounds plane read.
-  if (frame.empty())
+  if (frame.empty()) {
+    AllocAllowScope allow;  // error path may run under a caller's guard
     throw std::invalid_argument("Edsr::enhance_into: empty input frame");
-  if (!frame.r.same_size(frame.g) || !frame.r.same_size(frame.b))
+  }
+  if (!frame.r.same_size(frame.g) || !frame.r.same_size(frame.b)) {
+    AllocAllowScope allow;
     throw std::invalid_argument(
         "Edsr::enhance_into: inconsistent plane geometry (r " +
         std::to_string(frame.r.width()) + "x" + std::to_string(frame.r.height()) +
@@ -189,9 +200,12 @@ void Edsr::enhance_into(const FrameRGB& frame, FrameRGB& out) const {
         std::to_string(frame.g.height()) + ", b " +
         std::to_string(frame.b.width()) + "x" +
         std::to_string(frame.b.height()) + ")");
+  }
   // Both tensor endpoints come from this thread's workspace, so the only
   // buffers that persist across calls are the caller's `out` planes — warm
-  // ones are rewritten in place.
+  // ones are rewritten in place. Guarded after validation: a warm enhance is
+  // heap-silent end to end (frame→tensor, inference, tensor→frame).
+  HotPathGuard alloc_guard("sr/edsr.cpp:Edsr::enhance_into");
   Workspace& ws = Workspace::local();
   WorkspaceTensor in = ws.acquire({1, 3, frame.height(), frame.width()});
   frame_to_tensor_into(frame, *in);

@@ -51,7 +51,7 @@ class Edsr final : public nn::Module {
   /// runs this with zero heap allocations once the workspace is warm.
   void infer_into(const Tensor& x, Tensor& out, Workspace& ws) const override;
 
-  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  Shape out_shape(const Shape& in) const override;
 
   std::vector<nn::Param*> params() override;
   std::string name() const override { return "Edsr"; }

@@ -7,6 +7,7 @@
 #include "stream/manifest.hpp"  // kNoModel
 #include "stream/model_cache.hpp"
 #include "stream/net_traces.hpp"
+#include "util/alloc_check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr::stream {
@@ -37,8 +38,14 @@ bool LruByteCache::fetch(int key, std::uint64_t bytes) {
     order_.pop_back();
     ++evictions_;
   }
-  order_.push_front({key, bytes});
-  map_[key] = order_.begin();
+  {
+    // Admission allocates a list node and a map slot by design (this models
+    // an edge-tier download, not per-frame work), so it is sanctioned even
+    // when the caller holds a hot-path guard.
+    AllocAllowScope allow;
+    order_.push_front({key, bytes});
+    map_[key] = order_.begin();
+  }
   resident_ += bytes;
   return false;
 }
@@ -163,7 +170,7 @@ FleetSummary run_fleet(const FleetConfig& cfg) {
 
   // Advance session `id` through one segment at the current event time.
   // Returns false when the session finished (or hit a dead network).
-  auto advance = [&](std::uint32_t id) -> bool {
+  auto advance_one = [&](std::uint32_t id) -> bool {
     ActiveSession& s = active.at(id);
     const SessionSpec& spec = workload.sessions[s.spec];
     const VideoMeta& meta =
@@ -218,6 +225,23 @@ FleetSummary run_fleet(const FleetConfig& cfg) {
       return false;
     }
     return true;
+  };
+
+  // The per-event step runs under a hot-path guard: any heap traffic inside
+  // it must be sanctioned (cache admissions, container first-touch), and the
+  // raw/sanctioned delta is exported so tests and the CLI can pin the loop
+  // heap-silent. In builds without the interposer the deltas are zero.
+  auto advance = [&](std::uint32_t id) -> bool {
+    const AllocStats before = thread_alloc_stats();
+    bool alive;
+    {
+      HotPathGuard alloc_guard("stream/fleet.cpp:advance");
+      alive = advance_one(id);
+    }
+    const AllocStats after = thread_alloc_stats();
+    sum.advance_heap_allocs += after.allocs - before.allocs;
+    sum.advance_heap_allocs_sanctioned += after.sanctioned - before.sanctioned;
+    return alive;
   };
 
   const std::size_t n_specs = workload.sessions.size();

@@ -103,6 +103,13 @@ struct FleetSummary {
   std::uint64_t model_bytes_last_mile = 0;  // model bytes clients downloaded
   std::uint64_t model_bytes_origin = 0;     // model bytes edge pulled from origin
 
+  // Heap traffic observed inside the guarded per-event advance step (zero
+  // unless the build carries the DCSR_ALLOC_CHECK interposer). Every raw
+  // allocation must be sanctioned (cache admissions, first-touch growth) —
+  // the fleet loop itself is heap-silent, and tests pin the two equal.
+  std::uint64_t advance_heap_allocs = 0;
+  std::uint64_t advance_heap_allocs_sanctioned = 0;
+
   std::uint64_t client_hits = 0;    // served from the device's ModelCache
   std::uint64_t client_misses = 0;  // had to leave the device
   std::uint64_t edge_hits = 0;      // client misses served by the edge tier

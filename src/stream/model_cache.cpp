@@ -1,5 +1,7 @@
 #include "stream/model_cache.hpp"
 
+#include "util/alloc_check.hpp"
+
 namespace dcsr::stream {
 
 bool ModelCache::fetch(int label) {
@@ -7,7 +9,12 @@ bool ModelCache::fetch(int label) {
     ++hits_;
     return true;
   }
-  cache_.insert(label);
+  {
+    // A miss models a model download — admission allocates a set node by
+    // design, so it is sanctioned even inside a hot-path guard.
+    AllocAllowScope allow;
+    cache_.insert(label);
+  }
   ++downloads_;
   return false;
 }

@@ -6,17 +6,24 @@
 #include <stdexcept>
 
 #include "simd/dispatch.hpp"
+#include "util/alloc_check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr {
 namespace {
 
 void require_same(const Tensor& a, const Tensor& b, const char* what) {
-  if (!a.same_shape(b)) throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  if (!a.same_shape(b)) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  }
 }
 
 void require_2d(const Tensor& t, const char* what) {
-  if (t.rank() != 2) throw std::invalid_argument(std::string(what) + ": expected 2-D tensor");
+  if (t.rank() != 2) {
+    AllocAllowScope allow;
+    throw std::invalid_argument(std::string(what) + ": expected 2-D tensor");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -66,6 +73,8 @@ void gemm_strided(const float* A, std::size_t a_rs, std::size_t a_ks,
                   bool fuse_relu = false) {
   if (m == 0 || n == 0 || k == 0) return;
   const simd::KernelTable& kt = simd::active();
+  // The innermost kernel entry: a warm GEMM touches only its operands.
+  HotPathGuard alloc_guard("tensor/ops.cpp:gemm_strided");
   // Size row chunks so each task carries at least ~1 MFLOP of work.
   const std::int64_t flops_per_row = 2LL * k * n;
   const std::int64_t grain =
@@ -362,6 +371,7 @@ int conv_out_size(int in, int kernel, int stride, int pad) noexcept {
 int conv_out_size_checked(int in, int kernel, int stride, int pad,
                           const char* what) {
   const auto bad = [&](const char* reason) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
     std::ostringstream os;
     os << what << ": " << reason << " (in=" << in << ", kernel=" << kernel
        << ", stride=" << stride << ", pad=" << pad << ")";
@@ -386,17 +396,23 @@ Tensor im2col(const Tensor& input, int n, int kernel, int stride, int pad) {
 
 void im2col_into(const Tensor& input, int n, int kernel, int stride, int pad,
                  Tensor& cols) {
-  if (input.rank() != 4) throw std::invalid_argument("im2col: expected NCHW input");
+  if (input.rank() != 4) {
+    AllocAllowScope allow;  // error path may run under a hot-path guard
+    throw std::invalid_argument("im2col: expected NCHW input");
+  }
   const int C = input.dim(1), H = input.dim(2), W = input.dim(3);
   const int oh = conv_out_size(H, kernel, stride, pad);
   const int ow = conv_out_size(W, kernel, stride, pad);
   const int rows = C * kernel * kernel;
-  if (cols.rank() != 2 || cols.dim(0) != rows || cols.dim(1) != oh * ow)
+  if (cols.rank() != 2 || cols.dim(0) != rows || cols.dim(1) != oh * ow) {
+    AllocAllowScope allow;
     throw std::invalid_argument("im2col_into: column shape mismatch");
+  }
   float* out = cols.data();
   const float* in = input.data() +
                     static_cast<std::size_t>(n) * C * H * W;
   const simd::KernelTable& kt = simd::active();
+  HotPathGuard alloc_guard("tensor/ops.cpp:im2col_into");
   // Each output row is filled from a read-only input, so rows tile across
   // the pool with no shared writes; inference convs (batch 1) get their
   // parallelism here rather than from the batch axis. Each chunk claims the

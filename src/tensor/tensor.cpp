@@ -4,12 +4,17 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/alloc_check.hpp"
+
 namespace dcsr {
 
 namespace detail {
 
 void throw_tensor_bounds(const char* site, const std::vector<int>& shape,
                          const std::string& detail) {
+  // Bounds violations fire from accessors that may be under a hot-path
+  // guard; sanction the diagnostic so the real error is what propagates.
+  AllocAllowScope allow;
   std::ostringstream os;
   os << site << ": " << detail << " (tensor shape ";
   if (shape.empty()) {
@@ -28,10 +33,15 @@ void throw_tensor_bounds(const char* site, const std::vector<int>& shape,
 
 namespace {
 
-std::size_t element_count(const std::vector<int>& shape) {
+// Works for std::vector<int> and Shape alike.
+template <typename Dims>
+std::size_t element_count(const Dims& shape) {
   std::size_t n = 1;
   for (int d : shape) {
-    if (d <= 0) throw std::invalid_argument("Tensor: non-positive dimension");
+    if (d <= 0) {
+      AllocAllowScope allow;  // don't mask the diagnostic under a guard
+      throw std::invalid_argument("Tensor: non-positive dimension");
+    }
     n *= static_cast<std::size_t>(d);
   }
   return n;
@@ -41,6 +51,15 @@ std::size_t element_count(const std::vector<int>& shape) {
 
 Tensor::Tensor(std::vector<int> shape)
     : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {}
+
+Tensor::Tensor(const Shape& shape) {
+  const std::size_t n = element_count(shape);  // validate before allocating
+  // A Tensor constructed inside a guard is the Workspace miss path — warm-up
+  // traffic by definition, so sanction it here rather than at every caller.
+  AllocAllowScope allow;
+  shape_.assign(shape.begin(), shape.end());
+  data_.assign(n, 0.0f);
+}
 
 Tensor Tensor::full(std::vector<int> shape, float value) {
   Tensor t(std::move(shape));
@@ -62,11 +81,18 @@ Tensor Tensor::reshaped(std::vector<int> shape) const {
   return t;
 }
 
-bool Tensor::reset(std::vector<int> shape) {
+bool Tensor::reset(const Shape& shape) {
   const std::size_t n = element_count(shape);
   const bool reused = n <= data_.capacity();
-  data_.resize(n);
-  shape_ = std::move(shape);
+  if (reused && shape_.capacity() >= shape.size()) {
+    // Steady state: both buffers reused in place, zero allocator traffic.
+    data_.resize(n);
+    shape_.assign(shape.begin(), shape.end());
+  } else {
+    AllocAllowScope allow;  // cold growth — sanctioned warm-up allocation
+    data_.resize(n);
+    shape_.assign(shape.begin(), shape.end());
+  }
   return reused;
 }
 

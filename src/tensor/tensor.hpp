@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/shape.hpp"
 #include "util/checked.hpp"
 #include "util/rng.hpp"
 
@@ -50,6 +51,10 @@ class Tensor {
 
   /// Allocates a zero-initialised tensor with the given shape.
   explicit Tensor(std::vector<int> shape);
+  /// Same, from an inline Shape. Allocation is sanctioned (AllocAllowScope):
+  /// constructing a Tensor inside a hot-path guard is the Workspace miss
+  /// path, a legitimate warm-up allocation.
+  explicit Tensor(const Shape& shape);
   Tensor(std::initializer_list<int> shape)
       : Tensor(std::vector<int>(shape)) {}
 
@@ -141,7 +146,10 @@ class Tensor {
   /// afterwards (callers must fully overwrite or zero() first). Returns true
   /// when the storage was reused, false when the change of size forced a
   /// reallocation — the signal the Workspace uses for hit/miss accounting.
-  bool reset(std::vector<int> shape);
+  /// Takes an inline Shape (vectors and braced lists convert implicitly), so
+  /// a reusing reset performs no heap allocation at all — the invariant the
+  /// DCSR_ALLOC_CHECK steady-state pins rely on.
+  bool reset(const Shape& shape);
 
   /// Floats the underlying heap block can hold without reallocating.
   std::size_t capacity() const noexcept { return data_.capacity(); }

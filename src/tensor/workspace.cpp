@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "util/alloc_check.hpp"
+
 namespace dcsr {
 
 namespace {
@@ -30,11 +32,13 @@ std::vector<const Workspace*>& registry() {
 // reject the acquire outright, not throw from Tensor::reset after a buffer
 // has already left the free list and `outstanding` has been bumped (the
 // counter-leak bug this replaced).
-std::size_t element_count_of(const std::vector<int>& shape) {
+std::size_t element_count_of(const Shape& shape) {
   std::size_t n = 1;
   for (int d : shape) {
-    if (d <= 0)
+    if (d <= 0) {
+      AllocAllowScope allow;  // don't mask the diagnostic under a guard
       throw std::invalid_argument("Workspace::acquire: non-positive dimension");
+    }
     n *= static_cast<std::size_t>(d);
   }
   return n;
@@ -71,6 +75,10 @@ void WorkspaceTensor::release() noexcept {
 }
 
 Workspace::Workspace() {
+  // Once-per-thread registry admission: a pool worker's thread_local
+  // workspace can be born inside a propagated hot-path guard, and that
+  // first-touch allocation is warm-up by definition.
+  AllocAllowScope allow;
   std::lock_guard lk(registry_mutex());
   registry().push_back(this);
 }
@@ -81,7 +89,7 @@ Workspace::~Workspace() {
   r.erase(std::remove(r.begin(), r.end(), this), r.end());
 }
 
-WorkspaceTensor Workspace::acquire(std::vector<int> shape) {
+WorkspaceTensor Workspace::acquire(const Shape& shape) {
   const std::size_t need = element_count_of(shape);  // throws before any state moves
   // Smallest adequate cached buffer wins: free_ is sorted by capacity, so
   // the first entry that fits is the tightest one. Identical acquire
@@ -99,7 +107,7 @@ WorkspaceTensor Workspace::acquire(std::vector<int> shape) {
     free_.erase(it);
     cached_.store(free_.size(), std::memory_order_relaxed);
     try {
-      t.reset(std::move(shape));
+      t.reset(shape);
     } catch (...) {
       // Pre-balance the decrement inside release(), then park the buffer
       // again: the failed acquire leaves counters and free list untouched.
@@ -112,7 +120,8 @@ WorkspaceTensor Workspace::acquire(std::vector<int> shape) {
     poison(t);
     return WorkspaceTensor(this, std::move(t));
   }
-  Tensor t(std::move(shape));  // may throw bad_alloc; no state changed yet
+  Tensor t(shape);  // may throw bad_alloc; no state changed yet (miss: the
+                    // Shape ctor sanctions its own warm-up allocation)
   misses_.fetch_add(1, std::memory_order_relaxed);
   bytes_allocated_.fetch_add(need * sizeof(float), std::memory_order_relaxed);
   outstanding_.fetch_add(1, std::memory_order_relaxed);
@@ -120,8 +129,8 @@ WorkspaceTensor Workspace::acquire(std::vector<int> shape) {
   return WorkspaceTensor(this, std::move(t));
 }
 
-WorkspaceTensor Workspace::acquire_zeroed(std::vector<int> shape) {
-  WorkspaceTensor t = acquire(std::move(shape));
+WorkspaceTensor Workspace::acquire_zeroed(const Shape& shape) {
+  WorkspaceTensor t = acquire(shape);
   t->zero();
   return t;
 }
@@ -133,6 +142,9 @@ void Workspace::release(Tensor&& t) noexcept {
   const auto pos = std::lower_bound(
       free_.begin(), free_.end(), t.capacity(),
       [](const Tensor& a, std::size_t cap) { return a.capacity() < cap; });
+  // The free list's capacity stabilises once every buffer of the frame has
+  // been parked once; growth beyond that is sanctioned warm-up traffic.
+  AllocAllowScope allow;
   free_.insert(pos, std::move(t));
   cached_.store(free_.size(), std::memory_order_relaxed);
 }

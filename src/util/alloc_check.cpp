@@ -1,0 +1,205 @@
+#include "util/alloc_check.hpp"
+
+#include <cstdio>
+
+#include "util/env.hpp"
+
+namespace dcsr {
+
+// The message is assembled with snprintf into the inline buffer: an
+// exception thrown *by operator new* must never allocate, or the throw
+// would recurse into the very interposer that is throwing. (The exception
+// object itself is carved from the runtime's __cxa_allocate_exception pool
+// via malloc, which the interposer deliberately leaves untouched.)
+HotPathAllocError::HotPathAllocError(const char* site, std::size_t bytes,
+                                     int depth) noexcept
+    : site_(site), bytes_(bytes), depth_(depth) {
+  std::snprintf(msg_, sizeof msg_,
+                "HotPathAllocError: heap allocation of %zu bytes inside "
+                "hot-path region '%s' (guard depth %d) — hot paths must not "
+                "touch the allocator; draw scratch from the Workspace or "
+                "sanction the warm-up path with AllocAllowScope",
+                bytes, site == nullptr ? "<unknown>" : site, depth);
+}
+
+}  // namespace dcsr
+
+#if DCSR_ALLOC_CHECK
+
+#include <cstdlib>
+
+#include <atomic>
+
+namespace dcsr {
+
+namespace {
+
+// All thread state is constant-initialised PODs: the interposer can run
+// before main(), during TLS setup of other objects, and after static
+// destructors, so nothing here may have a dynamic initialiser or destructor.
+thread_local AllocStats tl_stats;
+thread_local const char* tl_sites[HotPathGuard::kMaxDepth];
+thread_local int tl_depth = 0;   // may exceed kMaxDepth (site stack saturates)
+thread_local int tl_allow = 0;   // nesting count of AllocAllowScopes
+
+// -1 = not yet resolved from the environment, 0 = off, 1 = on.
+std::atomic<int> g_enforce{-1};
+
+const char* innermost_site() noexcept {
+  if (tl_depth <= 0) return nullptr;
+  const int idx =
+      tl_depth <= HotPathGuard::kMaxDepth ? tl_depth - 1 : HotPathGuard::kMaxDepth - 1;
+  return tl_sites[idx];
+}
+
+// Guard check for one allocation attempt. Runs *before* the underlying
+// malloc, so a violation never actually allocates; `can_throw` is false for
+// the nothrow operator new variants, which report to stderr instead (they
+// are noexcept, and returning nullptr would convert the diagnostic into an
+// unrelated-looking crash in the caller).
+void enforce(std::size_t size, bool can_throw) {
+  if (tl_depth <= 0 || tl_allow > 0) return;
+  if (!alloc_check_enabled()) return;
+  if (can_throw) throw HotPathAllocError(innermost_site(), size, tl_depth);
+  std::fprintf(stderr,
+               "dcsr alloc-check: nothrow allocation of %zu bytes inside "
+               "hot-path region '%s' (guard depth %d)\n",
+               size, innermost_site(), tl_depth);
+}
+
+void count_alloc(std::size_t size) noexcept {
+  ++tl_stats.allocs;
+  tl_stats.bytes += size;
+  if (tl_depth > 0 && tl_allow > 0) ++tl_stats.sanctioned;
+}
+
+}  // namespace
+
+// External linkage (but deliberately not declared in the header): the global
+// operator new/delete replacements below cannot name members of an anonymous
+// namespace.
+void* checked_alloc(std::size_t size, std::size_t align, bool can_throw) {
+  enforce(size, can_throw);
+  if (size == 0) size = 1;  // distinct-pointer contract for zero-size new
+  void* p = nullptr;
+  if (align <= alignof(std::max_align_t)) {
+    p = std::malloc(size);
+  } else {
+    if (align < sizeof(void*)) align = sizeof(void*);
+    if (posix_memalign(&p, align, size) != 0) p = nullptr;
+  }
+  if (p == nullptr) {
+    if (can_throw) throw std::bad_alloc();
+    return nullptr;
+  }
+  count_alloc(size);
+  return p;
+}
+
+void checked_free(void* p) noexcept {
+  if (p == nullptr) return;
+  ++tl_stats.frees;
+  std::free(p);
+}
+
+HotPathGuard::HotPathGuard(const char* site) noexcept {
+  // Beyond kMaxDepth the site stack saturates: depth keeps counting (so the
+  // destructor stays balanced) but the innermost recorded site is the
+  // deepest stored one. Sixteen nested hot-path regions is already a bug.
+  if (tl_depth < kMaxDepth) tl_sites[tl_depth] = site;
+  ++tl_depth;
+}
+
+HotPathGuard::~HotPathGuard() { --tl_depth; }
+
+AllocAllowScope::AllocAllowScope() noexcept { ++tl_allow; }
+
+AllocAllowScope::~AllocAllowScope() { --tl_allow; }
+
+AllocStats thread_alloc_stats() noexcept { return tl_stats; }
+
+const char* active_hot_path() noexcept { return innermost_site(); }
+
+int hot_path_depth() noexcept { return tl_depth; }
+
+bool alloc_check_enabled() noexcept {
+  const int s = g_enforce.load(std::memory_order_relaxed);
+  if (s >= 0) return s == 1;
+  // env_bool is allocation-free, so resolving lazily from inside the
+  // allocator is safe. Default on: the build compiled the auditor in.
+  bool on = true;
+  if (const auto v = env_bool("DCSR_ALLOC_CHECK")) on = *v;
+  g_enforce.store(on ? 1 : 0, std::memory_order_relaxed);
+  return on;
+}
+
+void set_alloc_check_enabled(bool enabled) noexcept {
+  g_enforce.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace dcsr
+
+// ---------------------------------------------------------------------------
+// The interposer: replaceable global allocation functions. Defined here —
+// and only in DCSR_ALLOC_CHECK builds, so release binaries keep the default
+// allocator untouched. Every variant funnels through checked_alloc /
+// checked_free; malloc itself is not interposed (the exception runtime and
+// C-library internals rely on it).
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  return dcsr::checked_alloc(size, 0, /*can_throw=*/true);
+}
+void* operator new[](std::size_t size) {
+  return dcsr::checked_alloc(size, 0, /*can_throw=*/true);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return dcsr::checked_alloc(size, static_cast<std::size_t>(align), true);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return dcsr::checked_alloc(size, static_cast<std::size_t>(align), true);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return dcsr::checked_alloc(size, 0, /*can_throw=*/false);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return dcsr::checked_alloc(size, 0, /*can_throw=*/false);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return dcsr::checked_alloc(size, static_cast<std::size_t>(align), false);
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return dcsr::checked_alloc(size, static_cast<std::size_t>(align), false);
+}
+
+void operator delete(void* p) noexcept { dcsr::checked_free(p); }
+void operator delete[](void* p) noexcept { dcsr::checked_free(p); }
+void operator delete(void* p, std::size_t) noexcept { dcsr::checked_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { dcsr::checked_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { dcsr::checked_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  dcsr::checked_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  dcsr::checked_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  dcsr::checked_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  dcsr::checked_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  dcsr::checked_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  dcsr::checked_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  dcsr::checked_free(p);
+}
+
+#endif  // DCSR_ALLOC_CHECK

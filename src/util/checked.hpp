@@ -18,8 +18,15 @@
 //   DCSR_FINITE_CHECK      FiniteCheckGuard scans layer outputs for NaN/Inf
 //                          and throws NonFiniteError naming the layer
 //                          (nn/module.hpp).
+//   DCSR_ALLOC_CHECK       global operator new/delete interposer with
+//                          per-thread counters; any heap allocation inside
+//                          an active HotPathGuard region throws
+//                          HotPathAllocError naming the guard site
+//                          (util/alloc_check.hpp). Compiled out of release
+//                          builds entirely — the interposer is not even
+//                          linked, so the default allocator is untouched.
 //
-// All three observe and never alter defined values, so the PR-2/PR-4 bitwise
+// All four observe and never alter defined values, so the PR-2/PR-4 bitwise
 // pins (Infer.*, Edsr.Infer*) hold in checked builds too.
 
 #ifndef DCSR_BOUNDS_CHECK
@@ -43,5 +50,13 @@
 #define DCSR_FINITE_CHECK 1
 #else
 #define DCSR_FINITE_CHECK 0
+#endif
+#endif
+
+#ifndef DCSR_ALLOC_CHECK
+#ifdef DCSR_CHECKED
+#define DCSR_ALLOC_CHECK 1
+#else
+#define DCSR_ALLOC_CHECK 0
 #endif
 #endif

@@ -1,0 +1,38 @@
+#include "util/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace dcsr {
+
+const char* env_raw(const char* name) noexcept {
+  // The one sanctioned std::getenv call in the tree ([raw-getenv]).
+  return std::getenv(name);
+}
+
+std::optional<long long> env_int(const char* name) noexcept {
+  const char* v = env_raw(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  // strtoll silently skips leading whitespace; a hardened parser does not —
+  // the value must be nothing but an optionally-signed decimal integer.
+  if (v[0] != '-' && v[0] != '+' && (v[0] < '0' || v[0] > '9'))
+    return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) return std::nullopt;
+  return parsed;
+}
+
+std::optional<bool> env_bool(const char* name) noexcept {
+  const char* v = env_raw(name);
+  if (v == nullptr) return std::nullopt;
+  if (!std::strcmp(v, "1") || !std::strcmp(v, "on") || !std::strcmp(v, "true"))
+    return true;
+  if (!std::strcmp(v, "0") || !std::strcmp(v, "off") || !std::strcmp(v, "false"))
+    return false;
+  return std::nullopt;
+}
+
+}  // namespace dcsr

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+
+namespace dcsr {
+
+/// Centralised, hardened environment-variable access. Every DCSR_* switch
+/// goes through these helpers so the parsing rules PR 3 established for
+/// DCSR_THREADS — a value is accepted *completely* or rejected outright,
+/// never partially — apply uniformly, and so the whole tree has exactly one
+/// std::getenv call site (src/util/env.cpp, enforced by the [raw-getenv]
+/// lint rule).
+///
+/// All three helpers are allocation-free: they are safe to call from inside
+/// a HotPathGuard region and from the DCSR_ALLOC_CHECK interposer itself.
+
+/// Raw value of `name`, or nullptr when unset. The pointer aliases the
+/// process environment — treat it as immortal and read-only.
+const char* env_raw(const char* name) noexcept;
+
+/// Strict integer parse of `name`: the value must parse *completely* as a
+/// base-10 integer that fits in long long. Trailing garbage ("4abc"), empty
+/// strings, overflow ("999999999999999999999") and non-numeric values are
+/// rejected — nullopt, same as unset — never partially accepted.
+std::optional<long long> env_int(const char* name) noexcept;
+
+/// Strict boolean parse of `name`: "1"/"on"/"true" -> true, "0"/"off"/
+/// "false" -> false (exact match, case-sensitive). Unset or any other value
+/// -> nullopt, so callers keep their compiled-in default instead of guessing
+/// at a malformed switch.
+std::optional<bool> env_bool(const char* name) noexcept;
+
+}  // namespace dcsr

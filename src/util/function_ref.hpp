@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace dcsr {
+
+template <typename Signature>
+class FunctionRef;
+
+/// Non-owning reference to a callable: one void* plus one function pointer,
+/// built without ever touching the heap.
+///
+/// std::function at the parallel_for call sites was the last hidden
+/// allocator client on the hot path — converting a lambda whose captures
+/// exceed the small-buffer optimisation allocates at *every call*, which the
+/// DCSR_ALLOC_CHECK auditor now turns into a hard error. FunctionRef is the
+/// right tool for call-and-return APIs: the callee invokes the reference and
+/// returns before the call-site temporary dies, so binding a prvalue lambda
+/// argument is safe. Do not store a FunctionRef beyond the call that
+/// received it — it does not own the callable.
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_(&invoke<std::remove_reference_t<F>>) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  static R invoke(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace dcsr

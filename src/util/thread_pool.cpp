@@ -2,18 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cerrno>
 #include <climits>
 #include <condition_variable>
-#include <cstdlib>
-#include <cstring>
-#include <deque>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/alloc_check.hpp"
+#include "util/env.hpp"
 
 namespace dcsr {
 
@@ -26,13 +25,20 @@ thread_local bool tl_in_parallel_region = false;
 
 void validate_parallel_args(std::int64_t begin, std::int64_t end,
                             std::int64_t grain) {
-  if (grain < 1)
+  // Error paths may run under a HotPathGuard (bad arguments from a guarded
+  // kernel); sanction the message construction so the real diagnostic is not
+  // masked by HotPathAllocError.
+  if (grain < 1) {
+    AllocAllowScope allow;
     throw std::invalid_argument("parallel_for: grain must be >= 1, got " +
                                 std::to_string(grain));
-  if (end < begin)
+  }
+  if (end < begin) {
+    AllocAllowScope allow;
     throw std::invalid_argument("parallel_for: end < begin (begin=" +
                                 std::to_string(begin) +
                                 ", end=" + std::to_string(end) + ")");
+  }
 }
 
 // Same floor-division policy everywhere: at most `threads` chunks, each of
@@ -66,7 +72,16 @@ std::mutex g_claims_mutex;
 std::vector<ClaimRecord> g_claims;
 std::uint64_t g_next_region_id = 1;  // guarded by g_claims_mutex
 
+// Per-thread scratch for assembling a region's claims. Reused across regions
+// (clear() keeps the capacity), so once a thread has claimed a region of a
+// given fan-out once, later regions allocate nothing — the steady-state
+// zero-alloc pins hold with the claim checker live.
+thread_local std::vector<ClaimRecord> tl_claim_scratch;
+
 [[noreturn]] void throw_overlap(const ClaimRecord& a, const ClaimRecord& b) {
+  // A genuine contract violation: allow the diagnostic to allocate even
+  // under a guard, so the overlap report wins over HotPathAllocError.
+  AllocAllowScope allow;
   std::ostringstream msg;
   msg << "parallel_for_writes: overlapping write claims — " << a.site
       << " (chunk " << a.chunk << ", bytes [" << static_cast<const void*>(a.lo)
@@ -79,10 +94,11 @@ std::uint64_t g_next_region_id = 1;  // guarded by g_claims_mutex
 
 // Registers a region's claims on construction (throwing ParallelOverlapError
 // before inserting anything if any pair — within the region or against an
-// in-flight region — overlaps) and withdraws them on destruction.
+// in-flight region — overlaps) and withdraws them on destruction. Copies the
+// records into the global registry; the caller's scratch stays reusable.
 class RegionClaims {
  public:
-  explicit RegionClaims(std::vector<ClaimRecord> records) {
+  explicit RegionClaims(const std::vector<ClaimRecord>& records) {
     std::lock_guard lk(g_claims_mutex);
     for (std::size_t i = 0; i < records.size(); ++i) {
       for (const auto& other : g_claims)
@@ -93,7 +109,10 @@ class RegionClaims {
           throw_overlap(records[i], records[j]);
     }
     region_ = g_next_region_id++;
-    for (auto& r : records) {
+    // The registry's capacity stabilises after warm-up; growth is a
+    // sanctioned allocation, the steady-state push_back is free.
+    AllocAllowScope allow;
+    for (auto r : records) {
       r.region = region_;
       g_claims.push_back(r);
     }
@@ -115,6 +134,58 @@ class RegionClaims {
 // -1 = not yet resolved from the environment, 0 = off, 1 = on.
 std::atomic<int> g_check_state{-1};
 
+// ---------------------------------------------------------------------------
+// One fan-out in flight. Lives on the caller's stack for the duration of the
+// region (parallel_for blocks until remaining == 0, so worker references to
+// it can never dangle). Chunks reach it through a plain function pointer +
+// void* pair — the queue stores no owning callables, so dispatch performs no
+// heap allocation.
+// ---------------------------------------------------------------------------
+
+struct RegionCtx {
+  RegionCtx(FunctionRef<void(std::int64_t, std::int64_t)> f, std::int64_t b,
+            std::int64_t r, std::int64_t n, const char* site) noexcept
+      : fn(f), begin(b), range(r), nchunks(n), guard_site(site), remaining(n) {}
+
+  FunctionRef<void(std::int64_t, std::int64_t)> fn;
+  std::int64_t begin;
+  std::int64_t range;
+  std::int64_t nchunks;
+  // Innermost hot-path guard active on the *calling* thread, re-installed
+  // around each chunk so the allocation audit follows the work onto workers.
+  const char* guard_site;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::int64_t remaining;
+  std::exception_ptr error;
+};
+
+void run_region_chunk(void* ctx_raw, std::int64_t c) {
+  auto& ctx = *static_cast<RegionCtx*>(ctx_raw);
+  const std::int64_t lo = ctx.begin + ctx.range * c / ctx.nchunks;
+  const std::int64_t hi = ctx.begin + ctx.range * (c + 1) / ctx.nchunks;
+  const bool was = tl_in_parallel_region;
+  tl_in_parallel_region = true;
+  try {
+    if (hi > lo) {
+      // Propagate the caller's guard onto this thread. The caller itself
+      // (running chunk 0, its guard already active) skips the re-install.
+      if (ctx.guard_site != nullptr && active_hot_path() == nullptr) {
+        HotPathGuard guard(ctx.guard_site);
+        ctx.fn(lo, hi);
+      } else {
+        ctx.fn(lo, hi);
+      }
+    }
+  } catch (...) {
+    std::lock_guard lk(ctx.mutex);
+    if (!ctx.error) ctx.error = std::current_exception();
+  }
+  tl_in_parallel_region = was;
+  std::lock_guard lk(ctx.mutex);
+  if (--ctx.remaining == 0) ctx.cv.notify_all();
+}
+
 }  // namespace
 
 bool parallel_check_enabled() noexcept {
@@ -125,14 +196,7 @@ bool parallel_check_enabled() noexcept {
 #else
   bool on = false;
 #endif
-  if (const char* env = std::getenv("DCSR_CHECK_PARALLEL")) {
-    if (!std::strcmp(env, "1") || !std::strcmp(env, "on") ||
-        !std::strcmp(env, "true"))
-      on = true;
-    else if (!std::strcmp(env, "0") || !std::strcmp(env, "off") ||
-             !std::strcmp(env, "false"))
-      on = false;
-  }
+  if (const auto v = env_bool("DCSR_CHECK_PARALLEL")) on = *v;
   g_check_state.store(on ? 1 : 0, std::memory_order_relaxed);
   return on;
 }
@@ -142,29 +206,64 @@ void set_parallel_check_enabled(bool enabled) noexcept {
 }
 
 struct ThreadPool::Impl {
+  // Pending chunks as plain PODs in a ring buffer: pushing a task moves no
+  // std::function and allocates no queue node, so a warm region's dispatch
+  // is invisible to the allocation auditor. The ring is pre-sized at pool
+  // construction and grows (sanctioned) only if more chunks are ever queued
+  // than it has ever held.
+  struct Task {
+    void (*run)(void*, std::int64_t) = nullptr;
+    void* ctx = nullptr;
+    std::int64_t chunk = 0;
+  };
+
   std::mutex mutex;
   std::condition_variable cv;
-  std::deque<std::function<void()>> tasks;
+  std::vector<Task> ring;
+  std::size_t head = 0;   // next task to pop
+  std::size_t count = 0;  // queued tasks
   bool stop = false;
   std::vector<std::thread> workers;
 
+  void push_locked(const Task& t) {
+    if (count == ring.size()) {
+      AllocAllowScope allow;
+      std::vector<Task> bigger(ring.empty() ? 16 : ring.size() * 2);
+      for (std::size_t i = 0; i < count; ++i)
+        bigger[i] = ring[(head + i) % ring.size()];
+      ring.swap(bigger);
+      head = 0;
+    }
+    ring[(head + count) % ring.size()] = t;
+    ++count;
+  }
+
+  bool pop_locked(Task& out) {
+    if (count == 0) return false;
+    out = ring[head];
+    head = (head + 1) % ring.size();
+    --count;
+    return true;
+  }
+
   void worker_loop() {
     for (;;) {
-      std::function<void()> task;
+      Task task;
       {
         std::unique_lock lk(mutex);
-        cv.wait(lk, [&] { return stop || !tasks.empty(); });
-        if (stop && tasks.empty()) return;
-        task = std::move(tasks.front());
-        tasks.pop_front();
+        cv.wait(lk, [&] { return stop || count != 0; });
+        if (stop && count == 0) return;
+        pop_locked(task);
       }
-      task();
+      task.run(task.ctx, task.chunk);
     }
   }
 };
 
 ThreadPool::ThreadPool(int threads)
     : impl_(std::make_unique<Impl>()), threads_(std::max(1, threads)) {
+  impl_->ring.resize(
+      std::max<std::size_t>(16, 2 * static_cast<std::size_t>(threads_)));
   impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 0; i < threads_ - 1; ++i)
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });
@@ -179,9 +278,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : impl_->workers) w.join();
 }
 
-void ThreadPool::parallel_for(
-    std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              std::int64_t grain,
+                              FunctionRef<void(std::int64_t, std::int64_t)> fn) {
   validate_parallel_args(begin, end, grain);
   if (begin == end) return;
   const std::int64_t range = end - begin;
@@ -200,63 +299,38 @@ void ThreadPool::parallel_for(
     return;
   }
 
-  struct Region {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::int64_t remaining;
-    std::exception_ptr error;
-  } region;
-  region.remaining = nchunks;
-
-  auto run_chunk = [&](std::int64_t c) {
-    const std::int64_t lo = begin + range * c / nchunks;
-    const std::int64_t hi = begin + range * (c + 1) / nchunks;
-    const bool was = tl_in_parallel_region;
-    tl_in_parallel_region = true;
-    try {
-      if (hi > lo) fn(lo, hi);
-    } catch (...) {
-      std::lock_guard lk(region.mutex);
-      if (!region.error) region.error = std::current_exception();
-    }
-    tl_in_parallel_region = was;
-    std::lock_guard lk(region.mutex);
-    if (--region.remaining == 0) region.cv.notify_all();
-  };
+  RegionCtx ctx(fn, begin, range, nchunks, active_hot_path());
 
   {
     std::lock_guard lk(impl_->mutex);
     for (std::int64_t c = 1; c < nchunks; ++c)
-      impl_->tasks.emplace_back([&run_chunk, c] { run_chunk(c); });
+      impl_->push_locked({&run_region_chunk, &ctx, c});
   }
   impl_->cv.notify_all();
-  run_chunk(0);
+  run_region_chunk(&ctx, 0);
 
   // Help drain the queue while waiting: under contention (several regions in
   // flight) the caller keeps making global progress instead of idling.
   for (;;) {
-    std::function<void()> task;
+    Impl::Task task;
     {
       std::lock_guard lk(impl_->mutex);
-      if (impl_->tasks.empty()) break;
-      task = std::move(impl_->tasks.front());
-      impl_->tasks.pop_front();
+      if (!impl_->pop_locked(task)) break;
     }
-    task();
+    task.run(task.ctx, task.chunk);
   }
 
   {
-    std::unique_lock lk(region.mutex);
-    region.cv.wait(lk, [&] { return region.remaining == 0; });
+    std::unique_lock lk(ctx.mutex);
+    ctx.cv.wait(lk, [&] { return ctx.remaining == 0; });
   }
-  if (region.error) std::rethrow_exception(region.error);
+  if (ctx.error) std::rethrow_exception(ctx.error);
 }
 
 void ThreadPool::parallel_for_writes(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<WriteSpan(std::int64_t, std::int64_t)>& claim,
-    const std::function<void(std::int64_t, std::int64_t)>& fn,
-    const char* site) {
+    FunctionRef<WriteSpan(std::int64_t, std::int64_t)> claim,
+    FunctionRef<void(std::int64_t, std::int64_t)> fn, const char* site) {
   validate_parallel_args(begin, end, grain);
   if (begin == end) return;
   // Nested regions run inline inside one enclosing chunk: they introduce no
@@ -269,21 +343,27 @@ void ThreadPool::parallel_for_writes(
 
   const std::int64_t range = end - begin;
   const std::int64_t nchunks = chunk_count(threads_, range, grain);
-  std::vector<ClaimRecord> records;
-  records.reserve(static_cast<std::size_t>(nchunks));
+  std::vector<ClaimRecord>& records = tl_claim_scratch;
+  records.clear();
+  {
+    AllocAllowScope allow;  // scratch growth only; clear() keeps capacity
+    records.reserve(static_cast<std::size_t>(nchunks));
+  }
   for (std::int64_t c = 0; c < nchunks; ++c) {
     const std::int64_t lo = begin + range * c / nchunks;
     const std::int64_t hi = begin + range * (c + 1) / nchunks;
     if (hi <= lo) continue;
     const WriteSpan span = claim(lo, hi);
     if (span.lo == span.hi) continue;  // empty claim: nothing to track
-    if (span.lo > span.hi)
+    if (span.lo > span.hi) {
+      AllocAllowScope allow;
       throw std::invalid_argument(
           std::string("parallel_for_writes: inverted claim from ") + site);
+    }
     records.push_back({site, c, static_cast<const char*>(span.lo),
                        static_cast<const char*>(span.hi), 0});
   }
-  RegionClaims guard(std::move(records));
+  RegionClaims guard(records);
   parallel_for(begin, end, grain, fn);
 }
 
@@ -296,8 +376,13 @@ std::unique_ptr<ThreadPool> g_default_pool;
 
 ThreadPool& default_pool() {
   std::lock_guard lk(g_default_pool_mutex);
-  if (!g_default_pool)
+  if (!g_default_pool) {
+    // One-time lazy construction; the first parallel region may well sit
+    // inside a hot-path guard, and building the pool (impl, task ring,
+    // worker threads) is sanctioned warm-up.
+    AllocAllowScope allow;
     g_default_pool = std::make_unique<ThreadPool>(thread_count_from_env());
+  }
   return *g_default_pool;
 }
 
@@ -314,16 +399,14 @@ void set_default_pool_threads(int threads) {
 }
 
 int thread_count_from_env() {
-  if (const char* env = std::getenv("DCSR_THREADS")) {
-    char* end = nullptr;
-    errno = 0;
-    const long v = std::strtol(env, &end, 10);
-    const bool complete_parse = end != env && *end == '\0';
-    const bool fits_int = errno != ERANGE && v >= INT_MIN && v <= INT_MAX;
-    // Reject — never partially accept — trailing garbage ("4abc"), empty
-    // strings and out-of-range values ("999999999999"); a fully-parsed value
-    // below 1 clamps to 1 (the documented pure-serial escape hatch).
-    if (complete_parse && fits_int) return std::max(1, static_cast<int>(v));
+  // env_int already rejects — never partially accepts — trailing garbage
+  // ("4abc"), empty strings and values that overflow long long; values that
+  // fit long long but not int are rejected here for the same hardware
+  // fallback. A fully-parsed value below 1 clamps to 1 (the documented
+  // pure-serial escape hatch).
+  if (const auto v = env_int("DCSR_THREADS")) {
+    if (*v >= INT_MIN && *v <= INT_MAX)
+      return std::max(1, static_cast<int>(*v));
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? static_cast<int>(hw) : 1;
@@ -335,15 +418,14 @@ int default_thread_count() {
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn) {
+                  FunctionRef<void(std::int64_t, std::int64_t)> fn) {
   default_pool().parallel_for(begin, end, grain, fn);
 }
 
 void parallel_for_writes(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<WriteSpan(std::int64_t, std::int64_t)>& claim,
-    const std::function<void(std::int64_t, std::int64_t)>& fn,
-    const char* site) {
+    FunctionRef<WriteSpan(std::int64_t, std::int64_t)> claim,
+    FunctionRef<void(std::int64_t, std::int64_t)> fn, const char* site) {
   default_pool().parallel_for_writes(begin, end, grain, claim, fn, site);
 }
 

@@ -1,9 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <stdexcept>
+
+#include "util/function_ref.hpp"
 
 namespace dcsr {
 
@@ -71,8 +72,14 @@ class ThreadPool {
   /// serial execution, so layered kernels never deadlock or oversubscribe.
   /// `begin == end` is a no-op; `end < begin` and `grain < 1` throw
   /// std::invalid_argument.
+  ///
+  /// `fn` is a FunctionRef — a non-owning view, never a heap-backed copy —
+  /// because dispatch itself must stay allocation-free: every kernel beneath
+  /// an Edsr frame runs under a DCSR_ALLOC_CHECK HotPathGuard, and the guard
+  /// is re-installed on pool workers (see active_hot_path) so the fan-out is
+  /// audited end to end.
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+                    FunctionRef<void(std::int64_t, std::int64_t)> fn);
 
   /// parallel_for with a declared write set: `claim(chunk_begin, chunk_end)`
   /// returns the byte span that chunk will write. When the checker is active
@@ -87,8 +94,8 @@ class ThreadPool {
   /// chunk's claim.
   void parallel_for_writes(
       std::int64_t begin, std::int64_t end, std::int64_t grain,
-      const std::function<WriteSpan(std::int64_t, std::int64_t)>& claim,
-      const std::function<void(std::int64_t, std::int64_t)>& fn,
+      FunctionRef<WriteSpan(std::int64_t, std::int64_t)> claim,
+      FunctionRef<void(std::int64_t, std::int64_t)> fn,
       const char* site = "unnamed parallel_for_writes");
 
  private:
@@ -122,13 +129,13 @@ int thread_count_from_env();
 
 /// `default_pool().parallel_for(...)` convenience wrapper.
 void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn);
+                  FunctionRef<void(std::int64_t, std::int64_t)> fn);
 
 /// `default_pool().parallel_for_writes(...)` convenience wrapper.
 void parallel_for_writes(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
-    const std::function<WriteSpan(std::int64_t, std::int64_t)>& claim,
-    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    FunctionRef<WriteSpan(std::int64_t, std::int64_t)> claim,
+    FunctionRef<void(std::int64_t, std::int64_t)> fn,
     const char* site = "unnamed parallel_for_writes");
 
 }  // namespace dcsr

@@ -4,6 +4,7 @@
 
 #include "stream/fleet.hpp"
 #include "stream/workload.hpp"
+#include "util/alloc_check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr::stream {
@@ -44,6 +45,10 @@ void expect_summaries_identical(const FleetSummary& a, const FleetSummary& b) {
   EXPECT_EQ(a.rebuffer_p99_s, b.rebuffer_p99_s);
   EXPECT_EQ(a.mean_quality_db, b.mean_quality_db);
   EXPECT_EQ(a.mean_rung, b.mean_rung);
+  // The per-event heap accounting is part of the determinism contract too:
+  // the fleet-smoke leg diffs it byte-for-byte across DCSR_THREADS.
+  EXPECT_EQ(a.advance_heap_allocs, b.advance_heap_allocs);
+  EXPECT_EQ(a.advance_heap_allocs_sanctioned, b.advance_heap_allocs_sanctioned);
 }
 
 // ---------------------------------------------------------------------------
@@ -103,6 +108,33 @@ TEST(LruByteCache, CountsHitsAndMisses) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(LruByteCache, ZeroBudgetBypassesEverythingAndNeverEvicts) {
+  // Degenerate but legal configuration: a zero-byte edge tier. Every object
+  // is larger than the whole budget, so every fetch is a miss-and-bypass —
+  // nothing is ever admitted, so nothing can be evicted, and the eviction
+  // loop must not run (its `resident_ + bytes > budget_` guard with an empty
+  // order_ list would otherwise spin or underflow).
+  LruByteCache cache(0);
+  for (int round = 0; round < 2; ++round)
+    for (int key = 0; key < 4; ++key) EXPECT_FALSE(cache.fetch(key, 1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 8u);
+  EXPECT_EQ(cache.bypasses(), 8u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.keys_lru_to_mru().empty());
+  EXPECT_FALSE(cache.contains(0));
+
+  // A zero-byte object against a zero-byte budget is the one fit that does
+  // work: 0 + 0 > 0 is false, so it admits without evicting.
+  EXPECT_FALSE(cache.fetch(9, 0));
+  EXPECT_TRUE(cache.contains(9));
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.fetch(9, 0));
+}
+
 // ---------------------------------------------------------------------------
 // DurationHistogram
 
@@ -120,6 +152,39 @@ TEST(DurationHistogram, OverflowReportsTheExactMaximum) {
   h.add(0.05);
   h.add(42.0);
   EXPECT_DOUBLE_EQ(h.percentile(99.0), 42.0);
+}
+
+TEST(DurationHistogram, EmptyHistogramReportsZeroEverywhere) {
+  const DurationHistogram h(0.01, 10);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+}
+
+TEST(DurationHistogram, SingleSampleIsEveryPercentile) {
+  DurationHistogram h(0.5, 10);  // dyadic bin width: exact float arithmetic
+  h.add(1.2);                    // lands in bin 2 -> midpoint 1.25
+  EXPECT_EQ(h.count(), 1u);
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 1.25) << "p=" << p;
+  }
+}
+
+TEST(DurationHistogram, AllSamplesInSaturatingBucketReportMaxSeen) {
+  DurationHistogram h(0.01, 10);  // binned range ends at 0.1 s
+  h.add(5.0);
+  h.add(17.5);
+  h.add(3.25);
+  EXPECT_EQ(h.count(), 3u);
+  // Every sample overflowed the binned range: no bin can satisfy any
+  // percentile, so all of them fall through to the exact maximum.
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 17.5) << "p=" << p;
+  }
+  // Out-of-range p clamps rather than reading past the bins.
+  EXPECT_DOUBLE_EQ(h.percentile(-5.0), 17.5);
+  EXPECT_DOUBLE_EQ(h.percentile(250.0), 17.5);
 }
 
 // ---------------------------------------------------------------------------
@@ -179,9 +244,10 @@ TEST(Workload, ArrivalsSortedWithinHorizon) {
   for (std::size_t i = 0; i < w.sessions.size(); ++i) {
     EXPECT_GE(w.sessions[i].arrival_seconds, 0.0);
     EXPECT_LE(w.sessions[i].arrival_seconds, 3600.0);
-    if (i > 0)
+    if (i > 0) {
       EXPECT_GE(w.sessions[i].arrival_seconds,
                 w.sessions[i - 1].arrival_seconds);
+    }
   }
 }
 
@@ -339,6 +405,22 @@ TEST(Fleet, TierAccountingIsConsistent) {
   EXPECT_GE(s.model_bytes_last_mile, s.model_bytes_origin);
   EXPECT_GT(s.video_bytes, 0u);
   EXPECT_GT(s.mean_quality_db, 0.0);
+}
+
+TEST(Fleet, AdvanceLoopIsHeapSilent) {
+  const FleetSummary s = run_fleet(small_fleet());
+#if DCSR_ALLOC_CHECK
+  // With the interposer compiled in, the guarded per-event step observes
+  // real heap traffic — but every single allocation must be sanctioned
+  // (cache admissions, model-download modelling): the steady-state event
+  // loop itself is heap-silent, which is what makes the guard survivable.
+  EXPECT_GT(s.advance_heap_allocs, 0u);
+  EXPECT_EQ(s.advance_heap_allocs, s.advance_heap_allocs_sanctioned);
+#else
+  // Without the interposer the counters are defined to stay zero.
+  EXPECT_EQ(s.advance_heap_allocs, 0u);
+  EXPECT_EQ(s.advance_heap_allocs_sanctioned, 0u);
+#endif
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "sr/model_zoo.hpp"
 #include "sr/trainer.hpp"
 #include "tensor/workspace.hpp"
+#include "util/alloc_check.hpp"
 #include "util/thread_pool.hpp"
 #include "video/scene.hpp"
 
@@ -325,6 +326,29 @@ TEST(Edsr, SteadyStateEnhanceHasZeroWorkspaceMisses) {
       << "zero-miss frames leave the free list exactly as found";
   EXPECT_GT(after.hits, warm.hits);
 }
+
+#if DCSR_ALLOC_CHECK
+TEST(Edsr, SteadyStateEnhanceIsHeapSilent) {
+  // Stronger than zero workspace misses: with the interposer compiled in,
+  // the raw per-thread allocation counter must not move at all across warm
+  // steady-state frames — not "amortised low", literally zero mallocs.
+  Rng rng(95);
+  const Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 1}, rng);
+  const FrameRGB frame = textured_frame(24, 16, 96);
+  FrameRGB out;
+  // Warm everything the first frames lazily build: the thread pool, the
+  // SIMD dispatch table, the workspace free list, the output plane.
+  for (int i = 0; i < 3; ++i) model.enhance_into(frame, out);
+
+  const AllocStats warm = thread_alloc_stats();
+  for (int i = 0; i < 10; ++i) model.enhance_into(frame, out);
+  const AllocStats after = thread_alloc_stats();
+  EXPECT_EQ(after.allocs - warm.allocs, 0u)
+      << "steady-state enhance must not touch the heap";
+  EXPECT_EQ(after.frees - warm.frees, 0u);
+  EXPECT_EQ(after.bytes - warm.bytes, 0u);
+}
+#endif
 
 TEST(Edsr, EnhanceIsConstAndPreservesTrainingMode) {
   Rng rng(92);

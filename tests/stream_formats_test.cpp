@@ -131,7 +131,9 @@ TEST(ModelBundle, TruncationDetected) {
   ByteWriter w;
   bundle.serialize(w);
   auto bytes = w.bytes();
-  bytes.resize(bytes.size() - 20);
+  // Saturating form: provably never wraps, so GCC's -Wstringop-overflow
+  // stays quiet in sanitizer builds (it cannot see size() > 20 here).
+  bytes.resize(bytes.size() > 20 ? bytes.size() - 20 : 0);
   ByteReader r(std::move(bytes));
   EXPECT_ANY_THROW(ModelBundle::deserialize(r));
 }

@@ -3,17 +3,56 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "tensor/ops.hpp"
+#include "tensor/shape.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/workspace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dcsr {
 namespace {
+
+TEST(Shape, HoldsUpToMaxRankAndThrowsBeyond) {
+  const Shape s{1, 2, 3, 4, 5, 6, 7, 8};  // exactly kMaxRank
+  EXPECT_EQ(s.rank(), 8u);
+  EXPECT_EQ(s[7], 8);
+  EXPECT_THROW(Shape({1, 2, 3, 4, 5, 6, 7, 8, 9}), std::invalid_argument);
+  EXPECT_THROW(Shape(std::vector<int>(9, 1)), std::invalid_argument);
+}
+
+TEST(Shape, ComparesAgainstShapesAndVectors) {
+  const Shape a{2, 3, 4};
+  EXPECT_EQ(a, Shape({2, 3, 4}));
+  EXPECT_NE(a, Shape({2, 3}));
+  EXPECT_NE(a, Shape({2, 3, 5}));
+  // The vector overload (plus C++20 rewrites for the reversed form).
+  EXPECT_TRUE(a == std::vector<int>({2, 3, 4}));
+  EXPECT_TRUE(std::vector<int>({2, 3, 4}) == a);
+  EXPECT_FALSE(a == std::vector<int>({2, 3}));
+  EXPECT_EQ(Shape{}, Shape{});
+  EXPECT_TRUE(Shape{}.empty());
+}
+
+TEST(Shape, RoundTripsThroughVector) {
+  const std::vector<int> dims{7, 1, 9};
+  const Shape s(dims);
+  EXPECT_EQ(s.to_vector(), dims);
+  EXPECT_EQ(Shape(s.to_vector()), s);
+  EXPECT_TRUE(Shape{}.to_vector().empty());
+}
+
+TEST(Shape, StreamsAndFormatsForDiagnostics) {
+  std::ostringstream os;
+  os << Shape{1, 16, 24, 32};
+  EXPECT_EQ(os.str(), "1x16x24x32");
+  EXPECT_EQ(Shape({1, 16, 24, 32}).str(), "1x16x24x32");
+  EXPECT_EQ(Shape{}.str(), "<scalar>");
+}
 
 TEST(Tensor, ConstructedZeroInitialised) {
   Tensor t({2, 3});

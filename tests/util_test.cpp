@@ -3,12 +3,16 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "util/alloc_check.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/serialize.hpp"
 #include "util/stats.hpp"
@@ -597,6 +601,246 @@ TEST(File, MissingFileThrows) {
   EXPECT_THROW(write_file("/nonexistent/definitely/missing.bin", {1}),
                std::runtime_error);
 }
+
+// ---------------------------------------------------------------------------
+// Hardened environment parsing (util/env.hpp). Each test uses its own
+// variable name so parallel ctest shards never race on shared state.
+
+TEST(Env, RawReturnsValueOrNull) {
+  ::setenv("DCSR_TEST_ENV_RAW", "hello", 1);
+  ASSERT_NE(env_raw("DCSR_TEST_ENV_RAW"), nullptr);
+  EXPECT_STREQ(env_raw("DCSR_TEST_ENV_RAW"), "hello");
+  ::unsetenv("DCSR_TEST_ENV_RAW");
+  EXPECT_EQ(env_raw("DCSR_TEST_ENV_RAW"), nullptr);
+}
+
+TEST(Env, IntAcceptsCompleteIntegersOnly) {
+  const char* k = "DCSR_TEST_ENV_INT";
+  ::setenv(k, "42", 1);
+  EXPECT_EQ(env_int(k), 42);
+  ::setenv(k, "-7", 1);
+  EXPECT_EQ(env_int(k), -7);
+  // Rejected completely, never partially accepted.
+  for (const char* bad : {"4abc", "", " 4", "4 ", "0x10", "3.5",
+                          "999999999999999999999999", "abc"}) {
+    ::setenv(k, bad, 1);
+    EXPECT_FALSE(env_int(k).has_value()) << "value: '" << bad << "'";
+  }
+  ::unsetenv(k);
+  EXPECT_FALSE(env_int(k).has_value());
+}
+
+TEST(Env, BoolParsesExactTokensOnly) {
+  const char* k = "DCSR_TEST_ENV_BOOL";
+  for (const char* t : {"1", "on", "true"}) {
+    ::setenv(k, t, 1);
+    EXPECT_EQ(env_bool(k), true) << "value: '" << t << "'";
+  }
+  for (const char* f : {"0", "off", "false"}) {
+    ::setenv(k, f, 1);
+    EXPECT_EQ(env_bool(k), false) << "value: '" << f << "'";
+  }
+  for (const char* bad : {"ON", "True", "yes", "2", "", "on "}) {
+    ::setenv(k, bad, 1);
+    EXPECT_FALSE(env_bool(k).has_value()) << "value: '" << bad << "'";
+  }
+  ::unsetenv(k);
+  EXPECT_FALSE(env_bool(k).has_value());
+}
+
+#if DCSR_ALLOC_CHECK
+
+// ---------------------------------------------------------------------------
+// Hot-path heap auditor. These only compile when the interposer is linked
+// (checked builds); the tests that expect a throw keep gtest assertions
+// *outside* guarded scopes, because a failing EXPECT streams into heap-
+// allocated messages. The volatile sink stops the compiler from eliding
+// new/delete pairs (which C++ permits even for replaced operators).
+
+void* volatile g_alloc_sink = nullptr;
+
+TEST(CheckedAlloc, AllocationInsideGuardThrowsNamingSite) {
+  set_alloc_check_enabled(true);
+  bool threw = false;
+  const char* site = nullptr;
+  std::size_t bytes = 0;
+  int depth = -1;
+  bool what_names_site = false;
+  {
+    HotPathGuard guard("tests/util_test.cpp:deliberate-violation");
+    try {
+      int* p = new int[8];  // deliberate hot-path allocation
+      g_alloc_sink = p;
+      delete[] p;
+    } catch (const HotPathAllocError& e) {
+      threw = true;
+      site = e.site();  // string literal: outlives the exception
+      bytes = e.bytes();
+      depth = e.depth();
+      what_names_site =
+          std::strstr(e.what(), "tests/util_test.cpp:deliberate-violation") !=
+          nullptr;
+    }
+  }
+  ASSERT_TRUE(threw);
+  EXPECT_STREQ(site, "tests/util_test.cpp:deliberate-violation");
+  EXPECT_EQ(bytes, 8 * sizeof(int));
+  EXPECT_EQ(depth, 1);
+  EXPECT_TRUE(what_names_site);
+}
+
+TEST(CheckedAlloc, ViolationNamesInnermostOfNestedGuards) {
+  set_alloc_check_enabled(true);
+  bool threw = false;
+  const char* site = nullptr;
+  int depth = -1;
+  {
+    HotPathGuard outer("outer-site");
+    {
+      HotPathGuard inner("inner-site");
+      try {
+        g_alloc_sink = new int;
+      } catch (const HotPathAllocError& e) {
+        threw = true;
+        site = e.site();
+        depth = e.depth();
+      }
+    }
+  }
+  ASSERT_TRUE(threw);
+  EXPECT_STREQ(site, "inner-site");
+  EXPECT_EQ(depth, 2);
+}
+
+TEST(CheckedAlloc, DepthAndSiteTrackNestingExceptionSafely) {
+  // Enforcement off: this test exercises the guard *stack*, and gtest's own
+  // assertion machinery must stay free to allocate inside the scopes.
+  set_alloc_check_enabled(false);
+  EXPECT_EQ(hot_path_depth(), 0);
+  EXPECT_EQ(active_hot_path(), nullptr);
+  {
+    HotPathGuard a("site-a");
+    EXPECT_EQ(hot_path_depth(), 1);
+    EXPECT_STREQ(active_hot_path(), "site-a");
+    {
+      HotPathGuard b("site-b");
+      EXPECT_EQ(hot_path_depth(), 2);
+      EXPECT_STREQ(active_hot_path(), "site-b");
+    }
+    EXPECT_EQ(hot_path_depth(), 1);
+    EXPECT_STREQ(active_hot_path(), "site-a");
+  }
+  EXPECT_EQ(hot_path_depth(), 0);
+  // Guards pop during stack unwinding too.
+  try {
+    HotPathGuard g("site-unwind");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(hot_path_depth(), 0);
+  EXPECT_EQ(active_hot_path(), nullptr);
+  set_alloc_check_enabled(true);
+}
+
+TEST(CheckedAlloc, AllowScopeSanctionsAndStillCountsRaw) {
+  set_alloc_check_enabled(true);
+  const AllocStats before = thread_alloc_stats();
+  {
+    HotPathGuard guard("sanctioned-site");
+    AllocAllowScope allow;
+    int* p = new int[16];
+    g_alloc_sink = p;
+    delete[] p;
+  }
+  const AllocStats after = thread_alloc_stats();
+  EXPECT_EQ(after.allocs - before.allocs, 1u);
+  EXPECT_EQ(after.frees - before.frees, 1u);
+  EXPECT_EQ(after.sanctioned - before.sanctioned, 1u);
+  EXPECT_GE(after.bytes - before.bytes, 16 * sizeof(int));
+}
+
+TEST(CheckedAlloc, UnguardedAllocationCountsButIsNotSanctioned) {
+  set_alloc_check_enabled(true);
+  const AllocStats before = thread_alloc_stats();
+  int* p = new int[4];
+  g_alloc_sink = p;
+  delete[] p;
+  const AllocStats after = thread_alloc_stats();
+  EXPECT_EQ(after.allocs - before.allocs, 1u);
+  EXPECT_EQ(after.frees - before.frees, 1u);
+  EXPECT_EQ(after.sanctioned - before.sanctioned, 0u);
+}
+
+TEST(CheckedAlloc, CountersSurviveFailedAcquires) {
+  // enforce() runs before malloc: a violation never allocates, so the
+  // counters after the failed acquire are exactly the counters before it.
+  set_alloc_check_enabled(true);
+  AllocStats before{}, after{};
+  bool threw = false;
+  {
+    HotPathGuard guard("failed-acquire");
+    before = thread_alloc_stats();
+    try {
+      g_alloc_sink = new int[32];
+    } catch (const HotPathAllocError&) {
+      threw = true;
+    }
+    after = thread_alloc_stats();
+  }
+  ASSERT_TRUE(threw);
+  EXPECT_EQ(after.allocs, before.allocs);
+  EXPECT_EQ(after.bytes, before.bytes);
+  EXPECT_EQ(after.frees, before.frees);
+  // The thread remains fully usable afterwards: allocation outside the
+  // guard succeeds and counts.
+  std::vector<int> v(64, 1);
+  EXPECT_EQ(v.size(), 64u);
+  EXPECT_GT(thread_alloc_stats().allocs, after.allocs);
+}
+
+TEST(CheckedAlloc, EnforcementCanBeToggledAtRuntime) {
+  set_alloc_check_enabled(false);
+  {
+    HotPathGuard guard("enforcement-off");
+    int* p = new int[4];  // would throw if enforcement were live
+    g_alloc_sink = p;
+    delete[] p;
+  }
+  set_alloc_check_enabled(true);
+  bool threw = false;
+  {
+    HotPathGuard guard("enforcement-on");
+    try {
+      g_alloc_sink = new int[4];
+    } catch (const HotPathAllocError&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(alloc_check_enabled());
+}
+
+TEST(CheckedAlloc, ErrorPathPatternAllowsRealDiagnosticsThroughGuards) {
+  // The repo-wide error-path idiom: `{ AllocAllowScope allow; throw X; }`.
+  // The real exception (which allocates its message) must escape the guard
+  // untranslated rather than being masked by HotPathAllocError.
+  set_alloc_check_enabled(true);
+  bool caught_real_error = false;
+  {
+    HotPathGuard guard("error-path");
+    try {
+      AllocAllowScope allow;
+      throw std::runtime_error("a diagnostic with a heap-allocated message "
+                               "long enough to defeat SSO everywhere");
+    } catch (const std::runtime_error&) {
+      caught_real_error = true;
+    }
+  }
+  EXPECT_TRUE(caught_real_error);
+  EXPECT_EQ(hot_path_depth(), 0);
+}
+
+#endif  // DCSR_ALLOC_CHECK
 
 }  // namespace
 }  // namespace dcsr

@@ -145,6 +145,8 @@ void write_json(const char* path, const std::vector<TimedRun>& runs) {
         "      \"rebuffer_p50_s\": %.4f,\n"
         "      \"rebuffer_p99_s\": %.4f,\n"
         "      \"mean_quality_db\": %.4f,\n"
+        "      \"advance_heap_allocs\": %llu,\n"
+        "      \"advance_heap_allocs_sanctioned\": %llu,\n"
         "      \"wall_seconds\": %.4f,\n"
         "      \"sessions_per_second\": %.1f\n"
         "    }%s\n",
@@ -162,8 +164,11 @@ void write_json(const char* path, const std::vector<TimedRun>& runs) {
         static_cast<unsigned long long>(s.model_bytes_origin),
         s.model_bytes_per_session(), s.fetch_latency_p50_s,
         s.fetch_latency_p99_s, s.startup_p50_s, s.startup_p99_s,
-        s.rebuffer_p50_s, s.rebuffer_p99_s, s.mean_quality_db, r.wall_seconds,
-        r.sessions_per_second(), i + 1 < runs.size() ? "," : "");
+        s.rebuffer_p50_s, s.rebuffer_p99_s, s.mean_quality_db,
+        static_cast<unsigned long long>(s.advance_heap_allocs),
+        static_cast<unsigned long long>(s.advance_heap_allocs_sanctioned),
+        r.wall_seconds, r.sessions_per_second(),
+        i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -354,6 +354,28 @@ void rule_raw_intrinsics(const std::string& path, const std::string& stripped,
          "pinned bitwise against the scalar oracle"});
 }
 
+void rule_raw_getenv(const std::string& path, const std::string& stripped,
+                     std::vector<Finding>& findings) {
+  // Every environment read flows through util/env.cpp's hardened parsers
+  // (env_raw/env_int/env_bool): trailing garbage, empty strings and
+  // overflow are rejected once, centrally, instead of re-decided (or
+  // forgotten) at each call site.
+  if (path_ends_with(path, "util/env.cpp")) return;
+  static const std::regex re(
+      R"((^|[^\w:.>])((?:std::|::)?(?:secure_)?getenv)\s*\()");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), re);
+       it != std::sregex_iterator(); ++it)
+    findings.push_back(
+        {path,
+         line_of(stripped,
+                 static_cast<std::size_t>(it->position() + it->length(1))),
+         "raw-getenv",
+         (*it)[2].str() +
+             " outside src/util/env.cpp: read the environment through "
+             "env_raw/env_int/env_bool (util/env.hpp), which reject trailing "
+             "garbage and overflow instead of silently truncating"});
+}
+
 void rule_pragma_once(const std::string& path, const std::string& raw,
                       std::vector<Finding>& findings) {
   if (!path_ends_with(path, ".hpp") && !path_ends_with(path, ".h")) return;
@@ -375,6 +397,7 @@ std::vector<Finding> run_rules(const std::string& path, const std::string& raw) 
   rule_raw_index(path, raw, stripped, findings);
   rule_reinterpret(path, stripped, findings);
   rule_raw_intrinsics(path, stripped, findings);
+  rule_raw_getenv(path, stripped, findings);
   rule_pragma_once(path, raw, findings);
   return findings;
 }
@@ -576,6 +599,21 @@ const Fixture kFixtures[] = {
      "#include <immintrin.h>\nauto v = _mm256_loadu_ps(p);", nullptr},
     {"intrinsic named in a comment is fine", "src/tensor/ops.cpp",
      "// the avx2 backend uses _mm256_fmadd_ps here\nint x;", nullptr},
+    // [raw-getenv]
+    {"std::getenv outside util/env.cpp", "src/codec/encoder.cpp",
+     "const char* v = std::getenv(\"DCSR_X\"); use(v);", "raw-getenv"},
+    {"bare getenv outside util/env.cpp", "src/stream/fleet.cpp",
+     "const char* v = getenv(\"HOME\"); use(v);", "raw-getenv"},
+    {"secure_getenv outside util/env.cpp", "src/util/thread_pool.cpp",
+     "const char* v = secure_getenv(\"DCSR_THREADS\"); use(v);", "raw-getenv"},
+    {"std::getenv inside util/env.cpp is fine", "src/util/env.cpp",
+     "const char* v = std::getenv(name); use(v);", nullptr},
+    {"env_raw wrapper call is fine", "src/util/thread_pool.cpp",
+     "const char* v = env_raw(\"DCSR_THREADS\"); use(v);", nullptr},
+    {"identifier ending in getenv is fine", "src/stream/session.cpp",
+     "int my_getenv(int); int y = my_getenv(3);", nullptr},
+    {"getenv in a comment is fine", "src/codec/encoder.cpp",
+     "// std::getenv is banned here\nint x;", nullptr},
     // [pragma-once]
     {"header without pragma once", "src/nn/foo.hpp",
      "class Foo final : public Module { Tensor infer(const Tensor&) const; };",

@@ -7,9 +7,11 @@
 #               Fuzz.*Smoke / FuzzCorpus.* deterministic-fuzz gates)
 #   checked     -DDCSR_CHECKED=ON: every runtime invariant checker on —
 #               the parallel_for write-claim race detector, bounds-checked
-#               tensor access, workspace NaN poisoning and per-layer
-#               finiteness scans — while the full suite (including the
-#               checked-build negative tests) runs
+#               tensor access, workspace NaN poisoning, per-layer
+#               finiteness scans and the hot-path heap auditor (the full
+#               suite runs with DCSR_ALLOC_CHECK enforcement live, so any
+#               unsanctioned allocation inside a guarded hot path fails
+#               its test) — including the checked-build negative tests
 #   asan        AddressSanitizer + UndefinedBehaviorSanitizer, full suite
 #   tsan        ThreadSanitizer, full suite forced to DCSR_THREADS=4 so the
 #               pool, the segment pipeline and the shared-model inference
@@ -29,10 +31,19 @@
 #               (every invariant checker on), run once under DCSR_THREADS=1
 #               and once under DCSR_THREADS=4 — the two JSON artifacts must
 #               be byte-identical, pinning the fleet determinism contract
-#               end to end through the CLI
+#               (including the per-event heap-allocation counters) end to
+#               end through the CLI
+#   tidy        clang-tidy over every translation unit in src/ against the
+#               checked-in .clang-tidy, driven by the default build's
+#               compile_commands.json; any diagnostic fails the leg. If
+#               clang-tidy is not installed the leg SKIPs loudly (still
+#               exits 0) rather than failing a host without LLVM tooling.
+#
+# Every leg configures its build with -DDCSR_WERROR=ON: the gate never
+# accretes warnings, while the tier-1 build stays plain -Wall -Wextra.
 #
 # Usage: tools/run_checks.sh [leg...]
-#   e.g. tools/run_checks.sh            # all eight legs
+#   e.g. tools/run_checks.sh            # all nine legs
 #        tools/run_checks.sh tsan       # just the TSan leg
 #        tools/run_checks.sh default checked fuzz-smoke
 #
@@ -43,7 +54,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default checked asan tsan simd bench-smoke fuzz-smoke fleet-smoke)
+  LEGS=(default checked asan tsan simd bench-smoke fuzz-smoke fleet-smoke tidy)
 fi
 
 declare -A STATUS
@@ -58,6 +69,10 @@ run_leg() {
     checked)
       build="${CHECKED_BUILD_DIR:-$ROOT/build-checked}"
       cmake_args+=(-DDCSR_CHECKED=ON)
+      # Enforcement defaults on in a checked build; being explicit here
+      # documents that this leg is the one that runs the whole suite with
+      # the heap auditor throwing.
+      env_prefix=(env DCSR_ALLOC_CHECK=1)
       ;;
     asan)
       build="${SAN_BUILD_DIR:-$ROOT/build-san}"
@@ -80,7 +95,7 @@ run_leg() {
       build="${DEFAULT_BUILD_DIR:-$ROOT/build}"
       echo
       echo "=== leg: $leg (build dir: $build) ==="
-      cmake -B "$build" -S "$ROOT" || return 1
+      cmake -B "$build" -S "$ROOT" -DDCSR_WERROR=ON || return 1
       cmake --build "$build" -j || return 1
       local probe="$build/bench/bench_micro_kernels"
       if env DCSR_SIMD=definitely-not-a-backend \
@@ -111,7 +126,7 @@ run_leg() {
       build="${DEFAULT_BUILD_DIR:-$ROOT/build}"
       echo
       echo "=== leg: $leg (build dir: $build) ==="
-      cmake -B "$build" -S "$ROOT" || return 1
+      cmake -B "$build" -S "$ROOT" -DDCSR_WERROR=ON || return 1
       cmake --build "$build" -j --target bench_micro_kernels || return 1
       "$build/bench/bench_micro_kernels" --benchmark_min_time=0 || return 1
       return 0
@@ -125,7 +140,7 @@ run_leg() {
       export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
       echo
       echo "=== leg: $leg (build dir: $build) ==="
-      cmake -B "$build" -S "$ROOT" -DDCSR_SANITIZE=address,undefined || return 1
+      cmake -B "$build" -S "$ROOT" -DDCSR_WERROR=ON -DDCSR_SANITIZE=address,undefined || return 1
       cmake --build "$build" -j --target dcsr_fuzz || return 1
       "$build/tools/dcsr_fuzz" all --iters 10000 --seed 1 || return 1
       return 0
@@ -140,7 +155,7 @@ run_leg() {
       build="${CHECKED_BUILD_DIR:-$ROOT/build-checked}"
       echo
       echo "=== leg: $leg (build dir: $build) ==="
-      cmake -B "$build" -S "$ROOT" -DDCSR_CHECKED=ON || return 1
+      cmake -B "$build" -S "$ROOT" -DDCSR_WERROR=ON -DDCSR_CHECKED=ON || return 1
       cmake --build "$build" -j --target dcsr_fleet || return 1
       local fa="$build/fleet-smoke-t1.json" fb="$build/fleet-smoke-t4.json"
       env DCSR_THREADS=1 "$build/tools/dcsr_fleet" \
@@ -159,15 +174,44 @@ run_leg() {
       echo "fleet-smoke: summaries bit-identical across thread counts"
       return 0
       ;;
+    tidy)
+      # clang-tidy over src/ with the checked-in .clang-tidy. Uses the
+      # default build's compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
+      # is always on). Any diagnostic is a failure; a host without clang-tidy
+      # SKIPs loudly instead of failing, since the tool is optional tooling,
+      # not a build dependency.
+      build="${DEFAULT_BUILD_DIR:-$ROOT/build}"
+      echo
+      echo "=== leg: $leg (build dir: $build) ==="
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "tidy leg: SKIP — clang-tidy not installed on this host" \
+             "(install LLVM tooling to run it; the leg passes vacuously)"
+        return 0
+      fi
+      cmake -B "$build" -S "$ROOT" -DDCSR_WERROR=ON || return 1
+      if [ ! -f "$build/compile_commands.json" ]; then
+        echo "tidy leg: $build/compile_commands.json missing" >&2
+        return 1
+      fi
+      local srcs
+      srcs=$(find "$ROOT/src" -name '*.cpp' | sort)
+      # --warnings-as-errors promotes every enabled check; the leg fails on
+      # any finding in any translation unit (kept going to report them all).
+      local rc=0 f
+      for f in $srcs; do
+        clang-tidy -p "$build" --quiet --warnings-as-errors='*' "$f" || rc=1
+      done
+      return $rc
+      ;;
     *)
-      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|simd|bench-smoke|fuzz-smoke|fleet-smoke)" >&2
+      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|simd|bench-smoke|fuzz-smoke|fleet-smoke|tidy)" >&2
       return 2
       ;;
   esac
 
   echo
   echo "=== leg: $leg (build dir: $build) ==="
-  cmake -B "$build" -S "$ROOT" "${cmake_args[@]}" || return 1
+  cmake -B "$build" -S "$ROOT" -DDCSR_WERROR=ON "${cmake_args[@]}" || return 1
   cmake --build "$build" -j || return 1
   "${env_prefix[@]}" ctest --test-dir "$build" --output-on-failure -j || return 1
 }
