@@ -269,6 +269,64 @@ void BM_PlayNasThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_PlayNasThreads)->Arg(1)->Arg(sweep_threads());
 
+// Slice-parallel frame decode across pool sizes. The same segment is encoded
+// once at the sliced format's default experiment shape (4 MB-row slices) and
+// decoded into warm frames over and over; slices are the parallel axis, so
+// the Arg(1) row is the serial baseline and the sweep row is the speedup the
+// decode-smoke leg proves bit-identical.
+void BM_DecodeFrameThreads(benchmark::State& state) {
+  const int dflt = base_threads();
+  static const auto video =
+      make_genre_video(Genre::kSports, 13, 192, 128, 2.0, 30.0);
+  static const codec::EncodedVideo encoded = [] {
+    codec::CodecConfig cfg;
+    cfg.crf = 30;
+    cfg.slices = 4;
+    return codec::Encoder(cfg).encode(*video, {{0, 60}});
+  }();
+  codec::Decoder dec(encoded.width, encoded.height, encoded.crf);
+  std::vector<FrameYUV> display;
+  dec.decode_segment_into(encoded.segments[0], display);  // warm scratch
+  set_default_pool_threads(static_cast<int>(state.range(0)));
+  std::int64_t frames = 0;
+  for (auto _ : state) {
+    dec.decode_segment_into(encoded.segments[0], display);
+    benchmark::DoNotOptimize(display.data());
+    frames += static_cast<std::int64_t>(display.size());
+  }
+  set_default_pool_threads(dflt);
+  state.SetItemsProcessed(frames);
+}
+BENCHMARK(BM_DecodeFrameThreads)->Arg(1)->Arg(sweep_threads());
+
+// Batched SR through enhance_batch_into: one workspace checkout and one
+// dispatch per batch instead of per frame. items_processed counts frames, so
+// the per-item time directly compares against batch=1 — the gap is the
+// amortisation the fleet's cross-session batching banks on.
+void BM_EdsrEnhanceBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  const sr::Edsr model({.n_filters = 8, .n_resblocks = 2, .scale = 1}, rng);
+  const auto video = make_genre_video(Genre::kNews, 12, 96, 64, 1.0, 30.0);
+  std::vector<FrameRGB> frames, outs(static_cast<std::size_t>(n));
+  std::vector<const FrameRGB*> in_ptrs;
+  std::vector<FrameRGB*> out_ptrs;
+  for (int i = 0; i < n; ++i) frames.push_back(video->frame(i));
+  for (int i = 0; i < n; ++i) {
+    in_ptrs.push_back(&frames[static_cast<std::size_t>(i)]);
+    out_ptrs.push_back(&outs[static_cast<std::size_t>(i)]);
+  }
+  model.enhance_batch_into(in_ptrs.data(), out_ptrs.data(), n);  // warm up
+  std::int64_t done = 0;
+  for (auto _ : state) {
+    model.enhance_batch_into(in_ptrs.data(), out_ptrs.data(), n);
+    benchmark::DoNotOptimize(outs.data());
+    done += n;
+  }
+  state.SetItemsProcessed(done);
+}
+BENCHMARK(BM_EdsrEnhanceBatch)->Arg(1)->Arg(4)->Arg(8);
+
 void BM_MotionSearch(benchmark::State& state) {
   const auto video = make_genre_video(Genre::kSports, 7, 128, 80, 1.0, 30.0);
   const FrameYUV a = rgb_to_yuv420(video->frame(0));

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "codec/errors.hpp"
+#include "util/alloc_check.hpp"
 
 namespace dcsr::codec {
 
@@ -58,13 +59,17 @@ std::vector<std::uint8_t> BitWriter::finish() {
 
 bool BitReader::get_bit() {
   const std::size_t byte = pos_ >> 3;
-  if (byte >= buf_.size())
+  if (byte >= size_) {
+    // Error-path strings may allocate inside a HotPathGuard region (the warm
+    // decode loop); diagnostics trump heap silence on the way out.
+    AllocAllowScope allow;
     throw BitstreamError("BitReader: over-read past " +
-                             std::to_string(buf_.size()) + "-byte payload",
+                             std::to_string(size_) + "-byte payload",
                          pos_);
+  }
   const int shift = 7 - static_cast<int>(pos_ & 7);
   ++pos_;
-  return (buf_[byte] >> shift) & 1;
+  return (data_[byte] >> shift) & 1;
 }
 
 std::uint32_t BitReader::get_bits(int count) {
@@ -80,8 +85,10 @@ std::uint32_t BitReader::get_ue() {
     // 31 leading zeros is the longest prefix whose code number still fits in
     // 32 bits (max ue value 2^32 - 2). The old guard admitted zeros == 32,
     // and `1u << 32` below is undefined behaviour.
-    if (++zeros > 31)
+    if (++zeros > 31) {
+      AllocAllowScope allow;
       throw BitstreamError("BitReader: bad ue code (prefix > 31 zeros)", start);
+    }
   }
   std::uint32_t info = 0;
   for (int i = 0; i < zeros; ++i) info = (info << 1) | (get_bit() ? 1u : 0u);

@@ -31,11 +31,15 @@ class BitWriter {
 };
 
 /// Matching MSB-first bit reader; throws on over-read so a truncated or
-/// corrupt payload fails decode loudly.
+/// corrupt payload fails decode loudly. Non-owning: the viewed bytes must
+/// outlive the reader (slice decoding hands each slice a sub-range of the
+/// frame payload without copying it).
 class BitReader {
  public:
   explicit BitReader(const std::vector<std::uint8_t>& bytes)
-      : buf_(bytes) {}
+      : data_(bytes.data()), size_(bytes.size()) {}
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
 
   bool get_bit();
   std::uint32_t get_bits(int count);
@@ -45,7 +49,8 @@ class BitReader {
   std::size_t bits_consumed() const noexcept { return pos_; }
 
  private:
-  const std::vector<std::uint8_t>& buf_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;  // bit position
 };
 

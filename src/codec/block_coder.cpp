@@ -1,6 +1,7 @@
 #include "codec/block_coder.hpp"
 
 #include "codec/errors.hpp"
+#include "util/alloc_check.hpp"
 
 namespace dcsr::codec {
 
@@ -78,8 +79,10 @@ Levels8 read_levels(BitReader& br, std::int32_t* dc_pred) {
     const std::uint32_t run = br.get_ue();
     if (run >= kEob) break;
     pos += static_cast<int>(run);
-    if (pos >= 64)
+    if (pos >= 64) {
+      AllocAllowScope allow;
       throw BitstreamError("read_levels: run past block end", run_at);
+    }
     levels[static_cast<std::size_t>(kZigzag[static_cast<std::size_t>(pos)])] = br.get_se();
     ++pos;
   }

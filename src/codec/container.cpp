@@ -10,9 +10,15 @@ namespace dcsr::codec {
 namespace {
 
 // Bumped whenever the layout changes (v2 added per-segment CRF and the
-// loop-filter flag); old-version files fail at the magic check with a clear
-// error instead of a confusing CRC mismatch downstream.
-constexpr std::uint32_t kMagic = 0x64635632;  // "dcV2"
+// loop-filter flag; v3 added per-frame macroblock-row slice tables). Old
+// v2 files still parse — the reader dispatches on the magic — but a v1 file
+// fails at the magic check with a clear error instead of a confusing CRC
+// mismatch downstream.
+constexpr std::uint32_t kMagicV2 = 0x64635632;  // "dcV2" — sliceless frames
+constexpr std::uint32_t kMagicV3 = 0x64635633;  // "dcV3" — sliced frames
+
+// A frame can't have more slices than a 16384-pixel-tall frame has MB rows.
+constexpr std::uint32_t kMaxSlices = 16384 / 16;
 
 std::array<std::uint32_t, 256> make_crc_table() noexcept {
   std::array<std::uint32_t, 256> table{};
@@ -22,6 +28,17 @@ std::array<std::uint32_t, 256> make_crc_table() noexcept {
     table[i] = c;
   }
   return table;
+}
+
+// True when any frame carries a slice table, which forces the v3 layout.
+// A video with only monolithic payloads round-trips as v2, byte-identical
+// to what this writer always produced — pre-slice readers keep working on
+// streams that never used the new feature.
+bool needs_v3(const EncodedVideo& video) noexcept {
+  for (const auto& seg : video.segments)
+    for (const auto& f : seg.frames)
+      if (f.sliced()) return true;
+  return false;
 }
 
 }  // namespace
@@ -35,8 +52,9 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t size) noexcept {
 }
 
 void write_container(const EncodedVideo& video, ByteWriter& out) {
+  const bool v3 = needs_v3(video);
   ByteWriter body;
-  body.write_u32(kMagic);
+  body.write_u32(v3 ? kMagicV3 : kMagicV2);
   body.write_u32(static_cast<std::uint32_t>(video.width));
   body.write_u32(static_cast<std::uint32_t>(video.height));
   body.write_f64(video.fps);
@@ -50,6 +68,12 @@ void write_container(const EncodedVideo& video, ByteWriter& out) {
     for (const auto& f : seg.frames) {
       body.write_u8(static_cast<std::uint8_t>(f.type));
       body.write_u32(static_cast<std::uint32_t>(f.display_index));
+      if (v3) {
+        // Slice table first, then the concatenated substream bytes. A
+        // monolithic frame inside a v3 stream writes a zero-entry table.
+        body.write_u32(static_cast<std::uint32_t>(f.slice_sizes.size()));
+        for (const auto s : f.slice_sizes) body.write_u32(s);
+      }
       body.write_u32(static_cast<std::uint32_t>(f.payload.size()));
       for (const auto b : f.payload) body.write_u8(b);
     }
@@ -61,17 +85,15 @@ void write_container(const EncodedVideo& video, ByteWriter& out) {
 }
 
 EncodedVideo read_container(ByteReader& in) {
-  // The CRC covers everything except itself; recompute while consuming.
-  // ByteReader has no random access, so re-serialise the parsed body and
-  // verify — simpler than two-phase reads and still O(n).
   const std::size_t magic_at = in.position();
   const std::uint32_t magic = in.read_u32();
   if (magic == 0x64635631)
     throw ContainerError(
-        "read_container: v1 container (this build reads v2; re-encode)",
+        "read_container: v1 container (this build reads v2/v3; re-encode)",
         magic_at);
-  if (magic != kMagic)
+  if (magic != kMagicV2 && magic != kMagicV3)
     throw ContainerError("read_container: bad magic", magic_at);
+  const bool v3 = magic == kMagicV3;
 
   EncodedVideo video;
   const std::size_t dims_at = in.position();
@@ -111,10 +133,27 @@ EncodedVideo read_container(ByteReader& in) {
         throw ContainerError("read_container: bad frame type", type_at);
       frame.type = static_cast<FrameType>(type);
       frame.display_index = static_cast<int>(in.read_u32());
+      std::uint64_t slice_total = 0;
+      if (v3) {
+        const std::size_t slices_at = in.position();
+        const std::uint32_t n_slices = in.read_u32();
+        if (n_slices > kMaxSlices)
+          throw ContainerError("read_container: implausible slice count",
+                               slices_at);
+        frame.slice_sizes.reserve(n_slices);
+        for (std::uint32_t i = 0; i < n_slices; ++i) {
+          const std::uint32_t sz = in.read_u32();
+          frame.slice_sizes.push_back(sz);
+          slice_total += sz;
+        }
+      }
       const std::size_t size_at = in.position();
       const std::uint32_t size = in.read_u32();
       if (size > in.remaining())
         throw ContainerError("read_container: truncated payload", size_at);
+      if (v3 && !frame.slice_sizes.empty() && slice_total != size)
+        throw ContainerError(
+            "read_container: slice sizes disagree with payload size", size_at);
       frame.payload.resize(size);
       for (auto& b : frame.payload) b = in.read_u8();
       seg.frames.push_back(std::move(frame));
@@ -122,17 +161,14 @@ EncodedVideo read_container(ByteReader& in) {
     video.segments.push_back(std::move(seg));
   }
 
+  // The CRC covers every byte before it; checksum exactly the bytes consumed
+  // from the reader's buffer rather than re-serialising the parsed structure
+  // (which would re-encode a v2 stream under whichever version this writer
+  // prefers and never match).
   const std::size_t crc_at = in.position();
   const std::uint32_t stored_crc = in.read_u32();
-  // write_container appends its own CRC; re-serialise the parsed stream and
-  // compare the recomputed CRC at its tail against the stored one.
-  ByteWriter check;
-  write_container(video, check);
-  const std::vector<std::uint8_t>& re = check.bytes();
-  std::uint32_t recomputed = 0;
-  for (int i = 0; i < 4; ++i)
-    recomputed |= static_cast<std::uint32_t>(re[re.size() - 4 + static_cast<std::size_t>(i)])
-                  << (8 * i);
+  const std::uint32_t recomputed =
+      crc32(in.data() + magic_at, crc_at - magic_at);
   if (recomputed != stored_crc)
     throw ContainerError("read_container: CRC mismatch", crc_at);
   return video;

@@ -11,10 +11,17 @@ namespace dcsr::codec {
 /// length-prefixed and versioned; a CRC-32 over the payload catches
 /// truncation and corruption at load time.
 ///
-///   magic "dcV1" | width | height | fps | crf | segment count
-///   per segment: first_frame | frame count
-///     per frame: type | display_index | payload size | payload bytes
+///   magic "dcV2"/"dcV3" | width | height | fps | crf | deblock | segment count
+///   per segment: first_frame | crf | frame count
+///     per frame: type | display_index
+///                | (v3 only) slice count | slice sizes
+///                | payload size | payload bytes
 ///   crc32 of everything above
+///
+/// v3 adds the per-frame slice table (macroblock-row slices that decode
+/// concurrently). The writer emits v2 when no frame is sliced — byte-
+/// identical to the pre-slice writer — and v3 otherwise; the reader accepts
+/// both, so pre-slice streams keep decoding unchanged.
 void write_container(const EncodedVideo& video, ByteWriter& out);
 
 /// Parses a container; throws std::invalid_argument on bad magic, version,

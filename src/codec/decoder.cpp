@@ -1,14 +1,35 @@
 #include "codec/decoder.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "codec/bits.hpp"
 #include "codec/deblock.hpp"
+#include "codec/errors.hpp"
 #include "codec/frame_coding.hpp"
 #include "codec/quant.hpp"
+#include "util/alloc_check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dcsr::codec {
+
+namespace {
+
+// Copies src into dst reusing dst's heap blocks: Plane::reset stays on its
+// capacity-reuse branch once the planes have seen a frame of this geometry,
+// so the per-frame reference rotation is heap-silent when warm.
+void copy_frame_into(const FrameYUV& src, FrameYUV& dst) {
+  dst.y.reset(src.y.width(), src.y.height());
+  dst.u.reset(src.u.width(), src.u.height());
+  dst.v.reset(src.v.width(), src.v.height());
+  std::copy(src.y.data(), src.y.data() + src.y.size(), dst.y.data());
+  std::copy(src.u.data(), src.u.data() + src.u.size(), dst.u.data());
+  std::copy(src.v.data(), src.v.data() + src.v.size(), dst.v.data());
+}
+
+}  // namespace
 
 Decoder::Decoder(int width, int height, int crf)
     : width_(width), height_(height), crf_(crf) {
@@ -22,51 +43,160 @@ Decoder::Decoder(int width, int height, int crf)
                                 std::to_string(height));
 }
 
+void Decoder::decode_frame_sliced(const EncodedFrame& ef, const Quantizer& q,
+                                  const FrameYUV* past, const FrameYUV* future,
+                                  FrameYUV& out) {
+  const auto n = static_cast<int>(ef.slice_sizes.size());
+  if (width_ % 16 != 0 || height_ % 16 != 0) {
+    AllocAllowScope allow;
+    throw BitstreamError("decode: sliced frame in a non-MB-aligned stream", 0);
+  }
+  const int mb_rows = height_ / 16;
+  if (n > mb_rows) {
+    AllocAllowScope allow;
+    throw BitstreamError("decode: more slices than macroblock rows", 0);
+  }
+
+  // Canonical geometry (mirrors slice_partition) and payload offsets, built
+  // in warm per-frame scratch; each slice header is validated against this,
+  // never trusted.
+  if (spans_.capacity() < static_cast<std::size_t>(n) ||
+      slice_offsets_.capacity() < static_cast<std::size_t>(n)) {
+    AllocAllowScope allow;
+    spans_.reserve(static_cast<std::size_t>(n));
+    slice_offsets_.reserve(static_cast<std::size_t>(n));
+  }
+  spans_.clear();
+  slice_offsets_.clear();
+  std::size_t off = 0;
+  for (int s = 0; s < n; ++s) {
+    const int r0 = s * mb_rows / n;
+    const int r1 = (s + 1) * mb_rows / n;
+    spans_.push_back({r0, r1 - r0});
+    slice_offsets_.push_back(off);
+    off += ef.slice_sizes[static_cast<std::size_t>(s)];
+  }
+  if (off != ef.payload.size()) {
+    AllocAllowScope allow;
+    throw BitstreamError("decode: slice sizes disagree with payload size", 0);
+  }
+
+  out.y.reset(width_, height_);
+  out.u.reset(width_ / 2, height_ / 2);
+  out.v.reset(width_ / 2, height_ / 2);
+
+  const std::uint8_t* payload = ef.payload.data();
+  float* luma = out.y.data();
+  const std::int64_t row_floats = static_cast<std::int64_t>(width_) * 16;
+  parallel_for_writes(
+      0, n, 1,
+      [&](std::int64_t lo, std::int64_t hi) -> WriteSpan {
+        // A chunk owns the contiguous luma pixel-row band of its slices. The
+        // chroma rows it also writes follow the identical disjoint MB-row
+        // partition (rows [8*r0, 8*r1) of the half-height planes), so
+        // disjoint luma claims prove the chroma writes disjoint too — same
+        // convention as the playback pipeline's per-slot claims.
+        const int r0 = spans_[static_cast<std::size_t>(lo)].first_mb_row;
+        const auto& last = spans_[static_cast<std::size_t>(hi - 1)];
+        const int r1 = last.first_mb_row + last.mb_row_count;
+        return span_of(luma + r0 * row_floats,
+                       static_cast<std::size_t>((r1 - r0) * row_floats));
+      },
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t s = lo; s < hi; ++s) {
+          const std::uint8_t* data = payload + slice_offsets_[static_cast<std::size_t>(s)];
+          const std::size_t size = ef.slice_sizes[static_cast<std::size_t>(s)];
+          const SliceSpan span = spans_[static_cast<std::size_t>(s)];
+          switch (ef.type) {
+            case FrameType::kI:
+              decode_intra_slice(out, q, data, size, span);
+              break;
+            case FrameType::kP:
+              decode_p_slice(out, *past, q, data, size, span);
+              break;
+            case FrameType::kB:
+              decode_b_slice(out, *past, *future, q, data, size, span);
+              break;
+          }
+        }
+      },
+      "codec/decoder.cpp:decode_frame_sliced");
+}
+
 std::vector<FrameYUV> Decoder::decode_segment(const EncodedSegment& seg) {
+  std::vector<FrameYUV> display;
+  decode_segment_into(seg, display);
+  return display;
+}
+
+void Decoder::decode_segment_into(const EncodedSegment& seg,
+                                  std::vector<FrameYUV>& display) {
   const Quantizer q(seg.crf >= 0 ? seg.crf : crf_);
-  std::vector<FrameYUV> display(seg.frames.size());
-  FrameYUV past_ref, last_ref;
-  bool has_ref = false;
+  if (display.size() != seg.frames.size()) {
+    // Segment-length change (or first call): growing the display vector is
+    // warm-up, not steady-state traffic.
+    AllocAllowScope allow;
+    display.resize(seg.frames.size());
+  }
+  int refs_seen = 0;
 
   for (const auto& ef : seg.frames) {
-    BitReader br(ef.payload);
-    FrameYUV frame;
-    switch (ef.type) {
-      case FrameType::kI:
-        frame = decode_intra_frame(width_, height_, q, br);
-        if (deblock_) deblock_frame(frame, q.base_step());
-        // The dcSR integration point: enhance the I frame in the DPB before
-        // any dependent frame is decoded.
-        if (hook_) hook_(frame, FrameType::kI, seg.first_frame + ef.display_index);
-        past_ref = std::move(last_ref);
-        last_ref = frame;
-        has_ref = true;
-        break;
-      case FrameType::kP:
-        if (!has_ref) throw std::invalid_argument("decode: P frame before any reference");
-        frame = decode_p_frame(last_ref, q, br);
-        if (deblock_) deblock_frame(frame, q.base_step());
-        // Optional anchor-frame enhancement: the P reconstruction becomes a
-        // reference too, so enhancing it here propagates exactly like an
-        // enhanced I frame.
-        if (hook_ && hook_p_frames_)
-          hook_(frame, FrameType::kP, seg.first_frame + ef.display_index);
-        past_ref = std::move(last_ref);
-        last_ref = frame;
-        break;
-      case FrameType::kB:
-        if (past_ref.empty())
-          throw std::invalid_argument("decode: B frame without two references");
-        frame = decode_b_frame(past_ref, last_ref, q, br);
-        if (deblock_) deblock_frame(frame, q.base_step());
-        break;
-    }
     if (ef.display_index < 0 ||
         static_cast<std::size_t>(ef.display_index) >= display.size())
       throw std::invalid_argument("decode: bad display index");
-    display[static_cast<std::size_t>(ef.display_index)] = std::move(frame);
+    if (ef.type == FrameType::kP && refs_seen < 1)
+      throw std::invalid_argument("decode: P frame before any reference");
+    if (ef.type == FrameType::kB && refs_seen < 2)
+      throw std::invalid_argument("decode: B frame without two references");
+    FrameYUV& frame = display[static_cast<std::size_t>(ef.display_index)];
+
+    {
+      // Steady-state decode is on the heap-silence contract: slice scratch,
+      // the output planes and the reference buffers all reuse warm storage.
+      HotPathGuard guard("codec/decoder.cpp:decode_segment_into");
+      if (ef.sliced()) {
+        // P predicts from the most recent reference; B from (past, future) =
+        // (older, most recent) — same pairing as the legacy branch below.
+        const FrameYUV* past =
+            ef.type == FrameType::kB ? &ref_past_ : &ref_last_;
+        const FrameYUV* future = ef.type == FrameType::kB ? &ref_last_ : nullptr;
+        decode_frame_sliced(ef, q, past, future, frame);
+      } else {
+        // Legacy (container v2) monolithic payload: the pre-slice decode
+        // path, kept bit-exact for old streams. It builds fresh frames, so
+        // its traffic is sanctioned rather than silent.
+        AllocAllowScope allow;
+        BitReader br(ef.payload);
+        switch (ef.type) {
+          case FrameType::kI:
+            frame = decode_intra_frame(width_, height_, q, br);
+            break;
+          case FrameType::kP:
+            frame = decode_p_frame(ref_last_, q, br);
+            break;
+          case FrameType::kB:
+            frame = decode_b_frame(ref_past_, ref_last_, q, br);
+            break;
+        }
+      }
+      if (deblock_) deblock_frame(frame, q.base_step());
+    }
+    // The dcSR integration point: enhance the reference in the DPB before
+    // any dependent frame is decoded. Deblocking (above) runs first as a
+    // deterministic whole-frame post-pass — slice-count independent — and
+    // the hook sees the filtered frame, exactly as before.
+    if (hook_ && (ef.type == FrameType::kI ||
+                  (ef.type == FrameType::kP && hook_p_frames_)))
+      hook_(frame, ef.type, seg.first_frame + ef.display_index);
+    if (ef.type != FrameType::kB) {
+      std::swap(ref_past_, ref_last_);
+      {
+        HotPathGuard guard("codec/decoder.cpp:reference-rotation");
+        copy_frame_into(frame, ref_last_);
+      }
+      ++refs_seen;
+    }
   }
-  return display;
 }
 
 std::vector<FrameYUV> Decoder::decode_video(const EncodedVideo& video) {

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "codec/frame_coding.hpp"
 #include "codec/types.hpp"
 #include "image/frame.hpp"
 
@@ -39,14 +41,33 @@ class Decoder {
   /// Decodes one segment; returns frames in display order.
   std::vector<FrameYUV> decode_segment(const EncodedSegment& seg);
 
+  /// Warm in-place variant: decodes into `display` (display order), reusing
+  /// its frames' heap blocks across calls. Sliced frames decode their slices
+  /// concurrently (each slice claims its disjoint plane rows under
+  /// `parallel_for_writes`) and the steady state is heap-silent under the
+  /// hot-path allocation contract; a frame without slice data takes the
+  /// legacy pre-slice path, bit-identical to what it always decoded to.
+  void decode_segment_into(const EncodedSegment& seg,
+                           std::vector<FrameYUV>& display);
+
   /// Decodes a whole video; returns frames in display order.
   std::vector<FrameYUV> decode_video(const EncodedVideo& video);
 
  private:
+  void decode_frame_sliced(const EncodedFrame& ef, const Quantizer& q,
+                           const FrameYUV* past, const FrameYUV* future,
+                           FrameYUV& out);
+
   int width_, height_, crf_;
   bool deblock_ = false;
   bool hook_p_frames_ = false;
   ReferenceHook hook_;
+
+  // Warm decode state: two-slot reference buffer plus per-frame slice
+  // scratch, all capacity-reused so steady-state decode stays off the heap.
+  FrameYUV ref_past_, ref_last_;
+  std::vector<SliceSpan> spans_;
+  std::vector<std::size_t> slice_offsets_;
 };
 
 }  // namespace dcsr::codec

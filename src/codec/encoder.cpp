@@ -13,6 +13,8 @@ EncodedSegment Encoder::encode_segment(const std::vector<FrameYUV>& frames,
                                        int first_frame) const {
   if (frames.empty())
     throw std::invalid_argument("encode_segment: empty segment");
+  if (cfg_.slices < 1)
+    throw std::invalid_argument("encode_segment: slices must be >= 1");
   const int L = static_cast<int>(frames.size());
   const Quantizer q(cfg_.crf);
 
@@ -37,27 +39,32 @@ EncodedSegment Encoder::encode_segment(const std::vector<FrameYUV>& frames,
   FrameYUV prev_ref;  // reconstruction of the previous reference, display order
   std::vector<int> pending_b;
 
+  // Every frame is coded in the sliced format (container v3) — even
+  // `slices = 1` — so reconstruction is bit-identical for any slice count
+  // and the decoder can always run slices concurrently. Pre-slice (v2)
+  // streams remain decodable; this encoder just no longer produces them.
   auto emit = [&](int d, FrameType type, const FrameYUV* past,
                   const FrameYUV* future) -> FrameYUV {
-    BitWriter bw;
-    FrameYUV recon;
-    switch (type) {
-      case FrameType::kI:
-        recon = encode_intra_frame(frames[static_cast<std::size_t>(d)], q, bw);
-        break;
-      case FrameType::kP:
-        recon = encode_p_frame(frames[static_cast<std::size_t>(d)], *past, q,
-                               cfg_.search_range, bw);
-        break;
-      case FrameType::kB:
-        recon = encode_b_frame(frames[static_cast<std::size_t>(d)], *past,
-                               *future, q, cfg_.search_range, bw);
-        break;
-    }
     EncodedFrame ef;
     ef.type = type;
     ef.display_index = d;
-    ef.payload = bw.finish();
+    FrameYUV recon;
+    switch (type) {
+      case FrameType::kI:
+        recon = encode_intra_frame_sliced(frames[static_cast<std::size_t>(d)],
+                                          q, cfg_.slices, ef);
+        break;
+      case FrameType::kP:
+        recon = encode_p_frame_sliced(frames[static_cast<std::size_t>(d)],
+                                      *past, q, cfg_.search_range, cfg_.slices,
+                                      ef);
+        break;
+      case FrameType::kB:
+        recon = encode_b_frame_sliced(frames[static_cast<std::size_t>(d)],
+                                      *past, *future, q, cfg_.search_range,
+                                      cfg_.slices, ef);
+        break;
+    }
     seg.frames.push_back(std::move(ef));
     // Closed loop: references are the *filtered* reconstruction, exactly
     // what the decoder will hold.

@@ -8,6 +8,7 @@
 #include "codec/block_coder.hpp"
 #include "codec/errors.hpp"
 #include "codec/motion.hpp"
+#include "util/alloc_check.hpp"
 
 namespace dcsr::codec {
 
@@ -20,8 +21,10 @@ namespace {
 constexpr std::int32_t kMaxMv = 1 << 18;
 
 void check_mv(MotionVector mv, std::size_t bit_offset) {
-  if (mv.x < -kMaxMv || mv.x > kMaxMv || mv.y < -kMaxMv || mv.y > kMaxMv)
+  if (mv.x < -kMaxMv || mv.x > kMaxMv || mv.y < -kMaxMv || mv.y > kMaxMv) {
+    AllocAllowScope allow;
     throw BitstreamError("decode: motion vector out of range", bit_offset);
+  }
 }
 
 void require_mb_aligned(const FrameYUV& f) {
@@ -46,10 +49,13 @@ MotionVector chroma_mv(MotionVector mv) noexcept {
 
 enum class IntraMode : std::uint8_t { kDc = 0, kVertical = 1, kHorizontal = 2 };
 
-Block8 predict_intra(const Plane& recon, int bx, int by, IntraMode mode) {
+// Neighbour availability is the caller's policy: the legacy (pre-slice)
+// format admits any in-frame neighbour, the sliced format restricts `top` to
+// the block's own macroblock row so reconstruction cannot depend on how rows
+// were grouped into slices.
+Block8 predict_intra(const Plane& recon, int bx, int by, IntraMode mode,
+                     bool top, bool left) {
   Block8 pred{};
-  const bool top = by > 0;
-  const bool left = bx > 0;
   switch (mode) {
     case IntraMode::kDc: {
       float acc = 0.0f;
@@ -82,20 +88,28 @@ Block8 predict_intra(const Plane& recon, int bx, int by, IntraMode mode) {
   return pred;
 }
 
-void encode_plane_intra(const Plane& src, Plane& recon, const Quantizer& q,
-                        BitWriter& bw) {
-  for (int by = 0; by < src.height(); by += 8) {
+// Codes the 8x8 block rows covering pixel rows [y0, y1). `mb_row_px` is the
+// intra-prediction restriction period: when nonzero, the row above is only
+// readable from inside the same macroblock row (`by % mb_row_px != 0`); zero
+// keeps the legacy whole-frame policy (`by > 0`). The restriction is what
+// makes sliced reconstruction independent of the slice count — prediction
+// never crosses an MB-row boundary, however the rows are grouped.
+void encode_plane_intra_rows(const Plane& src, Plane& recon, const Quantizer& q,
+                             BitWriter& bw, int y0, int y1, int mb_row_px) {
+  for (int by = y0; by < y1; by += 8) {
+    const bool top = mb_row_px == 0 ? by > 0 : by % mb_row_px != 0;
     for (int bx = 0; bx < src.width(); bx += 8) {
+      const bool left = bx > 0;
       const Block8 block = extract_block(src, bx, by);
 
       // Pick the best available prediction mode by SAD.
       IntraMode best_mode = IntraMode::kDc;
-      Block8 best_pred = predict_intra(recon, bx, by, IntraMode::kDc);
+      Block8 best_pred = predict_intra(recon, bx, by, IntraMode::kDc, top, left);
       float best_sad = 0.0f;
       for (int i = 0; i < 64; ++i)
         best_sad += std::abs(block[static_cast<std::size_t>(i)] - best_pred[static_cast<std::size_t>(i)]);
       auto consider = [&](IntraMode mode) {
-        const Block8 pred = predict_intra(recon, bx, by, mode);
+        const Block8 pred = predict_intra(recon, bx, by, mode, top, left);
         float sad = 0.0f;
         for (int i = 0; i < 64; ++i)
           sad += std::abs(block[static_cast<std::size_t>(i)] - pred[static_cast<std::size_t>(i)]);
@@ -105,8 +119,8 @@ void encode_plane_intra(const Plane& src, Plane& recon, const Quantizer& q,
           best_pred = pred;
         }
       };
-      if (by > 0) consider(IntraMode::kVertical);
-      if (bx > 0) consider(IntraMode::kHorizontal);
+      if (top) consider(IntraMode::kVertical);
+      if (left) consider(IntraMode::kHorizontal);
 
       Block8 residual = block;
       for (int i = 0; i < 64; ++i) residual[static_cast<std::size_t>(i)] -= best_pred[static_cast<std::size_t>(i)];
@@ -125,22 +139,30 @@ void encode_plane_intra(const Plane& src, Plane& recon, const Quantizer& q,
   }
 }
 
-void decode_plane_intra(Plane& out, const Quantizer& q, BitReader& br) {
-  for (int by = 0; by < out.height(); by += 8) {
+void decode_plane_intra_rows(Plane& out, const Quantizer& q, BitReader& br,
+                             int y0, int y1, int mb_row_px) {
+  for (int by = y0; by < y1; by += 8) {
+    const bool top = mb_row_px == 0 ? by > 0 : by % mb_row_px != 0;
     for (int bx = 0; bx < out.width(); bx += 8) {
+      const bool left = bx > 0;
       const std::size_t mode_at = br.bits_consumed();
       const std::uint32_t mode_bits = br.get_bits(2);
-      if (mode_bits > 2)
+      if (mode_bits > 2) {
+        AllocAllowScope allow;
         throw BitstreamError("decode: bad intra prediction mode", mode_at);
+      }
       const auto mode = static_cast<IntraMode>(mode_bits);
       // The encoder only signals a directional mode when the neighbour it
       // reads exists; a corrupted stream can claim one anyway, which would
-      // read past the plane's edge (row -1 / column -1).
-      if ((mode == IntraMode::kVertical && by == 0) ||
-          (mode == IntraMode::kHorizontal && bx == 0))
+      // read past the plane's edge (row -1 / column -1) — or, in a sliced
+      // stream, across an MB-row boundary another slice owns.
+      if ((mode == IntraMode::kVertical && !top) ||
+          (mode == IntraMode::kHorizontal && !left)) {
+        AllocAllowScope allow;
         throw BitstreamError(
             "decode: intra mode references a missing neighbour", mode_at);
-      const Block8 pred = predict_intra(out, bx, by, mode);
+      }
+      const Block8 pred = predict_intra(out, bx, by, mode, top, left);
       const Levels8 levels = read_levels(br, nullptr);
       Block8 rec = reconstruct_block(levels, q, /*intra=*/true);
       for (int i = 0; i < 64; ++i) {
@@ -267,6 +289,54 @@ void reconstruct_mb_skip(FrameYUV& recon, const MbPred& pred, int mbx, int mby) 
   store_block(recon.v, mbx / 2, mby / 2, pred.v);
 }
 
+// Clamps pixel rows [y0, y1) of one plane to [0, 1] — the per-slice spelling
+// of Plane::clamp01, touching only rows the slice owns.
+void clamp_rows(Plane& p, int y0, int y1) {
+  for (int y = y0; y < y1; ++y)
+    for (int x = 0; x < p.width(); ++x)
+      p.at(x, y) = std::clamp(p.at(x, y), 0.0f, 1.0f);
+}
+
+// ---- Slice substream framing -----------------------------------------------
+//
+// Each slice substream opens with a resync header: an 8-bit marker byte
+// (0x5c) followed by ue(first_mb_row) and ue(mb_row_count). The geometry is
+// redundant with the canonical partition — the reader validates it rather
+// than trusting it, so a stream whose slices disagree with the partition
+// fails loudly instead of writing rows another slice owns.
+
+constexpr std::uint32_t kSliceMarker = 0x5c;
+
+void write_slice_header(BitWriter& bw, SliceSpan s) {
+  bw.put_bits(kSliceMarker, 8);
+  bw.put_ue(static_cast<std::uint32_t>(s.first_mb_row));
+  bw.put_ue(static_cast<std::uint32_t>(s.mb_row_count));
+}
+
+void read_slice_header(BitReader& br, SliceSpan expect) {
+  const std::size_t marker_at = br.bits_consumed();
+  if (br.get_bits(8) != kSliceMarker) {
+    AllocAllowScope allow;
+    throw BitstreamError("decode: bad slice resync marker", marker_at);
+  }
+  const std::size_t rows_at = br.bits_consumed();
+  const std::uint32_t first = br.get_ue();
+  const std::uint32_t count = br.get_ue();
+  if (first != static_cast<std::uint32_t>(expect.first_mb_row) ||
+      count != static_cast<std::uint32_t>(expect.mb_row_count)) {
+    AllocAllowScope allow;
+    throw BitstreamError(
+        "decode: slice geometry disagrees with the canonical partition",
+        rows_at);
+  }
+}
+
+// Appends a finished slice substream to the frame, recording its length.
+void append_slice(EncodedFrame& frame, std::vector<std::uint8_t> bytes) {
+  frame.slice_sizes.push_back(static_cast<std::uint32_t>(bytes.size()));
+  frame.payload.insert(frame.payload.end(), bytes.begin(), bytes.end());
+}
+
 float pred_sad(const FrameYUV& src, const MbPred& pred, int mbx, int mby) {
   float acc = 0.0f;
   for (int i = 0; i < 4; ++i) {
@@ -281,32 +351,77 @@ float pred_sad(const FrameYUV& src, const MbPred& pred, int mbx, int mby) {
 
 }  // namespace
 
+// ---- Slice partition -------------------------------------------------------
+
+std::vector<SliceSpan> slice_partition(int mb_rows, int slices) {
+  const int n = std::clamp(slices, 1, mb_rows);
+  std::vector<SliceSpan> spans;
+  spans.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const int r0 = s * mb_rows / n;
+    const int r1 = (s + 1) * mb_rows / n;
+    spans.push_back({r0, r1 - r0});
+  }
+  return spans;
+}
+
 // ---- Intra frame -----------------------------------------------------------
 
 FrameYUV encode_intra_frame(const FrameYUV& src, const Quantizer& q, BitWriter& bw) {
   require_mb_aligned(src);
   FrameYUV recon(src.width(), src.height());
-  encode_plane_intra(src.y, recon.y, q, bw);
-  encode_plane_intra(src.u, recon.u, q, bw);
-  encode_plane_intra(src.v, recon.v, q, bw);
+  encode_plane_intra_rows(src.y, recon.y, q, bw, 0, src.height(), 0);
+  encode_plane_intra_rows(src.u, recon.u, q, bw, 0, src.height() / 2, 0);
+  encode_plane_intra_rows(src.v, recon.v, q, bw, 0, src.height() / 2, 0);
   return recon;
 }
 
 FrameYUV decode_intra_frame(int width, int height, const Quantizer& q, BitReader& br) {
   FrameYUV out(width, height);
-  decode_plane_intra(out.y, q, br);
-  decode_plane_intra(out.u, q, br);
-  decode_plane_intra(out.v, q, br);
+  decode_plane_intra_rows(out.y, q, br, 0, height, 0);
+  decode_plane_intra_rows(out.u, q, br, 0, height / 2, 0);
+  decode_plane_intra_rows(out.v, q, br, 0, height / 2, 0);
   return out;
+}
+
+FrameYUV encode_intra_frame_sliced(const FrameYUV& src, const Quantizer& q,
+                                   int slices, EncodedFrame& frame) {
+  require_mb_aligned(src);
+  FrameYUV recon(src.width(), src.height());
+  for (const SliceSpan s : slice_partition(src.height() / 16, slices)) {
+    const int r0 = s.first_mb_row, r1 = s.first_mb_row + s.mb_row_count;
+    BitWriter bw;
+    write_slice_header(bw, s);
+    encode_plane_intra_rows(src.y, recon.y, q, bw, 16 * r0, 16 * r1, 16);
+    encode_plane_intra_rows(src.u, recon.u, q, bw, 8 * r0, 8 * r1, 8);
+    encode_plane_intra_rows(src.v, recon.v, q, bw, 8 * r0, 8 * r1, 8);
+    append_slice(frame, bw.finish());
+  }
+  return recon;
+}
+
+void decode_intra_slice(FrameYUV& out, const Quantizer& q,
+                        const std::uint8_t* data, std::size_t size,
+                        SliceSpan expect) {
+  BitReader br(data, size);
+  read_slice_header(br, expect);
+  const int r0 = expect.first_mb_row, r1 = expect.first_mb_row + expect.mb_row_count;
+  decode_plane_intra_rows(out.y, q, br, 16 * r0, 16 * r1, 16);
+  decode_plane_intra_rows(out.u, q, br, 8 * r0, 8 * r1, 8);
+  decode_plane_intra_rows(out.v, q, br, 8 * r0, 8 * r1, 8);
 }
 
 // ---- P frame ---------------------------------------------------------------
 
-FrameYUV encode_p_frame(const FrameYUV& src, const FrameYUV& ref,
-                        const Quantizer& q, int search_range, BitWriter& bw) {
-  require_mb_aligned(src);
-  FrameYUV recon(src.width(), src.height());
-  for (int mby = 0; mby < src.height(); mby += 16) {
+namespace {
+
+// Codes macroblock rows [r0, r1) of a P frame. The MV predictor resets at
+// every MB row (decoder mirrors it), so row ranges are self-contained and a
+// sliced stream's rows code to exactly the same bits as the legacy frame's.
+void encode_p_rows(const FrameYUV& src, const FrameYUV& ref, FrameYUV& recon,
+                   const Quantizer& q, int search_range, int r0, int r1,
+                   BitWriter& bw) {
+  for (int mby = 16 * r0; mby < 16 * r1; mby += 16) {
     MotionVector pred_mv{0, 0};  // reset at each MB row; decoder mirrors this
     for (int mbx = 0; mbx < src.width(); mbx += 16) {
       const MotionVector full =
@@ -330,15 +445,11 @@ FrameYUV encode_p_frame(const FrameYUV& src, const FrameYUV& ref,
       pred_mv = mv;
     }
   }
-  recon.y.clamp01();
-  recon.u.clamp01();
-  recon.v.clamp01();
-  return recon;
 }
 
-FrameYUV decode_p_frame(const FrameYUV& ref, const Quantizer& q, BitReader& br) {
-  FrameYUV out(ref.width(), ref.height());
-  for (int mby = 0; mby < out.height(); mby += 16) {
+void decode_p_rows(FrameYUV& out, const FrameYUV& ref, const Quantizer& q,
+                   int r0, int r1, BitReader& br) {
+  for (int mby = 16 * r0; mby < 16 * r1; mby += 16) {
     MotionVector pred_mv{0, 0};
     for (int mbx = 0; mbx < out.width(); mbx += 16) {
       const bool skip = br.get_bit();
@@ -358,24 +469,72 @@ FrameYUV decode_p_frame(const FrameYUV& ref, const Quantizer& q, BitReader& br) 
       pred_mv = mv;
     }
   }
+}
+
+}  // namespace
+
+FrameYUV encode_p_frame(const FrameYUV& src, const FrameYUV& ref,
+                        const Quantizer& q, int search_range, BitWriter& bw) {
+  require_mb_aligned(src);
+  FrameYUV recon(src.width(), src.height());
+  encode_p_rows(src, ref, recon, q, search_range, 0, src.height() / 16, bw);
+  recon.y.clamp01();
+  recon.u.clamp01();
+  recon.v.clamp01();
+  return recon;
+}
+
+FrameYUV decode_p_frame(const FrameYUV& ref, const Quantizer& q, BitReader& br) {
+  FrameYUV out(ref.width(), ref.height());
+  decode_p_rows(out, ref, q, 0, out.height() / 16, br);
   out.y.clamp01();
   out.u.clamp01();
   out.v.clamp01();
   return out;
 }
 
+FrameYUV encode_p_frame_sliced(const FrameYUV& src, const FrameYUV& ref,
+                               const Quantizer& q, int search_range, int slices,
+                               EncodedFrame& frame) {
+  require_mb_aligned(src);
+  FrameYUV recon(src.width(), src.height());
+  for (const SliceSpan s : slice_partition(src.height() / 16, slices)) {
+    BitWriter bw;
+    write_slice_header(bw, s);
+    encode_p_rows(src, ref, recon, q, search_range, s.first_mb_row,
+                  s.first_mb_row + s.mb_row_count, bw);
+    append_slice(frame, bw.finish());
+  }
+  recon.y.clamp01();
+  recon.u.clamp01();
+  recon.v.clamp01();
+  return recon;
+}
+
+void decode_p_slice(FrameYUV& out, const FrameYUV& ref, const Quantizer& q,
+                    const std::uint8_t* data, std::size_t size,
+                    SliceSpan expect) {
+  BitReader br(data, size);
+  read_slice_header(br, expect);
+  const int r0 = expect.first_mb_row, r1 = expect.first_mb_row + expect.mb_row_count;
+  decode_p_rows(out, ref, q, r0, r1, br);
+  clamp_rows(out.y, 16 * r0, 16 * r1);
+  clamp_rows(out.u, 8 * r0, 8 * r1);
+  clamp_rows(out.v, 8 * r0, 8 * r1);
+}
+
 // ---- B frame ---------------------------------------------------------------
 
 namespace {
 enum class BMode : std::uint8_t { kForward = 0, kBackward = 1, kBi = 2 };
-}
 
-FrameYUV encode_b_frame(const FrameYUV& src, const FrameYUV& ref_past,
-                        const FrameYUV& ref_future, const Quantizer& q,
-                        int search_range, BitWriter& bw) {
-  require_mb_aligned(src);
-  FrameYUV recon(src.width(), src.height());
-  for (int mby = 0; mby < src.height(); mby += 16) {
+// Codes macroblock rows [r0, r1) of a B frame. B macroblocks carry absolute
+// MVs (no cross-MB predictor), so row ranges are naturally self-contained.
+void encode_b_rows(const FrameYUV& src, const FrameYUV& ref_past,
+                   const FrameYUV& ref_future, FrameYUV& recon,
+                   const Quantizer& q, int search_range, int r0, int r1,
+                   BitWriter& bw) {
+  for (int mby = 16 * r0; mby < 16 * r1; mby += 16) {
     for (int mbx = 0; mbx < src.width(); mbx += 16) {
       const MotionVector full0 =
           motion_search(src.y, ref_past.y, mbx, mby, 16, search_range);
@@ -427,16 +586,12 @@ FrameYUV encode_b_frame(const FrameYUV& src, const FrameYUV& ref_past,
       reconstruct_mb(recon, *pred, levels, mbx, mby, q);
     }
   }
-  recon.y.clamp01();
-  recon.u.clamp01();
-  recon.v.clamp01();
-  return recon;
 }
 
-FrameYUV decode_b_frame(const FrameYUV& ref_past, const FrameYUV& ref_future,
-                        const Quantizer& q, BitReader& br) {
-  FrameYUV out(ref_past.width(), ref_past.height());
-  for (int mby = 0; mby < out.height(); mby += 16) {
+void decode_b_rows(FrameYUV& out, const FrameYUV& ref_past,
+                   const FrameYUV& ref_future, const Quantizer& q, int r0,
+                   int r1, BitReader& br) {
+  for (int mby = 16 * r0; mby < 16 * r1; mby += 16) {
     for (int mbx = 0; mbx < out.width(); mbx += 16) {
       const bool skip = br.get_bit();
       if (skip) {
@@ -450,8 +605,10 @@ FrameYUV decode_b_frame(const FrameYUV& ref_past, const FrameYUV& ref_future,
       const std::uint32_t mode_bits = br.get_bits(2);
       // Mode 3 has no meaning; before this guard it fell through the switch
       // below and reconstructed from an uninitialised MbPred.
-      if (mode_bits > 2)
+      if (mode_bits > 2) {
+        AllocAllowScope allow;
         throw BitstreamError("decode: bad B-frame prediction mode", mode_at);
+      }
       const auto mode = static_cast<BMode>(mode_bits);
       MotionVector mv0{0, 0}, mv1{0, 0};
       if (mode != BMode::kBackward) {
@@ -479,9 +636,91 @@ FrameYUV decode_b_frame(const FrameYUV& ref_past, const FrameYUV& ref_future,
       reconstruct_mb(out, pred, levels, mbx, mby, q);
     }
   }
+}
+
+}  // namespace
+
+FrameYUV encode_b_frame(const FrameYUV& src, const FrameYUV& ref_past,
+                        const FrameYUV& ref_future, const Quantizer& q,
+                        int search_range, BitWriter& bw) {
+  require_mb_aligned(src);
+  FrameYUV recon(src.width(), src.height());
+  encode_b_rows(src, ref_past, ref_future, recon, q, search_range, 0,
+                src.height() / 16, bw);
+  recon.y.clamp01();
+  recon.u.clamp01();
+  recon.v.clamp01();
+  return recon;
+}
+
+FrameYUV decode_b_frame(const FrameYUV& ref_past, const FrameYUV& ref_future,
+                        const Quantizer& q, BitReader& br) {
+  FrameYUV out(ref_past.width(), ref_past.height());
+  decode_b_rows(out, ref_past, ref_future, q, 0, out.height() / 16, br);
   out.y.clamp01();
   out.u.clamp01();
   out.v.clamp01();
+  return out;
+}
+
+FrameYUV encode_b_frame_sliced(const FrameYUV& src, const FrameYUV& ref_past,
+                               const FrameYUV& ref_future, const Quantizer& q,
+                               int search_range, int slices,
+                               EncodedFrame& frame) {
+  require_mb_aligned(src);
+  FrameYUV recon(src.width(), src.height());
+  for (const SliceSpan s : slice_partition(src.height() / 16, slices)) {
+    BitWriter bw;
+    write_slice_header(bw, s);
+    encode_b_rows(src, ref_past, ref_future, recon, q, search_range,
+                  s.first_mb_row, s.first_mb_row + s.mb_row_count, bw);
+    append_slice(frame, bw.finish());
+  }
+  recon.y.clamp01();
+  recon.u.clamp01();
+  recon.v.clamp01();
+  return recon;
+}
+
+void decode_b_slice(FrameYUV& out, const FrameYUV& ref_past,
+                    const FrameYUV& ref_future, const Quantizer& q,
+                    const std::uint8_t* data, std::size_t size,
+                    SliceSpan expect) {
+  BitReader br(data, size);
+  read_slice_header(br, expect);
+  const int r0 = expect.first_mb_row, r1 = expect.first_mb_row + expect.mb_row_count;
+  decode_b_rows(out, ref_past, ref_future, q, r0, r1, br);
+  clamp_rows(out.y, 16 * r0, 16 * r1);
+  clamp_rows(out.u, 8 * r0, 8 * r1);
+  clamp_rows(out.v, 8 * r0, 8 * r1);
+}
+
+FrameYUV decode_intra_frame_sliced(int width, int height, const Quantizer& q,
+                                   const EncodedFrame& frame) {
+  if (width % 16 != 0 || height % 16 != 0) {
+    AllocAllowScope allow;
+    throw BitstreamError("decode: sliced stream geometry is not MB-aligned", 0);
+  }
+  const int n = static_cast<int>(frame.slice_sizes.size());
+  const auto spans = slice_partition(height / 16, n);
+  if (static_cast<int>(spans.size()) != n) {
+    AllocAllowScope allow;
+    throw BitstreamError("decode: more slices than macroblock rows", 0);
+  }
+  std::size_t total = 0;
+  for (const auto s : frame.slice_sizes) total += s;
+  if (total != frame.payload.size()) {
+    AllocAllowScope allow;
+    throw BitstreamError("decode: slice sizes disagree with payload size", 0);
+  }
+  FrameYUV out(width, height);
+  std::size_t off = 0;
+  for (int i = 0; i < n; ++i) {
+    decode_intra_slice(out, q, frame.payload.data() + off,
+                       frame.slice_sizes[static_cast<std::size_t>(i)],
+                       spans[static_cast<std::size_t>(i)]);
+    off += frame.slice_sizes[static_cast<std::size_t>(i)];
+  }
   return out;
 }
 

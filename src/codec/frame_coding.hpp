@@ -1,7 +1,11 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "codec/bits.hpp"
 #include "codec/quant.hpp"
+#include "codec/types.hpp"
 #include "image/frame.hpp"
 
 namespace dcsr::codec {
@@ -33,5 +37,64 @@ FrameYUV encode_b_frame(const FrameYUV& src, const FrameYUV& ref_past,
                         int search_range, BitWriter& bw);
 FrameYUV decode_b_frame(const FrameYUV& ref_past, const FrameYUV& ref_future,
                         const Quantizer& q, BitReader& br);
+
+// ---- Macroblock-row slices (container v3 streams) --------------------------
+
+/// One slice: macroblock rows [first_mb_row, first_mb_row + mb_row_count).
+/// Slices are full-width bands of whole MB rows, so a frame's slices tile its
+/// planes into disjoint pixel-row ranges.
+struct SliceSpan {
+  int first_mb_row = 0;
+  int mb_row_count = 0;
+};
+
+/// Canonical partition of `mb_rows` MB rows into `slices` slices: slice s of
+/// S covers rows [s*R/S, (s+1)*R/S). `slices` is clamped to [1, mb_rows], so
+/// every slice is non-empty. Encoder and decoder both derive geometry from
+/// this function; slice headers carry it redundantly and are validated.
+std::vector<SliceSpan> slice_partition(int mb_rows, int slices);
+
+/// Sliced frame coding. Each slice is an independently decodable, byte-
+/// aligned entropy substream: a resync header (marker byte 0x5c +
+/// ue(first_mb_row) + ue(mb_row_count)) followed by that slice's MB rows.
+/// No prediction state crosses an MB-row boundary — intra blocks only read
+/// reconstructed samples of their own MB row, and the P-frame MV predictor
+/// resets per MB row — so the reconstruction is bit-identical for *every*
+/// slice count, and the decoder may run slices concurrently. The encoders
+/// append substreams to `frame.payload`, record lengths in
+/// `frame.slice_sizes`, and return the reconstruction like their sliceless
+/// counterparts.
+FrameYUV encode_intra_frame_sliced(const FrameYUV& src, const Quantizer& q,
+                                   int slices, EncodedFrame& frame);
+FrameYUV encode_p_frame_sliced(const FrameYUV& src, const FrameYUV& ref,
+                               const Quantizer& q, int search_range, int slices,
+                               EncodedFrame& frame);
+FrameYUV encode_b_frame_sliced(const FrameYUV& src, const FrameYUV& ref_past,
+                               const FrameYUV& ref_future, const Quantizer& q,
+                               int search_range, int slices,
+                               EncodedFrame& frame);
+
+/// Decodes one slice substream into the rows of `out` it owns. `expect` is
+/// the canonical partition entry for the slice; a header that disagrees (bad
+/// marker, wrong geometry) throws BitstreamError before any pixel is
+/// written. Each call touches only its own pixel rows, so callers may decode
+/// a frame's slices concurrently into one output frame.
+void decode_intra_slice(FrameYUV& out, const Quantizer& q,
+                        const std::uint8_t* data, std::size_t size,
+                        SliceSpan expect);
+void decode_p_slice(FrameYUV& out, const FrameYUV& ref, const Quantizer& q,
+                    const std::uint8_t* data, std::size_t size,
+                    SliceSpan expect);
+void decode_b_slice(FrameYUV& out, const FrameYUV& ref_past,
+                    const FrameYUV& ref_future, const Quantizer& q,
+                    const std::uint8_t* data, std::size_t size,
+                    SliceSpan expect);
+
+/// Decodes a whole sliced intra frame sequentially (every slice in order).
+/// Convenience for call sites that inspect individual I frames outside a
+/// Decoder — the server's training-pair collection, tools, tests. Throws
+/// BitstreamError on geometry/size-table mismatches like the Decoder does.
+FrameYUV decode_intra_frame_sliced(int width, int height, const Quantizer& q,
+                                   const EncodedFrame& frame);
 
 }  // namespace dcsr::codec

@@ -25,6 +25,13 @@ struct EncodedFrame {
   int display_index = 0;  // position within the segment, display order
   std::vector<std::uint8_t> payload;
 
+  /// Byte length of each macroblock-row slice inside `payload`, in slice
+  /// order; the sizes sum to payload.size(). Empty for pre-slice (container
+  /// v2) streams, which carry one monolithic entropy-coded payload — the
+  /// decoder dispatches on this to keep old streams decoding bit-identically.
+  std::vector<std::uint32_t> slice_sizes;
+
+  bool sliced() const noexcept { return !slice_sizes.empty(); }
   std::size_t size_bytes() const noexcept { return payload.size(); }
 };
 
@@ -90,6 +97,14 @@ struct CodecConfig {
   /// it identically). Off by default; the ablation bench compares it, as
   /// the classical artifact-reduction tool, against dcSR's neural one.
   bool deblock = false;
+
+  /// Number of macroblock-row slices per frame (clamped to the frame's MB-row
+  /// count). Each slice is an independently decodable entropy substream with
+  /// its own predictor reset, so the decoder can run slices concurrently.
+  /// Decoded output is bit-identical for every slice count: sliced streams
+  /// use slice-restricted intra prediction regardless of how many slices the
+  /// rows were split into.
+  int slices = 1;
 };
 
 }  // namespace dcsr::codec

@@ -10,6 +10,9 @@
 #include "codec/decoder.hpp"
 #include "codec/encoder.hpp"
 #include "codec/errors.hpp"
+#include "codec/frame_coding.hpp"
+#include "codec/quant.hpp"
+#include "image/convert.hpp"
 #include "stream/errors.hpp"
 #include "stream/manifest.hpp"
 #include "stream/model_bundle.hpp"
@@ -120,6 +123,11 @@ codec::EncodedVideo base_video(std::uint64_t seed) {
       for (int i = 0; i < n; ++i)
         frame.payload.push_back(
             static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+      // Second segment carries v3 slice tables so container mutations also
+      // walk the slice-count/size validation (the first stays sliceless —
+      // slice_count 0 — exercising the mixed case a v3 file may hold).
+      if (s == 1)
+        frame.slice_sizes = {static_cast<std::uint32_t>(frame.payload.size())};
       seg.frames.push_back(std::move(frame));
     }
     v.segments.push_back(std::move(seg));
@@ -184,6 +192,18 @@ Bytes valid_input(Harness h, std::uint64_t seed) {
       ByteWriter w;
       base_bundle(seed).serialize(w);
       return w.bytes();
+    }
+    case Harness::kSlice: {
+      // One real single-slice I frame: resync header (marker + geometry)
+      // followed by a restricted-intra payload. Mutations walk the marker
+      // check, the ue-coded geometry fields, and the entropy loop behind
+      // the resync point.
+      const auto video = make_genre_video(Genre::kNews, seed, 32, 32, 0.2);
+      const codec::Quantizer q(30);
+      codec::EncodedFrame ef;
+      (void)codec::encode_intra_frame_sliced(rgb_to_yuv420(video->frame(0)),
+                                             q, 1, ef);
+      return ef.payload;
     }
   }
   return {};
@@ -261,7 +281,8 @@ codec::EncodedVideo encode_base_video(std::uint64_t seed) {
 
 std::vector<Harness> all_harnesses() {
   return {Harness::kBits,     Harness::kContainer, Harness::kDecoder,
-          Harness::kManifest, Harness::kPlaylist,  Harness::kBundle};
+          Harness::kManifest, Harness::kPlaylist,  Harness::kBundle,
+          Harness::kSlice};
 }
 
 const char* harness_name(Harness h) {
@@ -272,6 +293,7 @@ const char* harness_name(Harness h) {
     case Harness::kManifest: return "manifest";
     case Harness::kPlaylist: return "playlist";
     case Harness::kBundle: return "bundle";
+    case Harness::kSlice: return "slice";
   }
   return "?";
 }
@@ -357,6 +379,26 @@ ReplayOutcome replay(Harness h, const Bytes& bytes) {
       } catch (const std::out_of_range&) {
         return ReplayOutcome::kSafeError;
       }
+    case Harness::kSlice:
+      // The bytes are one slice substream: wrap them as a single-slice
+      // I frame (the container v3 shape) so they run the concurrent sliced
+      // decode path — resync header first, entropy loop after it.
+      try {
+        codec::EncodedSegment seg;
+        seg.crf = 28;
+        codec::EncodedFrame frame;
+        frame.type = codec::FrameType::kI;
+        frame.payload = bytes;
+        frame.slice_sizes = {static_cast<std::uint32_t>(bytes.size())};
+        seg.frames.push_back(std::move(frame));
+        codec::Decoder dec(32, 32, 28);
+        (void)dec.decode_segment(seg);
+        return ReplayOutcome::kParsed;
+      } catch (const codec::BitstreamError&) {
+        return ReplayOutcome::kTypedError;
+      } catch (const std::invalid_argument&) {
+        return ReplayOutcome::kSafeError;  // reference/display-structure guard
+      }
   }
   return ReplayOutcome::kParsed;
 }
@@ -391,6 +433,28 @@ FuzzStats run(Harness h, std::uint64_t seed, std::uint64_t iters,
               0, static_cast<std::int64_t>(seg.frames.size()) - 1));
           seg.frames[f].payload = mutate(seg.frames[f].payload, rng);
           if (input.empty()) input = seg.frames[f].payload;
+        }
+        // The encoder emits sliced (v3) frames, so every payload mutation
+        // above already lands in the sliced path. Additionally corrupt the
+        // slice *table* sometimes: size-sum mismatches, impossible slice
+        // counts, and demotion to the legacy sliceless parse.
+        if (rng.uniform_int(0, 3) == 0) {
+          const auto f = static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(seg.frames.size()) - 1));
+          auto& sizes = seg.frames[f].slice_sizes;
+          switch (rng.uniform_int(0, 2)) {
+            case 0:
+              if (!sizes.empty())
+                sizes[0] += static_cast<std::uint32_t>(rng.uniform_int(1, 64));
+              break;
+            case 1:
+              sizes.push_back(
+                  static_cast<std::uint32_t>(rng.uniform_int(0, 64)));
+              break;
+            default:
+              sizes.clear();
+              break;
+          }
         }
         try {
           codec::Decoder dec(encoded.width, encoded.height, encoded.crf);
@@ -479,6 +543,33 @@ std::vector<std::pair<std::string, Bytes>> regression_corpus() {
     bw.put_se(1);       // its level
     bw.put_ue(0);       // one more (run 0) — lands at position 64
     out.emplace_back("decoder-run-past-block.bin", bw.finish());
+  }
+
+  // codec slices: the first byte of a slice substream must be the resync
+  // marker 0x5c; anything else is a desynchronised or overwritten slice.
+  out.emplace_back("slice-bad-marker.bin", Bytes{0x00});
+  // codec slices: a substream that ends inside the resync header (marker
+  // present, geometry fields missing) must throw, not read past the end.
+  out.emplace_back("slice-truncated-header.bin", Bytes{0x5c});
+  {  // codec slices: header geometry disagreeing with the canonical
+     // partition (claims MB row 1 of 1 where slice 0 of a 32x32 frame must
+     // cover rows [0, 2)) — a slice written for a different frame size or a
+     // reordered slice table.
+    codec::BitWriter bw;
+    bw.put_bits(0x5c, 8);
+    bw.put_ue(1);  // first_mb_row: canonical slice 0 starts at row 0
+    bw.put_ue(1);  // mb_row_count: the single slice must cover both rows
+    out.emplace_back("slice-geometry-mismatch.bin", bw.finish());
+  }
+  {  // codec slices: valid resync header, impossible intra mode right after
+     // it — the post-resync entropy loop must stay as hardened as the
+     // sliceless one.
+    codec::BitWriter bw;
+    bw.put_bits(0x5c, 8);
+    bw.put_ue(0);
+    bw.put_ue(2);
+    bw.put_bits(3, 2);  // intra mode 3 does not exist
+    out.emplace_back("slice-bad-mode-after-resync.bin", bw.finish());
   }
 
   {  // stream/manifest: wrong magic.

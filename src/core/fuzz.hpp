@@ -21,6 +21,7 @@ enum class Harness {
   kManifest,   // stream/manifest binary read_manifest
   kPlaylist,   // stream/playlist text parse_playlist
   kBundle,     // stream/model_bundle deserialize
+  kSlice,      // codec/decoder sliced (v3) path: resync headers + geometry
 };
 
 /// All harnesses in a stable order (the `all` mode of the CLI).

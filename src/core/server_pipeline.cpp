@@ -39,9 +39,14 @@ std::vector<SegmentIFrames> collect_iframe_pairs(
     entry.segment_index = static_cast<int>(s);
     for (const auto& ef : encoded.segments[s].frames) {
       if (ef.type != codec::FrameType::kI) continue;
-      codec::BitReader br(ef.payload);
-      FrameYUV lo_yuv =
-          codec::decode_intra_frame(encoded.width, encoded.height, q, br);
+      FrameYUV lo_yuv;
+      if (ef.sliced()) {
+        lo_yuv = codec::decode_intra_frame_sliced(encoded.width,
+                                                  encoded.height, q, ef);
+      } else {
+        codec::BitReader br(ef.payload);
+        lo_yuv = codec::decode_intra_frame(encoded.width, encoded.height, q, br);
+      }
       // Training inputs must be exactly what the client's DPB will hold.
       if (encoded.deblock) codec::deblock_frame(lo_yuv, q.base_step());
       sr::TrainSample pair;

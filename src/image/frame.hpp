@@ -116,4 +116,12 @@ FrameRGB tensor_to_frame(const Tensor& t);
 void frame_to_tensor_into(const FrameRGB& f, Tensor& t);
 void tensor_to_frame_into(const Tensor& t, FrameRGB& f);
 
+/// Batched variants: pack `n` same-sized frames into one Nx3xHxW tensor /
+/// unpack one back out. Batch item i carries exactly the floats the single-
+/// frame converters would produce for frames[i] — batching is a layout
+/// decision, never a value change. Throws std::invalid_argument on an empty
+/// batch or mixed frame geometry.
+void frames_to_tensor_into(const FrameRGB* const* frames, int n, Tensor& t);
+void tensor_to_frames_into(const Tensor& t, FrameRGB* const* frames);
+
 }  // namespace dcsr

@@ -215,6 +215,43 @@ void Edsr::enhance_into(const FrameRGB& frame, FrameRGB& out) const {
   tensor_to_frame_into(*y, out);
 }
 
+void Edsr::enhance_batch_into(const FrameRGB* const* frames, FrameRGB* const* outs,
+                              int n) const {
+  if (n <= 0) {
+    AllocAllowScope allow;  // error path may run under a caller's guard
+    throw std::invalid_argument("Edsr::enhance_batch_into: empty batch");
+  }
+  for (int i = 0; i < n; ++i) {
+    const FrameRGB& f = *frames[i];
+    if (f.empty() || !f.r.same_size(f.g) || !f.r.same_size(f.b)) {
+      AllocAllowScope allow;
+      throw std::invalid_argument(
+          "Edsr::enhance_batch_into: empty or inconsistent frame at batch "
+          "index " +
+          std::to_string(i));
+    }
+    if (f.width() != frames[0]->width() || f.height() != frames[0]->height()) {
+      AllocAllowScope allow;
+      throw std::invalid_argument(
+          "Edsr::enhance_batch_into: mixed frame geometry at batch index " +
+          std::to_string(i));
+    }
+  }
+  // One workspace checkout for the whole batch, one infer over Nx3xHxW.
+  // Every module's infer_into processes batch items independently, so the
+  // result is bit-identical to n enhance_into calls — batching only
+  // amortises the per-call overhead (and, in the fleet, the model traffic).
+  HotPathGuard alloc_guard("sr/edsr.cpp:Edsr::enhance_batch_into");
+  Workspace& ws = Workspace::local();
+  WorkspaceTensor in =
+      ws.acquire({n, 3, frames[0]->height(), frames[0]->width()});
+  frames_to_tensor_into(frames, n, *in);
+  WorkspaceTensor y = ws.acquire(out_shape(in->shape()));
+  infer_into(*in, *y, ws);
+  in = WorkspaceTensor();
+  tensor_to_frames_into(*y, outs);
+}
+
 std::uint64_t Edsr::flops(int in_width, int in_height) const noexcept {
   return edsr_flops(cfg_, in_width, in_height);
 }

@@ -80,6 +80,15 @@ class Edsr final : public nn::Module {
   /// touching the allocator. Values identical to enhance().
   void enhance_into(const FrameRGB& frame, FrameRGB& out) const;
 
+  /// Batched enhance: packs `n` same-sized frames into one Nx3xHxW tensor,
+  /// runs a single infer_into (one workspace checkout for the whole batch),
+  /// and unpacks into `outs`. outs[i] is bit-identical to
+  /// `enhance_into(*frames[i], *outs[i])` — batching amortises dispatch and
+  /// weight traffic, never changes values. The fleet driver uses this to
+  /// coalesce concurrent I-frame SR requests that share a cluster model.
+  void enhance_batch_into(const FrameRGB* const* frames, FrameRGB* const* outs,
+                          int n) const;
+
  private:
   EdsrConfig cfg_;
   nn::Conv2d head_;

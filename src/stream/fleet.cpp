@@ -149,9 +149,51 @@ FleetSummary run_fleet(const FleetConfig& cfg) {
   DurationHistogram fetch_hist(0.001, 4096);   // 1 ms bins to ~4 s
   DurationHistogram startup_hist(0.05, 4096);  // 50 ms bins to ~205 s
   DurationHistogram rebuffer_hist(0.05, 4096);
+  DurationHistogram sr_hist(0.001, 4096);      // SR wait + service, 1 ms bins
 
   FleetSummary sum;
   sum.sessions = workload.sessions.size();
+
+  // One open SR batch per cluster model. Requests arrive in global event
+  // order (the queue is time-sorted), so a request past the batch's close
+  // time lazily flushes it before opening the next one.
+  struct OpenBatch {
+    double close = 0.0;
+    std::vector<double> waits;  // each member's wait until the batch closes
+  };
+  std::unordered_map<int, OpenBatch> sr_open;
+
+  auto flush_sr_batch = [&](OpenBatch& b) {
+    const std::size_t k = b.waits.size();
+    if (k == 0) return;
+    const double service = cfg.sr_base_latency_seconds +
+                           cfg.sr_per_frame_seconds * static_cast<double>(k);
+    for (const double w : b.waits) sr_hist.add(w + service);
+    sum.sr_server_seconds += service;
+    sum.sr_frames += k;
+    ++sum.sr_batches;
+    b.waits.clear();
+  };
+
+  auto sr_request = [&](int cluster, double now) {
+    if (cfg.sr_batch_window_seconds <= 0.0) {
+      // Unbatched serving: every I frame is its own infer call.
+      const double service =
+          cfg.sr_base_latency_seconds + cfg.sr_per_frame_seconds;
+      sr_hist.add(service);
+      sum.sr_server_seconds += service;
+      ++sum.sr_frames;
+      ++sum.sr_batches;
+      return;
+    }
+    // Batch assembly allocates (map slot, wait-list growth) by design — it
+    // models server-side queueing, not per-frame client work.
+    AllocAllowScope allow;
+    OpenBatch& b = sr_open[cluster];
+    if (!b.waits.empty() && now > b.close) flush_sr_batch(b);
+    if (b.waits.empty()) b.close = now + cfg.sr_batch_window_seconds;
+    b.waits.push_back(b.close - now);
+  };
 
   std::unordered_map<std::uint32_t, ActiveSession> active;
   std::priority_queue<Event, std::vector<Event>, EventAfter> queue;
@@ -184,6 +226,10 @@ FleetSummary run_fleet(const FleetConfig& cfg) {
     double extra_latency = 0.0;
     const int cluster = meta.segment_cluster[seg];
     if (cluster != kNoModel) {
+      // The segment's I frame gets enhanced with the cluster model; the
+      // serving tier may coalesce this with concurrent same-cluster
+      // requests into one batched infer (enhance_batch_into).
+      sr_request(cluster, s.abr.clock());
       if (s.client_cache.fetch(cluster)) {
         ++sum.client_hits;
         fetch_hist.add(0.0);
@@ -276,6 +322,17 @@ FleetSummary run_fleet(const FleetConfig& cfg) {
     }
   }
 
+  // Flush still-open SR batches in cluster order so the floating-point sums
+  // never depend on hash-map iteration order.
+  {
+    std::vector<int> open_clusters;
+    open_clusters.reserve(sr_open.size());
+    for (const auto& [c, b] : sr_open)
+      if (!b.waits.empty()) open_clusters.push_back(c);
+    std::sort(open_clusters.begin(), open_clusters.end());
+    for (const int c : open_clusters) flush_sr_batch(sr_open.at(c));
+  }
+
   if (sum.segments > 0) {
     sum.mean_quality_db /= static_cast<double>(sum.segments);
     sum.mean_rung /= static_cast<double>(sum.segments);
@@ -289,6 +346,8 @@ FleetSummary run_fleet(const FleetConfig& cfg) {
   sum.startup_p99_s = startup_hist.percentile(99.0);
   sum.rebuffer_p50_s = rebuffer_hist.percentile(50.0);
   sum.rebuffer_p99_s = rebuffer_hist.percentile(99.0);
+  sum.sr_latency_p50_s = sr_hist.percentile(50.0);
+  sum.sr_latency_p99_s = sr_hist.percentile(99.0);
   return sum;
 }
 

@@ -89,6 +89,21 @@ struct FleetConfig {
   /// each class gets its own seeded Markov (Gilbert-Elliott) trace over the
   /// workload horizon.
   double base_rate_bytes_per_s = 60000.0;
+
+  /// I-frame SR serving model. Every segment that carries a cluster model
+  /// costs one I-frame enhancement; the serving tier runs Edsr
+  /// enhance_batch_into, so concurrent requests for the *same* cluster model
+  /// can share one batched infer call. With `sr_batch_window_seconds == 0`
+  /// every request is its own batch (occupancy 1). With a positive window,
+  /// the first request for a cluster opens a batch that closes `window`
+  /// seconds later; requests arriving before the close join it. A batch of k
+  /// frames occupies the server for `base + k * per_frame` seconds and each
+  /// member observes `wait_until_close + base + k * per_frame` latency.
+  /// Serving is accounted out-of-band (it never perturbs the ABR loop), so
+  /// enabling batching changes only the sr_* summary fields.
+  double sr_batch_window_seconds = 0.0;
+  double sr_base_latency_seconds = 0.008;  // per-infer dispatch + weight traffic
+  double sr_per_frame_seconds = 0.004;     // marginal cost of one batch item
 };
 
 /// Aggregate of one fleet run. Deliberately flat (no heap members): sweep
@@ -124,6 +139,14 @@ struct FleetSummary {
   double startup_p50_s = 0.0, startup_p99_s = 0.0;
   double rebuffer_p50_s = 0.0, rebuffer_p99_s = 0.0;
 
+  // I-frame SR serving: frames enhanced, batched infer calls issued, and
+  // the per-frame latency (batch wait + service) distribution. With the
+  // batch window off, sr_batches == sr_frames and occupancy is exactly 1.
+  std::uint64_t sr_frames = 0;
+  std::uint64_t sr_batches = 0;
+  double sr_latency_p50_s = 0.0, sr_latency_p99_s = 0.0;
+  double sr_server_seconds = 0.0;  // total server busy time across batches
+
   double mean_quality_db = 0.0;
   double mean_rung = 0.0;
 
@@ -144,6 +167,18 @@ struct FleetSummary {
     return sessions ? static_cast<double>(video_bytes + model_bytes_last_mile) /
                           static_cast<double>(sessions)
                     : 0.0;
+  }
+  double sr_batch_occupancy() const noexcept {
+    return sr_batches ? static_cast<double>(sr_frames) /
+                            static_cast<double>(sr_batches)
+                      : 0.0;
+  }
+  /// Sessions one SR server can sustain per busy-second — the serving-side
+  /// throughput figure batching is meant to improve.
+  double sr_sessions_per_server_second() const noexcept {
+    return sr_server_seconds > 0.0
+               ? static_cast<double>(sessions) / sr_server_seconds
+               : 0.0;
   }
 };
 

@@ -125,6 +125,10 @@ class ByteReader {
   /// went bad, not just that it did.
   std::size_t position() const noexcept { return pos_; }
 
+  /// Raw view of the underlying buffer. Lets parsers checksum exactly the
+  /// bytes they consumed (e.g. the container CRC) without re-serialising.
+  const std::uint8_t* data() const noexcept { return buf_.data(); }
+
  private:
   void require(std::size_t n) const {
     if (pos_ + n > buf_.size())

@@ -49,6 +49,12 @@ void expect_summaries_identical(const FleetSummary& a, const FleetSummary& b) {
   // the fleet-smoke leg diffs it byte-for-byte across DCSR_THREADS.
   EXPECT_EQ(a.advance_heap_allocs, b.advance_heap_allocs);
   EXPECT_EQ(a.advance_heap_allocs_sanctioned, b.advance_heap_allocs_sanctioned);
+  // SR serving stats, same contract.
+  EXPECT_EQ(a.sr_frames, b.sr_frames);
+  EXPECT_EQ(a.sr_batches, b.sr_batches);
+  EXPECT_EQ(a.sr_latency_p50_s, b.sr_latency_p50_s);
+  EXPECT_EQ(a.sr_latency_p99_s, b.sr_latency_p99_s);
+  EXPECT_EQ(a.sr_server_seconds, b.sr_server_seconds);
 }
 
 // ---------------------------------------------------------------------------
@@ -405,6 +411,65 @@ TEST(Fleet, TierAccountingIsConsistent) {
   EXPECT_GE(s.model_bytes_last_mile, s.model_bytes_origin);
   EXPECT_GT(s.video_bytes, 0u);
   EXPECT_GT(s.mean_quality_db, 0.0);
+}
+
+TEST(Fleet, SrUnbatchedServesEveryFrameAlone) {
+  // Window off: one infer call per enhanced I frame, occupancy exactly 1,
+  // every frame pays base + per_frame with zero wait.
+  FleetConfig cfg = small_fleet();
+  cfg.sr_batch_window_seconds = 0.0;
+  const FleetSummary s = run_fleet(cfg);
+  ASSERT_GT(s.sr_frames, 0u);
+  EXPECT_EQ(s.sr_frames, s.sr_batches);
+  EXPECT_DOUBLE_EQ(s.sr_batch_occupancy(), 1.0);
+  const double solo = cfg.sr_base_latency_seconds + cfg.sr_per_frame_seconds;
+  EXPECT_NEAR(s.sr_latency_p50_s, solo, 0.001);  // within one histogram bin
+  EXPECT_NEAR(s.sr_server_seconds,
+              solo * static_cast<double>(s.sr_frames), 1e-6);
+}
+
+TEST(Fleet, SrRequestCountTracksModeledSegments) {
+  // Exactly one SR request per segment that resolved a cluster model; the
+  // client/edge tier split does not change the enhancement count.
+  const FleetSummary s = run_fleet(small_fleet());
+  EXPECT_EQ(s.sr_frames, s.client_hits + s.client_misses);
+}
+
+TEST(Fleet, SrBatchingCoalescesAndCutsServerTime) {
+  // A positive window must (a) keep the frame count identical — batching
+  // never drops or duplicates work, (b) push occupancy above 1 on a
+  // workload with concurrent same-cluster viewers, (c) reduce total server
+  // busy time (the sessions-per-server-second win), and (d) trade that for
+  // added client latency bounded by the window.
+  FleetConfig cfg = small_fleet();
+  cfg.workload.sessions = 20000;  // denser arrivals => real concurrency
+  cfg.workload.horizon_seconds = 3600.0;
+  cfg.sr_batch_window_seconds = 0.0;
+  const FleetSummary solo = run_fleet(cfg);
+
+  cfg.sr_batch_window_seconds = 0.25;
+  const FleetSummary batched = run_fleet(cfg);
+
+  EXPECT_EQ(batched.sr_frames, solo.sr_frames);
+  EXPECT_LT(batched.sr_batches, solo.sr_batches);
+  EXPECT_GT(batched.sr_batch_occupancy(), 1.0);
+  EXPECT_LT(batched.sr_server_seconds, solo.sr_server_seconds);
+  EXPECT_GT(batched.sr_sessions_per_server_second(),
+            solo.sr_sessions_per_server_second());
+  // Worst case per frame: full window wait + the whole batch's service.
+  EXPECT_GE(batched.sr_latency_p50_s, solo.sr_latency_p50_s);
+  // Playback is untouched: serving is accounted out-of-band.
+  EXPECT_EQ(batched.segments, solo.segments);
+  EXPECT_EQ(batched.rebuffer_p99_s, solo.rebuffer_p99_s);
+  EXPECT_EQ(batched.mean_quality_db, solo.mean_quality_db);
+}
+
+TEST(Fleet, SrBatchingIsDeterministic) {
+  FleetConfig cfg = small_fleet();
+  cfg.sr_batch_window_seconds = 0.1;
+  const FleetSummary a = run_fleet(cfg);
+  const FleetSummary b = run_fleet(cfg);
+  expect_summaries_identical(a, b);
 }
 
 TEST(Fleet, AdvanceLoopIsHeapSilent) {

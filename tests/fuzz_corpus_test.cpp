@@ -70,7 +70,8 @@ TEST(FuzzCorpus, ValidBaseInputsParse) {
   const std::uint64_t kSeed = 7;
   for (const fuzz::Harness h :
        {fuzz::Harness::kContainer, fuzz::Harness::kManifest,
-        fuzz::Harness::kPlaylist, fuzz::Harness::kBundle}) {
+        fuzz::Harness::kPlaylist, fuzz::Harness::kBundle,
+        fuzz::Harness::kSlice}) {
     EXPECT_EQ(fuzz::replay(h, fuzz::valid_input(h, kSeed)),
               fuzz::ReplayOutcome::kParsed)
         << fuzz::harness_name(h);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -513,6 +514,80 @@ TEST(Infer, MatchesForwardBitwisePerLayer) {
   seq.emplace<ReLU>();
   seq.emplace<Conv2d>(4, 4, 3, rng);
   expect_infer_matches_forward(seq, x);
+}
+
+// A batch through infer_into must carry, at batch index i, exactly the
+// floats a batch-of-one run of item i produces — the batch dimension is a
+// layout decision, never a numeric one. The batched SR serving path
+// (Edsr::enhance_batch_into, fleet coalescing) relies on this bitwise.
+void expect_batch_matches_items(const Module& m, const Tensor& x) {
+  Workspace& ws = Workspace::local();
+  Tensor batch_out(m.out_shape(x.shape()));
+  m.infer_into(x, batch_out, ws);
+
+  const int N = x.dim(0);
+  ASSERT_GE(N, 2) << "batch test needs a real batch";
+  Shape item_shape = x.shape();
+  item_shape[0] = 1;
+  const std::size_t in_stride = x.size() / static_cast<std::size_t>(N);
+  const std::size_t out_stride =
+      batch_out.size() / static_cast<std::size_t>(N);
+  Tensor item(item_shape);
+  Tensor item_out(m.out_shape(item_shape));
+  for (int i = 0; i < N; ++i) {
+    std::memcpy(item.data(), x.data() + static_cast<std::size_t>(i) * in_stride,
+                in_stride * sizeof(float));
+    m.infer_into(item, item_out, ws);
+    EXPECT_EQ(std::memcmp(item_out.data(),
+                          batch_out.data() +
+                              static_cast<std::size_t>(i) * out_stride,
+                          out_stride * sizeof(float)),
+              0)
+        << m.name() << " batch item " << i << " diverges from a solo run";
+  }
+}
+
+TEST(Infer, BatchMatchesPerItemBitwise) {
+  Rng rng(47);
+  const Tensor x = Tensor::randn({3, 4, 6, 6}, rng);
+
+  Conv2d conv(4, 5, 3, rng);
+  expect_batch_matches_items(conv, x);
+  Conv2d strided(4, 5, 3, rng, /*stride=*/2);
+  expect_batch_matches_items(strided, x);
+
+  ReLU relu;
+  expect_batch_matches_items(relu, x);
+  LeakyReLU leaky(0.1f);
+  expect_batch_matches_items(leaky, x);
+  Sigmoid sigmoid;
+  expect_batch_matches_items(sigmoid, x);
+  Tanh tanh_layer;
+  expect_batch_matches_items(tanh_layer, x);
+
+  Linear linear(24, 7, rng);
+  expect_batch_matches_items(linear, Tensor::randn({3, 24}, rng));
+
+  PixelShuffle shuffle(2);
+  expect_batch_matches_items(shuffle, x);
+  BilinearUpsample bilinear(2);
+  expect_batch_matches_items(bilinear, x);
+  UpsampleNearest nearest(2);
+  expect_batch_matches_items(nearest, x);
+
+  Flatten flatten;
+  expect_batch_matches_items(flatten, x);
+  Reshape4 reshape(4, 6, 6);
+  expect_batch_matches_items(reshape, Tensor::randn({3, 4 * 6 * 6}, rng));
+
+  ResBlock res(4, rng, 0.5f);
+  expect_batch_matches_items(res, x);
+
+  Sequential seq;
+  seq.emplace<Conv2d>(4, 4, 3, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Conv2d>(4, 4, 3, rng);
+  expect_batch_matches_items(seq, x);
 }
 
 TEST(Infer, IsConstAndLeavesNoBackwardState) {

@@ -1,3 +1,5 @@
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "codec/bits.hpp"
@@ -347,6 +349,99 @@ TEST(Edsr, SteadyStateEnhanceIsHeapSilent) {
       << "steady-state enhance must not touch the heap";
   EXPECT_EQ(after.frees - warm.frees, 0u);
   EXPECT_EQ(after.bytes - warm.bytes, 0u);
+}
+#endif
+
+// Batched enhance must be bit-identical to per-frame enhance — batching is
+// how the fleet driver coalesces concurrent I-frame SR requests, and it may
+// amortise cost but never change a single float.
+void expect_batch_enhance_matches_single(const Edsr& model, int w, int h,
+                                         int n, std::uint64_t seed) {
+  std::vector<FrameRGB> frames;
+  for (int i = 0; i < n; ++i)
+    frames.push_back(textured_frame(w, h, seed + static_cast<std::uint64_t>(i)));
+
+  std::vector<const FrameRGB*> in_ptrs;
+  std::vector<FrameRGB> batch_outs(static_cast<std::size_t>(n));
+  std::vector<FrameRGB*> out_ptrs;
+  for (int i = 0; i < n; ++i) {
+    in_ptrs.push_back(&frames[static_cast<std::size_t>(i)]);
+    out_ptrs.push_back(&batch_outs[static_cast<std::size_t>(i)]);
+  }
+  model.enhance_batch_into(in_ptrs.data(), out_ptrs.data(), n);
+
+  for (int i = 0; i < n; ++i) {
+    FrameRGB solo;
+    model.enhance_into(frames[static_cast<std::size_t>(i)], solo);
+    const Plane* a[3] = {&solo.r, &solo.g, &solo.b};
+    const Plane* b[3] = {&batch_outs[static_cast<std::size_t>(i)].r,
+                         &batch_outs[static_cast<std::size_t>(i)].g,
+                         &batch_outs[static_cast<std::size_t>(i)].b};
+    for (int c = 0; c < 3; ++c) {
+      ASSERT_TRUE(a[c]->same_size(*b[c]));
+      EXPECT_EQ(std::memcmp(a[c]->data(), b[c]->data(),
+                            a[c]->size() * sizeof(float)),
+                0)
+          << "batch item " << i << " plane " << c;
+    }
+  }
+}
+
+TEST(Edsr, EnhanceBatchMatchesSingleBitwiseScale1) {
+  Rng rng(181);
+  const Edsr model({.n_filters = 4, .n_resblocks = 2, .scale = 1}, rng);
+  expect_batch_enhance_matches_single(model, 20, 16, 4, 300);
+}
+
+TEST(Edsr, EnhanceBatchMatchesSingleBitwiseScale2) {
+  Rng rng(182);
+  const Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 2}, rng);
+  expect_batch_enhance_matches_single(model, 12, 10, 3, 320);
+}
+
+TEST(Edsr, EnhanceBatchOfOneMatchesEnhanceInto) {
+  Rng rng(183);
+  const Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 1}, rng);
+  expect_batch_enhance_matches_single(model, 16, 16, 1, 340);
+}
+
+TEST(Edsr, EnhanceBatchRejectsBadBatches) {
+  Rng rng(184);
+  const Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 1}, rng);
+  const FrameRGB a = textured_frame(16, 16, 350);
+  const FrameRGB b = textured_frame(20, 16, 351);  // mixed geometry
+  FrameRGB out_a, out_b;
+  const FrameRGB* ins[2] = {&a, &b};
+  FrameRGB* outs[2] = {&out_a, &out_b};
+  EXPECT_THROW(model.enhance_batch_into(ins, outs, 0), std::invalid_argument);
+  EXPECT_THROW(model.enhance_batch_into(ins, outs, 2), std::invalid_argument);
+  const FrameRGB empty;
+  const FrameRGB* ins_empty[1] = {&empty};
+  EXPECT_THROW(model.enhance_batch_into(ins_empty, outs, 1),
+               std::invalid_argument);
+}
+
+#if DCSR_ALLOC_CHECK
+TEST(Edsr, SteadyStateEnhanceBatchIsHeapSilent) {
+  // The batched path inherits the single-frame contract: one warm workspace
+  // checkout for the whole batch, zero allocator traffic per steady-state
+  // batch.
+  Rng rng(185);
+  const Edsr model({.n_filters = 4, .n_resblocks = 1, .scale = 1}, rng);
+  std::vector<FrameRGB> frames;
+  for (int i = 0; i < 3; ++i)
+    frames.push_back(textured_frame(16, 12, 360 + static_cast<std::uint64_t>(i)));
+  std::vector<FrameRGB> outs(3);
+  const FrameRGB* ins[3] = {&frames[0], &frames[1], &frames[2]};
+  FrameRGB* out_ptrs[3] = {&outs[0], &outs[1], &outs[2]};
+  for (int i = 0; i < 3; ++i) model.enhance_batch_into(ins, out_ptrs, 3);
+
+  const AllocStats warm = thread_alloc_stats();
+  for (int i = 0; i < 10; ++i) model.enhance_batch_into(ins, out_ptrs, 3);
+  const AllocStats after = thread_alloc_stats();
+  EXPECT_EQ(after.allocs - warm.allocs, 0u)
+      << "steady-state batched enhance must not touch the heap";
+  EXPECT_EQ(after.frees - warm.frees, 0u);
 }
 #endif
 

@@ -1,8 +1,15 @@
 // dcsr_cli — command-line front end for the codec and container layers.
 //
-//   dcsr_cli synth  <out.dcv> [genre] [seed] [seconds] [crf]
+//   dcsr_cli synth  <out.dcv> [genre] [seed] [seconds] [crf] [slices]
 //       Generates a synthetic genre video, splits it at scene changes,
-//       encodes it, and writes a .dcv container.
+//       encodes it (optionally as multiple macroblock-row slices per frame),
+//       and writes a .dcv container.
+//
+//   dcsr_cli decode <in.dcv> <out.yuv>
+//       Decodes the container and dumps raw little-endian f32 planes
+//       (y, then u, then v, per frame in display order). The byte stream
+//       is bit-exact across DCSR_THREADS and slice counts, which makes it
+//       the comparison surface for the decode-smoke CI leg.
 //
 //   dcsr_cli info   <in.dcv>
 //       Prints container metadata and per-frame-type bitstream statistics.
@@ -63,19 +70,43 @@ int cmd_synth(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(argc > 2 ? std::atoll(argv[2]) : 1);
   const double seconds = argc > 3 ? std::atof(argv[3]) : 20.0;
   const int crf = argc > 4 ? std::atoi(argv[4]) : 35;
+  const int slices = argc > 5 ? std::atoi(argv[5]) : 1;
 
   const auto video = make_genre_video(genre, seed, kWidth, kHeight, seconds, kFps);
   const auto segments = split::variable_segments(*video);
   codec::CodecConfig cfg;
   cfg.crf = crf;
+  cfg.slices = slices;
   const auto encoded = codec::Encoder(cfg).encode(*video, segments);
 
   ByteWriter w;
   codec::write_container(encoded, w);
   write_file(out, w.bytes());
-  std::printf("wrote %s: %d frames in %zu segments, %.1f KB (crf %d)\n",
+  std::printf("wrote %s: %d frames in %zu segments, %.1f KB (crf %d, %d slices)\n",
               out.c_str(), encoded.frame_count(), encoded.segments.size(),
-              w.size() / 1e3, crf);
+              w.size() / 1e3, crf, slices);
+  return 0;
+}
+
+int cmd_decode(int argc, char** argv) {
+  (void)argc;
+  ByteReader r(read_file(argv[0]));
+  const codec::EncodedVideo encoded = codec::read_container(r);
+
+  codec::Decoder dec(encoded.width, encoded.height, encoded.crf);
+  ByteWriter yuv;
+  int frames = 0;
+  for (const auto& seg : encoded.segments) {
+    for (const FrameYUV& f : dec.decode_segment(seg)) {
+      yuv.write_f32_span(f.y.data(), f.y.size());
+      yuv.write_f32_span(f.u.data(), f.u.size());
+      yuv.write_f32_span(f.v.data(), f.v.size());
+      ++frames;
+    }
+  }
+  write_file(argv[1], yuv.bytes());
+  std::printf("decoded %s -> %s: %d frames, %.1f KB of f32 planes\n",
+              argv[0], argv[1], frames, yuv.size() / 1e3);
   return 0;
 }
 
@@ -191,7 +222,8 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage:\n"
-                 "  dcsr_cli synth  <out.dcv> [genre] [seed] [seconds] [crf]\n"
+                 "  dcsr_cli synth  <out.dcv> [genre] [seed] [seconds] [crf] [slices]\n"
+                 "  dcsr_cli decode <in.dcv> <out.yuv>\n"
                  "  dcsr_cli info   <in.dcv>\n"
                  "  dcsr_cli verify <in.dcv> [genre] [seed] [seconds]\n"
                  "  dcsr_cli deploy <dir>    [genre] [seed] [seconds]\n"
@@ -202,6 +234,13 @@ int main(int argc, char** argv) {
   try {
     std::fprintf(stderr, "%s\n", simd::report().c_str());
     if (cmd == "synth") return cmd_synth(argc - 2, argv + 2);
+    if (cmd == "decode") {
+      if (argc < 4) {
+        std::fprintf(stderr, "usage: dcsr_cli decode <in.dcv> <out.yuv>\n");
+        return 2;
+      }
+      return cmd_decode(argc - 2, argv + 2);
+    }
     if (cmd == "info") return cmd_info(argc - 2, argv + 2);
     if (cmd == "verify") return cmd_verify(argc - 2, argv + 2);
     if (cmd == "deploy") return cmd_deploy(argc - 2, argv + 2);

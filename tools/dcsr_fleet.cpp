@@ -8,7 +8,8 @@
 //
 //   dcsr_fleet [--sessions N[,N...]] [--videos V] [--skew Z] [--seed S]
 //              [--edge-mb M] [--sweep-skew "0.2,0.6,1.0"] [--reps R]
-//              [--json out.json]
+//              [--sr-window MS] [--sr-base-ms MS] [--sr-frame-ms MS]
+//              [--sr-demo] [--json out.json]
 //
 //   --sessions   comma list of fleet sizes to run (default 100000)
 //   --videos     catalog size (default 1000)
@@ -19,6 +20,17 @@
 //                run_fleet_sweep, and print hit rate vs skew
 //   --reps       replications per configuration (seeds seed..seed+R-1),
 //                also through run_fleet_sweep (default 1)
+//   --horizon    arrival horizon in seconds (default 86400, one diurnal
+//                day; shorter horizons pack the same sessions denser)
+//   --sr-window  I-frame SR batching window in ms (0 = every request is
+//                its own infer call; default 0)
+//   --sr-base-ms per-infer dispatch cost of the SR server model (default 8)
+//   --sr-frame-ms marginal per-frame cost of one batch item (default 4)
+//   --sr-demo    append the canonical cross-session SR batching comparison:
+//                a dense fleet (50k sessions, 200 videos, skew 1.1, 1 h
+//                horizon) swept over batching windows {0, 50, 250} ms, so
+//                occupancy > 1 and the server-time saving show up in the
+//                table and the JSON alongside the scale trajectory
 //   --json       write machine-readable results (BENCH_fleet.json format)
 
 #include <chrono>
@@ -93,7 +105,7 @@ void print_runs(const char* title, const std::vector<TimedRun>& runs) {
   std::printf("\n%s\n", title);
   Table t({"sessions", "skew", "edge MiB", "client hit", "edge hit",
            "model KB/user", "fetch p50/p99 ms", "startup p50/p99 s",
-           "rebuf p99 s", "sessions/s"});
+           "rebuf p99 s", "sr occ", "sr p99 ms", "sessions/s"});
   for (const auto& r : runs) {
     const auto& s = r.summary;
     t.add_row({std::to_string(s.sessions),
@@ -105,7 +117,9 @@ void print_runs(const char* title, const std::vector<TimedRun>& runs) {
                fmt(s.fetch_latency_p50_s * 1e3, 1) + "/" +
                    fmt(s.fetch_latency_p99_s * 1e3, 1),
                fmt(s.startup_p50_s, 2) + "/" + fmt(s.startup_p99_s, 2),
-               fmt(s.rebuffer_p99_s, 2), fmt(r.sessions_per_second(), 0)});
+               fmt(s.rebuffer_p99_s, 2), fmt(s.sr_batch_occupancy(), 2),
+               fmt(s.sr_latency_p99_s * 1e3, 1),
+               fmt(r.sessions_per_second(), 0)});
   }
   std::printf("%s", t.to_string().c_str());
 }
@@ -147,6 +161,14 @@ void write_json(const char* path, const std::vector<TimedRun>& runs) {
         "      \"mean_quality_db\": %.4f,\n"
         "      \"advance_heap_allocs\": %llu,\n"
         "      \"advance_heap_allocs_sanctioned\": %llu,\n"
+        "      \"sr_batch_window_s\": %.4f,\n"
+        "      \"sr_frames\": %llu,\n"
+        "      \"sr_batches\": %llu,\n"
+        "      \"sr_batch_occupancy\": %.4f,\n"
+        "      \"sr_latency_p50_s\": %.6f,\n"
+        "      \"sr_latency_p99_s\": %.6f,\n"
+        "      \"sr_server_seconds\": %.4f,\n"
+        "      \"sr_sessions_per_server_second\": %.2f,\n"
         "      \"wall_seconds\": %.4f,\n"
         "      \"sessions_per_second\": %.1f\n"
         "    }%s\n",
@@ -167,6 +189,11 @@ void write_json(const char* path, const std::vector<TimedRun>& runs) {
         s.rebuffer_p50_s, s.rebuffer_p99_s, s.mean_quality_db,
         static_cast<unsigned long long>(s.advance_heap_allocs),
         static_cast<unsigned long long>(s.advance_heap_allocs_sanctioned),
+        r.cfg.sr_batch_window_seconds,
+        static_cast<unsigned long long>(s.sr_frames),
+        static_cast<unsigned long long>(s.sr_batches),
+        s.sr_batch_occupancy(), s.sr_latency_p50_s, s.sr_latency_p99_s,
+        s.sr_server_seconds, s.sr_sessions_per_server_second(),
         r.wall_seconds, r.sessions_per_second(),
         i + 1 < runs.size() ? "," : "");
   }
@@ -185,6 +212,11 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   double edge_mb = 16.0;
   int reps = 1;
+  double horizon_s = 0.0;  // 0 = keep the workload default
+  double sr_window_ms = 0.0;
+  double sr_base_ms = 8.0;
+  double sr_frame_ms = 4.0;
+  bool sr_demo = false;
   const char* json_path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -209,6 +241,16 @@ int main(int argc, char** argv) {
       skew_sweep = parse_list(need("--sweep-skew"));
     else if (!std::strcmp(argv[i], "--reps"))
       reps = std::atoi(need("--reps"));
+    else if (!std::strcmp(argv[i], "--horizon"))
+      horizon_s = std::atof(need("--horizon"));
+    else if (!std::strcmp(argv[i], "--sr-window"))
+      sr_window_ms = std::atof(need("--sr-window"));
+    else if (!std::strcmp(argv[i], "--sr-base-ms"))
+      sr_base_ms = std::atof(need("--sr-base-ms"));
+    else if (!std::strcmp(argv[i], "--sr-frame-ms"))
+      sr_frame_ms = std::atof(need("--sr-frame-ms"));
+    else if (!std::strcmp(argv[i], "--sr-demo"))
+      sr_demo = true;
     else if (!std::strcmp(argv[i], "--json"))
       json_path = need("--json");
     else {
@@ -231,6 +273,10 @@ int main(int argc, char** argv) {
     base.edge_budget_bytes =
         static_cast<std::uint64_t>(edge_mb * (1 << 20));
     base.seed = seed;
+    if (horizon_s > 0.0) base.workload.horizon_seconds = horizon_s;
+    base.sr_batch_window_seconds = sr_window_ms / 1e3;
+    base.sr_base_latency_seconds = sr_base_ms / 1e3;
+    base.sr_per_frame_seconds = sr_frame_ms / 1e3;
 
     std::vector<FleetConfig> configs;
     for (const double n : session_counts) {
@@ -255,6 +301,26 @@ int main(int argc, char** argv) {
       const std::vector<TimedRun> sweep_runs = run_batch(sweep);
       print_runs("edge hit rate vs popularity skew", sweep_runs);
       runs.insert(runs.end(), sweep_runs.begin(), sweep_runs.end());
+    }
+
+    if (sr_demo) {
+      // Dense enough that concurrent sessions actually share cluster models
+      // inside a sub-second window; the window=0 row is the unbatched
+      // baseline every other row's sr_server_seconds is read against.
+      std::vector<FleetConfig> demo;
+      for (const double wms : {0.0, 50.0, 250.0}) {
+        FleetConfig c = base;
+        c.workload.sessions = 50000;
+        c.workload.videos = 200;
+        c.workload.video_zipf_skew = 1.1;
+        c.workload.horizon_seconds = 3600.0;
+        c.sr_batch_window_seconds = wms / 1e3;
+        demo.push_back(c);
+      }
+      const std::vector<TimedRun> demo_runs = run_batch(demo);
+      print_runs("cross-session SR batching: dense fleet, window {0,50,250} ms",
+                 demo_runs);
+      runs.insert(runs.end(), demo_runs.begin(), demo_runs.end());
     }
 
     if (json_path) write_json(json_path, runs);

@@ -6,9 +6,11 @@
 # counters land in the JSON — ws_miss_per_frame must read 0.
 #
 # Also runs the fleet-scale serving simulator (dcsr_fleet) at 1e5 and 1e6
-# sessions plus a popularity-skew sweep and records BENCH_fleet.json:
-# sessions/sec, per-tier hit rates and model bytes/user — the fleet
-# trajectory the ROADMAP's "millions of users" item asks for.
+# sessions plus a popularity-skew sweep and the --sr-demo cross-session SR
+# batching comparison (dense fleet, windows {0,50,250} ms) and records
+# BENCH_fleet.json: sessions/sec, per-tier hit rates, model bytes/user and
+# SR batch occupancy / server seconds — the fleet trajectory the ROADMAP's
+# "millions of users" item asks for plus the serving-tier batching deltas.
 #
 # Refuses to record numbers from a non-Release build: an -O0 run looks like
 # a 10-30x regression and would poison the trajectory. Set
@@ -64,4 +66,5 @@ fi
   --sessions 100000,1000000 \
   --videos 2000 --skew 0.8 --seed 1 --edge-mb 16 \
   --sweep-skew "0.2,0.6,1.0,1.4" \
+  --sr-demo \
   --json "$ROOT/BENCH_fleet.json"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Single verification gate for the tree. Runs seven legs, each test leg in
+# Single verification gate for the tree. Runs ten legs, each test leg in
 # its own build directory so instrumented artifacts never mix:
 #
 #   default     RelWithDebInfo build + full ctest suite (includes the
@@ -33,6 +33,13 @@
 #               be byte-identical, pinning the fleet determinism contract
 #               (including the per-event heap-allocation counters) end to
 #               end through the CLI
+#   decode-smoke dcsr_cli in the checked build: synth the same video at
+#               slice counts 1/2/4, decode every container under both
+#               DCSR_THREADS=1 and =4, and byte-diff all six raw-YUV dumps
+#               against each other — decoded output must be bit-identical
+#               across slice counts AND thread counts. Also decodes the
+#               committed pre-slice (v2, sliceless) fixture to pin backward
+#               compatibility through the CLI.
 #   tidy        clang-tidy over every translation unit in src/ against the
 #               checked-in .clang-tidy, driven by the default build's
 #               compile_commands.json; any diagnostic fails the leg. If
@@ -43,7 +50,7 @@
 # accretes warnings, while the tier-1 build stays plain -Wall -Wextra.
 #
 # Usage: tools/run_checks.sh [leg...]
-#   e.g. tools/run_checks.sh            # all nine legs
+#   e.g. tools/run_checks.sh            # all ten legs
 #        tools/run_checks.sh tsan       # just the TSan leg
 #        tools/run_checks.sh default checked fuzz-smoke
 #
@@ -54,7 +61,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
 LEGS=("$@")
 if [ ${#LEGS[@]} -eq 0 ]; then
-  LEGS=(default checked asan tsan simd bench-smoke fuzz-smoke fleet-smoke tidy)
+  LEGS=(default checked asan tsan simd bench-smoke fuzz-smoke fleet-smoke decode-smoke tidy)
 fi
 
 declare -A STATUS
@@ -174,6 +181,42 @@ run_leg() {
       echo "fleet-smoke: summaries bit-identical across thread counts"
       return 0
       ;;
+    decode-smoke)
+      # Slice-parallel decode determinism end-to-end through the CLI in the
+      # checked build: the same source encoded at 1/2/4 slices, decoded at
+      # 1 and 4 threads, must produce byte-identical raw-YUV dumps — the
+      # restricted-intra slice format guarantees reconstruction does not
+      # depend on the slice partition, and parallel_for_writes' disjoint
+      # row claims guarantee it does not depend on the thread count.
+      build="${CHECKED_BUILD_DIR:-$ROOT/build-checked}"
+      echo
+      echo "=== leg: $leg (build dir: $build) ==="
+      cmake -B "$build" -S "$ROOT" -DDCSR_WERROR=ON -DDCSR_CHECKED=ON || return 1
+      cmake --build "$build" -j --target dcsr_cli || return 1
+      local cli="$build/tools/dcsr_cli" s t ref=""
+      for s in 1 2 4; do
+        "$cli" synth "$build/decode-smoke-s$s.dcv" sports 7 2 30 "$s" \
+          >/dev/null || return 1
+        for t in 1 4; do
+          env DCSR_THREADS="$t" "$cli" decode "$build/decode-smoke-s$s.dcv" \
+            "$build/decode-smoke-s$s-t$t.yuv" >/dev/null || return 1
+          if [ -z "$ref" ]; then
+            ref="$build/decode-smoke-s$s-t$t.yuv"
+          elif ! cmp -s "$ref" "$build/decode-smoke-s$s-t$t.yuv"; then
+            echo "decode-smoke: slices=$s DCSR_THREADS=$t output differs" \
+                 "from $ref" >&2
+            return 1
+          fi
+        done
+      done
+      echo "decode-smoke: YUV bit-identical across slices {1,2,4} x threads {1,4}"
+      # Backward compatibility: the committed pre-slice v2 container must
+      # still decode through the same CLI path.
+      env DCSR_THREADS=4 "$cli" decode "$ROOT/tests/data/pre-slice-v2.dcv" \
+        "$build/decode-smoke-preslice.yuv" >/dev/null || return 1
+      echo "decode-smoke: pre-slice v2 fixture decodes"
+      return 0
+      ;;
     tidy)
       # clang-tidy over src/ with the checked-in .clang-tidy. Uses the
       # default build's compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
@@ -204,7 +247,7 @@ run_leg() {
       return $rc
       ;;
     *)
-      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|simd|bench-smoke|fuzz-smoke|fleet-smoke|tidy)" >&2
+      echo "run_checks.sh: unknown leg '$leg' (default|checked|asan|tsan|simd|bench-smoke|fuzz-smoke|fleet-smoke|decode-smoke|tidy)" >&2
       return 2
       ;;
   esac
